@@ -1,0 +1,36 @@
+"""Ablation — calibrated behavioral profiles vs. the raw internal heuristic.
+
+The simulated models blend their internal static-analysis heuristic with a
+calibrated response profile (DESIGN.md §5.1).  This ablation measures what
+the models would score if they followed the heuristic directly
+(``calibrated=False``): the raw heuristic is *stronger* than the published
+LLM results, which is exactly why the calibration layer is needed to
+reproduce the paper's numbers rather than flatter ones.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import evaluate_model_prompt
+from repro.eval.metrics import ConfusionCounts
+from repro.eval.reporting import PromptEvaluationRow, format_confusion_table
+from repro.llm import create_model
+from repro.prompting import PromptStrategy
+
+
+def test_ablation_calibration(benchmark, subset):
+    def run():
+        rows = []
+        for calibrated in (True, False):
+            model = create_model("gpt-4", calibrated=calibrated)
+            counts = evaluate_model_prompt(model, PromptStrategy.BP1, subset.records)
+            label = "gpt-4" if calibrated else "gpt-4-raw"
+            rows.append(PromptEvaluationRow(model=label, prompt="BP1", counts=counts))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_confusion_table(rows, title="Ablation — calibration on/off (GPT-4, BP1)"))
+
+    calibrated = next(r for r in rows if r.model == "gpt-4").counts
+    raw = next(r for r in rows if r.model == "gpt-4-raw").counts
+    assert raw.f1 > calibrated.f1, "the uncalibrated heuristic outperforms the calibrated model"

@@ -1,0 +1,36 @@
+"""Ablation — fine-tuning adapter capacity (LoRA rank).
+
+The paper fixes the LoRA dimension at 64; this ablation sweeps the adapter
+rank to show the fine-tuning result is not an artefact of one capacity choice
+(DESIGN.md §5.3): tiny ranks underfit, larger ranks saturate.
+"""
+
+from conftest import run_once
+
+from repro.eval.crossval import run_finetune_crossval
+from repro.eval.reporting import format_crossval_table
+from repro.llm.finetune import FineTuneConfig
+
+
+def test_ablation_adapter_rank(benchmark, subset):
+    ranks = (4, 64, 128)
+
+    def run():
+        rows = {}
+        for rank in ranks:
+            config = FineTuneConfig.for_model("starchat-beta", lora_rank=rank)
+            result = run_finetune_crossval(
+                subset, "starchat-beta", kind="basic", n_folds=5, seed=7, config=config
+            )
+            rows[f"starchat-FT-r{rank}"] = result.tuned_stats.as_row()
+            if rank == ranks[0]:
+                rows["starchat-base"] = result.base_stats.as_row()
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_crossval_table(rows, title="Ablation — adapter rank sweep (basic-FT)"))
+
+    f1 = {name: values[4] for name, values in rows.items()}
+    assert f1["starchat-FT-r64"] >= f1["starchat-FT-r4"] - 0.05
+    assert abs(f1["starchat-FT-r128"] - f1["starchat-FT-r64"]) < 0.1

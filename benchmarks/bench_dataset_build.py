@@ -1,0 +1,28 @@
+"""Table 1 — DRB-ML construction.
+
+Regenerates the dataset the paper's Table 1 documents: 201 JSON records with
+the full key/value schema, the ≤4k-token subset of 198 records, and the
+paper's class balance (~50.5 % race-yes), and reports the build time.
+"""
+
+from conftest import run_once
+
+from repro.dataset import DRBMLDataset
+
+
+def test_table1_drbml_build(benchmark, corpus):
+    def build():
+        return DRBMLDataset.from_benchmarks(corpus)
+
+    dataset = run_once(benchmark, build)
+    subset = dataset.token_subset()
+
+    assert len(dataset) == 201
+    assert len(subset) == 198
+    assert len(subset.positives()) == 100 and len(subset.negatives()) == 98
+
+    print()
+    print("Table 1 (dataset construction)")
+    print(dataset.summary())
+    sample = dataset.records[0]
+    print("record keys:", sorted(sample.to_dict().keys()))

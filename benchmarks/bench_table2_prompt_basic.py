@@ -1,0 +1,21 @@
+"""Table 2 — GPT-3.5-turbo with the two basic prompts (BP1 vs BP2).
+
+Paper values: BP1 → TP66 FP55 TN43 FN34 (F1 0.597); BP2 → TP35 FP26 TN72
+FN65 (F1 0.435).  The expected shape is that the succinct BP1 prompt clearly
+beats the multi-task BP2 prompt.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_table2
+from repro.eval.reporting import format_confusion_table
+
+
+def test_table2_bp1_vs_bp2(benchmark, subset):
+    rows = run_once(benchmark, lambda: run_table2(subset))
+    print()
+    print(format_confusion_table(rows, title="Table 2 — GPT-3.5-turbo, BP1 vs BP2"))
+
+    by_prompt = {row.prompt: row.counts for row in rows}
+    assert by_prompt["BP1"].f1 > by_prompt["BP2"].f1, "BP1 must beat BP2 (paper Table 2)"
+    assert by_prompt["BP2"].recall < by_prompt["BP1"].recall

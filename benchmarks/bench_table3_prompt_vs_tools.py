@@ -1,0 +1,35 @@
+"""Table 3 — traditional tool (Inspector-like) vs four LLMs × {BP1, AP1, AP2}.
+
+Paper shape: the traditional dynamic tool has the best F1 overall (0.762);
+GPT-4 is the best LLM (F1 ≈ 0.75) and comes close to the tool; GPT-3.5,
+StarChat-beta and Llama2-7b sit in the 0.54–0.63 F1 band.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.eval.experiments import run_table3
+from repro.eval.reporting import format_confusion_table
+
+
+def test_table3_tools_vs_llms(benchmark, subset, corpus_config):
+    rows = run_once(
+        benchmark, lambda: run_table3(subset, corpus_config=corpus_config)
+    )
+    print()
+    print(format_confusion_table(rows, title="Table 3 — Inspector vs LLM prompt strategies"))
+
+    best_f1 = defaultdict(float)
+    for row in rows:
+        best_f1[row.model] = max(best_f1[row.model], row.counts.f1)
+
+    inspector_f1 = best_f1.pop("Inspector")
+    best_llm = max(best_f1, key=best_f1.get)
+    # Shape assertions from the paper's Table 3.
+    assert inspector_f1 == max([inspector_f1, *best_f1.values()]), (
+        "the traditional tool must have the best overall F1"
+    )
+    assert best_llm == "gpt-4", "GPT-4 must be the best-performing LLM"
+    for weaker in ("gpt-3.5-turbo", "starchat-beta", "llama2-7b"):
+        assert best_f1["gpt-4"] > best_f1[weaker]

@@ -1,0 +1,25 @@
+"""Table 6 — advanced fine-tuning (variable identification) under 5-fold CV.
+
+Paper shape: StarChat-beta improves slightly after fine-tuning (F1 0.081 →
+0.083) at the cost of more variance; Llama2-7b shows no significant change
+(0.063 → 0.064).  Both stay an order of magnitude below detection F1.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_table6
+from repro.eval.reporting import format_crossval_table
+
+
+def test_table6_advanced_finetuning(benchmark, subset):
+    results = run_once(benchmark, lambda: run_table6(subset))
+    print()
+    for model_name, result in results.items():
+        print(format_crossval_table(result.as_rows(), title=f"Table 6 — {model_name}"))
+
+    for result in results.values():
+        # Variable identification stays far below detection quality.
+        assert result.base_stats.avg_f1 < 0.3
+        assert result.tuned_stats.avg_f1 < 0.35
+        # Fine-tuning never hurts by more than noise on this task.
+        assert result.tuned_stats.avg_f1 >= result.base_stats.avg_f1 - 0.02

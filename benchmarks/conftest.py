@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables; the DRB-ML evaluation
+subset and the corpus are built once per session and shared.
+"""
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.eval.experiments import default_subset
+
+
+@pytest.fixture(scope="session")
+def corpus_config():
+    return CorpusConfig()
+
+
+@pytest.fixture(scope="session")
+def corpus(corpus_config):
+    return build_corpus(corpus_config)
+
+
+@pytest.fixture(scope="session")
+def subset(corpus_config):
+    """The ≤4k-token DRB-ML evaluation subset (198 records)."""
+    return default_subset(corpus_config)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and some take several seconds, so a
+    single round gives a faithful wall-clock number without repeating the
+    full table computation many times.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

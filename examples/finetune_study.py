@@ -1,0 +1,33 @@
+"""Fine-tuning study: basic-FT cross-validation for the open-source models.
+
+Reproduces the Table 4 workflow (and optionally Table 6 with ``--advanced``)
+on the full DRB-ML subset: stratified 5-fold cross-validation, fine-tuning a
+low-rank adapter per fold, and reporting AVG/SD of recall, precision and F1
+for the base and fine-tuned variants.
+
+Run with::
+
+    python examples/finetune_study.py [--advanced]
+"""
+
+import sys
+
+from repro.core import DataRacePipeline
+from repro.eval.crossval import run_finetune_crossval
+from repro.eval.reporting import format_crossval_table
+
+
+def main(kind: str = "basic") -> None:
+    pipeline = DataRacePipeline()
+    subset = pipeline.evaluation_subset()
+    print(f"{kind}-FT cross-validation on {len(subset)} records, 5 folds\n")
+
+    for model_name in ("starchat-beta", "llama2-7b"):
+        result = run_finetune_crossval(subset, model_name, kind=kind)
+        title = f"{'Table 6' if kind == 'advanced' else 'Table 4'} workflow — {model_name}"
+        print(format_crossval_table(result.as_rows(), title=title))
+        print()
+
+
+if __name__ == "__main__":
+    main("advanced" if "--advanced" in sys.argv else "basic")

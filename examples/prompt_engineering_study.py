@@ -1,0 +1,55 @@
+"""Prompt-engineering study on a slice of the DRB-ML evaluation subset.
+
+Reproduces the Table 2 / Table 3 workflow at reduced scale so it finishes in
+a few seconds: every model is evaluated under BP1, AP1 and AP2 on a stratified
+sample of the subset, next to the Inspector-like baseline.
+
+Run with::
+
+    python examples/prompt_engineering_study.py [sample_size]
+"""
+
+import sys
+
+from repro.core import DataRacePipeline
+from repro.dataset import DRBMLDataset
+from repro.eval.experiments import (
+    PromptEvaluationRow,
+    evaluate_inspector,
+    evaluate_model_prompt,
+)
+from repro.eval.reporting import format_confusion_table
+from repro.llm import create_model
+from repro.prompting import PromptStrategy
+
+
+def main(sample_size: int = 40) -> None:
+    pipeline = DataRacePipeline()
+    subset = pipeline.evaluation_subset()
+
+    positives = [r for r in subset.records if r.has_race][: sample_size // 2]
+    negatives = [r for r in subset.records if not r.has_race][: sample_size // 2]
+    sample = DRBMLDataset(records=positives + negatives)
+    print(f"evaluating on {len(sample)} records "
+          f"({len(positives)} race-yes / {len(negatives)} race-free)\n")
+
+    rows = []
+    subset_names = {r.name for r in sample.records}
+    benchmarks = [b for b in pipeline.registry if b.name in subset_names]
+    rows.append(
+        PromptEvaluationRow(
+            model="Inspector", prompt="N/A", counts=evaluate_inspector(benchmarks)
+        )
+    )
+    for model_name in pipeline.models():
+        model = create_model(model_name)
+        for strategy in (PromptStrategy.BP1, PromptStrategy.AP1, PromptStrategy.AP2):
+            counts = evaluate_model_prompt(model, strategy, sample.records)
+            rows.append(PromptEvaluationRow(model=model_name, prompt=strategy.value, counts=counts))
+
+    print(format_confusion_table(rows, title="Prompt-engineering study (Table 3 workflow)"))
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    main(size)

@@ -1,0 +1,57 @@
+"""Quickstart: ask a (simulated) LLM whether an OpenMP kernel has a data race.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example mirrors the paper's Listing 1 / Listing 4 workflow: take an
+OpenMP C kernel, render the BP1 prompt, query a model, parse the yes/no
+verdict, and compare against the traditional dynamic detector.
+"""
+
+from repro.core import DataRacePipeline
+from repro.prompting import PromptStrategy
+
+#: The classic DataRaceBench anti-dependence kernel (paper Listing 1).
+ANTIDEP_KERNEL = """\
+#include <stdio.h>
+int main(int argc, char *argv[])
+{
+  int i;
+  int len = 1000;
+  int a[1000];
+  for (i = 0; i < len; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < len - 1; i++)
+    a[i] = a[i+1] + 1;
+  printf("a[500]=%d\\n", a[500]);
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    pipeline = DataRacePipeline()
+
+    print("=== prompt-engineering route (BP1) ===")
+    for model_name in pipeline.models():
+        outcome = pipeline.detect(ANTIDEP_KERNEL, model=model_name, strategy=PromptStrategy.BP1)
+        verdict = "race" if outcome.says_race else "no race"
+        print(f"{model_name:<16s} -> {verdict:8s} | {outcome.response.splitlines()[0]}")
+
+    print()
+    print("=== variable identification (advanced prompt) ===")
+    outcome = pipeline.identify_variables(ANTIDEP_KERNEL, model="gpt-4")
+    print(outcome.response)
+
+    print()
+    print("=== traditional dynamic detector (Inspector-like) ===")
+    result = pipeline.inspector().analyze_source(ANTIDEP_KERNEL, num_threads=4)
+    print(f"race detected: {result.has_race}")
+    for pair in result.pairs[:3]:
+        print("  conflicting accesses:", pair.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Traditional detectors vs LLMs, per pattern family.
+
+The paper's headline observation is that traditional tools still beat LLMs
+when detailed information is needed.  This example breaks the comparison down
+by DataRaceBench pattern family: for each family it reports the detection
+accuracy of the static detector, the Inspector-like dynamic detector, and the
+strongest simulated LLM (GPT-4 with BP1).
+
+Run with::
+
+    python examples/traditional_vs_llm.py
+"""
+
+from collections import defaultdict
+
+from repro.core import DataRacePipeline
+from repro.prompting import PromptStrategy
+
+
+def main() -> None:
+    pipeline = DataRacePipeline()
+    subset = pipeline.evaluation_subset()
+    records_by_name = {r.name: r for r in subset.records}
+    benchmarks = [b for b in pipeline.registry if b.name in records_by_name]
+
+    static = pipeline.static_detector()
+    inspector = pipeline.inspector()
+
+    correct = defaultdict(lambda: defaultdict(int))
+    totals = defaultdict(int)
+
+    for bench in benchmarks:
+        record = records_by_name[bench.name]
+        family = bench.label.value[1]
+        totals[family] += 1
+        truth = bench.has_race
+
+        if static.analyze_source(record.trimmed_code).has_race == truth:
+            correct[family]["static"] += 1
+        if inspector.predict(bench) == truth:
+            correct[family]["inspector"] += 1
+        outcome = pipeline.detect(record.trimmed_code, model="gpt-4", strategy=PromptStrategy.BP1)
+        if outcome.says_race == truth:
+            correct[family]["gpt-4 (BP1)"] += 1
+
+    print(f"{'family':<8s} {'n':>4s} {'static':>8s} {'inspector':>10s} {'gpt-4 (BP1)':>12s}")
+    print("-" * 48)
+    for family in sorted(totals):
+        n = totals[family]
+        row = [
+            f"{correct[family][tool] / n:>{width}.2f}"
+            for tool, width in (("static", 8), ("inspector", 10), ("gpt-4 (BP1)", 12))
+        ]
+        print(f"{family:<8s} {n:>4d} " + " ".join(row))
+
+    print()
+    print("Families: 1 loop-carried dependences, 2 missing synchronization, 3 reductions,")
+    print("4 privatization, 5 SIMD, 6 tasking/sections, 7 indirect/control-dependent accesses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reproduction of "Data Race Detection Using Large Language Models" (SC-W 2023).
+
+This package contains:
+
+* :mod:`repro.cparse` — a C-with-OpenMP front end (lexer, parser, pragmas);
+* :mod:`repro.corpus` — a DataRaceBench-style microbenchmark generator;
+* :mod:`repro.analysis` — a static data-race analysis substrate;
+* :mod:`repro.dynamic` — an execution-based race detector (Inspector-like);
+* :mod:`repro.dataset` — the DRB-ML dataset pipeline (paper §3.1);
+* :mod:`repro.llm` — simulated large language models and LoRA-style fine-tuning;
+* :mod:`repro.prompting` — the BP1/BP2/AP1/AP2 prompt strategies (paper §3.3);
+* :mod:`repro.eval` — metrics, stratified cross-validation and the per-table
+  experiment drivers (paper §3.5–§4);
+* :mod:`repro.core` — the high-level :class:`~repro.core.pipeline.DataRacePipeline`.
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured results of every table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate the paper's tables from the terminal.
+
+Usage::
+
+    python -m repro table2            # GPT-3.5 BP1 vs BP2
+    python -m repro table3            # Inspector + 4 LLMs x 3 prompts
+    python -m repro table4            # basic fine-tuning cross-validation
+    python -m repro table5            # variable identification (pre-trained)
+    python -m repro table6            # advanced fine-tuning cross-validation
+    python -m repro summary           # corpus + dataset statistics
+    python -m repro all               # everything above in sequence
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.eval.experiments import (
+    default_subset,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from repro.eval.reporting import format_confusion_table, format_crossval_table
+
+__all__ = ["main"]
+
+
+def _print_summary() -> None:
+    from repro.corpus import CorpusRegistry
+
+    registry = CorpusRegistry.build()
+    print(registry.summary())
+    print()
+    print(default_subset().summary())
+
+
+def _run(table: str) -> None:
+    subset = default_subset()
+    if table == "table2":
+        print(format_confusion_table(run_table2(subset), title="Table 2 — GPT-3.5-turbo, BP1 vs BP2"))
+    elif table == "table3":
+        print(
+            format_confusion_table(
+                run_table3(subset), title="Table 3 — Inspector vs LLM prompt strategies"
+            )
+        )
+    elif table == "table4":
+        for name, result in run_table4(subset).items():
+            print(format_crossval_table(result.as_rows(), title=f"Table 4 — {name}"))
+            print()
+    elif table == "table5":
+        print(
+            format_confusion_table(
+                run_table5(subset), title="Table 5 — variable identification (pre-trained)"
+            )
+        )
+    elif table == "table6":
+        for name, result in run_table6(subset).items():
+            print(format_crossval_table(result.as_rows(), title=f"Table 6 — {name}"))
+            print()
+    elif table == "summary":
+        _print_summary()
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown command {table!r}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables of 'Data Race Detection Using Large Language Models'.",
+    )
+    parser.add_argument(
+        "command",
+        choices=["table2", "table3", "table4", "table5", "table6", "summary", "all"],
+        help="which experiment to regenerate",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for table in ("summary", "table2", "table3", "table4", "table5", "table6"):
+            _run(table)
+            print()
+    else:
+        _run(args.command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Static data-race analysis substrate.
+
+This package provides the static-analysis half of the "traditional tool"
+baselines the paper compares against (§2.2 cites Locksmith, RELAY and
+ompVerify as representatives of this class), and it supplies the structural
+code features the simulated language models consume:
+
+* :mod:`repro.analysis.accesses` — extraction of memory accesses inside
+  OpenMP constructs, with read/write classification and source locations;
+* :mod:`repro.analysis.sharing` — OpenMP data-sharing attribute
+  classification (shared / private / firstprivate / lastprivate / reduction);
+* :mod:`repro.analysis.dependence` — affine subscript dependence tests
+  (GCD and Banerjee-style bounds checks) for loop-carried conflicts;
+* :mod:`repro.analysis.static_race` — the :class:`StaticRaceDetector` that
+  combines the three into predicted race pairs.
+"""
+
+from repro.analysis.accesses import AccessSite, ParallelContext, extract_accesses
+from repro.analysis.sharing import SharingAttribute, classify_sharing
+from repro.analysis.dependence import (
+    SubscriptForm,
+    dependence_distance,
+    may_overlap,
+    normalize_subscript,
+)
+from repro.analysis.static_race import StaticRaceDetector, StaticRaceReport
+
+__all__ = [
+    "AccessSite",
+    "ParallelContext",
+    "extract_accesses",
+    "SharingAttribute",
+    "classify_sharing",
+    "SubscriptForm",
+    "normalize_subscript",
+    "dependence_distance",
+    "may_overlap",
+    "StaticRaceDetector",
+    "StaticRaceReport",
+]

@@ -1,0 +1,355 @@
+"""Memory-access extraction from parsed OpenMP programs.
+
+The extractor walks a :class:`~repro.cparse.ast.TranslationUnit`, finds every
+OpenMP parallel construct, and lists the memory accesses its dynamic extent
+performs: which variable, scalar or subscripted, read or written, at which
+source location, under which synchronization (critical / atomic / ordered /
+locks held), and inside which loops.
+
+Both the static race detector and the simulated language models' feature
+extractor are built on these access sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.cparse import ast
+
+__all__ = ["AccessSite", "ParallelContext", "extract_accesses", "render_expr"]
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Render an expression back to compact C-like text.
+
+    Used to report accesses in the same textual form the corpus ground truth
+    and the DRB header comments use (``a[i+1]``, ``sum`` ...).
+    """
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.text or repr(expr.value)
+    if isinstance(expr, ast.StringLiteral):
+        return expr.value
+    if isinstance(expr, ast.ArraySubscript):
+        return f"{render_expr(expr.base)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.BinaryOp):
+        return f"{render_expr(expr.left)}{expr.op}{render_expr(expr.right)}"
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}{render_expr(expr.operand)}"
+    if isinstance(expr, ast.Assignment):
+        return f"{render_expr(expr.target)} {expr.op} {render_expr(expr.value)}"
+    if isinstance(expr, ast.IncDec):
+        inner = render_expr(expr.operand)
+        return f"{expr.op}{inner}" if expr.prefix else f"{inner}{expr.op}"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.AddressOf):
+        return f"&{render_expr(expr.operand)}"
+    if isinstance(expr, ast.Deref):
+        return f"*{render_expr(expr.operand)}"
+    if isinstance(expr, ast.ConditionalExpr):
+        return (
+            f"{render_expr(expr.cond)} ? {render_expr(expr.then)} : "
+            f"{render_expr(expr.other)}"
+        )
+    return "<expr>"
+
+
+@dataclass(frozen=True)
+class ParallelContext:
+    """Synchronization/worksharing context an access site sits in."""
+
+    region_index: int
+    directives: Tuple[str, ...]
+    in_worksharing_loop: bool = False
+    loop_variables: Tuple[str, ...] = ()
+    in_critical: bool = False
+    critical_name: Optional[str] = None
+    in_atomic: bool = False
+    in_ordered: bool = False
+    in_master: bool = False
+    in_single: bool = False
+    in_task: bool = False
+    in_section: bool = False
+    locks_held: Tuple[str, ...] = ()
+    reduction_vars: Tuple[str, ...] = ()
+    private_vars: Tuple[str, ...] = ()
+
+    @property
+    def is_protected(self) -> bool:
+        """True when the access is guarded by mutual exclusion."""
+        return self.in_critical or self.in_atomic or bool(self.locks_held)
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One syntactic memory access inside a parallel construct."""
+
+    variable: str
+    expr_text: str
+    is_write: bool
+    line: int
+    col: int
+    subscript: Optional[str]
+    context: ParallelContext
+
+    @property
+    def operation(self) -> str:
+        return "W" if self.is_write else "R"
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.subscript is None
+
+
+class _AccessCollector:
+    """Stateful walker that accumulates access sites."""
+
+    def __init__(self) -> None:
+        self.sites: List[AccessSite] = []
+        self._region_counter = 0
+
+    # -- expression traversal -----------------------------------------------------
+
+    def _emit(self, expr: ast.Expr, is_write: bool, ctx: ParallelContext) -> None:
+        if isinstance(expr, ast.Identifier):
+            self.sites.append(
+                AccessSite(
+                    variable=expr.name,
+                    expr_text=expr.name,
+                    is_write=is_write,
+                    line=expr.loc.line,
+                    col=expr.loc.col,
+                    subscript=None,
+                    context=ctx,
+                )
+            )
+            return
+        if isinstance(expr, ast.ArraySubscript):
+            root = expr.root_name() or "<anon>"
+            subscript = ",".join(render_expr(ix) for ix in expr.indices())
+            self.sites.append(
+                AccessSite(
+                    variable=root,
+                    expr_text=render_expr(expr),
+                    is_write=is_write,
+                    line=expr.loc.line,
+                    col=expr.loc.col,
+                    subscript=subscript,
+                    context=ctx,
+                )
+            )
+            # subscript expressions themselves are reads
+            for ix in expr.indices():
+                self._walk_expr(ix, ctx)
+            return
+        # Fallback: treat as a read traversal of sub-expressions.
+        self._walk_expr(expr, ctx)
+
+    def _walk_expr(self, expr: Optional[ast.Expr], ctx: ParallelContext) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Assignment):
+            self._emit(expr.target, True, ctx)
+            if expr.is_compound:
+                self._emit(expr.target, False, ctx)
+            self._walk_expr(expr.value, ctx)
+            return
+        if isinstance(expr, ast.IncDec):
+            self._emit(expr.operand, True, ctx)
+            self._emit(expr.operand, False, ctx)
+            return
+        if isinstance(expr, (ast.Identifier, ast.ArraySubscript)):
+            self._emit(expr, False, ctx)
+            return
+        if isinstance(expr, ast.BinaryOp):
+            self._walk_expr(expr.left, ctx)
+            self._walk_expr(expr.right, ctx)
+            return
+        if isinstance(expr, ast.UnaryOp):
+            self._walk_expr(expr.operand, ctx)
+            return
+        if isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._walk_expr(arg, ctx)
+            return
+        if isinstance(expr, (ast.AddressOf, ast.Deref)):
+            self._walk_expr(expr.operand, ctx)
+            return
+        if isinstance(expr, ast.ConditionalExpr):
+            self._walk_expr(expr.cond, ctx)
+            self._walk_expr(expr.then, ctx)
+            self._walk_expr(expr.other, ctx)
+            return
+        # literals: nothing to record
+
+    # -- statement traversal ------------------------------------------------------
+
+    def _walk_stmt(self, stmt: Optional[ast.Stmt], ctx: ParallelContext) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._walk_expr(stmt.expr, ctx)
+            return
+        if isinstance(stmt, ast.Declaration):
+            for decl in stmt.declarators:
+                if decl.init is not None:
+                    self._walk_expr(decl.init, ctx)
+            return
+        if isinstance(stmt, ast.CompoundStmt):
+            for child in stmt.body:
+                self._walk_stmt(child, ctx)
+            return
+        if isinstance(stmt, ast.ForStmt):
+            loop_var = stmt.loop_variable()
+            inner_ctx = ctx
+            if loop_var is not None:
+                inner_ctx = replace(ctx, loop_variables=ctx.loop_variables + (loop_var,))
+            if stmt.init is not None:
+                self._walk_stmt(stmt.init, inner_ctx)
+            self._walk_expr(stmt.cond, inner_ctx)
+            self._walk_expr(stmt.step, inner_ctx)
+            self._walk_stmt(stmt.body, inner_ctx)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            self._walk_expr(stmt.cond, ctx)
+            self._walk_stmt(stmt.body, ctx)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            self._walk_expr(stmt.cond, ctx)
+            self._walk_stmt(stmt.then, ctx)
+            self._walk_stmt(stmt.other, ctx)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            self._walk_expr(stmt.value, ctx)
+            return
+        if isinstance(stmt, ast.OmpStmt):
+            self._walk_omp(stmt, ctx)
+            return
+        # Null/Break/Continue: nothing to record.
+
+    def _walk_omp(self, stmt: ast.OmpStmt, ctx: ParallelContext) -> None:
+        pragma = stmt.pragma
+        new_ctx = ctx
+        if pragma.has_directive("critical"):
+            name_clause = pragma.clause("name")
+            new_ctx = replace(
+                new_ctx,
+                in_critical=True,
+                critical_name=name_clause.arguments[0] if name_clause else None,
+            )
+        if pragma.has_directive("atomic"):
+            new_ctx = replace(new_ctx, in_atomic=True)
+        if pragma.has_directive("ordered") and stmt.body is not None:
+            new_ctx = replace(new_ctx, in_ordered=True)
+        if pragma.has_directive("master"):
+            new_ctx = replace(new_ctx, in_master=True)
+        if pragma.has_directive("single"):
+            new_ctx = replace(new_ctx, in_single=True)
+        if pragma.has_directive("task"):
+            new_ctx = replace(new_ctx, in_task=True)
+        if pragma.has_directive("section") and not pragma.has_directive("sections"):
+            new_ctx = replace(new_ctx, in_section=True)
+        if pragma.has_directive("for") or pragma.has_directive("simd") or pragma.has_directive("taskloop"):
+            new_ctx = replace(new_ctx, in_worksharing_loop=True)
+        reduction_vars = tuple(pragma.clause_vars("reduction"))
+        private_vars = tuple(
+            pragma.clause_vars("private")
+            + pragma.clause_vars("firstprivate")
+            + pragma.clause_vars("lastprivate")
+            + pragma.clause_vars("linear")
+        )
+        if reduction_vars:
+            new_ctx = replace(new_ctx, reduction_vars=new_ctx.reduction_vars + reduction_vars)
+        if private_vars:
+            new_ctx = replace(new_ctx, private_vars=new_ctx.private_vars + private_vars)
+        self._walk_stmt(stmt.body, new_ctx)
+
+    # -- lock-call tracking inside sequential statement lists ----------------------
+
+    def _walk_region_body(self, stmt: Optional[ast.Stmt], ctx: ParallelContext) -> None:
+        """Walk a parallel-region body tracking omp_set_lock/omp_unset_lock."""
+        if isinstance(stmt, ast.CompoundStmt):
+            current = ctx
+            for child in stmt.body:
+                lock_name = _lock_call_target(child, "omp_set_lock")
+                if lock_name is not None:
+                    current = replace(current, locks_held=current.locks_held + (lock_name,))
+                    continue
+                unlock_name = _lock_call_target(child, "omp_unset_lock")
+                if unlock_name is not None:
+                    held = tuple(l for l in current.locks_held if l != unlock_name)
+                    current = replace(current, locks_held=held)
+                    continue
+                if isinstance(child, ast.CompoundStmt):
+                    self._walk_region_body(child, current)
+                else:
+                    self._walk_stmt(child, current)
+            return
+        self._walk_stmt(stmt, ctx)
+
+    # -- entry point ---------------------------------------------------------------
+
+    def collect(self, unit: ast.TranslationUnit) -> List[AccessSite]:
+        for fn in unit.functions:
+            if fn.body is None:
+                continue
+            self._find_parallel_regions(fn.body)
+        return self.sites
+
+    def _find_parallel_regions(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.OmpStmt):
+            pragma = stmt.pragma
+            if pragma.has_directive("parallel") or pragma.has_directive("simd") or pragma.has_directive("target"):
+                self._region_counter += 1
+                ctx = ParallelContext(
+                    region_index=self._region_counter,
+                    directives=pragma.directives,
+                    in_worksharing_loop=pragma.has_directive("for")
+                    or pragma.has_directive("simd"),
+                    reduction_vars=tuple(pragma.clause_vars("reduction")),
+                    private_vars=tuple(
+                        pragma.clause_vars("private")
+                        + pragma.clause_vars("firstprivate")
+                        + pragma.clause_vars("lastprivate")
+                        + pragma.clause_vars("linear")
+                    ),
+                )
+                self._walk_region_body(stmt.body, ctx)
+                return
+            # non-parallel OpenMP statement outside a region (rare): recurse
+            if stmt.body is not None:
+                self._find_parallel_regions(stmt.body)
+            return
+        for child in stmt.children():
+            if isinstance(child, ast.Stmt):
+                self._find_parallel_regions(child)
+
+
+def _lock_call_target(stmt: ast.Stmt, fn_name: str) -> Optional[str]:
+    """Return the lock variable name when ``stmt`` is ``fn_name(&lock)``."""
+    if not isinstance(stmt, ast.ExprStmt):
+        return None
+    expr = stmt.expr
+    if not isinstance(expr, ast.Call) or expr.name != fn_name or not expr.args:
+        return None
+    arg = expr.args[0]
+    if isinstance(arg, ast.AddressOf) and isinstance(arg.operand, ast.Identifier):
+        return arg.operand.name
+    if isinstance(arg, ast.Identifier):
+        return arg.name
+    return None
+
+
+def extract_accesses(unit: ast.TranslationUnit) -> List[AccessSite]:
+    """Extract every memory access inside OpenMP parallel constructs.
+
+    Accesses outside any parallel construct are not reported: they cannot
+    participate in a data race between team threads.
+    """
+    return _AccessCollector().collect(unit)

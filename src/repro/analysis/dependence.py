@@ -1,0 +1,171 @@
+"""Affine subscript dependence tests.
+
+The static race detector needs to know whether two subscripted accesses to
+the same array can touch the same element in *different* iterations of the
+parallelized loop.  For the affine single-index subscripts the corpus uses
+(``i``, ``i+1``, ``i-2``, ``2*i``, ``2*i+1``, ``i % 10``, ``idx[i]`` ...),
+this module provides:
+
+* :func:`normalize_subscript` — parse a subscript string into the affine form
+  ``coeff * loopvar + offset`` when possible (:class:`SubscriptForm`);
+* :func:`dependence_distance` — the constant iteration distance between two
+  affine subscripts, when defined (a GCD-style exact test for equal
+  coefficients);
+* :func:`may_overlap` — the conservative decision the detector uses: can the
+  two subscripts refer to the same element from different iterations?
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SubscriptForm", "normalize_subscript", "dependence_distance", "may_overlap"]
+
+
+@dataclass(frozen=True)
+class SubscriptForm:
+    """Affine form ``coeff * variable + offset`` of a subscript expression.
+
+    ``variable`` is ``None`` for constant subscripts.  ``is_affine`` is False
+    when the subscript could not be reduced to this form (indirect accesses
+    like ``idx[i]``, modulus folds, multi-variable expressions); such
+    subscripts must be treated conservatively.
+    """
+
+    text: str
+    variable: Optional[str] = None
+    coeff: int = 0
+    offset: int = 0
+    is_affine: bool = True
+
+    @property
+    def is_constant(self) -> bool:
+        return self.is_affine and self.variable is None
+
+
+_TOKEN_RE = re.compile(r"\s+")
+
+
+def _try_int(text: str) -> Optional[int]:
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def normalize_subscript(text: str, loop_variables: tuple = ()) -> SubscriptForm:
+    """Parse a subscript string into affine form when possible.
+
+    Handles the shapes ``c``, ``v``, ``v+c``, ``v-c``, ``c*v``, ``c*v+d``,
+    ``c*v-d`` and their whitespace variants, where ``v`` is an identifier and
+    ``c``/``d`` integer literals.  Anything else (nested subscripts, modulus,
+    division, two variables) is flagged ``is_affine=False``.
+    """
+    stripped = _TOKEN_RE.sub("", text)
+    if not stripped:
+        return SubscriptForm(text=text, is_affine=False)
+
+    # Multi-dimensional subscripts are passed as "i,j" by the access extractor;
+    # analyse only per-dimension forms, a comma means the caller should split.
+    if "," in stripped:
+        return SubscriptForm(text=text, is_affine=False)
+    if any(ch in stripped for ch in "%/[]()?"):
+        return SubscriptForm(text=text, is_affine=False)
+
+    value = _try_int(stripped)
+    if value is not None:
+        return SubscriptForm(text=text, variable=None, coeff=0, offset=value)
+
+    match = re.fullmatch(
+        r"(?:(?P<coeff>\d+)\*)?(?P<var>[A-Za-z_][A-Za-z_0-9]*)"
+        r"(?:(?P<sign>[+-])(?P<off>\d+))?",
+        stripped,
+    )
+    if match is None:
+        return SubscriptForm(text=text, is_affine=False)
+    variable = match.group("var")
+    coeff = int(match.group("coeff")) if match.group("coeff") else 1
+    offset = int(match.group("off")) if match.group("off") else 0
+    if match.group("sign") == "-":
+        offset = -offset
+    # A subscript naming something that is not the loop variable (for example
+    # another array's element or an unrelated scalar) is not analysable as an
+    # affine function of the parallel loop.
+    if loop_variables and variable not in loop_variables:
+        return SubscriptForm(text=text, variable=variable, coeff=coeff, offset=offset, is_affine=False)
+    return SubscriptForm(text=text, variable=variable, coeff=coeff, offset=offset)
+
+
+def dependence_distance(a: SubscriptForm, b: SubscriptForm) -> Optional[int]:
+    """Return the iteration distance ``d`` such that ``a(i) == b(i + d)``.
+
+    Defined only when both forms are affine in the same variable with equal,
+    non-zero coefficients and the offset difference is divisible by the
+    coefficient (the exact GCD test for this restricted shape).  Returns
+    ``None`` when no constant distance exists.
+    """
+    if not (a.is_affine and b.is_affine):
+        return None
+    if a.variable is None or b.variable is None or a.variable != b.variable:
+        return None
+    if a.coeff != b.coeff or a.coeff == 0:
+        return None
+    delta = a.offset - b.offset
+    if delta % a.coeff != 0:
+        return None
+    return delta // a.coeff
+
+
+def may_overlap(
+    a: SubscriptForm,
+    b: SubscriptForm,
+    *,
+    same_iteration_ok: bool = True,
+) -> bool:
+    """Conservative test: can ``a`` and ``b`` address the same element from
+    two *different* iterations of the parallel loop?
+
+    Rules:
+
+    * non-affine subscripts (indirect, modulus, multi-variable) may overlap;
+    * two constants overlap when equal (every iteration touches them);
+    * constant vs. affine-in-loop-variable overlaps (some iteration hits it);
+    * affine vs. affine with equal coefficients: overlap iff the dependence
+      distance exists and is non-zero (distance zero means both touch the
+      same element only in the same iteration — not a cross-thread conflict
+      when ``same_iteration_ok``);
+    * affine vs. affine with different coefficients: solved conservatively as
+      overlapping (e.g. ``2*i`` vs ``i`` share even elements).
+    """
+    if not a.is_affine or not b.is_affine:
+        return True
+    if a.is_constant and b.is_constant:
+        return a.offset == b.offset
+    if a.is_constant or b.is_constant:
+        return True
+    if a.variable != b.variable:
+        return True
+    if a.coeff == b.coeff:
+        distance = dependence_distance(a, b)
+        if distance is None:
+            return False
+        if distance == 0:
+            return not same_iteration_ok
+        return True
+    # Different coefficients over the same variable: check parity-style
+    # disjointness for the common 2*i vs 2*i+1 shape, otherwise be
+    # conservative.
+    if a.coeff == b.coeff and a.offset != b.offset:
+        return True
+    if a.coeff != 0 and b.coeff != 0:
+        gcd = _gcd(abs(a.coeff), abs(b.coeff))
+        return (a.offset - b.offset) % gcd == 0
+    return True
+
+
+def _gcd(x: int, y: int) -> int:
+    while y:
+        x, y = y, x % y
+    return x if x else 1

@@ -1,0 +1,90 @@
+"""OpenMP data-sharing attribute classification.
+
+Given a parsed program and an access site, decide whether the underlying
+variable is shared between team threads or private to each thread.  The rules
+implemented here follow the OpenMP default rules for the language subset the
+corpus uses:
+
+* variables listed in ``private`` / ``firstprivate`` / ``lastprivate`` /
+  ``linear`` clauses are private;
+* variables listed in ``reduction`` clauses get a private accumulator
+  (conflicts on them are resolved by the reduction, so they behave as private
+  for race purposes);
+* the loop variable of a worksharing ``for`` (and of a ``simd``) is private;
+* variables declared inside the parallel construct's dynamic extent are
+  private (block locals);
+* everything else visible at region entry is shared.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.analysis.accesses import AccessSite
+from repro.cparse.symbols import SymbolTable
+
+__all__ = ["SharingAttribute", "classify_sharing"]
+
+
+class SharingAttribute(enum.Enum):
+    """Data-sharing classification of a variable within a parallel construct."""
+
+    SHARED = "shared"
+    PRIVATE = "private"
+    REDUCTION = "reduction"
+    LOOP_INDEX = "loop_index"
+    BLOCK_LOCAL = "block_local"
+
+    @property
+    def races_possible(self) -> bool:
+        """Whether conflicting accesses to such a variable can race."""
+        return self is SharingAttribute.SHARED
+
+
+def classify_sharing(
+    site: AccessSite,
+    symbols: Optional[SymbolTable] = None,
+    *,
+    function: str = "main",
+    region_entry_line: Optional[int] = None,
+) -> SharingAttribute:
+    """Classify the sharing attribute of ``site``'s variable.
+
+    Parameters
+    ----------
+    site:
+        The access to classify.
+    symbols:
+        Symbol table of the translation unit; used to find the declaration
+        point so block locals declared inside the region are recognised.
+    function:
+        Function the access belongs to (the corpus uses ``main`` only).
+    region_entry_line:
+        Source line of the parallel construct.  When provided together with
+        ``symbols``, a variable declared *after* this line is treated as a
+        block local of the region and therefore private.
+    """
+    ctx = site.context
+    name = site.variable
+
+    if name in ctx.reduction_vars:
+        return SharingAttribute.REDUCTION
+    if name in ctx.private_vars:
+        return SharingAttribute.PRIVATE
+    if ctx.loop_variables and name == ctx.loop_variables[0] and ctx.in_worksharing_loop:
+        # The outermost worksharing loop index is implicitly private.
+        return SharingAttribute.LOOP_INDEX
+    if ctx.in_task and name in ctx.private_vars:
+        return SharingAttribute.PRIVATE
+
+    if symbols is not None:
+        symbol = symbols.lookup(name, function)
+        if symbol is not None and region_entry_line is not None:
+            if symbol.loc.line > region_entry_line:
+                return SharingAttribute.BLOCK_LOCAL
+        if symbol is not None and symbol.scope_depth >= 3 and region_entry_line is None:
+            # Deeply nested declaration: almost certainly inside the region.
+            return SharingAttribute.BLOCK_LOCAL
+
+    return SharingAttribute.SHARED

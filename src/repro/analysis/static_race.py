@@ -1,0 +1,210 @@
+"""Static data-race detector.
+
+:class:`StaticRaceDetector` combines access extraction, data-sharing
+classification and affine dependence testing into a purely static prediction:
+does the program contain a data race, and between which access pairs?
+
+This plays the role of the static-analysis tool family the paper discusses
+(Locksmith / RELAY / ompVerify): fast, runs without executing the program,
+and over-approximates in places where only dynamic information (barrier
+placement, index-array contents) could prove independence.  It is also the
+candidate-pair generator the simulated language models use for the
+variable-identification task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.accesses import AccessSite, extract_accesses
+from repro.analysis.dependence import may_overlap, normalize_subscript
+from repro.analysis.sharing import SharingAttribute, classify_sharing
+from repro.cparse import ast, parse
+from repro.cparse.symbols import SymbolTable, build_symbol_table
+
+__all__ = ["PredictedRacePair", "StaticRaceReport", "StaticRaceDetector"]
+
+
+@dataclass(frozen=True)
+class PredictedRacePair:
+    """A predicted conflicting access pair (static analogue of the ground truth)."""
+
+    first: AccessSite
+    second: AccessSite
+    reason: str
+
+    def variable(self) -> str:
+        return self.first.variable
+
+
+@dataclass
+class StaticRaceReport:
+    """Result of running the static detector on one program."""
+
+    has_race: bool
+    pairs: List[PredictedRacePair] = field(default_factory=list)
+    analyzed_accesses: int = 0
+    analyzed_regions: int = 0
+
+    def variables(self) -> List[str]:
+        """Distinct variable names involved in predicted races."""
+        seen: List[str] = []
+        for pair in self.pairs:
+            if pair.variable() not in seen:
+                seen.append(pair.variable())
+        return seen
+
+
+def _mutual_exclusion(a: AccessSite, b: AccessSite) -> bool:
+    """True when the two accesses can never run concurrently."""
+    ca, cb = a.context, b.context
+    if ca.in_atomic and cb.in_atomic:
+        return True
+    if ca.in_critical and cb.in_critical:
+        # Unnamed criticals share one global lock; named ones must match.
+        if ca.critical_name is None and cb.critical_name is None:
+            return True
+        if ca.critical_name is not None and ca.critical_name == cb.critical_name:
+            return True
+    if set(ca.locks_held) & set(cb.locks_held):
+        return True
+    if ca.in_ordered and cb.in_ordered:
+        return True
+    return False
+
+
+def _conflicting_subscripts(a: AccessSite, b: AccessSite) -> Tuple[bool, str]:
+    """Decide whether two same-array accesses may touch the same element from
+    different iterations/threads.  Returns (conflict, reason)."""
+    if a.subscript is None or b.subscript is None:
+        return True, "scalar access"
+    dims_a = a.subscript.split(",")
+    dims_b = b.subscript.split(",")
+    if len(dims_a) != len(dims_b):
+        return True, "dimension mismatch"
+    loop_vars = a.context.loop_variables or b.context.loop_variables
+    # If the accesses come from different worksharing loops (different regions
+    # handled elsewhere), or from sections/tasks, subscript equality does not
+    # imply same-thread execution, so identical subscripts still conflict.
+    partitioned_by_loop = (
+        a.context.in_worksharing_loop
+        and b.context.in_worksharing_loop
+        and not a.context.in_section
+        and not b.context.in_section
+        and not a.context.in_task
+        and not b.context.in_task
+    )
+    any_cross = False
+    for da, db in zip(dims_a, dims_b):
+        fa = normalize_subscript(da, tuple(loop_vars[:1]))
+        fb = normalize_subscript(db, tuple(loop_vars[:1]))
+        if not may_overlap(fa, fb, same_iteration_ok=partitioned_by_loop):
+            return False, "disjoint affine subscripts"
+        # track whether at least one dimension provably differs across
+        # iterations (distance != 0) — that is what makes it a loop-carried
+        # conflict rather than a same-iteration reuse.
+        if fa.is_affine and fb.is_affine and (fa.text != fb.text):
+            any_cross = True
+        if not fa.is_affine or not fb.is_affine:
+            any_cross = True
+    if partitioned_by_loop and not any_cross:
+        # Same affine element in the same iteration only: not a race.
+        return False, "same iteration element"
+    return True, "overlapping subscripts"
+
+
+class StaticRaceDetector:
+    """Purely static race detector over the corpus language subset."""
+
+    def __init__(self, *, max_pairs: int = 16) -> None:
+        self.max_pairs = max_pairs
+
+    # -- public API ---------------------------------------------------------------
+
+    def analyze_source(self, source: str) -> StaticRaceReport:
+        """Parse and analyze a C source string."""
+        return self.analyze_unit(parse(source))
+
+    def analyze_unit(self, unit: ast.TranslationUnit) -> StaticRaceReport:
+        """Analyze an already parsed translation unit."""
+        symbols = build_symbol_table(unit)
+        sites = extract_accesses(unit)
+        return self._analyze_sites(sites, symbols)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _analyze_sites(
+        self, sites: Sequence[AccessSite], symbols: SymbolTable
+    ) -> StaticRaceReport:
+        report = StaticRaceReport(has_race=False, analyzed_accesses=len(sites))
+        regions = {site.context.region_index for site in sites}
+        report.analyzed_regions = len(regions)
+
+        shared_sites = [
+            site
+            for site in sites
+            if classify_sharing(site, symbols, region_entry_line=None).races_possible
+        ]
+
+        for a, b in combinations(shared_sites, 2):
+            if len(report.pairs) >= self.max_pairs:
+                break
+            if a.variable != b.variable:
+                continue
+            if a.context.region_index != b.context.region_index:
+                # Different parallel regions are separated by the join of the
+                # first region's team: no concurrency between them.
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            if _mutual_exclusion(a, b):
+                continue
+            conflict, reason = self._sites_conflict(a, b)
+            if conflict:
+                report.pairs.append(PredictedRacePair(first=a, second=b, reason=reason))
+
+        for site in shared_sites:
+            if len(report.pairs) >= self.max_pairs:
+                break
+            if self._self_conflict(site):
+                report.pairs.append(
+                    PredictedRacePair(first=site, second=site, reason="multi-thread write site")
+                )
+
+        report.has_race = bool(report.pairs)
+        return report
+
+    def _self_conflict(self, site: AccessSite) -> bool:
+        """A single syntactic write executed by several threads conflicts with
+        itself (write/write race), unless the construct or the subscript
+        guarantees that every dynamic instance targets a different element or
+        runs in one thread only."""
+        ctx = site.context
+        if not site.is_write:
+            return False
+        if ctx.is_protected or ctx.in_ordered:
+            return False
+        if ctx.in_single or ctx.in_master or ctx.in_section or ctx.in_task:
+            return False
+        if site.subscript is None:
+            return True
+        loop_vars = tuple(ctx.loop_variables[:1])
+        for dim in site.subscript.split(","):
+            form = normalize_subscript(dim, loop_vars)
+            if form.is_affine and form.variable is not None and form.coeff != 0:
+                # This dimension distributes instances over distinct elements.
+                return False
+        return True
+
+    def _sites_conflict(self, a: AccessSite, b: AccessSite) -> Tuple[bool, str]:
+        # Scalars shared across the team conflict unless both accesses are the
+        # same syntactic site inside a construct executed by a single thread.
+        if a.subscript is None and b.subscript is None:
+            if (a.line, a.col) == (b.line, b.col) and (
+                a.context.in_single or a.context.in_master
+            ):
+                return False, "single-thread construct"
+            return True, "shared scalar"
+        return _conflicting_subscripts(a, b)

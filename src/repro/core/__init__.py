@@ -1,0 +1,12 @@
+"""High-level public API.
+
+:class:`~repro.core.pipeline.DataRacePipeline` wires the whole system
+together — corpus, DRB-ML dataset, prompt strategies, models (simulated
+LLMs, fine-tuned variants and the traditional detectors) and the evaluation
+harness — behind a few methods, mirroring Figure 1 of the paper.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import DataRacePipeline, DetectionOutcome
+
+__all__ = ["PipelineConfig", "DataRacePipeline", "DetectionOutcome"]

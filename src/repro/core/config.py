@@ -1,0 +1,39 @@
+"""Configuration of the end-to-end pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.corpus.generator import CorpusConfig
+from repro.dataset.tokenizer import DEFAULT_TOKEN_LIMIT
+from repro.prompting.strategy import PromptStrategy
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end pipeline configuration.
+
+    Attributes
+    ----------
+    corpus:
+        Corpus generation configuration (seed, shuffling).
+    token_limit:
+        Prompt budget for the evaluation subset (paper §3.2 uses 4k).
+    default_strategy:
+        Prompt strategy used by :meth:`DataRacePipeline.detect` when none is
+        given.
+    default_model:
+        Model used when none is given (GPT-4 is the paper's strongest).
+    n_folds, fold_seed:
+        Cross-validation layout (paper §3.5 uses 5 stratified folds).
+    """
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    token_limit: int = DEFAULT_TOKEN_LIMIT
+    default_strategy: PromptStrategy = PromptStrategy.BP1
+    default_model: str = "gpt-4"
+    n_folds: int = 5
+    fold_seed: int = 7

@@ -1,0 +1,187 @@
+"""The end-to-end data-race-detection pipeline (paper Figure 1).
+
+The pipeline offers the two routes the paper studies:
+
+* **prompt engineering** — ask a (simulated) chat model about a code snippet
+  using one of the BP1/BP2/AP1/AP2 strategies and parse its response;
+* **fine-tuning** — fine-tune an open-source model on DRB-ML prompt–response
+  pairs and use the tuned model for detection or variable identification;
+
+plus the traditional-tool baselines (the Inspector-like dynamic detector and
+the static detector) used for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.static_race import StaticRaceDetector
+from repro.core.config import PipelineConfig
+from repro.corpus.generator import build_corpus
+from repro.corpus.microbenchmark import Microbenchmark
+from repro.corpus.registry import CorpusRegistry
+from repro.dataset.drbml import DRBMLDataset
+from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
+from repro.dynamic.inspector import InspectorLikeDetector
+from repro.eval.matching import pairs_correct
+from repro.eval.metrics import ConfusionCounts
+from repro.llm.base import LanguageModel
+from repro.llm.finetune import FineTuneConfig, FineTunedModel, FineTuner
+from repro.llm.zoo import available_models, create_model
+from repro.prompting.chains import run_strategy
+from repro.prompting.parsing import ParsedPairs, parse_pairs_response, parse_yes_no
+from repro.prompting.strategy import PromptStrategy
+
+__all__ = ["DetectionOutcome", "DataRacePipeline"]
+
+
+@dataclass
+class DetectionOutcome:
+    """Result of asking one model about one code snippet."""
+
+    model: str
+    strategy: str
+    response: str
+    prediction: Optional[bool]
+    pairs: Optional[ParsedPairs] = None
+
+    @property
+    def says_race(self) -> bool:
+        return bool(self.prediction)
+
+
+class DataRacePipeline:
+    """High-level facade over the whole reproduction."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+        self._registry: Optional[CorpusRegistry] = None
+        self._dataset: Optional[DRBMLDataset] = None
+        self._models: Dict[str, LanguageModel] = {}
+
+    # -- lazily built artefacts -----------------------------------------------------
+
+    @property
+    def registry(self) -> CorpusRegistry:
+        """The DataRaceBench-style corpus."""
+        if self._registry is None:
+            self._registry = CorpusRegistry(build_corpus(self.config.corpus))
+        return self._registry
+
+    @property
+    def dataset(self) -> DRBMLDataset:
+        """The full 201-record DRB-ML dataset."""
+        if self._dataset is None:
+            self._dataset = DRBMLDataset.from_benchmarks(self.registry.benchmarks)
+        return self._dataset
+
+    def evaluation_subset(self) -> DRBMLDataset:
+        """The ≤4k-token evaluation subset (198 records, paper §3.2)."""
+        return self.dataset.token_subset(self.config.token_limit)
+
+    def model(self, name: Optional[str] = None) -> LanguageModel:
+        """A (cached) model instance from the zoo."""
+        name = name or self.config.default_model
+        if name not in self._models:
+            self._models[name] = create_model(name)
+        return self._models[name]
+
+    @staticmethod
+    def models() -> List[str]:
+        """Model names in the paper's order."""
+        return available_models()
+
+    # -- route 1: prompt engineering -----------------------------------------------
+
+    def detect(
+        self,
+        code: str,
+        *,
+        model: Optional[str] = None,
+        strategy: Optional[PromptStrategy] = None,
+    ) -> DetectionOutcome:
+        """Ask a model whether ``code`` contains a data race."""
+        strategy = strategy or self.config.default_strategy
+        lm = self.model(model)
+        response = run_strategy(lm.generate, strategy, code)
+        if strategy.requests_pairs:
+            parsed = parse_pairs_response(response)
+            return DetectionOutcome(
+                model=lm.name,
+                strategy=strategy.value,
+                response=response,
+                prediction=parsed.race,
+                pairs=parsed,
+            )
+        return DetectionOutcome(
+            model=lm.name,
+            strategy=strategy.value,
+            response=response,
+            prediction=parse_yes_no(response),
+        )
+
+    def identify_variables(self, code: str, *, model: Optional[str] = None) -> DetectionOutcome:
+        """Ask a model for the variable pairs causing a race (S2/S3)."""
+        return self.detect(code, model=model, strategy=PromptStrategy.ADVANCED)
+
+    # -- route 2: fine-tuning --------------------------------------------------------
+
+    def finetune(
+        self,
+        model: str,
+        *,
+        kind: str = "basic",
+        train_names: Optional[Sequence[str]] = None,
+        config: Optional[FineTuneConfig] = None,
+    ) -> FineTunedModel:
+        """Fine-tune an open-source model on DRB-ML prompt–response pairs."""
+        subset = self.evaluation_subset()
+        records = (
+            subset.records_for(train_names) if train_names is not None else subset.records
+        )
+        pairs = build_basic_pairs(records) if kind == "basic" else build_advanced_pairs(records)
+        tuner = FineTuner(base=create_model(model), config=config or FineTuneConfig.for_model(model))
+        return tuner.fit(pairs)
+
+    # -- traditional baselines -------------------------------------------------------
+
+    def inspector(self) -> InspectorLikeDetector:
+        """The Inspector-like dynamic detector baseline."""
+        return InspectorLikeDetector()
+
+    def static_detector(self) -> StaticRaceDetector:
+        """The static-analysis baseline."""
+        return StaticRaceDetector()
+
+    # -- evaluation helpers ----------------------------------------------------------
+
+    def score_model(
+        self,
+        *,
+        model: Optional[str] = None,
+        strategy: Optional[PromptStrategy] = None,
+        records: Optional[Sequence] = None,
+    ) -> ConfusionCounts:
+        """Confusion counts of a model/strategy over the evaluation subset."""
+        strategy = strategy or self.config.default_strategy
+        records = records if records is not None else self.evaluation_subset().records
+        counts = ConfusionCounts()
+        for record in records:
+            outcome = self.detect(record.trimmed_code, model=model, strategy=strategy)
+            if strategy.requests_pairs and outcome.pairs is not None:
+                correct = pairs_correct(outcome.pairs, record)
+                counts.add(record.has_race, outcome.says_race, correct_positive=correct)
+            else:
+                counts.add(record.has_race, outcome.says_race)
+        return counts
+
+    def score_inspector(self, benchmarks: Optional[Sequence[Microbenchmark]] = None) -> ConfusionCounts:
+        """Confusion counts of the Inspector-like detector over the subset."""
+        subset_names = {r.name for r in self.evaluation_subset().records}
+        benchmarks = benchmarks or [b for b in self.registry if b.name in subset_names]
+        detector = self.inspector()
+        counts = ConfusionCounts()
+        for bench in benchmarks:
+            counts.add(bench.has_race, detector.predict(bench))
+        return counts

@@ -1,0 +1,174 @@
+"""Helper used by pattern generators to emit C source with tracked locations.
+
+Pattern generators need to know the exact 1-based line/column of every access
+participating in a seeded data race so that the corpus ground truth matches
+the DataRaceBench convention.  :class:`CodeBuilder` appends source lines one
+at a time, returns their line numbers, and can resolve the column of an
+expression within a line.  After the body is finished, the DRB-style header
+comment is prepended and all recorded locations are shifted accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.corpus.microbenchmark import AccessSpec, Microbenchmark, RaceLabel, RacePair
+
+__all__ = ["CodeBuilder"]
+
+
+@dataclass
+class _PendingAccess:
+    """An access recorded against body-relative coordinates."""
+
+    spec: AccessSpec
+
+
+class CodeBuilder:
+    """Accumulates C source lines and ground-truth access locations.
+
+    Typical use inside a pattern generator::
+
+        b = CodeBuilder()
+        b.include("<stdio.h>")
+        b.line("int main()")
+        b.line("{")
+        ...
+        ln = b.line("    a[i] = a[i+1] + 1;")
+        write = b.access(ln, "a[i]", "W")
+        read = b.access(ln, "a[i+1]", "R")
+        b.pair(write, read)
+        ...
+        bench = b.build(index=1, slug="antidep1", label=RaceLabel.Y1, ...)
+
+    Line numbers handed back by :meth:`line` are *body-relative*; the header
+    comment length is only known at :meth:`build` time, which is when every
+    recorded access is shifted into final (full-file) coordinates.
+    """
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._accesses: List[AccessSpec] = []
+        self._pairs: List[tuple] = []
+
+    # -- emission -----------------------------------------------------------------
+
+    def line(self, text: str = "") -> int:
+        """Append a source line and return its body-relative 1-based line number."""
+        self._lines.append(text)
+        return len(self._lines)
+
+    def blank(self) -> int:
+        """Append an empty line."""
+        return self.line("")
+
+    def lines(self, chunk: str) -> int:
+        """Append a multi-line chunk; returns the line number of its first line."""
+        first: Optional[int] = None
+        for text in chunk.splitlines():
+            number = self.line(text)
+            if first is None:
+                first = number
+        return first if first is not None else len(self._lines)
+
+    def include(self, header: str) -> int:
+        """Append an ``#include`` directive."""
+        return self.line(f"#include {header}")
+
+    # -- ground truth -------------------------------------------------------------
+
+    def access(
+        self, line_no: int, expr: str, operation: str, occurrence: int = 1
+    ) -> AccessSpec:
+        """Record an access to ``expr`` on body line ``line_no``.
+
+        The column is found by locating the ``occurrence``-th appearance of
+        ``expr`` in the line text.  Raises :class:`ValueError` when the
+        expression is not present, which catches generator bugs early.
+        """
+        text = self._lines[line_no - 1]
+        start = -1
+        for _ in range(occurrence):
+            start = text.find(expr, start + 1)
+            if start < 0:
+                raise ValueError(
+                    f"expression {expr!r} (occurrence {occurrence}) not found on "
+                    f"line {line_no}: {text!r}"
+                )
+        spec = AccessSpec(name=expr, line=line_no, col=start + 1, operation=operation)
+        self._accesses.append(spec)
+        return spec
+
+    def pair(self, first: AccessSpec, second: AccessSpec) -> None:
+        """Register a ground-truth race pair between two recorded accesses."""
+        self._pairs.append((first, second))
+
+    # -- assembly -----------------------------------------------------------------
+
+    @staticmethod
+    def _drb_name(index: int, slug: str, variant: str, has_race: bool) -> str:
+        suffix = "yes" if has_race else "no"
+        return f"DRB{index:03d}-{slug}-{variant}-{suffix}.c"
+
+    def _header_lines(
+        self,
+        description: str,
+        pairs: Sequence[RacePair],
+        has_race: bool,
+    ) -> List[str]:
+        """Build the DRB-style header comment block."""
+        out = ["/*"]
+        for text in description.splitlines():
+            out.append(text)
+        if has_race:
+            for pair in pairs:
+                out.append(pair.drb_comment_form())
+        else:
+            out.append("No data race present.")
+        out.append("*/")
+        return out
+
+    def build(
+        self,
+        *,
+        index: int,
+        slug: str,
+        label: RaceLabel,
+        category: str,
+        description: str,
+        variant: str = "orig",
+        num_threads: int = 4,
+    ) -> Microbenchmark:
+        """Assemble the final :class:`Microbenchmark`.
+
+        The header comment references race-pair locations in *final* file
+        coordinates, exactly like DataRaceBench, which means its own length
+        must be accounted for before rendering — the number of header lines
+        is independent of the shift, so a single pass suffices.
+        """
+        body_pairs = [RacePair(first, second) for first, second in self._pairs]
+        if label.has_race and not body_pairs:
+            raise ValueError(f"{slug}: race-yes pattern registered no race pair")
+        if not label.has_race and body_pairs:
+            raise ValueError(f"{slug}: race-free pattern registered race pairs")
+
+        # The header length does not depend on the shifted line numbers (only
+        # on the number of pairs and description lines), so compute it first.
+        provisional_header = self._header_lines(description, body_pairs, label.has_race)
+        shift = len(provisional_header)
+        shifted_pairs = [pair.shifted(shift) for pair in body_pairs]
+        header = self._header_lines(description, shifted_pairs, label.has_race)
+        assert len(header) == shift, "header length must be independent of the shift"
+
+        code = "\n".join(header + self._lines) + "\n"
+        return Microbenchmark(
+            index=index,
+            name=self._drb_name(index, slug, variant, label.has_race),
+            code=code,
+            label=label,
+            race_pairs=shifted_pairs,
+            category=category,
+            description=description.strip(),
+            num_threads=num_threads,
+        )

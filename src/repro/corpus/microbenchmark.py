@@ -1,0 +1,209 @@
+"""Microbenchmark records and ground-truth race-pair descriptions.
+
+A :class:`Microbenchmark` is the unit the whole pipeline operates on: the
+DRB-ML dataset builder scrapes its header comment, the static and dynamic
+detectors parse its code, the simulated language models receive its trimmed
+code inside prompts, and the evaluation harness scores predictions against
+its :class:`RacePair` ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["RaceLabel", "AccessSpec", "RacePair", "Microbenchmark"]
+
+
+class RaceLabel(str, enum.Enum):
+    """DataRaceBench label taxonomy.
+
+    DRB distinguishes several flavours of "yes" (``Y1``–``Y7``: e.g.
+    unresolvable dependences, missing synchronization, SIMD races) and "no"
+    (``N1``–``N7``).  We keep the same coarse structure: the letter encodes
+    the binary label, the digit the pattern family the generator used.
+    """
+
+    Y1 = "Y1"  # loop-carried data dependence
+    Y2 = "Y2"  # missing synchronization (critical/atomic/lock)
+    Y3 = "Y3"  # broken reduction / shared accumulator
+    Y4 = "Y4"  # privatization missing (shared temporary)
+    Y5 = "Y5"  # SIMD / vectorization race
+    Y6 = "Y6"  # tasking / sections race
+    Y7 = "Y7"  # indirect or control-dependent access race
+    N1 = "N1"  # embarrassingly parallel, no conflicting accesses
+    N2 = "N2"  # properly synchronized (critical/atomic/lock/barrier)
+    N3 = "N3"  # correct reduction clause
+    N4 = "N4"  # correct privatization (private/firstprivate/lastprivate)
+    N5 = "N5"  # SIMD-safe kernel
+    N6 = "N6"  # tasking / sections correctly ordered
+    N7 = "N7"  # disjoint indirect accesses
+
+    @property
+    def has_race(self) -> bool:
+        """True for the ``Y*`` labels."""
+        return self.value.startswith("Y")
+
+    @property
+    def family(self) -> int:
+        """The pattern-family digit (1-7)."""
+        return int(self.value[1])
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One memory access participating in a data race.
+
+    Mirrors the per-variable fields of the DRB-ML ``var_pairs`` entries
+    (paper Table 1): textual variable expression, 1-based line and column in
+    the *original* (commented) source, and the operation (``"R"`` or ``"W"``).
+    """
+
+    name: str
+    line: int
+    col: int
+    operation: str
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("R", "W"):
+            raise ValueError(f"operation must be 'R' or 'W', got {self.operation!r}")
+        if self.line < 1 or self.col < 1:
+            raise ValueError("line and col are 1-based and must be >= 1")
+
+    @property
+    def base_name(self) -> str:
+        """The underlying variable name without subscripts (``a[i+1]`` → ``a``)."""
+        return self.name.split("[", 1)[0].strip()
+
+    def shifted(self, delta_lines: int) -> "AccessSpec":
+        """Return a copy with the line number shifted by ``delta_lines``."""
+        return AccessSpec(
+            name=self.name,
+            line=self.line + delta_lines,
+            col=self.col,
+            operation=self.operation,
+        )
+
+    def drb_comment_form(self) -> str:
+        """Render in the DRB header-comment form ``name@line:col:OP``."""
+        return f"{self.name}@{self.line}:{self.col}:{self.operation}"
+
+
+@dataclass(frozen=True)
+class RacePair:
+    """A pair of conflicting accesses forming a data race.
+
+    The DRB convention lists the *dependent* access first; we preserve the
+    order the generator reports, and the matching logic in
+    :mod:`repro.eval.matching` treats pairs as unordered.
+    """
+
+    first: AccessSpec
+    second: AccessSpec
+
+    def __post_init__(self) -> None:
+        if self.first.operation == "R" and self.second.operation == "R":
+            raise ValueError("a race pair needs at least one write access")
+
+    def base_names(self) -> Tuple[str, str]:
+        return (self.first.base_name, self.second.base_name)
+
+    def shifted(self, delta_lines: int) -> "RacePair":
+        return RacePair(self.first.shifted(delta_lines), self.second.shifted(delta_lines))
+
+    def drb_comment_form(self) -> str:
+        """Render the DRB header-comment line for this pair."""
+        return (
+            f"Data race pair: {self.first.drb_comment_form()} vs. "
+            f"{self.second.drb_comment_form()}"
+        )
+
+
+@dataclass
+class Microbenchmark:
+    """One DataRaceBench-style microbenchmark.
+
+    Attributes
+    ----------
+    index:
+        1-based position in the corpus (DRB ``ID``).
+    name:
+        File name in the DRB convention
+        ``DRB{index:03d}-{slug}-{orig|var}-{yes|no}.c``.
+    code:
+        Full C source *including* the DRB header comment.
+    label:
+        :class:`RaceLabel` describing race presence and pattern family.
+    race_pairs:
+        Ground-truth conflicting access pairs (empty for race-free kernels).
+        Line/column positions refer to ``code`` (the commented source), just
+        like DRB's own header comments; the DRB-ML pipeline re-maps them onto
+        the trimmed code.
+    category:
+        Human-readable pattern family name (``"antidep"``, ``"reduction"``,
+        ...), used for stratified reporting and corpus statistics.
+    description:
+        One-line description, embedded in the header comment.
+    num_threads:
+        Thread count the kernel is intended to run with (used by the dynamic
+        detector's interpreter).
+    """
+
+    index: int
+    name: str
+    code: str
+    label: RaceLabel
+    race_pairs: List[RacePair] = field(default_factory=list)
+    category: str = ""
+    description: str = ""
+    num_threads: int = 4
+
+    def __post_init__(self) -> None:
+        if self.label.has_race and not self.race_pairs:
+            raise ValueError(f"{self.name}: race-yes benchmark must list race pairs")
+        if not self.label.has_race and self.race_pairs:
+            raise ValueError(f"{self.name}: race-free benchmark must not list race pairs")
+        if self.index < 1:
+            raise ValueError("index is 1-based")
+
+    @property
+    def has_race(self) -> bool:
+        return self.label.has_race
+
+    @property
+    def drb_id(self) -> str:
+        """Zero-padded DRB-style identifier (``"001"``)."""
+        return f"{self.index:03d}"
+
+    def code_without_header(self) -> str:
+        """Return the code with the leading header comment removed.
+
+        This is *not* the DRB-ML ``trimmed_code`` (which removes every
+        comment and re-maps line numbers); it is a convenience for analyses
+        that only want to skip the label block.
+        """
+        lines = self.code.splitlines(keepends=True)
+        out: List[str] = []
+        in_header = False
+        header_done = False
+        for line in lines:
+            stripped = line.strip()
+            if not header_done and not in_header and stripped.startswith("/*"):
+                in_header = True
+                if stripped.endswith("*/") and len(stripped) > 3:
+                    in_header = False
+                    header_done = True
+                continue
+            if in_header:
+                if stripped.endswith("*/"):
+                    in_header = False
+                    header_done = True
+                continue
+            out.append(line)
+        return "".join(out)
+
+    def summary(self) -> str:
+        """Short human-readable description used in logs and examples."""
+        race = "race" if self.has_race else "no race"
+        return f"{self.name} [{self.category}] ({race}, label {self.label.value})"

@@ -1,0 +1,33 @@
+"""Pattern generators for the DataRaceBench-style corpus.
+
+Each module in this package contributes a list of :class:`PatternSpec`
+objects covering one DRB pattern family (both the race-yes and race-free
+variants).  :data:`ALL_PATTERNS` is the ordered concatenation used by
+:mod:`repro.corpus.generator` to lay out the 201-program suite.
+"""
+
+from repro.corpus.patterns.base import PatternSpec
+from repro.corpus.patterns import (
+    dependences,
+    indirect,
+    oversized,
+    privatization,
+    reductions,
+    simd,
+    synchronization,
+    tasking,
+)
+
+#: Every pattern in deterministic order (family order follows the label digits).
+ALL_PATTERNS = (
+    list(dependences.PATTERNS)
+    + list(synchronization.PATTERNS)
+    + list(reductions.PATTERNS)
+    + list(privatization.PATTERNS)
+    + list(simd.PATTERNS)
+    + list(tasking.PATTERNS)
+    + list(indirect.PATTERNS)
+    + list(oversized.PATTERNS)
+)
+
+__all__ = ["PatternSpec", "ALL_PATTERNS"]

@@ -1,0 +1,79 @@
+"""Shared infrastructure for corpus pattern generators.
+
+A :class:`PatternSpec` couples a *builder function* (which emits one concrete
+microbenchmark given an index and a parameter dictionary) with the list of
+parameter variants the corpus generator should instantiate.  Builders receive
+a fresh :class:`~repro.corpus.builder.CodeBuilder` so that every benchmark is
+assembled with tracked source locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+
+__all__ = ["PatternSpec", "BuilderFn", "emit_main_prologue", "emit_main_epilogue"]
+
+#: Builder functions take (builder, index, params) and return a Microbenchmark.
+BuilderFn = Callable[[CodeBuilder, int, Mapping[str, object]], Microbenchmark]
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One corpus pattern and the parameter variants to instantiate.
+
+    Attributes
+    ----------
+    slug:
+        Base name used in the DRB-style file name (a variant suffix is added
+        automatically when more than one variant exists).
+    label:
+        The :class:`RaceLabel` every instance of this pattern carries.
+    category:
+        Human-readable family name (``"antidep"``, ``"reduction"``, ...).
+    builder:
+        The function that emits one instance.
+    variants:
+        Parameter dictionaries; one microbenchmark is generated per entry.
+    """
+
+    slug: str
+    label: RaceLabel
+    category: str
+    builder: BuilderFn
+    variants: Tuple[Dict[str, object], ...] = (dict(),)
+
+    @property
+    def has_race(self) -> bool:
+        return self.label.has_race
+
+    def instantiate(self, index: int, variant_idx: int) -> Microbenchmark:
+        """Build the ``variant_idx``-th variant of this pattern as benchmark ``index``."""
+        params = dict(self.variants[variant_idx])
+        params.setdefault("variant_idx", variant_idx)
+        bench = self.builder(CodeBuilder(), index, params)
+        return bench
+
+
+def emit_main_prologue(
+    b: CodeBuilder,
+    *,
+    includes: Sequence[str] = ("<stdio.h>",),
+    with_omp_header: bool = True,
+) -> None:
+    """Emit ``#include`` lines and the ``int main`` opening."""
+    for header in includes:
+        b.include(header)
+    if with_omp_header:
+        b.include("<omp.h>")
+    b.line("int main(int argc, char *argv[])")
+    b.line("{")
+
+
+def emit_main_epilogue(b: CodeBuilder, *, result_expr: str = "0") -> None:
+    """Emit the ``return``/closing brace of ``main``."""
+    b.line(f"  return {result_expr};")
+    b.line("}")

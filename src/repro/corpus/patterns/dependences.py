@@ -1,0 +1,633 @@
+"""Family 1 — loop-carried dependence patterns (labels ``Y1`` / ``N1``).
+
+The race-yes patterns parallelize loops that carry anti-, true- or output
+dependences (the classic DRB ``antidep1-orig-yes`` kernel reproduced in the
+paper's Listing 1 belongs here).  The race-free counterparts are
+embarrassingly parallel kernels with no conflicting accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+
+# ---------------------------------------------------------------------------
+# race-yes builders
+# ---------------------------------------------------------------------------
+
+
+def build_antidep1(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``a[i] = a[i+1] + 1`` under ``parallel for`` — loop-carried anti-dependence."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len - 1; i++)")
+    ln = b.line("    a[i] = a[i+1] + 1;")
+    write = b.access(ln, "a[i]", "W")
+    read = b.access(ln, "a[i+1]", "R")
+    b.pair(read, write)
+    b.line('  printf("a[50]=%d\\n", a[50]);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="antidep1",
+        label=RaceLabel.Y1,
+        category="antidep",
+        description=(
+            "A loop with loop-carried anti-dependence.\n"
+            "The read of a[i+1] conflicts with the write of a[i] performed by"
+            " a neighbouring iteration."
+        ),
+        variant="orig" if params.get("variant_idx", 0) == 0 else f"var{params['variant_idx']}",
+    )
+
+
+def build_antidep2(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """2-D loop nest with an anti-dependence carried by the parallelized outer loop."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  float u[{n}][{n}];")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      u[i][j] = 0.5;")
+    b.line("#pragma omp parallel for private(j)")
+    b.line("  for (i = 0; i < n - 1; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    ln = b.line("      u[i][j] = u[i+1][j] + 1.0;")
+    write = b.access(ln, "u[i][j]", "W")
+    read = b.access(ln, "u[i+1][j]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="antidep2",
+        label=RaceLabel.Y1,
+        category="antidep",
+        description=(
+            "Two-dimensional loop nest with an anti-dependence carried by the\n"
+            "parallelized outer loop over the first array dimension."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_truedep1(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``a[i] = a[i-1] + 1`` — true (flow) dependence carried by the parallel loop."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 1; i < len; i++)")
+    ln = b.line("    a[i] = a[i-1] + 1;")
+    write = b.access(ln, "a[i]", "W")
+    read = b.access(ln, "a[i-1]", "R")
+    b.pair(read, write)
+    b.line('  printf("a[10]=%d\\n", a[10]);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="truedep1",
+        label=RaceLabel.Y1,
+        category="truedep",
+        description="A loop with a loop-carried true dependence on array a.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_truedep_stride(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """True dependence at distance 2 — still a race once the loop is parallel."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = 1.0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 2; i < len; i++)")
+    ln = b.line("    a[i] = a[i-2] * 0.5;")
+    write = b.access(ln, "a[i]", "W")
+    read = b.access(ln, "a[i-2]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="truedepdist2",
+        label=RaceLabel.Y1,
+        category="truedep",
+        description="Loop-carried true dependence with dependence distance 2.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_outputdep(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Every iteration also writes ``a[0]`` — a write/write (output) race."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    a[i] = i;")
+    ln = b.line("    a[0] = len;")
+    first = b.access(ln, "a[0]", "W")
+    second = b.access(ln, "a[0]", "W")
+    b.pair(first, second)
+    b.line("  }")
+    b.line('  printf("a[0]=%d\\n", a[0]);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="outputdep",
+        label=RaceLabel.Y1,
+        category="outputdep",
+        description=(
+            "Output dependence: every iteration of the parallel loop writes a[0],\n"
+            "so two threads race on the same element."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_truedep_2d(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Inner-dimension true dependence while the inner loop is the parallel one."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double b[{n}][{n}];")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      b[i][j] = 1.0;")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("#pragma omp parallel for")
+    b.line("    for (j = 1; j < n; j++)")
+    ln = b.line("      b[i][j] = b[i][j-1] * 2.0;")
+    write = b.access(ln, "b[i][j]", "W")
+    read = b.access(ln, "b[i][j-1]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="truedep2d",
+        label=RaceLabel.Y1,
+        category="truedep",
+        description=(
+            "Second-dimension true dependence; the inner loop that carries the\n"
+            "dependence is the one annotated with parallel for."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_wavefront(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Three-point stencil updated in place — reads both neighbours it races with."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i * 0.5;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 1; i < len - 1; i++)")
+    ln = b.line("    a[i] = a[i-1] + a[i+1];")
+    write = b.access(ln, "a[i]", "W")
+    read_left = b.access(ln, "a[i-1]", "R")
+    read_right = b.access(ln, "a[i+1]", "R")
+    b.pair(read_left, write)
+    b.pair(read_right, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="wavefront",
+        label=RaceLabel.Y1,
+        category="truedep",
+        description=(
+            "In-place three-point stencil: the write of a[i] conflicts with the\n"
+            "neighbour reads a[i-1] and a[i+1] of adjacent iterations."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_scalar_carried(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A scalar carried across iterations couples neighbouring array writes."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  int x = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len - 1; i++)")
+    b.line("  {")
+    ln_read = b.line("    x = a[i];")
+    read = b.access(ln_read, "a[i]", "R")
+    write_x = b.access(ln_read, "x", "W")
+    ln_write = b.line("    a[i+1] = x + 1;")
+    write = b.access(ln_write, "a[i+1]", "W")
+    read_x = b.access(ln_write, "x", "R")
+    b.pair(read, write)
+    b.pair(write_x, read_x)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="scalarcarried",
+        label=RaceLabel.Y1,
+        category="truedep",
+        description=(
+            "The shared scalar x carries a value between iterations, and the write\n"
+            "to a[i+1] conflicts with the read of a[i] in the next iteration."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_antidep_offset4(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Anti-dependence at distance 4 — races once chunks overlap the offset."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len - 4; i++)")
+    ln = b.line("    a[i] = a[i+4] + 1;")
+    write = b.access(ln, "a[i]", "W")
+    read = b.access(ln, "a[i+4]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="antidep4",
+        label=RaceLabel.Y1,
+        category="antidep",
+        description="Loop-carried anti-dependence with dependence distance 4.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# race-free builders
+# ---------------------------------------------------------------------------
+
+
+def build_vecadd(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Element-wise vector addition — no conflicting accesses."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line(f"  double c[{n}];")
+    b.line(f"  double d[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    c[i] = i * 1.0;")
+    b.line("    d[i] = i * 2.0;")
+    b.line("  }")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = c[i] + d[i];")
+    b.line('  printf("a[0]=%f\\n", a[0]);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="vecadd",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="Embarrassingly parallel vector addition, no data race.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_init_loop(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Each iteration writes a distinct element."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i * 2;")
+    b.line('  printf("a[1]=%d\\n", a[1]);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="initloop",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="Parallel initialization; each iteration touches its own element.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_stencil_outofplace(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Out-of-place stencil: reads from one array, writes to another."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double in[{n}];")
+    b.line(f"  double out[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    in[i] = i * 0.25;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 1; i < len - 1; i++)")
+    b.line("    out[i] = in[i-1] + in[i+1];")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="stencilcopy",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="Out-of-place stencil; reads and writes touch different arrays.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_independent_2d(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """2-D element-wise scaling with both loop indices private."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double m[{n}][{n}];")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      m[i][j] = i + j;")
+    b.line("#pragma omp parallel for private(j)")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      m[i][j] = m[i][j] * 2.0;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="scale2d",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="Element-wise 2-D update; every (i, j) pair is written once.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_saxpy(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """SAXPY — the in-place update only touches the iteration's own element."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  double alpha = 0.5;")
+    b.line(f"  double x[{n}];")
+    b.line(f"  double y[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    x[i] = i * 1.0;")
+    b.line("    y[i] = i * 3.0;")
+    b.line("  }")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    y[i] = alpha * x[i] + y[i];")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="saxpy",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="SAXPY kernel; in-place but element-wise independent.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_matvec(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Row-parallel matrix-vector product with a per-row local accumulator."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double mat[{n}][{n}];")
+    b.line(f"  double v[{n}];")
+    b.line(f"  double out[{n}];")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("  {")
+    b.line("    v[i] = 1.0;")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      mat[i][j] = i * 0.25 + j;")
+    b.line("  }")
+    b.line("#pragma omp parallel for private(j)")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("  {")
+    b.line("    double rowsum = 0.0;")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      rowsum = rowsum + mat[i][j] * v[j];")
+    b.line("    out[i] = rowsum;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="matvec",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="Row-parallel matrix-vector product with a block-local accumulator.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_triangular(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Triangular iteration space, still element-wise independent."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  int t[{n}][{n}];")
+    b.line("#pragma omp parallel for private(j)")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j <= i; j++)")
+    b.line("      t[i][j] = i - j;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="triangular",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="Triangular loop nest; iterations write disjoint elements.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_square_inplace(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """In-place element-wise square — same element read and written per iteration."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i * 0.1;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = a[i] * a[i];")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="squareinplace",
+        label=RaceLabel.N1,
+        category="noracebase",
+        description="Element-wise in-place square; no cross-iteration conflicts.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# pattern registry for this family
+# ---------------------------------------------------------------------------
+
+PATTERNS = (
+    # race-yes: 4 + 2 + 3 + 2 + 2 + 2 + 2 + 1 + 2 = 20
+    PatternSpec(
+        slug="antidep1",
+        label=RaceLabel.Y1,
+        category="antidep",
+        builder=build_antidep1,
+        variants=({"n": 100}, {"n": 200}, {"n": 500}, {"n": 1000}),
+    ),
+    PatternSpec(
+        slug="antidep2",
+        label=RaceLabel.Y1,
+        category="antidep",
+        builder=build_antidep2,
+        variants=({"n": 32}, {"n": 64}),
+    ),
+    PatternSpec(
+        slug="truedep1",
+        label=RaceLabel.Y1,
+        category="truedep",
+        builder=build_truedep1,
+        variants=({"n": 100}, {"n": 200}, {"n": 500}),
+    ),
+    PatternSpec(
+        slug="truedepdist2",
+        label=RaceLabel.Y1,
+        category="truedep",
+        builder=build_truedep_stride,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="outputdep",
+        label=RaceLabel.Y1,
+        category="outputdep",
+        builder=build_outputdep,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="truedep2d",
+        label=RaceLabel.Y1,
+        category="truedep",
+        builder=build_truedep_2d,
+        variants=({"n": 16}, {"n": 32}),
+    ),
+    PatternSpec(
+        slug="wavefront",
+        label=RaceLabel.Y1,
+        category="truedep",
+        builder=build_wavefront,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="scalarcarried",
+        label=RaceLabel.Y1,
+        category="truedep",
+        builder=build_scalar_carried,
+        variants=({"n": 100},),
+    ),
+    PatternSpec(
+        slug="antidep4",
+        label=RaceLabel.Y1,
+        category="antidep",
+        builder=build_antidep_offset4,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    # race-free: 3 + 2 + 2 + 2 + 2 + 2 + 1 + 2 = 16
+    PatternSpec(
+        slug="vecadd",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_vecadd,
+        variants=({"n": 100}, {"n": 200}, {"n": 500}),
+    ),
+    PatternSpec(
+        slug="initloop",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_init_loop,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="stencilcopy",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_stencil_outofplace,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="scale2d",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_independent_2d,
+        variants=({"n": 16}, {"n": 32}),
+    ),
+    PatternSpec(
+        slug="saxpy",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_saxpy,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="matvec",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_matvec,
+        variants=({"n": 16}, {"n": 32}),
+    ),
+    PatternSpec(
+        slug="triangular",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_triangular,
+        variants=({"n": 32},),
+    ),
+    PatternSpec(
+        slug="squareinplace",
+        label=RaceLabel.N1,
+        category="noracebase",
+        builder=build_square_inplace,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+)

@@ -1,0 +1,379 @@
+"""Family 7 — indirect and control-dependent access patterns (``Y7`` / ``N7``).
+
+Race-yes kernels write through an index array with duplicate entries, through
+a modulus that folds many iterations onto one element, or under a data
+dependent condition without protection.  Race-free counterparts use
+permutation index arrays, identity maps, disjoint strides or proper atomics.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+
+# ---------------------------------------------------------------------------
+# race-yes builders
+# ---------------------------------------------------------------------------
+
+
+def build_indirect_duplicate_increment(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``a[idx[i]] += 1`` where the index array contains duplicates."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int idx[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    a[i] = 0;")
+    b.line("    idx[i] = (i * 3) % (len / 2);")
+    b.line("  }")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    a[idx[i]] += 1;")
+    write = b.access(ln, "a[idx[i]]", "W")
+    read = b.access(ln, "a[idx[i]]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="indirectdup", label=RaceLabel.Y7, category="indirect",
+        description=(
+            "The index array folds the iteration space onto half the elements, so\n"
+            "different iterations update the same a[idx[i]] concurrently."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_indirect_duplicate_store(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Plain stores through a duplicate-bearing index array (write/write race)."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int idx[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    idx[i] = i / 2;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    a[idx[i]] = i;")
+    w1 = b.access(ln, "a[idx[i]]", "W")
+    w2 = b.access(ln, "a[idx[i]]", "W")
+    b.pair(w1, w2)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="indirectstore", label=RaceLabel.Y7, category="indirect",
+        description="Stores through idx[i] = i/2 collide pairwise on the same element.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_conditional_count(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Counting matches under a condition without atomic protection."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int data[{n}];")
+    b.line("  int matches = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    data[i] = i % 5;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    if (data[i] == 0)")
+    ln = b.line("      matches = matches + 1;")
+    write = b.access(ln, "matches", "W")
+    read = b.access(ln, "matches", "R", occurrence=2)
+    b.pair(read, write)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="condcount", label=RaceLabel.Y7, category="indirect",
+        description="Control-dependent increment of a shared counter without atomic.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_modulus_fold(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Writes folded onto a small ring buffer through ``i % 10``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int ring[10];")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    ring[i % 10] = i;")
+    w1 = b.access(ln, "ring[i % 10]", "W")
+    w2 = b.access(ln, "ring[i % 10]", "W")
+    b.pair(w1, w2)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="modulusfold", label=RaceLabel.Y7, category="indirect",
+        description="Many iterations write the same ring-buffer slot (i mod 10).",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_halo_overlap(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Each iteration also updates a halo element a fixed offset away."""
+    n = int(params["n"])
+    offset = 16
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line(f"  for (i = 0; i < len - {offset}; i++)")
+    b.line("  {")
+    ln1 = b.line("    a[i] = a[i] + 1;")
+    w1 = b.access(ln1, "a[i]", "W")
+    ln2 = b.line(f"    a[i + {offset}] = a[i] * 2;")
+    w2 = b.access(ln2, f"a[i + {offset}]", "W")
+    r2 = b.access(ln2, "a[i]", "R")
+    b.pair(w2, w1)
+    b.pair(r2, w2)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="halooverlap", label=RaceLabel.Y7, category="indirect",
+        description=(
+            "Each iteration writes its own element and an element offset positions\n"
+            "ahead, which another thread owns."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_histogram_indirect(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Histogram where the bin comes from the data values (no protection)."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int values[{n}];")
+    b.line("  int bins[16];")
+    b.line("  for (i = 0; i < 16; i++)")
+    b.line("    bins[i] = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    values[i] = (i * 7) % 16;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    bins[values[i]] = bins[values[i]] + 1;")
+    write = b.access(ln, "bins[values[i]]", "W")
+    read = b.access(ln, "bins[values[i]]", "R", occurrence=2)
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="histindirect", label=RaceLabel.Y7, category="indirect",
+        description="Value-indexed histogram bins updated without atomic protection.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# race-free builders
+# ---------------------------------------------------------------------------
+
+
+def build_indirect_permutation(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Stores through a permutation index array — all targets distinct."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int perm[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    perm[i] = (len - 1) - i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[perm[i]] = i;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="indirectperm", label=RaceLabel.N7, category="indirectok",
+        description="Index array is a permutation (reversal); all stores are disjoint.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_indirect_identity(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Index array is the identity map."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int idx[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    idx[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[idx[i]] = i * 3;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="indirectidentity", label=RaceLabel.N7, category="indirectok",
+        description="Identity index array; each iteration writes its own element.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_conditional_count_atomic(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Conditional counting protected by ``atomic``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int data[{n}];")
+    b.line("  int matches = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    data[i] = i % 5;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    if (data[i] == 0)")
+    b.line("    {")
+    b.line("#pragma omp atomic")
+    b.line("      matches += 1;")
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="condcountatomic", label=RaceLabel.N7, category="indirectok",
+        description="Control-dependent counter increment protected by atomic.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_modulus_critical(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Ring-buffer writes serialized with a critical region."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int ring[10];")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("#pragma omp critical")
+    b.line("    ring[i % 10] = i;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="moduluscritical", label=RaceLabel.N7, category="indirectok",
+        description="Folded ring-buffer writes serialized by a critical region.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_disjoint_strides(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Even and odd elements written by two separate parallel loops."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len / 2; i++)")
+    b.line("    a[2*i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len / 2; i++)")
+    b.line("    a[2*i + 1] = i;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="disjointstrides", label=RaceLabel.N7, category="indirectok",
+        description="Even and odd strided writes performed in separate parallel loops.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_gather_only(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Indirect reads (gather) with per-iteration private writes."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int src[{n}];")
+    b.line(f"  int dst[{n}];")
+    b.line(f"  int idx[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    src[i] = i * 2;")
+    b.line("    idx[i] = (i * 3) % len;")
+    b.line("  }")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    dst[i] = src[idx[i]];")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="gatheronly", label=RaceLabel.N7, category="indirectok",
+        description="Gather: indirect reads are shared but every write is disjoint.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_offset_no_overlap(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Offset writes land in a separate second half of the array."""
+    n = int(params["n"])
+    half = n // 2
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = 0;")
+    b.line("#pragma omp parallel for")
+    b.line(f"  for (i = 0; i < {half}; i++)")
+    b.line(f"    a[i + {half}] = a[i] + 1;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="offsetnooverlap", label=RaceLabel.N7, category="indirectok",
+        description=(
+            "Reads come from the first half and writes go to the second half; the\n"
+            "offset equals the loop trip count so ranges never overlap."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+PATTERNS = (
+    # race-yes: 2 + 2 + 2 + 2 + 2 + 2 = 12
+    PatternSpec("indirectdup", RaceLabel.Y7, "indirect", build_indirect_duplicate_increment,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("indirectstore", RaceLabel.Y7, "indirect", build_indirect_duplicate_store,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("condcount", RaceLabel.Y7, "indirect", build_conditional_count,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("modulusfold", RaceLabel.Y7, "indirect", build_modulus_fold,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("halooverlap", RaceLabel.Y7, "indirect", build_halo_overlap,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("histindirect", RaceLabel.Y7, "indirect", build_histogram_indirect,
+                ({"n": 100}, {"n": 200})),
+    # race-free: 2 + 2 + 2 + 2 + 2 + 2 + 2 = 14
+    PatternSpec("indirectperm", RaceLabel.N7, "indirectok", build_indirect_permutation,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("indirectidentity", RaceLabel.N7, "indirectok", build_indirect_identity,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("condcountatomic", RaceLabel.N7, "indirectok", build_conditional_count_atomic,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("moduluscritical", RaceLabel.N7, "indirectok", build_modulus_critical,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("disjointstrides", RaceLabel.N7, "indirectok", build_disjoint_strides,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("gatheronly", RaceLabel.N7, "indirectok", build_gather_only,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("offsetnooverlap", RaceLabel.N7, "indirectok", build_offset_no_overlap,
+                ({"n": 100}, {"n": 200})),
+)

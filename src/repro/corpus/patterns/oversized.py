@@ -1,0 +1,119 @@
+"""Oversized microbenchmarks that exceed the 4k-token prompt budget.
+
+The paper keeps 198 of the 201 DRB-ML entries because three programs do not
+fit the 4k-token input limit of the evaluated models (§3.2).  These three
+generators produce deliberately long kernels (many unrolled stages) so the
+token filter in :mod:`repro.dataset` excludes exactly them, reproducing the
+198-program evaluation subset with the paper's 100/98 positive/negative
+split.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+#: Number of unrolled pipeline stages; sized so the token count safely
+#: exceeds the 4096-token budget used by the dataset subset filter.
+_STAGES = 220
+
+
+def build_long_pipeline_racy(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A long unrolled pipeline whose final stage carries an anti-dependence."""
+    n = int(params.get("n", 100))
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double stage_data[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    stage_data[i] = i * 0.5;")
+    for stage in range(_STAGES):
+        b.line(f"  /* pipeline stage {stage}: element-wise transform */")
+        b.line("  for (i = 0; i < len; i++)")
+        b.line(f"    stage_data[i] = stage_data[i] * 1.0 + {stage}.0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len - 1; i++)")
+    ln = b.line("    stage_data[i] = stage_data[i+1] + 1.0;")
+    write = b.access(ln, "stage_data[i]", "W")
+    read = b.access(ln, "stage_data[i+1]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="longpipelineracy", label=RaceLabel.Y1, category="oversized",
+        description=(
+            "A very long unrolled preprocessing pipeline followed by a parallel\n"
+            "loop with a loop-carried anti-dependence.  Exceeds the 4k-token limit."
+        ),
+    )
+
+
+def build_long_pipeline_counter(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A long unrolled kernel ending in an unsynchronized shared counter update."""
+    n = int(params.get("n", 100))
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double field_values[{n}];")
+    b.line("  int touched = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    field_values[i] = i * 0.25;")
+    for stage in range(_STAGES):
+        b.line(f"  /* smoothing sweep {stage} */")
+        b.line("  for (i = 1; i < len - 1; i++)")
+        b.line("    field_values[i] = (field_values[i-1] + field_values[i+1]) * 0.5;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    touched = touched + 1;")
+    write = b.access(ln, "touched", "W")
+    read = b.access(ln, "touched", "R", occurrence=2)
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="longpipelinecounter", label=RaceLabel.Y2, category="oversized",
+        description=(
+            "A very long sequential smoothing kernel followed by an unprotected\n"
+            "shared counter update.  Exceeds the 4k-token limit."
+        ),
+    )
+
+
+def build_long_pipeline_safe(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A long unrolled kernel whose final parallel loop is race free."""
+    n = int(params.get("n", 100))
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double samples[{n}];")
+    b.line(f"  double outputs[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    samples[i] = i * 0.125;")
+    for stage in range(_STAGES):
+        b.line(f"  /* calibration pass {stage} */")
+        b.line("  for (i = 0; i < len; i++)")
+        b.line(f"    samples[i] = samples[i] + {stage}.0 * 0.001;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    outputs[i] = samples[i] * 2.0;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="longpipelinesafe", label=RaceLabel.N1, category="oversized",
+        description=(
+            "A very long sequential calibration kernel followed by an\n"
+            "embarrassingly parallel output loop.  Exceeds the 4k-token limit."
+        ),
+    )
+
+
+PATTERNS = (
+    PatternSpec("longpipelineracy", RaceLabel.Y1, "oversized", build_long_pipeline_racy,
+                ({"n": 100},)),
+    PatternSpec("longpipelinecounter", RaceLabel.Y2, "oversized", build_long_pipeline_counter,
+                ({"n": 100},)),
+    PatternSpec("longpipelinesafe", RaceLabel.N1, "oversized", build_long_pipeline_safe,
+                ({"n": 100},)),
+)

@@ -1,0 +1,423 @@
+"""Family 4 — privatization patterns (labels ``Y4`` / ``N4``).
+
+Race-yes kernels keep a per-iteration temporary (or an inner loop index) in
+shared storage; race-free counterparts privatize it with ``private``,
+``firstprivate``, ``lastprivate`` or a block-local declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+
+# ---------------------------------------------------------------------------
+# race-yes builders
+# ---------------------------------------------------------------------------
+
+
+def build_shared_tmp(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A scratch scalar written and read by every iteration without private()."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int out[{n}];")
+    b.line("  int tmp = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    ln_w = b.line("    tmp = a[i] + 1;")
+    write = b.access(ln_w, "tmp", "W")
+    ln_r = b.line("    out[i] = tmp * 2;")
+    read = b.access(ln_r, "tmp", "R")
+    b.pair(write, read)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sharedtmp", label=RaceLabel.Y4, category="privatization",
+        description=(
+            "The scratch variable tmp is shared, so the write in one iteration races\n"
+            "with the read in another iteration executed by a different thread."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_shared_tmp_2d(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Shared temporary inside a 2-D loop nest."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double u[{n}][{n}];")
+    b.line("  double tmp = 0.0;")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      u[i][j] = i + j;")
+    b.line("#pragma omp parallel for private(j)")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("    {")
+    ln_w = b.line("      tmp = u[i][j] * 0.5;")
+    write = b.access(ln_w, "tmp", "W")
+    ln_r = b.line("      u[i][j] = tmp + 1.0;")
+    read = b.access(ln_r, "tmp", "R")
+    b.pair(write, read)
+    b.line("    }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sharedtmp2d", label=RaceLabel.Y4, category="privatization",
+        description="Shared temporary inside a parallelized 2-D loop nest.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_shared_inner_index(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """The inner loop index is not privatized."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double m[{n}][{n}];")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < n; i++)")
+    ln_inner = b.line("    for (j = 0; j < n; j++)")
+    b.line("      m[i][j] = i * 1.0 + j;")
+    # The shared inner index j is written (j = 0, j++) and read (j < n) by
+    # every thread; record the initialisation write against the test read.
+    write = b.access(ln_inner, "j", "W", occurrence=1)
+    read = b.access(ln_inner, "j", "R", occurrence=2)
+    b.pair(write, read)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sharedinneridx", label=RaceLabel.Y4, category="privatization",
+        description=(
+            "The inner loop index j is shared because the parallel for clause only\n"
+            "privatizes the outer index; concurrent updates of j race."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_firstprivate_missing(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A seed value initialised outside the region is also modified inside it."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int out[{n}];")
+    b.line("  int offset = 10;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    ln_w = b.line("    offset = offset + 1;")
+    write = b.access(ln_w, "offset", "W")
+    read = b.access(ln_w, "offset", "R", occurrence=2)
+    b.line("    out[i] = i + offset;")
+    b.pair(read, write)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="firstprivatemissing", label=RaceLabel.Y4, category="privatization",
+        description="offset should have been firstprivate; every thread mutates it.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_lastprivate_missing(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """The sequentially-last value is needed but the variable is plain shared."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line("  double last_val = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i * 0.5;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    ln = b.line("    last_val = a[i];")
+    write = b.access(ln, "last_val", "W")
+    write2 = b.access(ln, "last_val", "W")
+    b.pair(write, write2)
+    b.line("  }")
+    b.line('  printf("last=%f\\n", last_val);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="lastprivatemissing", label=RaceLabel.Y4, category="privatization",
+        description=(
+            "last_val should have been lastprivate; all threads write it and the\n"
+            "writes race with one another."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_shared_swap_tmp(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A shared swap temporary used by every iteration of a parallel loop."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int c[{n}];")
+    b.line("  int swap = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    a[i] = i;")
+    b.line("    c[i] = len - i;")
+    b.line("  }")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    ln_w = b.line("    swap = a[i];")
+    write = b.access(ln_w, "swap", "W")
+    b.line("    a[i] = c[i];")
+    ln_r = b.line("    c[i] = swap;")
+    read = b.access(ln_r, "swap", "R")
+    b.pair(write, read)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sharedswap", label=RaceLabel.Y4, category="privatization",
+        description="Element swap through a shared temporary variable.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_shared_scratch_array(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A whole scratch row is shared between threads that each overwrite it."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double grid[{n}][{n}];")
+    b.line(f"  double scratch[{n}];")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      grid[i][j] = i + j;")
+    b.line("#pragma omp parallel for private(j)")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("  {")
+    b.line("    for (j = 0; j < n; j++)")
+    ln_w = b.line("      scratch[j] = grid[i][j] * 2.0;")
+    write = b.access(ln_w, "scratch[j]", "W")
+    b.line("    for (j = 0; j < n; j++)")
+    ln_r = b.line("      grid[i][j] = scratch[j] + 1.0;")
+    read = b.access(ln_r, "scratch[j]", "R")
+    b.pair(write, read)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sharedscratch", label=RaceLabel.Y4, category="privatization",
+        description=(
+            "The scratch buffer is shared although every outer iteration overwrites\n"
+            "all of it; concurrent iterations race on every element."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# race-free builders
+# ---------------------------------------------------------------------------
+
+
+def build_private_tmp(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Same kernel as ``sharedtmp`` but with ``private(tmp)``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int out[{n}];")
+    b.line("  int tmp = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for private(tmp)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    tmp = a[i] + 1;")
+    b.line("    out[i] = tmp * 2;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="privatetmp", label=RaceLabel.N4, category="privatizationok",
+        description="Scratch variable correctly listed in a private clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_private_tmp_2d(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """2-D kernel with both the temporary and inner index privatized."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double u[{n}][{n}];")
+    b.line("  double tmp = 0.0;")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      u[i][j] = i + j;")
+    b.line("#pragma omp parallel for private(j, tmp)")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("    {")
+    b.line("      tmp = u[i][j] * 0.5;")
+    b.line("      u[i][j] = tmp + 1.0;")
+    b.line("    }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="privatetmp2d", label=RaceLabel.N4, category="privatizationok",
+        description="2-D nest with the temporary and inner index both privatized.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_private_indices(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Nested loops with all indices privatized."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i, j;")
+    b.line(f"  int n = {n};")
+    b.line(f"  double m[{n}][{n}];")
+    b.line("#pragma omp parallel for private(i, j)")
+    b.line("  for (i = 0; i < n; i++)")
+    b.line("    for (j = 0; j < n; j++)")
+    b.line("      m[i][j] = i * 1.0 + j;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="privateindices", label=RaceLabel.N4, category="privatizationok",
+        description="Both loop indices privatized; element writes are disjoint.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_firstprivate_ok(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """The seed value is firstprivate and only read."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int out[{n}];")
+    b.line("  int offset = 10;")
+    b.line("#pragma omp parallel for firstprivate(offset)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    out[i] = i + offset;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="firstprivateok", label=RaceLabel.N4, category="privatizationok",
+        description="Read-only seed value passed in through firstprivate.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_lastprivate_ok(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """The sequentially-last value captured through lastprivate."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line("  double last_val = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i * 0.5;")
+    b.line("#pragma omp parallel for lastprivate(last_val)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    last_val = a[i];")
+    b.line('  printf("last=%f\\n", last_val);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="lastprivateok", label=RaceLabel.N4, category="privatizationok",
+        description="Sequentially-last value captured with lastprivate.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_default_none(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``default(none)`` with every variable's sharing spelled out."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line("  double scale = 2.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for default(none) shared(a, len) firstprivate(scale) private(i)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = a[i] * scale;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="defaultnone", label=RaceLabel.N4, category="privatizationok",
+        description="default(none) region with explicit data-sharing attributes.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_block_local_tmp(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """The temporary is declared inside the loop body, so it is automatically private."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int out[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    int tmp = a[i] + 1;")
+    b.line("    out[i] = tmp * 2;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="blocklocaltmp", label=RaceLabel.N4, category="privatizationok",
+        description="Temporary declared inside the loop body; implicitly private.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+PATTERNS = (
+    # race-yes: 3 + 2 + 2 + 2 + 2 + 1 + 2 = 14
+    PatternSpec("sharedtmp", RaceLabel.Y4, "privatization", build_shared_tmp,
+                ({"n": 100}, {"n": 200}, {"n": 500})),
+    PatternSpec("sharedtmp2d", RaceLabel.Y4, "privatization", build_shared_tmp_2d,
+                ({"n": 16}, {"n": 32})),
+    PatternSpec("sharedinneridx", RaceLabel.Y4, "privatization", build_shared_inner_index,
+                ({"n": 16}, {"n": 32})),
+    PatternSpec("firstprivatemissing", RaceLabel.Y4, "privatization", build_firstprivate_missing,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("lastprivatemissing", RaceLabel.Y4, "privatization", build_lastprivate_missing,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("sharedswap", RaceLabel.Y4, "privatization", build_shared_swap_tmp,
+                ({"n": 100},)),
+    PatternSpec("sharedscratch", RaceLabel.Y4, "privatization", build_shared_scratch_array,
+                ({"n": 16}, {"n": 32})),
+    # race-free: 3 + 2 + 2 + 2 + 2 + 1 + 2 = 14
+    PatternSpec("privatetmp", RaceLabel.N4, "privatizationok", build_private_tmp,
+                ({"n": 100}, {"n": 200}, {"n": 500})),
+    PatternSpec("privatetmp2d", RaceLabel.N4, "privatizationok", build_private_tmp_2d,
+                ({"n": 16}, {"n": 32})),
+    PatternSpec("privateindices", RaceLabel.N4, "privatizationok", build_private_indices,
+                ({"n": 16}, {"n": 32})),
+    PatternSpec("firstprivateok", RaceLabel.N4, "privatizationok", build_firstprivate_ok,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("lastprivateok", RaceLabel.N4, "privatizationok", build_lastprivate_ok,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("defaultnone", RaceLabel.N4, "privatizationok", build_default_none,
+                ({"n": 100},)),
+    PatternSpec("blocklocaltmp", RaceLabel.N4, "privatizationok", build_block_local_tmp,
+                ({"n": 100}, {"n": 200})),
+)

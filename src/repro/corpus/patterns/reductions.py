@@ -1,0 +1,432 @@
+"""Family 3 — reduction patterns (labels ``Y3`` / ``N3``).
+
+Race-yes kernels accumulate into a shared variable without a ``reduction``
+clause or other protection; race-free ones use ``reduction``, ``critical`` or
+``atomic`` correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+
+# ---------------------------------------------------------------------------
+# race-yes builders
+# ---------------------------------------------------------------------------
+
+
+def build_sum_noreduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``sum += a[i]`` without a reduction clause."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  int sum = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    sum += a[i];")
+    write = b.access(ln, "sum", "W")
+    read = b.access(ln, "sum", "R")
+    b.pair(read, write)
+    b.line('  printf("sum=%d\\n", sum);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sumnoreduction", label=RaceLabel.Y3, category="reduction",
+        description="Accumulation into a shared sum without a reduction clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_dot_noreduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Dot product accumulating into a shared scalar without reduction."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double x[{n}];")
+    b.line(f"  double y[{n}];")
+    b.line("  double dot = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    x[i] = i * 0.5;")
+    b.line("    y[i] = i * 0.25;")
+    b.line("  }")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    dot = dot + x[i] * y[i];")
+    write = b.access(ln, "dot", "W")
+    read = b.access(ln, "dot", "R", occurrence=2)
+    b.pair(read, write)
+    b.line('  printf("dot=%f\\n", dot);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="dotnoreduction", label=RaceLabel.Y3, category="reduction",
+        description="Dot product accumulated into a shared scalar without reduction.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_max_noreduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Maximum search where the shared best value is updated unprotected."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double v[{n}];")
+    b.line("  double best = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    v[i] = (i * 13 % len) * 1.0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    if (v[i] > best)")
+    ln = b.line("      best = v[i];")
+    write = b.access(ln, "best", "W")
+    read = b.access(ln, "v[i]", "R")
+    b.pair(read, write)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="maxnoreduction", label=RaceLabel.Y3, category="reduction",
+        description="Maximum reduction implemented with an unprotected shared variable.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_product_noreduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Product accumulation without reduction."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  double prod = 1.0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 1; i <= len; i++)")
+    ln = b.line("    prod = prod * (1.0 + 1.0 / i);")
+    write = b.access(ln, "prod", "W")
+    read = b.access(ln, "prod", "R", occurrence=2)
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="prodnoreduction", label=RaceLabel.Y3, category="reduction",
+        description="Product accumulation into a shared scalar without reduction.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_two_accumulators(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Two shared accumulators (sum and count of squares), both unprotected."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double data[{n}];")
+    b.line("  double mean_sum = 0.0;")
+    b.line("  double sq_sum = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    data[i] = i * 0.1;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    ln1 = b.line("    mean_sum = mean_sum + data[i];")
+    w1 = b.access(ln1, "mean_sum", "W")
+    r1 = b.access(ln1, "mean_sum", "R", occurrence=2)
+    ln2 = b.line("    sq_sum = sq_sum + data[i] * data[i];")
+    w2 = b.access(ln2, "sq_sum", "W")
+    r2 = b.access(ln2, "sq_sum", "R", occurrence=2)
+    b.pair(r1, w1)
+    b.pair(r2, w2)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="twoaccumulators", label=RaceLabel.Y3, category="reduction",
+        description="Mean and variance accumulators updated without any protection.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_reduction_wrong_var(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``reduction(+:sum)`` is present but a second accumulator still races."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int sum = 0;")
+    b.line("  int count_odd = 0;")
+    b.line("#pragma omp parallel for reduction(+:sum)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    sum += i;")
+    b.line("    if (i % 2 == 1)")
+    ln = b.line("      count_odd = count_odd + 1;")
+    write = b.access(ln, "count_odd", "W")
+    read = b.access(ln, "count_odd", "R", occurrence=2)
+    b.pair(read, write)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="reductionwrongvar", label=RaceLabel.Y3, category="reduction",
+        description=(
+            "The reduction clause covers sum but not count_odd, which is still\n"
+            "updated by every thread without protection."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_histogram_race(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Histogram bins incremented without atomic protection."""
+    n = int(params["n"])
+    bins = 8
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int hist[{bins}];")
+    b.line(f"  int nbins = {bins};")
+    b.line("  for (i = 0; i < nbins; i++)")
+    b.line("    hist[i] = 0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    hist[i % nbins] = hist[i % nbins] + 1;")
+    write = b.access(ln, "hist[i % nbins]", "W")
+    read = b.access(ln, "hist[i % nbins]", "R", occurrence=2)
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="histnosync", label=RaceLabel.Y3, category="reduction",
+        description="Histogram accumulation; many iterations hit the same bin unprotected.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# race-free builders
+# ---------------------------------------------------------------------------
+
+
+def build_sum_reduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Correct ``reduction(+:sum)``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  int sum = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel for reduction(+:sum)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    sum += a[i];")
+    b.line('  printf("sum=%d\\n", sum);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sumreduction", label=RaceLabel.N3, category="reductionok",
+        description="Sum accumulated through a reduction(+) clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_dot_reduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Dot product with ``reduction(+:dot)``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double x[{n}];")
+    b.line(f"  double y[{n}];")
+    b.line("  double dot = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    x[i] = i * 0.5;")
+    b.line("    y[i] = i * 0.25;")
+    b.line("  }")
+    b.line("#pragma omp parallel for reduction(+:dot)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    dot = dot + x[i] * y[i];")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="dotreduction", label=RaceLabel.N3, category="reductionok",
+        description="Dot product accumulated through a reduction(+) clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_max_reduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Maximum found through ``reduction(max:best)``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int v[{n}];")
+    b.line("  int best = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    v[i] = (i * 13) % len;")
+    b.line("#pragma omp parallel for reduction(max:best)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    if (v[i] > best)")
+    b.line("      best = v[i];")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="maxreduction", label=RaceLabel.N3, category="reductionok",
+        description="Maximum computed with a reduction(max) clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_product_reduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Product accumulated through ``reduction(*:prod)``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  double prod = 1.0;")
+    b.line("#pragma omp parallel for reduction(*:prod)")
+    b.line("  for (i = 1; i <= len; i++)")
+    b.line("    prod = prod * (1.0 + 1.0 / i);")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="prodreduction", label=RaceLabel.N3, category="reductionok",
+        description="Product accumulated through a reduction(*) clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_double_reduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Two accumulators, both covered by reduction clauses."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double data[{n}];")
+    b.line("  double mean_sum = 0.0;")
+    b.line("  double sq_sum = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    data[i] = i * 0.1;")
+    b.line("#pragma omp parallel for reduction(+:mean_sum, sq_sum)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    mean_sum = mean_sum + data[i];")
+    b.line("    sq_sum = sq_sum + data[i] * data[i];")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="doublereduction", label=RaceLabel.N3, category="reductionok",
+        description="Two accumulators both listed in the reduction clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_sum_critical(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Accumulation protected by a critical region instead of reduction."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int sum = 0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("#pragma omp critical")
+    b.line("    sum = sum + i;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sumcritical", label=RaceLabel.N3, category="reductionok",
+        description="Shared accumulation protected by a critical region.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_sum_atomic(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Accumulation protected by ``atomic``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int sum = 0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("#pragma omp atomic")
+    b.line("    sum += i;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sumatomic", label=RaceLabel.N3, category="reductionok",
+        description="Shared accumulation protected by an atomic update.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_partial_sums(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Thread-local partial sums merged under a critical region."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double data[{n}];")
+    b.line("  double total = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    data[i] = i * 0.5;")
+    b.line("#pragma omp parallel")
+    b.line("  {")
+    b.line("    double local_sum = 0.0;")
+    b.line("#pragma omp for")
+    b.line("    for (i = 0; i < len; i++)")
+    b.line("      local_sum = local_sum + data[i];")
+    b.line("#pragma omp critical")
+    b.line("    total = total + local_sum;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="partialsums", label=RaceLabel.N3, category="reductionok",
+        description="Manual reduction: block-local partial sums merged under critical.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+PATTERNS = (
+    # race-yes: 3 + 2 + 2 + 1 + 2 + 2 + 2 = 14
+    PatternSpec("sumnoreduction", RaceLabel.Y3, "reduction", build_sum_noreduction,
+                ({"n": 100}, {"n": 200}, {"n": 500})),
+    PatternSpec("dotnoreduction", RaceLabel.Y3, "reduction", build_dot_noreduction,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("maxnoreduction", RaceLabel.Y3, "reduction", build_max_noreduction,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("prodnoreduction", RaceLabel.Y3, "reduction", build_product_noreduction,
+                ({"n": 100},)),
+    PatternSpec("twoaccumulators", RaceLabel.Y3, "reduction", build_two_accumulators,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("reductionwrongvar", RaceLabel.Y3, "reduction", build_reduction_wrong_var,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("histnosync", RaceLabel.Y3, "reduction", build_histogram_race,
+                ({"n": 100}, {"n": 200})),
+    # race-free: 3 + 2 + 2 + 1 + 2 + 2 + 2 + 1 = 15
+    PatternSpec("sumreduction", RaceLabel.N3, "reductionok", build_sum_reduction,
+                ({"n": 100}, {"n": 200}, {"n": 500})),
+    PatternSpec("dotreduction", RaceLabel.N3, "reductionok", build_dot_reduction,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("maxreduction", RaceLabel.N3, "reductionok", build_max_reduction,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("prodreduction", RaceLabel.N3, "reductionok", build_product_reduction,
+                ({"n": 100},)),
+    PatternSpec("doublereduction", RaceLabel.N3, "reductionok", build_double_reduction,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("sumcritical", RaceLabel.N3, "reductionok", build_sum_critical,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("sumatomic", RaceLabel.N3, "reductionok", build_sum_atomic,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("partialsums", RaceLabel.N3, "reductionok", build_partial_sums,
+                ({"n": 100},)),
+)

@@ -1,0 +1,277 @@
+"""Family 5 — SIMD patterns (labels ``Y5`` / ``N5``).
+
+Race-yes kernels vectorize loops whose iterations conflict (either through a
+``simd`` construct whose lanes overlap, or a combined ``parallel for simd``
+with an unprotected accumulator or shared temporary); race-free counterparts
+are vectorization-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+
+def build_simd_forward_dep(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``simd`` over a loop with a forward (anti) dependence."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp simd")
+    b.line("  for (i = 0; i < len - 1; i++)")
+    ln = b.line("    a[i] = a[i+1] + 1;")
+    write = b.access(ln, "a[i]", "W")
+    read = b.access(ln, "a[i+1]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdforwarddep", label=RaceLabel.Y5, category="simd",
+        description="SIMD loop whose lanes carry an anti-dependence.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_simd_backward_dep(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``simd`` over a loop with a backward (true) dependence."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i * 0.5;")
+    b.line("#pragma omp simd")
+    b.line("  for (i = 1; i < len; i++)")
+    ln = b.line("    a[i] = a[i-1] * 2.0;")
+    write = b.access(ln, "a[i]", "W")
+    read = b.access(ln, "a[i-1]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdbackwarddep", label=RaceLabel.Y5, category="simd",
+        description="SIMD loop whose lanes carry a true dependence.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_parallel_simd_accumulator(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``parallel for simd`` accumulating into a shared scalar without reduction."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double v[{n}];")
+    b.line("  double total = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    v[i] = i * 0.1;")
+    b.line("#pragma omp parallel for simd")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    total = total + v[i];")
+    write = b.access(ln, "total", "W")
+    read = b.access(ln, "total", "R", occurrence=2)
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdaccumulator", label=RaceLabel.Y5, category="simd",
+        description="Combined parallel for simd with an unprotected accumulator.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_simd_safelen_too_large(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``safelen(8)`` declared for a dependence of distance 4 — unsafe lanes."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp simd safelen(8)")
+    b.line("  for (i = 4; i < len; i++)")
+    ln = b.line("    a[i] = a[i-4] + 1;")
+    write = b.access(ln, "a[i]", "W")
+    read = b.access(ln, "a[i-4]", "R")
+    b.pair(read, write)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdsafelenbad", label=RaceLabel.Y5, category="simd",
+        description="safelen(8) is larger than the true dependence distance of 4.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_parallel_simd_shared_tmp(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Shared temporary inside a combined ``parallel for simd``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double x[{n}];")
+    b.line(f"  double y[{n}];")
+    b.line("  double t = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    x[i] = i * 0.5;")
+    b.line("#pragma omp parallel for simd")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    ln_w = b.line("    t = x[i] * x[i];")
+    write = b.access(ln_w, "t", "W")
+    ln_r = b.line("    y[i] = t + 1.0;")
+    read = b.access(ln_r, "t", "R")
+    b.pair(write, read)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdsharedtmp", label=RaceLabel.Y5, category="simd",
+        description="Shared temporary inside a combined parallel for simd loop.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# race-free builders
+# ---------------------------------------------------------------------------
+
+
+def build_simd_independent(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """SIMD loop over independent elements."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double a[{n}];")
+    b.line(f"  double c[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    c[i] = i * 0.5;")
+    b.line("#pragma omp simd")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = c[i] * 3.0;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdindependent", label=RaceLabel.N5, category="simdok",
+        description="Vectorization-safe element-wise SIMD loop.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_simd_reduction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """SIMD accumulation with a reduction clause."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double v[{n}];")
+    b.line("  double total = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    v[i] = i * 0.1;")
+    b.line("#pragma omp simd reduction(+:total)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    total = total + v[i];")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdreduction", label=RaceLabel.N5, category="simdok",
+        description="SIMD accumulation guarded by a reduction clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_parallel_simd_ok(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Combined ``parallel for simd`` over independent elements."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double x[{n}];")
+    b.line(f"  double y[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    x[i] = i * 0.5;")
+    b.line("#pragma omp parallel for simd")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    y[i] = x[i] * x[i];")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="parallelsimdok", label=RaceLabel.N5, category="simdok",
+        description="Combined parallel for simd over independent elements.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_simd_safelen_ok(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``safelen(4)`` no larger than the dependence distance of 8 — safe."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp simd safelen(4)")
+    b.line("  for (i = 8; i < len; i++)")
+    b.line("    a[i] = a[i-8] + 1;")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdsafelenok", label=RaceLabel.N5, category="simdok",
+        description="safelen(4) is within the dependence distance of 8; lanes never conflict.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_simd_private_tmp(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Combined construct with the temporary privatized."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  double x[{n}];")
+    b.line(f"  double y[{n}];")
+    b.line("  double t = 0.0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    x[i] = i * 0.5;")
+    b.line("#pragma omp parallel for simd private(t)")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    t = x[i] * x[i];")
+    b.line("    y[i] = t + 1.0;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="simdprivatetmp", label=RaceLabel.N5, category="simdok",
+        description="Combined parallel for simd with the temporary in a private clause.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+PATTERNS = (
+    # race-yes: 2 + 2 + 2 + 2 + 2 = 10
+    PatternSpec("simdforwarddep", RaceLabel.Y5, "simd", build_simd_forward_dep,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("simdbackwarddep", RaceLabel.Y5, "simd", build_simd_backward_dep,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("simdaccumulator", RaceLabel.Y5, "simd", build_parallel_simd_accumulator,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("simdsafelenbad", RaceLabel.Y5, "simd", build_simd_safelen_too_large,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("simdsharedtmp", RaceLabel.Y5, "simd", build_parallel_simd_shared_tmp,
+                ({"n": 100}, {"n": 200})),
+    # race-free: 2 + 2 + 2 + 2 + 2 = 10
+    PatternSpec("simdindependent", RaceLabel.N5, "simdok", build_simd_independent,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("simdreduction", RaceLabel.N5, "simdok", build_simd_reduction,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("parallelsimdok", RaceLabel.N5, "simdok", build_parallel_simd_ok,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("simdsafelenok", RaceLabel.N5, "simdok", build_simd_safelen_ok,
+                ({"n": 100}, {"n": 200})),
+    PatternSpec("simdprivatetmp", RaceLabel.N5, "simdok", build_simd_private_tmp,
+                ({"n": 100}, {"n": 200})),
+)

@@ -1,0 +1,685 @@
+"""Family 2 — missing/correct synchronization patterns (labels ``Y2`` / ``N2``).
+
+Race-yes kernels update shared state from multiple threads without a
+``critical``/``atomic``/lock/barrier; the race-free counterparts use the
+corresponding synchronization construct correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+
+# ---------------------------------------------------------------------------
+# race-yes builders
+# ---------------------------------------------------------------------------
+
+
+def build_counter_norace_protection(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Shared counter incremented inside ``parallel`` without any protection."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int counter = 0;")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    ln = b.line("    counter = counter + 1;")
+    write = b.access(ln, "counter", "W")
+    read = b.access(ln, "counter", "R", occurrence=2)
+    b.pair(read, write)
+    b.line("  }")
+    b.line('  printf("counter=%d\\n", counter);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="counterunsync",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description=(
+            "A shared counter is incremented by every thread of a parallel region\n"
+            "without critical/atomic protection."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_accumulate_in_for(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``count += 1`` inside a parallel for — unsynchronized read-modify-write."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int count = 0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    ln = b.line("    count += 1;")
+    write = b.access(ln, "count", "W")
+    read = b.access(ln, "count", "R")
+    b.pair(read, write)
+    b.line('  printf("count=%d\\n", count);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="countinfor",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description="Compound increment of a shared counter inside a parallel for.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_lock_declared_unused(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A lock is initialised but never acquired around the shared update."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int total = 0;")
+    b.line("  omp_lock_t lck;")
+    b.line("  omp_init_lock(&lck);")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    ln = b.line("    total = total + i;")
+    write = b.access(ln, "total", "W")
+    read = b.access(ln, "total", "R", occurrence=2)
+    b.pair(read, write)
+    b.line("  }")
+    b.line("  omp_destroy_lock(&lck);")
+    b.line('  printf("total=%d\\n", total);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="lockunused",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description="A lock is initialised but never used; the shared update races.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_lock_partial(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """The lock protects the write but a later read happens outside the lock."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int shared_val = 0;")
+    b.line("  int observed = 0;")
+    b.line("  omp_lock_t lck;")
+    b.line("  omp_init_lock(&lck);")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    b.line("    omp_set_lock(&lck);")
+    ln_w = b.line("    shared_val = shared_val + 1;")
+    write = b.access(ln_w, "shared_val", "W")
+    b.line("    omp_unset_lock(&lck);")
+    ln_r = b.line("    observed = shared_val;")
+    read = b.access(ln_r, "shared_val", "R")
+    b.pair(read, write)
+    b.line("  }")
+    b.line("  omp_destroy_lock(&lck);")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="lockpartial",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description=(
+            "The increment of shared_val is lock protected but a later read of the\n"
+            "same variable happens outside the lock, racing with other threads."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_critical_partial(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Only one of two shared updates sits inside the critical region."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int sum_a = 0;")
+    b.line("  int sum_b = 0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("#pragma omp critical")
+    b.line("    sum_a = sum_a + i;")
+    ln = b.line("    sum_b = sum_b + i;")
+    write = b.access(ln, "sum_b", "W")
+    read = b.access(ln, "sum_b", "R", occurrence=2)
+    b.pair(read, write)
+    b.line("  }")
+    b.line('  printf("%d %d\\n", sum_a, sum_b);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="criticalpartial",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description=(
+            "Two shared accumulators are updated, but only sum_a is inside a\n"
+            "critical region; sum_b races."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_missing_barrier(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Two worksharing phases with ``nowait`` and no barrier between them."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int c[{n}];")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel")
+    b.line("  {")
+    b.line("#pragma omp for nowait")
+    b.line("    for (i = 0; i < len; i++)")
+    ln_w = b.line("      a[i] = i * 2;")
+    write = b.access(ln_w, "a[i]", "W")
+    b.line("#pragma omp for")
+    b.line("    for (i = 0; i < len - 1; i++)")
+    ln_r = b.line("      c[i] = a[i+1];")
+    read = b.access(ln_r, "a[i+1]", "R")
+    b.pair(read, write)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="nowaitbarrier",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description=(
+            "The first worksharing loop carries nowait, so its writes to a[] race\n"
+            "with the reads of the second loop in the same parallel region."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_missing_atomic_max(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Finding the maximum with an unprotected compare-and-store."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  int maxval = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = (i * 7) % len;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    if (a[i] > maxval)")
+    ln = b.line("      maxval = a[i];")
+    write = b.access(ln, "maxval", "W")
+    read = b.access(ln, "a[i]", "R")
+    b.pair(read, write)
+    b.line("  }")
+    b.line('  printf("max=%d\\n", maxval);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="maxnocritical",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description="Unprotected compare-and-store while computing a maximum.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_init_without_single(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Every thread performs the shared initialisation meant for one thread."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int init_flag = 0;")
+    b.line("  int data = 0;")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    ln_w = b.line("    init_flag = 1;")
+    write = b.access(ln_w, "init_flag", "W")
+    ln_w2 = b.line("    data = data + init_flag;")
+    write2 = b.access(ln_w2, "data", "W")
+    read2 = b.access(ln_w2, "data", "R", occurrence=2)
+    b.pair(write, write)
+    b.pair(read2, write2)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="initnosingle",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description=(
+            "Initialisation intended for a single thread is executed by every\n"
+            "thread; both init_flag and data race."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_master_no_barrier(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``master`` writes a flag that the other threads read without a barrier."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int flag = 0;")
+    b.line("  int seen = 0;")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    b.line("#pragma omp master")
+    ln_w = b.line("    flag = 1;")
+    write = b.access(ln_w, "flag", "W")
+    ln_r = b.line("    seen = flag;")
+    read = b.access(ln_r, "flag", "R")
+    b.pair(read, write)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="masternobarrier",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        description=(
+            "The master thread writes flag while the other threads read it with no\n"
+            "intervening barrier."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+# ---------------------------------------------------------------------------
+# race-free builders
+# ---------------------------------------------------------------------------
+
+
+def build_counter_critical(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Critical-protected shared counter."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int counter = 0;")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    b.line("#pragma omp critical")
+    b.line("    counter = counter + 1;")
+    b.line("  }")
+    b.line('  printf("counter=%d\\n", counter);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="countercritical",
+        label=RaceLabel.N2,
+        category="syncok",
+        description="Shared counter protected by a critical region.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_counter_atomic(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Atomic-protected shared counter."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int counter = 0;")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    b.line("#pragma omp atomic")
+    b.line("    counter += 1;")
+    b.line("  }")
+    b.line('  printf("counter=%d\\n", counter);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="counteratomic",
+        label=RaceLabel.N2,
+        category="syncok",
+        description="Shared counter protected by an atomic update.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_counter_lock(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Lock-protected shared counter."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int counter = 0;")
+    b.line("  omp_lock_t lck;")
+    b.line("  omp_init_lock(&lck);")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    b.line("    omp_set_lock(&lck);")
+    b.line("    counter = counter + 1;")
+    b.line("    omp_unset_lock(&lck);")
+    b.line("  }")
+    b.line("  omp_destroy_lock(&lck);")
+    b.line('  printf("counter=%d\\n", counter);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="counterlock",
+        label=RaceLabel.N2,
+        category="syncok",
+        description="Shared counter protected by an OpenMP lock.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_two_phase_barrier(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Write phase and read phase separated by the implicit barrier of ``omp for``."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line(f"  int c[{n}];")
+    b.line("#pragma omp parallel")
+    b.line("  {")
+    b.line("#pragma omp for")
+    b.line("    for (i = 0; i < len; i++)")
+    b.line("      a[i] = i * 2;")
+    b.line("#pragma omp for")
+    b.line("    for (i = 0; i < len - 1; i++)")
+    b.line("      c[i] = a[i+1];")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="twophasebarrier",
+        label=RaceLabel.N2,
+        category="syncok",
+        description=(
+            "Two worksharing loops; the implicit barrier after the first one orders\n"
+            "its writes before the reads of the second."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_named_criticals(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Two counters protected by two differently named critical regions."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line("  int evens = 0;")
+    b.line("  int odds = 0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    if (i % 2 == 0)")
+    b.line("    {")
+    b.line("#pragma omp critical (even_region)")
+    b.line("      evens = evens + 1;")
+    b.line("    }")
+    b.line("    else")
+    b.line("    {")
+    b.line("#pragma omp critical (odd_region)")
+    b.line("      odds = odds + 1;")
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="namedcritical",
+        label=RaceLabel.N2,
+        category="syncok",
+        description=(
+            "Two disjoint counters protected by two differently named critical\n"
+            "regions; no conflicting access shares a region."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_atomic_capture(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Atomic capture used to hand out unique indices."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int slots[{n}];")
+    b.line("  int next = 0;")
+    b.line("#pragma omp parallel for")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("  {")
+    b.line("    int my_slot;")
+    b.line("#pragma omp atomic capture")
+    b.line("    my_slot = next++;")
+    b.line("    slots[my_slot] = i;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="atomiccapture",
+        label=RaceLabel.N2,
+        category="syncok",
+        description="Atomic capture hands out unique slot indices; writes are disjoint.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_single_init(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Shared initialisation done inside ``single`` (implicit barrier follows)."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int data = 0;")
+    b.line("  int consumed = 0;")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    b.line("#pragma omp single")
+    b.line("    data = 42;")
+    b.line("#pragma omp critical")
+    b.line("    consumed = consumed + data;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="singleinit",
+        label=RaceLabel.N2,
+        category="syncok",
+        description=(
+            "One thread initialises data inside single; the implicit barrier makes\n"
+            "the later critical-protected reads race free."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_master_with_barrier(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """``master`` write followed by an explicit barrier before the reads."""
+    threads = int(params["threads"])
+    emit_main_prologue(b)
+    b.line("  int flag = 0;")
+    b.line("  int seen = 0;")
+    b.line(f"#pragma omp parallel num_threads({threads})")
+    b.line("  {")
+    b.line("#pragma omp master")
+    b.line("    flag = 1;")
+    b.line("#pragma omp barrier")
+    b.line("#pragma omp critical")
+    b.line("    seen = seen + flag;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="masterbarrier",
+        label=RaceLabel.N2,
+        category="syncok",
+        description="Master write ordered before the worker reads by an explicit barrier.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=threads,
+    )
+
+
+def build_ordered_loop(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Loop-carried update serialized through the ``ordered`` construct."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  a[0] = 0;")
+    b.line("#pragma omp parallel for ordered")
+    b.line("  for (i = 1; i < len; i++)")
+    b.line("  {")
+    b.line("#pragma omp ordered")
+    b.line("    a[i] = a[i-1] + 1;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index,
+        slug="orderedloop",
+        label=RaceLabel.N2,
+        category="syncok",
+        description=(
+            "The loop-carried update executes inside an ordered construct, which\n"
+            "serializes it in iteration order."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+PATTERNS = (
+    # race-yes: 3 + 2 + 2 + 2 + 2 + 2 + 2 + 2 + 1 = 18
+    PatternSpec(
+        slug="counterunsync",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_counter_norace_protection,
+        variants=({"threads": 2}, {"threads": 4}, {"threads": 8}),
+    ),
+    PatternSpec(
+        slug="countinfor",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_accumulate_in_for,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="lockunused",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_lock_declared_unused,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="lockpartial",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_lock_partial,
+        variants=({"threads": 2}, {"threads": 4}),
+    ),
+    PatternSpec(
+        slug="criticalpartial",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_critical_partial,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="nowaitbarrier",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_missing_barrier,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="maxnocritical",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_missing_atomic_max,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="initnosingle",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_init_without_single,
+        variants=({"threads": 2}, {"threads": 4}),
+    ),
+    PatternSpec(
+        slug="masternobarrier",
+        label=RaceLabel.Y2,
+        category="missingsync",
+        builder=build_master_no_barrier,
+        variants=({"threads": 4},),
+    ),
+    # race-free: 3 + 2 + 2 + 2 + 2 + 1 + 2 + 1 + 2 = 17
+    PatternSpec(
+        slug="countercritical",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_counter_critical,
+        variants=({"threads": 2}, {"threads": 4}, {"threads": 8}),
+    ),
+    PatternSpec(
+        slug="counteratomic",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_counter_atomic,
+        variants=({"threads": 2}, {"threads": 4}),
+    ),
+    PatternSpec(
+        slug="counterlock",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_counter_lock,
+        variants=({"threads": 2}, {"threads": 4}),
+    ),
+    PatternSpec(
+        slug="twophasebarrier",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_two_phase_barrier,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="namedcritical",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_named_criticals,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+    PatternSpec(
+        slug="atomiccapture",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_atomic_capture,
+        variants=({"n": 100},),
+    ),
+    PatternSpec(
+        slug="singleinit",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_single_init,
+        variants=({"threads": 2}, {"threads": 4}),
+    ),
+    PatternSpec(
+        slug="masterbarrier",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_master_with_barrier,
+        variants=({"threads": 4},),
+    ),
+    PatternSpec(
+        slug="orderedloop",
+        label=RaceLabel.N2,
+        category="syncok",
+        builder=build_ordered_loop,
+        variants=({"n": 100}, {"n": 200}),
+    ),
+)

@@ -1,0 +1,377 @@
+"""Family 6 — tasking and sections patterns (labels ``Y6`` / ``N6``).
+
+Race-yes kernels let tasks or sections touch the same storage without
+ordering (no ``taskwait``, overlapping section ranges, shared induction
+variables); race-free counterparts order or separate the accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.builder import CodeBuilder
+from repro.corpus.microbenchmark import Microbenchmark, RaceLabel
+from repro.corpus.patterns.base import PatternSpec, emit_main_epilogue, emit_main_prologue
+
+__all__ = ["PATTERNS"]
+
+
+# ---------------------------------------------------------------------------
+# race-yes builders
+# ---------------------------------------------------------------------------
+
+
+def build_sections_same_scalar(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Two sections write the same shared scalar."""
+    scale = int(params.get("scale", 1))
+    emit_main_prologue(b)
+    b.line("  int result = 0;")
+    b.line("#pragma omp parallel sections")
+    b.line("  {")
+    b.line("#pragma omp section")
+    ln1 = b.line(f"    result = {10 * scale};")
+    w1 = b.access(ln1, "result", "W")
+    b.line("#pragma omp section")
+    ln2 = b.line(f"    result = {20 * scale};")
+    w2 = b.access(ln2, "result", "W")
+    b.pair(w1, w2)
+    b.line("  }")
+    b.line('  printf("result=%d\\n", result);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sectionssamescalar", label=RaceLabel.Y6, category="tasking",
+        description="Two concurrent sections write the same shared scalar.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+def build_sections_overlap_array(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Two sections write overlapping ranges of the same array."""
+    n = int(params["n"])
+    half = n // 2
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("#pragma omp parallel sections private(i)")
+    b.line("  {")
+    b.line("#pragma omp section")
+    b.line(f"    for (i = 0; i < {half + 8}; i++)")
+    ln1 = b.line("      a[i] = i;")
+    w1 = b.access(ln1, "a[i]", "W")
+    b.line("#pragma omp section")
+    b.line(f"    for (i = {half - 8}; i < len; i++)")
+    ln2 = b.line("      a[i] = i * 2;")
+    w2 = b.access(ln2, "a[i]", "W")
+    b.pair(w1, w2)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sectionsoverlap", label=RaceLabel.Y6, category="tasking",
+        description="Two sections write overlapping index ranges of the same array.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+def build_task_no_taskwait(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """A task writes a result that the generating thread reads without taskwait."""
+    value = int(params.get("value", 7))
+    emit_main_prologue(b)
+    b.line("  int result = 0;")
+    b.line("  int consumed = 0;")
+    b.line("#pragma omp parallel num_threads(2)")
+    b.line("  {")
+    b.line("#pragma omp single nowait")
+    b.line("    {")
+    b.line("#pragma omp task")
+    ln_w = b.line(f"      result = {value};")
+    write = b.access(ln_w, "result", "W")
+    ln_r = b.line("      consumed = result + 1;")
+    read = b.access(ln_r, "result", "R")
+    b.pair(write, read)
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="tasknotaskwait", label=RaceLabel.Y6, category="tasking",
+        description="The parent reads the task's result without an intervening taskwait.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+def build_tasks_shared_counter(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Several tasks increment the same counter unprotected."""
+    ntasks = int(params.get("ntasks", 4))
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line("  int counter = 0;")
+    b.line("#pragma omp parallel num_threads(4)")
+    b.line("  {")
+    b.line("#pragma omp single")
+    b.line("    {")
+    b.line(f"      for (i = 0; i < {ntasks}; i++)")
+    b.line("      {")
+    b.line("#pragma omp task")
+    ln = b.line("        counter = counter + 1;")
+    write = b.access(ln, "counter", "W")
+    read = b.access(ln, "counter", "R", occurrence=2)
+    b.pair(read, write)
+    b.line("      }")
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="taskscounter", label=RaceLabel.Y6, category="tasking",
+        description="Concurrent tasks increment a shared counter without protection.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_task_shared_induction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Tasks capture the loop induction variable by reference (missing firstprivate)."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int out[{n}];")
+    b.line("#pragma omp parallel num_threads(4)")
+    b.line("  {")
+    b.line("#pragma omp single")
+    b.line("    {")
+    b.line("      for (i = 0; i < len; i++)")
+    b.line("      {")
+    b.line("#pragma omp task shared(i)")
+    ln = b.line("        out[i] = i * 2;")
+    read = b.access(ln, "i", "R", occurrence=2)
+    b.line("      }")
+    b.line("    }")
+    b.line("  }")
+    # The single thread's loop increment writes i while tasks read it.
+    inc_line = ln - 3
+    write = b.access(inc_line, "i++", "W")
+    b.pair(write, read)
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="tasksharedinduction", label=RaceLabel.Y6, category="tasking",
+        description=(
+            "Tasks share the loop induction variable instead of capturing it\n"
+            "firstprivate; the generating loop's increments race with task reads."
+        ),
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_sections_read_write(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """One section writes an array element the other section reads."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("  int total = 0;")
+    b.line("  for (i = 0; i < len; i++)")
+    b.line("    a[i] = i;")
+    b.line("#pragma omp parallel sections private(i)")
+    b.line("  {")
+    b.line("#pragma omp section")
+    b.line("    for (i = 0; i < len; i++)")
+    ln_w = b.line("      a[i] = a[i] + 1;")
+    write = b.access(ln_w, "a[i]", "W")
+    b.line("#pragma omp section")
+    b.line("    for (i = 0; i < len; i++)")
+    ln_r = b.line("      total = total + a[i];")
+    read = b.access(ln_r, "a[i]", "R")
+    b.pair(write, read)
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sectionsreadwrite", label=RaceLabel.Y6, category="tasking",
+        description="One section updates the array another section is summing.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# race-free builders
+# ---------------------------------------------------------------------------
+
+
+def build_sections_disjoint_scalars(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Each section writes its own scalar."""
+    scale = int(params.get("scale", 1))
+    emit_main_prologue(b)
+    b.line("  int first_result = 0;")
+    b.line("  int second_result = 0;")
+    b.line("#pragma omp parallel sections")
+    b.line("  {")
+    b.line("#pragma omp section")
+    b.line(f"    first_result = {10 * scale};")
+    b.line("#pragma omp section")
+    b.line(f"    second_result = {20 * scale};")
+    b.line("  }")
+    b.line('  printf("%d %d\\n", first_result, second_result);')
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sectionsdisjoint", label=RaceLabel.N6, category="taskingok",
+        description="Each section writes a distinct scalar; no conflicts.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+def build_sections_disjoint_halves(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Sections write strictly disjoint halves of the array."""
+    n = int(params["n"])
+    half = n // 2
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int a[{n}];")
+    b.line("#pragma omp parallel sections private(i)")
+    b.line("  {")
+    b.line("#pragma omp section")
+    b.line(f"    for (i = 0; i < {half}; i++)")
+    b.line("      a[i] = i;")
+    b.line("#pragma omp section")
+    b.line(f"    for (i = {half}; i < len; i++)")
+    b.line("      a[i] = i * 2;")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="sectionshalves", label=RaceLabel.N6, category="taskingok",
+        description="Two sections write strictly disjoint halves of the array.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+def build_task_with_taskwait(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """taskwait orders the task's write before the parent's read."""
+    value = int(params.get("value", 7))
+    emit_main_prologue(b)
+    b.line("  int result = 0;")
+    b.line("  int consumed = 0;")
+    b.line("#pragma omp parallel num_threads(2)")
+    b.line("  {")
+    b.line("#pragma omp single nowait")
+    b.line("    {")
+    b.line("#pragma omp task")
+    b.line(f"      result = {value};")
+    b.line("#pragma omp taskwait")
+    b.line("      consumed = result + 1;")
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="tasktaskwait", label=RaceLabel.N6, category="taskingok",
+        description="taskwait orders the task's write before the parent's read.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+def build_tasks_depend(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Producer/consumer tasks ordered through depend clauses."""
+    value = int(params.get("value", 5))
+    emit_main_prologue(b)
+    b.line("  int buffer = 0;")
+    b.line("  int output = 0;")
+    b.line("#pragma omp parallel num_threads(2)")
+    b.line("  {")
+    b.line("#pragma omp single")
+    b.line("    {")
+    b.line("#pragma omp task depend(out: buffer)")
+    b.line(f"      buffer = {value};")
+    b.line("#pragma omp task depend(in: buffer)")
+    b.line("      output = buffer * 2;")
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="taskdepend", label=RaceLabel.N6, category="taskingok",
+        description="Producer and consumer tasks ordered through depend clauses.",
+        variant=f"var{params.get('variant_idx', 0)}",
+        num_threads=2,
+    )
+
+
+def build_task_firstprivate_induction(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Tasks capture the induction variable firstprivate — no race."""
+    n = int(params["n"])
+    emit_main_prologue(b)
+    b.line("  int i;")
+    b.line(f"  int len = {n};")
+    b.line(f"  int out[{n}];")
+    b.line("#pragma omp parallel num_threads(4)")
+    b.line("  {")
+    b.line("#pragma omp single")
+    b.line("    {")
+    b.line("      for (i = 0; i < len; i++)")
+    b.line("      {")
+    b.line("#pragma omp task firstprivate(i)")
+    b.line("        out[i] = i * 2;")
+    b.line("      }")
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="taskfirstprivate", label=RaceLabel.N6, category="taskingok",
+        description="Tasks capture the loop induction variable firstprivate.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+def build_single_tasks_distinct(b: CodeBuilder, index: int, params: Mapping[str, object]) -> Microbenchmark:
+    """Each explicitly created task writes a distinct array element."""
+    ntasks = int(params.get("ntasks", 4))
+    emit_main_prologue(b)
+    b.line(f"  int results[{ntasks}];")
+    b.line("#pragma omp parallel num_threads(4)")
+    b.line("  {")
+    b.line("#pragma omp single")
+    b.line("    {")
+    for k in range(ntasks):
+        b.line("#pragma omp task")
+        b.line(f"      results[{k}] = {k * 11};")
+    b.line("    }")
+    b.line("  }")
+    emit_main_epilogue(b)
+    return b.build(
+        index=index, slug="tasksdistinct", label=RaceLabel.N6, category="taskingok",
+        description="Each task writes its own array element.",
+        variant=f"var{params.get('variant_idx', 0)}",
+    )
+
+
+PATTERNS = (
+    # race-yes: 2 + 2 + 2 + 2 + 2 + 2 = 12
+    PatternSpec("sectionssamescalar", RaceLabel.Y6, "tasking", build_sections_same_scalar,
+                ({"scale": 1}, {"scale": 3})),
+    PatternSpec("sectionsoverlap", RaceLabel.Y6, "tasking", build_sections_overlap_array,
+                ({"n": 64}, {"n": 128})),
+    PatternSpec("tasknotaskwait", RaceLabel.Y6, "tasking", build_task_no_taskwait,
+                ({"value": 7}, {"value": 21})),
+    PatternSpec("taskscounter", RaceLabel.Y6, "tasking", build_tasks_shared_counter,
+                ({"ntasks": 4}, {"ntasks": 8})),
+    PatternSpec("tasksharedinduction", RaceLabel.Y6, "tasking", build_task_shared_induction,
+                ({"n": 32}, {"n": 64})),
+    PatternSpec("sectionsreadwrite", RaceLabel.Y6, "tasking", build_sections_read_write,
+                ({"n": 64}, {"n": 128})),
+    # race-free: 2 + 2 + 2 + 2 + 2 + 2 = 12
+    PatternSpec("sectionsdisjoint", RaceLabel.N6, "taskingok", build_sections_disjoint_scalars,
+                ({"scale": 1}, {"scale": 3})),
+    PatternSpec("sectionshalves", RaceLabel.N6, "taskingok", build_sections_disjoint_halves,
+                ({"n": 64}, {"n": 128})),
+    PatternSpec("tasktaskwait", RaceLabel.N6, "taskingok", build_task_with_taskwait,
+                ({"value": 7}, {"value": 21})),
+    PatternSpec("taskdepend", RaceLabel.N6, "taskingok", build_tasks_depend,
+                ({"value": 5}, {"value": 9})),
+    PatternSpec("taskfirstprivate", RaceLabel.N6, "taskingok", build_task_firstprivate_induction,
+                ({"n": 32}, {"n": 64})),
+    PatternSpec("tasksdistinct", RaceLabel.N6, "taskingok", build_single_tasks_distinct,
+                ({"ntasks": 4}, {"ntasks": 6})),
+)

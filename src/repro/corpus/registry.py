@@ -1,0 +1,110 @@
+"""Indexed access to a built corpus.
+
+:class:`CorpusRegistry` wraps the list returned by
+:func:`repro.corpus.generator.build_corpus` with lookups by index, name and
+category, plus the summary statistics used by reports and examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.corpus.microbenchmark import Microbenchmark
+
+__all__ = ["CorpusRegistry"]
+
+
+class CorpusRegistry:
+    """Lookup and statistics over a corpus of microbenchmarks."""
+
+    def __init__(self, benchmarks: Sequence[Microbenchmark]) -> None:
+        self._benchmarks: List[Microbenchmark] = list(benchmarks)
+        self._by_index: Dict[int, Microbenchmark] = {}
+        self._by_name: Dict[str, Microbenchmark] = {}
+        for bench in self._benchmarks:
+            if bench.index in self._by_index:
+                raise ValueError(f"duplicate benchmark index {bench.index}")
+            if bench.name in self._by_name:
+                raise ValueError(f"duplicate benchmark name {bench.name}")
+            self._by_index[bench.index] = bench
+            self._by_name[bench.name] = bench
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(cls, config: Optional[CorpusConfig] = None) -> "CorpusRegistry":
+        """Build the default corpus and wrap it in a registry."""
+        return cls(build_corpus(config))
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._benchmarks)
+
+    def __iter__(self) -> Iterator[Microbenchmark]:
+        return iter(self._benchmarks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def benchmarks(self) -> List[Microbenchmark]:
+        """The benchmarks in index order."""
+        return list(self._benchmarks)
+
+    def by_index(self, index: int) -> Microbenchmark:
+        """Return the benchmark with the given 1-based index."""
+        return self._by_index[index]
+
+    def by_name(self, name: str) -> Microbenchmark:
+        """Return the benchmark with the given DRB-style file name."""
+        return self._by_name[name]
+
+    def by_category(self, category: str) -> List[Microbenchmark]:
+        """Return every benchmark in a pattern category."""
+        return [b for b in self._benchmarks if b.category == category]
+
+    def race_yes(self) -> List[Microbenchmark]:
+        """All benchmarks that contain a data race."""
+        return [b for b in self._benchmarks if b.has_race]
+
+    def race_free(self) -> List[Microbenchmark]:
+        """All benchmarks without a data race."""
+        return [b for b in self._benchmarks if not b.has_race]
+
+    # -- statistics ---------------------------------------------------------------
+
+    def category_counts(self) -> Dict[str, int]:
+        """Number of benchmarks per category."""
+        return dict(Counter(b.category for b in self._benchmarks))
+
+    def label_counts(self) -> Dict[str, int]:
+        """Number of benchmarks per DRB label (``Y1`` ... ``N7``)."""
+        return dict(Counter(b.label.value for b in self._benchmarks))
+
+    def positive_fraction(self) -> float:
+        """Fraction of race-yes benchmarks (the paper reports ≈50.5 %)."""
+        if not self._benchmarks:
+            return 0.0
+        return len(self.race_yes()) / len(self._benchmarks)
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary used by examples and reports."""
+        lines = [
+            f"corpus: {len(self)} microbenchmarks "
+            f"({len(self.race_yes())} race-yes / {len(self.race_free())} race-free)",
+            f"positive fraction: {self.positive_fraction():.3f}",
+            "per-category counts:",
+        ]
+        for category, count in sorted(self.category_counts().items()):
+            lines.append(f"  {category:<16s} {count}")
+        return "\n".join(lines)
+
+    def subset(self, names: Iterable[str]) -> "CorpusRegistry":
+        """Return a new registry restricted to the given benchmark names."""
+        wanted = set(names)
+        return CorpusRegistry([b for b in self._benchmarks if b.name in wanted])

@@ -1,0 +1,357 @@
+"""Tokenizer for the C-with-OpenMP subset used by the corpus.
+
+The lexer tracks 1-based line and column numbers for every token so that the
+analyses built on top of the parser (access extraction, variable-pair ground
+truth, dynamic instrumentation) can report source locations in the same
+``line:col`` convention DataRaceBench uses in its header comments.
+
+Comments are tokenized (not discarded) because the DRB-ML pipeline needs to
+scrape labels out of block comments and later strip them while re-mapping
+line numbers (paper §3.1, the ``trimmed_code`` field).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["TokenKind", "Token", "LexError", "Lexer", "tokenize"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :class:`Lexer`."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    CHAR_LIT = "char_lit"
+    STRING_LIT = "string_lit"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+    INCLUDE = "include"
+    COMMENT = "comment"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+#: Keywords of the supported C subset.  ``omp_lock_t`` style typedef names are
+#: handled as identifiers by the parser's declaration logic.
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "float",
+        "double",
+        "char",
+        "void",
+        "unsigned",
+        "signed",
+        "short",
+        "const",
+        "static",
+        "struct",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+    }
+)
+
+#: Multi-character punctuators, longest first so greedy matching is correct.
+_PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`TokenKind` category.
+    text:
+        The exact source text of the token.  For :attr:`TokenKind.PRAGMA`
+        tokens this is the full directive text after ``#pragma`` (e.g.
+        ``"omp parallel for private(i)"``).
+    line:
+        1-based source line of the first character.
+    col:
+        1-based source column of the first character.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def is_punct(self, text: str) -> bool:
+        """Return ``True`` when this token is the punctuator ``text``."""
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        """Return ``True`` when this token is the keyword ``text``."""
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+
+class LexError(ValueError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+class Lexer:
+    """Hand-rolled scanner over a source string.
+
+    The scanner is deliberately simple (no trigraphs, no line continuations
+    except inside pragmas, no preprocessor beyond ``#include`` and
+    ``#pragma``) because the corpus generator controls the input grammar.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        if idx >= len(self.source):
+            return ""
+        return self.source[idx]
+
+    def _advance(self, count: int = 1) -> str:
+        """Consume ``count`` characters, maintaining line/column bookkeeping."""
+        consumed = self.source[self.pos : self.pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += len(consumed)
+        return consumed
+
+    def _at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    # -- token scanners -----------------------------------------------------------
+
+    def _scan_identifier(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _scan_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        # Suffixes (f, L, u, ll ...) are consumed but kept in the token text.
+        # Note: _peek() returns "" at end of input, which must not match.
+        while self._peek() and self._peek() in "fFlLuU":
+            is_float = is_float or self._peek() in "fF"
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return Token(kind, text, line, col)
+
+    def _scan_string(self, quote: str) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        self._advance()  # opening quote
+        while not self._at_end() and self._peek() != quote:
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self._at_end():
+            raise LexError("unterminated string literal", line, col)
+        self._advance()  # closing quote
+        text = self.source[start : self.pos]
+        kind = TokenKind.STRING_LIT if quote == '"' else TokenKind.CHAR_LIT
+        return Token(kind, text, line, col)
+
+    def _scan_line_comment(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while not self._at_end() and self._peek() != "\n":
+            self._advance()
+        return Token(TokenKind.COMMENT, self.source[start : self.pos], line, col)
+
+    def _scan_block_comment(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        self._advance(2)  # consume /*
+        while not self._at_end() and not (self._peek() == "*" and self._peek(1) == "/"):
+            self._advance()
+        if self._at_end():
+            raise LexError("unterminated block comment", line, col)
+        self._advance(2)  # consume */
+        return Token(TokenKind.COMMENT, self.source[start : self.pos], line, col)
+
+    def _scan_directive(self) -> Token:
+        """Scan ``#include`` and ``#pragma`` lines (with ``\\`` continuations)."""
+        line, col = self.line, self.col
+        start = self.pos
+        self._advance()  # consume '#'
+        while not self._at_end() and self._peek() != "\n":
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                continue
+            self._advance()
+        text = self.source[start : self.pos]
+        body = text[1:].strip()
+        if body.startswith("pragma"):
+            directive = body[len("pragma") :].strip()
+            return Token(TokenKind.PRAGMA, directive, line, col)
+        if body.startswith("include"):
+            return Token(TokenKind.INCLUDE, body, line, col)
+        if body.startswith("define") or body.startswith("ifdef") or body.startswith(
+            "ifndef"
+        ) or body.startswith("endif") or body.startswith("else"):
+            # Treat other preprocessor lines as comments: the analyses ignore
+            # them but the trimming pipeline keeps their line positions.
+            return Token(TokenKind.COMMENT, text, line, col)
+        raise LexError(f"unsupported preprocessor directive {body.split()[0]!r}", line, col)
+
+    # -- public API ---------------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source, ending with a single EOF token."""
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r":
+                self._advance()
+                continue
+            if ch == "\n":
+                self._advance()
+                continue
+            if ch == "#":
+                yield self._scan_directive()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                yield self._scan_line_comment()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                yield self._scan_block_comment()
+                continue
+            if ch.isalpha() or ch == "_":
+                yield self._scan_identifier()
+                continue
+            if ch.isdigit():
+                yield self._scan_number()
+                continue
+            if ch == "." and self._peek(1).isdigit():
+                yield self._scan_number()
+                continue
+            if ch in "\"'":
+                yield self._scan_string(ch)
+                continue
+            matched = False
+            for punct in _PUNCTUATORS:
+                if self.source.startswith(punct, self.pos):
+                    line, col = self.line, self.col
+                    self._advance(len(punct))
+                    yield Token(TokenKind.PUNCT, punct, line, col)
+                    matched = True
+                    break
+            if matched:
+                continue
+            raise LexError(f"unexpected character {ch!r}", self.line, self.col)
+        yield Token(TokenKind.EOF, "", self.line, self.col)
+
+
+def tokenize(source: str, *, keep_comments: bool = False) -> List[Token]:
+    """Tokenize ``source`` into a list of tokens.
+
+    Parameters
+    ----------
+    source:
+        C source text.
+    keep_comments:
+        When ``False`` (the default) comment tokens are dropped, which is what
+        the parser wants.  The DRB-ML trimming pipeline passes ``True`` so it
+        can locate comments precisely.
+    """
+    toks = list(Lexer(source).tokens())
+    if keep_comments:
+        return toks
+    return [t for t in toks if t.kind is not TokenKind.COMMENT]

@@ -1,0 +1,43 @@
+"""The DRB-ML dataset pipeline (paper §3.1).
+
+Turns the DataRaceBench-style corpus into the machine-learning dataset the
+paper builds: one JSON-serialisable record per microbenchmark with the
+Table 1 schema (``ID``, ``name``, ``DRB_code``, ``trimmed_code``,
+``code_len``, ``data_race``, ``data_race_label``, ``var_pairs``), plus the
+prompt–response pairs used for fine-tuning (Listings 8 and 9), the ≤4k-token
+evaluation subset, and the stratified 5-fold splits of §3.5.
+"""
+
+from repro.dataset.tokenizer import CodeTokenizer, count_tokens
+from repro.dataset.trim import TrimResult, trim_comments
+from repro.dataset.labels import scrape_var_pairs
+from repro.dataset.records import DRBMLRecord, VarPairRecord
+from repro.dataset.templates import (
+    ADVANCED_FT_PROMPT,
+    BASIC_FT_PROMPT,
+    render_advanced_ft_response,
+    render_basic_ft_response,
+)
+from repro.dataset.pairs import PromptResponsePair, build_advanced_pairs, build_basic_pairs
+from repro.dataset.splits import StratifiedKFold, FoldAssignment
+from repro.dataset.drbml import DRBMLDataset
+
+__all__ = [
+    "CodeTokenizer",
+    "count_tokens",
+    "TrimResult",
+    "trim_comments",
+    "scrape_var_pairs",
+    "DRBMLRecord",
+    "VarPairRecord",
+    "BASIC_FT_PROMPT",
+    "ADVANCED_FT_PROMPT",
+    "render_basic_ft_response",
+    "render_advanced_ft_response",
+    "PromptResponsePair",
+    "build_basic_pairs",
+    "build_advanced_pairs",
+    "StratifiedKFold",
+    "FoldAssignment",
+    "DRBMLDataset",
+]

@@ -1,0 +1,171 @@
+"""DRB-ML dataset construction, persistence and subsetting.
+
+:class:`DRBMLDataset` ties the pipeline together (paper §3.1–§3.2):
+
+1. scrape labels and race pairs from each microbenchmark's header comment;
+2. trim comments and re-map the pair line numbers onto the trimmed code;
+3. compute code length and token count;
+4. build the ≤4k-token evaluation subset (198 of 201 entries);
+5. derive the basic-FT / advanced-FT prompt–response pair sets;
+6. provide the stratified 5-fold splits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.corpus.microbenchmark import Microbenchmark, RacePair
+from repro.dataset.labels import scrape_race_flag, scrape_var_pairs
+from repro.dataset.pairs import PromptResponsePair, build_advanced_pairs, build_basic_pairs
+from repro.dataset.records import DRBMLRecord, VarPairRecord
+from repro.dataset.splits import FoldAssignment, StratifiedKFold
+from repro.dataset.tokenizer import DEFAULT_TOKEN_LIMIT, count_tokens
+from repro.dataset.trim import trim_comments
+
+__all__ = ["DRBMLDataset", "record_from_benchmark"]
+
+
+def _pair_to_record(pair: RacePair, line_map: Dict[int, int]) -> Optional[VarPairRecord]:
+    """Convert a scraped pair (original-code coordinates) to trimmed coordinates."""
+    first_line = line_map.get(pair.first.line)
+    second_line = line_map.get(pair.second.line)
+    if first_line is None or second_line is None:
+        return None
+    return VarPairRecord(
+        name=[pair.first.name, pair.second.name],
+        line=[first_line, second_line],
+        col=[pair.first.col, pair.second.col],
+        operation=[pair.first.operation, pair.second.operation],
+    )
+
+
+def record_from_benchmark(bench: Microbenchmark) -> DRBMLRecord:
+    """Build one DRB-ML record from a corpus microbenchmark.
+
+    The labels are scraped from the header comment (not read from the
+    generator's internal ground truth) so the pipeline exercises the same
+    steps the paper describes.
+    """
+    has_race = scrape_race_flag(bench.code)
+    scraped_pairs = scrape_var_pairs(bench.code)
+    trim = trim_comments(bench.code)
+    pair_records: List[VarPairRecord] = []
+    for pair in scraped_pairs:
+        converted = _pair_to_record(pair, trim.line_map)
+        if converted is not None:
+            pair_records.append(converted)
+    return DRBMLRecord(
+        ID=bench.index,
+        name=bench.name,
+        DRB_code=bench.code,
+        trimmed_code=trim.trimmed_code,
+        code_len=len(trim.trimmed_code),
+        data_race=1 if has_race else 0,
+        data_race_label=bench.label.value,
+        var_pairs=pair_records if has_race else [],
+        token_count=count_tokens(trim.trimmed_code),
+        category=bench.category,
+    )
+
+
+@dataclass
+class DRBMLDataset:
+    """The DRB-ML dataset: records plus derived artefacts."""
+
+    records: List[DRBMLRecord] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_benchmarks(cls, benchmarks: Iterable[Microbenchmark]) -> "DRBMLDataset":
+        return cls(records=[record_from_benchmark(b) for b in benchmarks])
+
+    @classmethod
+    def build_default(cls, config: Optional[CorpusConfig] = None) -> "DRBMLDataset":
+        """Build the full 201-record dataset from the default corpus."""
+        return cls.from_benchmarks(build_corpus(config))
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DRBMLRecord]:
+        return iter(self.records)
+
+    def by_name(self, name: str) -> DRBMLRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def positives(self) -> List[DRBMLRecord]:
+        return [r for r in self.records if r.has_race]
+
+    def negatives(self) -> List[DRBMLRecord]:
+        return [r for r in self.records if not r.has_race]
+
+    def positive_fraction(self) -> float:
+        return len(self.positives()) / len(self.records) if self.records else 0.0
+
+    # -- subset and folds ---------------------------------------------------------
+
+    def token_subset(self, limit: int = DEFAULT_TOKEN_LIMIT) -> "DRBMLDataset":
+        """The evaluation subset: records whose code fits the token budget."""
+        return DRBMLDataset(records=[r for r in self.records if r.token_count <= limit])
+
+    def folds(self, n_folds: int = 5, seed: int = 7) -> List[FoldAssignment]:
+        """Stratified folds over this dataset's records (paper §3.5)."""
+        items = [(r.name, r.data_race) for r in self.records]
+        return StratifiedKFold(n_folds=n_folds, seed=seed).split(items)
+
+    def records_for(self, names: Sequence[str]) -> List[DRBMLRecord]:
+        wanted = set(names)
+        return [r for r in self.records if r.name in wanted]
+
+    # -- fine-tuning pairs --------------------------------------------------------
+
+    def basic_pairs(self) -> List[PromptResponsePair]:
+        return build_basic_pairs(self.records)
+
+    def advanced_pairs(self) -> List[PromptResponsePair]:
+        return build_advanced_pairs(self.records)
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, directory: Path | str) -> None:
+        """Write one JSON file per record (``DRB-ML-XXX.json``) plus an index."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        index = []
+        for record in self.records:
+            path = directory / f"DRB-ML-{record.ID:03d}.json"
+            path.write_text(record.to_json(), encoding="utf-8")
+            index.append({"ID": record.ID, "name": record.name, "file": path.name})
+        (directory / "index.json").write_text(json.dumps(index, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, directory: Path | str) -> "DRBMLDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        directory = Path(directory)
+        records = []
+        for path in sorted(directory.glob("DRB-ML-*.json")):
+            records.append(DRBMLRecord.from_json(path.read_text(encoding="utf-8")))
+        return cls(records=records)
+
+    def summary(self) -> str:
+        """Human-readable dataset summary."""
+        subset = self.token_subset()
+        return (
+            f"DRB-ML: {len(self)} records "
+            f"({len(self.positives())} race-yes / {len(self.negatives())} race-free); "
+            f"<=4k-token subset: {len(subset)} records "
+            f"({len(subset.positives())} / {len(subset.negatives())}), "
+            f"positive fraction {subset.positive_fraction():.3f}"
+        )

@@ -1,0 +1,66 @@
+"""Label scraping from DataRaceBench header comments.
+
+The first step of the DRB-ML construction (paper §3.1) extracts labels from
+each DRB code snippet "using scripts that are designed to sift through code
+comments and metadata".  This module implements that scraping: it parses the
+``Data race pair: a[i+1]@64:10:R vs. a[i]@64:5:W`` lines out of the header
+comment and returns structured access pairs.
+
+Scraping from the comment (rather than reading the corpus ground truth
+directly) keeps the pipeline faithful to the paper — and the corpus tests
+verify that what the scraper recovers equals what the generator seeded.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.corpus.microbenchmark import AccessSpec, RacePair
+
+__all__ = ["scrape_var_pairs", "scrape_race_flag"]
+
+_PAIR_LINE_RE = re.compile(
+    r"Data race pair:\s*(?P<first>.+?)\s+vs\.\s+(?P<second>.+?)\s*$"
+)
+_ACCESS_RE = re.compile(
+    r"(?P<name>.+)@(?P<line>\d+):(?P<col>\d+):(?P<op>[RW])$"
+)
+
+
+def _parse_access(text: str) -> AccessSpec:
+    match = _ACCESS_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"malformed access spec in header comment: {text!r}")
+    return AccessSpec(
+        name=match.group("name"),
+        line=int(match.group("line")),
+        col=int(match.group("col")),
+        operation=match.group("op"),
+    )
+
+
+def scrape_var_pairs(code: str) -> List[RacePair]:
+    """Extract the race pairs recorded in the file's header comment."""
+    header = code.split("*/", 1)[0]
+    pairs: List[RacePair] = []
+    for line in header.splitlines():
+        match = _PAIR_LINE_RE.search(line)
+        if match is None:
+            continue
+        first = _parse_access(match.group("first"))
+        second = _parse_access(match.group("second"))
+        pairs.append(RacePair(first=first, second=second))
+    return pairs
+
+
+def scrape_race_flag(code: str) -> bool:
+    """Derive the binary race label from the header comment / file name hints."""
+    header = code.split("*/", 1)[0]
+    if "Data race pair:" in header:
+        return True
+    if "No data race present." in header:
+        return False
+    # Fall back to the DRB file-name convention when the header is silent.
+    first_line = code.splitlines()[0] if code.splitlines() else ""
+    return "-yes" in first_line

@@ -1,0 +1,68 @@
+"""Prompt–response pair construction for fine-tuning (paper §3.4).
+
+Two pair sets are derived from DRB-ML: *basic-FT* (detection only, Listing 8)
+and *advanced-FT* (detection + variable identification, Listing 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dataset.records import DRBMLRecord
+from repro.dataset.templates import (
+    render_advanced_ft_prompt,
+    render_advanced_ft_response,
+    render_basic_ft_prompt,
+    render_basic_ft_response,
+)
+
+__all__ = ["PromptResponsePair", "build_basic_pairs", "build_advanced_pairs"]
+
+
+@dataclass(frozen=True)
+class PromptResponsePair:
+    """One fine-tuning example."""
+
+    record_name: str
+    prompt: str
+    response: str
+    label: int
+    kind: str  # "basic" or "advanced"
+
+    def to_dict(self) -> dict:
+        return {
+            "record_name": self.record_name,
+            "prompt": self.prompt,
+            "response": self.response,
+            "label": self.label,
+            "kind": self.kind,
+        }
+
+
+def build_basic_pairs(records: Sequence[DRBMLRecord]) -> List[PromptResponsePair]:
+    """Build the basic-FT (detection-only) pair set."""
+    return [
+        PromptResponsePair(
+            record_name=record.name,
+            prompt=render_basic_ft_prompt(record),
+            response=render_basic_ft_response(record),
+            label=record.data_race,
+            kind="basic",
+        )
+        for record in records
+    ]
+
+
+def build_advanced_pairs(records: Sequence[DRBMLRecord]) -> List[PromptResponsePair]:
+    """Build the advanced-FT (detection + variable identification) pair set."""
+    return [
+        PromptResponsePair(
+            record_name=record.name,
+            prompt=render_advanced_ft_prompt(record),
+            response=render_advanced_ft_response(record),
+            label=record.data_race,
+            kind="advanced",
+        )
+        for record in records
+    ]

@@ -1,0 +1,109 @@
+"""DRB-ML record schema (paper Table 1) and JSON (de)serialisation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["VarPairRecord", "DRBMLRecord"]
+
+
+@dataclass(frozen=True)
+class VarPairRecord:
+    """One ``var_pairs`` entry: a pair of variables involved in a data race.
+
+    Field layout follows Table 1: parallel lists of names, line numbers,
+    column numbers and operations; index 0 is VAR0 and index 1 is VAR1 where
+    VAR1 depends on VAR0.
+    """
+
+    name: List[str]
+    line: List[int]
+    col: List[int]
+    operation: List[str]
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.name), len(self.line), len(self.col), len(self.operation)}
+        if lengths != {2}:
+            raise ValueError("var pair fields must all have exactly two entries")
+        for op in self.operation:
+            if op not in ("R", "W"):
+                raise ValueError(f"operation must be 'R' or 'W', got {op!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": list(self.name), "line": list(self.line),
+                "col": list(self.col), "operation": list(self.operation)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "VarPairRecord":
+        return cls(
+            name=list(data["name"]),
+            line=[int(x) for x in data["line"]],
+            col=[int(x) for x in data["col"]],
+            operation=list(data["operation"]),
+        )
+
+
+@dataclass
+class DRBMLRecord:
+    """One DRB-ML JSON record (Table 1 schema)."""
+
+    ID: int
+    name: str
+    DRB_code: str
+    trimmed_code: str
+    code_len: int
+    data_race: int
+    data_race_label: str
+    var_pairs: List[VarPairRecord] = field(default_factory=list)
+    token_count: int = 0
+    category: str = ""
+
+    def __post_init__(self) -> None:
+        if self.data_race not in (0, 1):
+            raise ValueError("data_race must be 0 or 1")
+        if self.data_race == 0 and self.var_pairs:
+            raise ValueError("race-free records must have empty var_pairs")
+        if self.code_len != len(self.trimmed_code):
+            raise ValueError("code_len must equal len(trimmed_code)")
+
+    @property
+    def has_race(self) -> bool:
+        return self.data_race == 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ID": f"{self.ID:03d}",
+            "name": self.name,
+            "DRB_code": self.DRB_code,
+            "trimmed_code": self.trimmed_code,
+            "code_len": self.code_len,
+            "data_race": self.data_race,
+            "data_race_label": self.data_race_label,
+            "var_pairs": [pair.to_dict() for pair in self.var_pairs],
+            "token_count": self.token_count,
+            "category": self.category,
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DRBMLRecord":
+        return cls(
+            ID=int(data["ID"]),
+            name=str(data["name"]),
+            DRB_code=str(data["DRB_code"]),
+            trimmed_code=str(data["trimmed_code"]),
+            code_len=int(data["code_len"]),
+            data_race=int(data["data_race"]),
+            data_race_label=str(data["data_race_label"]),
+            var_pairs=[VarPairRecord.from_dict(p) for p in data.get("var_pairs", [])],
+            token_count=int(data.get("token_count", 0)),
+            category=str(data.get("category", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DRBMLRecord":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,97 @@
+"""Stratified k-fold cross-validation splits (paper §3.5).
+
+The paper constructs five folds from the 198-record subset (100 race-yes,
+98 race-free): three folds of 20 positive + 20 negative records and two folds
+of 20 positive + 19 negative records.  :class:`StratifiedKFold` reproduces
+exactly this allocation (and generalises it to other class counts using the
+same largest-remainder scheme).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["FoldAssignment", "StratifiedKFold"]
+
+
+@dataclass
+class FoldAssignment:
+    """Membership of every item in one cross-validation fold."""
+
+    fold_index: int
+    test_names: List[str] = field(default_factory=list)
+    train_names: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.test_names)
+
+
+@dataclass
+class StratifiedKFold:
+    """Stratified k-fold splitter over (name, label) items.
+
+    Parameters
+    ----------
+    n_folds:
+        Number of folds (the paper uses 5).
+    seed:
+        Shuffle seed; items of each class are shuffled before being dealt to
+        folds so that pattern families spread across folds.
+    """
+
+    n_folds: int = 5
+    seed: int = 7
+
+    def split(self, items: Sequence[Tuple[str, int]]) -> List[FoldAssignment]:
+        """Split ``items`` (name, label) into stratified folds.
+
+        Positive and negative items are dealt into folds separately so every
+        fold mirrors the overall class balance; leftover items (when the
+        class count is not divisible by the fold count) go to the earliest
+        folds, reproducing the paper's 3×(20/20) + 2×(20/19) layout for the
+        198-record subset.
+        """
+        if self.n_folds < 2:
+            raise ValueError("need at least two folds")
+        names = [name for name, _ in items]
+        if len(set(names)) != len(names):
+            raise ValueError("item names must be unique")
+
+        rng = random.Random(self.seed)
+        by_class: Dict[int, List[str]] = {}
+        for name, label in items:
+            by_class.setdefault(int(label), []).append(name)
+
+        fold_members: List[List[str]] = [[] for _ in range(self.n_folds)]
+        for label in sorted(by_class, reverse=True):
+            members = list(by_class[label])
+            rng.shuffle(members)
+            base = len(members) // self.n_folds
+            remainder = len(members) % self.n_folds
+            cursor = 0
+            for fold in range(self.n_folds):
+                take = base + (1 if fold < remainder else 0)
+                fold_members[fold].extend(members[cursor : cursor + take])
+                cursor += take
+
+        assignments: List[FoldAssignment] = []
+        all_names = set(names)
+        for fold in range(self.n_folds):
+            test = sorted(fold_members[fold])
+            train = sorted(all_names - set(test))
+            assignments.append(
+                FoldAssignment(fold_index=fold, test_names=test, train_names=train)
+            )
+        return assignments
+
+    def fold_sizes(self, items: Sequence[Tuple[str, int]]) -> List[Tuple[int, int]]:
+        """Return (positives, negatives) per fold — used by tests and reports."""
+        label_by_name = {name: int(label) for name, label in items}
+        sizes: List[Tuple[int, int]] = []
+        for assignment in self.split(items):
+            pos = sum(1 for n in assignment.test_names if label_by_name[n] == 1)
+            neg = len(assignment.test_names) - pos
+            sizes.append((pos, neg))
+        return sizes

@@ -1,0 +1,73 @@
+"""Prompt and response templates for fine-tuning pairs (paper Listings 8 & 9).
+
+The detection prompt templates used for *evaluation* (BP1/BP2/AP1/AP2) live
+in :mod:`repro.prompting.templates`; this module holds the prompt-response
+rendering used to build the DRB-ML fine-tuning sets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.dataset.records import DRBMLRecord, VarPairRecord
+
+__all__ = [
+    "BASIC_FT_PROMPT",
+    "ADVANCED_FT_PROMPT",
+    "render_basic_ft_prompt",
+    "render_basic_ft_response",
+    "render_advanced_ft_prompt",
+    "render_advanced_ft_response",
+]
+
+#: Listing 8 — basic fine-tuning prompt (data race detection only).
+BASIC_FT_PROMPT = """You are an expert in High-Performance Computing. Examine the code presented to you and ascertain if it contains any data races.
+Begin with a concise response: either "yes" for the presence of a data race or "no" if absent.
+
+{code}
+"""
+
+#: Listing 9 — advanced fine-tuning prompt (detection + variable pairs).
+ADVANCED_FT_PROMPT = """You are an expert in High-Performance Computing. Examine the code presented to you and ascertain if it contains any data races.
+Detail each occurrence of a data race by specifying the variable pairs involved using the JSON format outlined below:
+{{
+"variable_names": Names of each pair of variables involved in a data race.
+"variable_locations": line numbers of the paired variables within the code.
+"operation_types": Corresponding operations, either 'write' or 'read'.
+}}
+{code}
+"""
+
+
+def render_basic_ft_prompt(record: DRBMLRecord) -> str:
+    """Render the Listing 8 prompt for a record's trimmed code."""
+    return BASIC_FT_PROMPT.format(code=record.trimmed_code)
+
+
+def render_basic_ft_response(record: DRBMLRecord) -> str:
+    """Render the Listing 8 response: a bare ``yes`` / ``no``."""
+    return "yes" if record.has_race else "no"
+
+
+def _operation_word(op: str) -> str:
+    return "write" if op == "W" else "read"
+
+
+def render_advanced_ft_prompt(record: DRBMLRecord) -> str:
+    """Render the Listing 9 prompt for a record's trimmed code."""
+    return ADVANCED_FT_PROMPT.format(code=record.trimmed_code)
+
+
+def render_advanced_ft_response(record: DRBMLRecord) -> str:
+    """Render the Listing 9 response: yes/no plus the structured pair JSON."""
+    if not record.has_race:
+        return '"no",\n{\n"data_race": 0\n}'
+    pair: VarPairRecord = record.var_pairs[0]
+    payload = {
+        "data_race": 1,
+        "variable_names": list(pair.name),
+        "variable_locations": list(pair.line),
+        "operation_types": [_operation_word(op) for op in pair.operation],
+    }
+    return '"yes",\n' + json.dumps(payload, indent=0)

@@ -1,0 +1,84 @@
+"""Comment trimming with line re-mapping.
+
+DRB-ML stores both the original code (``DRB_code``) and a ``trimmed_code``
+with every comment removed; the ``var_pairs`` line numbers refer to the
+*trimmed* code (paper §3.1: "the 'line' value in DRB-ML is based on the code
+without comments").  Because the ground truth of the corpus is recorded
+against the original (commented) source, the trimming pass must also return a
+mapping from original line numbers to trimmed line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cparse.lexer import TokenKind, tokenize
+
+__all__ = ["TrimResult", "trim_comments"]
+
+
+@dataclass
+class TrimResult:
+    """Result of removing comments from a source file.
+
+    Attributes
+    ----------
+    trimmed_code:
+        The code with all comments removed and fully blank residue lines
+        dropped.
+    line_map:
+        Mapping from 1-based original line numbers to 1-based line numbers in
+        ``trimmed_code``.  Lines that vanish (pure comment lines) are absent.
+    """
+
+    trimmed_code: str
+    line_map: Dict[int, int] = field(default_factory=dict)
+
+    def map_line(self, original_line: int) -> Optional[int]:
+        """Trimmed line number for an original line, or ``None`` if removed."""
+        return self.line_map.get(original_line)
+
+
+def _blank_out_comments(source: str) -> List[str]:
+    """Return source lines with comment characters replaced by spaces.
+
+    Replacing (rather than deleting) keeps column numbers of the remaining
+    code identical to the original file, which is what lets the ground-truth
+    columns carry over unchanged to the trimmed code.
+    """
+    lines = [list(line) for line in source.splitlines()]
+    for token in tokenize(source, keep_comments=True):
+        if token.kind is not TokenKind.COMMENT:
+            continue
+        text = token.text
+        row, col = token.line - 1, token.col - 1
+        for ch in text:
+            if ch == "\n":
+                row += 1
+                col = 0
+                continue
+            if row < len(lines) and col < len(lines[row]):
+                lines[row][col] = " "
+            col += 1
+    return ["".join(chars) for chars in lines]
+
+
+def trim_comments(source: str) -> TrimResult:
+    """Remove comments and blank-only lines, tracking the line re-mapping."""
+    blanked = _blank_out_comments(source)
+    out_lines: List[str] = []
+    line_map: Dict[int, int] = {}
+    for original_idx, text in enumerate(blanked, start=1):
+        if text.strip() == "":
+            # Drop lines that are empty after comment removal *and* were
+            # comment-only or blank in the original; keep intentional blank
+            # lines only if they were blank originally?  DRB-ML drops them
+            # too, so we drop every blank line for a compact trimmed_code.
+            continue
+        out_lines.append(text.rstrip())
+        line_map[original_idx] = len(out_lines)
+    trimmed = "\n".join(out_lines)
+    if trimmed:
+        trimmed += "\n"
+    return TrimResult(trimmed_code=trimmed, line_map=line_map)

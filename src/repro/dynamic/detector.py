@@ -1,0 +1,183 @@
+"""Race detection over a recorded execution trace.
+
+The analysis mirrors what segment/lockset-based dynamic tools (Intel
+Inspector, Archer) do:
+
+* two accesses can only race when they target the same address, come from the
+  same parallel-region instance, and at least one is a write;
+* accesses of the same thread (and outside tasks) are ordered by program
+  order;
+* accesses in different barrier epochs are ordered by the barrier between
+  them;
+* accesses holding a common lock / critical region, both-atomic accesses and
+  both-``ordered`` accesses are mutually excluded;
+* explicit tasks are concurrent with their parent's continuation until the
+  matching ``taskwait`` and with sibling tasks of the same task sequence,
+  unless ``depend`` clauses order them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dynamic.events import AccessEvent, ExecutionTrace
+
+__all__ = ["DynamicRacePair", "DynamicRaceReport", "detect_races"]
+
+
+@dataclass(frozen=True)
+class DynamicRacePair:
+    """A pair of conflicting concurrent accesses found in a trace."""
+
+    first: AccessEvent
+    second: AccessEvent
+
+    def variable(self) -> str:
+        return self.first.variable
+
+    def describe(self) -> str:
+        a, b = self.first, self.second
+        return (
+            f"{a.expr_text}@{a.line}:{a.col}:{a.operation} vs. "
+            f"{b.expr_text}@{b.line}:{b.col}:{b.operation}"
+        )
+
+
+@dataclass
+class DynamicRaceReport:
+    """Result of analysing one execution trace."""
+
+    has_race: bool
+    pairs: List[DynamicRacePair] = field(default_factory=list)
+    events_analyzed: int = 0
+    addresses_analyzed: int = 0
+
+    def variables(self) -> List[str]:
+        seen: List[str] = []
+        for pair in self.pairs:
+            if pair.variable() not in seen:
+                seen.append(pair.variable())
+        return seen
+
+
+def _tasks_ordered(a: AccessEvent, b: AccessEvent) -> bool:
+    """Ordering decision for events where at least one runs inside a task."""
+    ta, tb = a.task, b.task
+    if ta is not None and tb is not None:
+        if ta.task_id == tb.task_id:
+            return True
+        if ta.task_id in tb.ordered_after or tb.task_id in ta.ordered_after:
+            return True
+        # Tasks separated by a taskwait on the creating context are ordered.
+        if ta.creator_thread == tb.creator_thread and ta.seq != tb.seq:
+            return True
+        return False
+    # exactly one of the two is a task; the other is a plain (parent) access
+    task, plain = (ta, b) if ta is not None else (tb, a)
+    if plain.thread != task.creator_thread:
+        # A task and an unrelated thread of the same region: ordered only by
+        # barrier epochs, handled by the caller.
+        return False
+    if plain.task_seq > task.seq:
+        return True  # the parent already waited for this task generation
+    if plain.step <= task.creation_step:
+        return True  # the parent access happened before the task was created
+    return False
+
+
+def _concurrent(a: AccessEvent, b: AccessEvent) -> bool:
+    """Can the two events execute concurrently?"""
+    if a.region != b.region:
+        return False
+    if a.task is None and b.task is None:
+        if a.thread == b.thread:
+            return False
+        return a.epoch == b.epoch
+    if _tasks_ordered(a, b):
+        return False
+    if a.thread != b.thread and a.epoch != b.epoch:
+        return False
+    return True
+
+
+def _mutually_excluded(a: AccessEvent, b: AccessEvent) -> bool:
+    """Do the two events hold protection that prevents them from overlapping?"""
+    if a.atomic and b.atomic:
+        return True
+    if a.locks & b.locks:
+        return True
+    if a.ordered and b.ordered:
+        return True
+    return False
+
+
+def _dedupe_key(event: AccessEvent) -> Tuple:
+    """Events identical under this key behave identically for race purposes."""
+    return (
+        event.thread,
+        event.task.task_id if event.task else None,
+        event.task_seq,
+        event.region,
+        event.epoch,
+        event.is_write,
+        event.locks,
+        event.atomic,
+        event.ordered,
+        event.line,
+        event.col,
+    )
+
+
+def detect_races(
+    trace: ExecutionTrace,
+    *,
+    max_pairs: int = 32,
+    max_events_per_address: int = 512,
+) -> DynamicRaceReport:
+    """Analyse a trace and report conflicting concurrent access pairs.
+
+    Events are first grouped by address, then de-duplicated by the
+    synchronization-relevant key so that long loops do not blow up the
+    pairwise check.  Reported pairs are unique per (line, col, operation)
+    combination of the two sides.
+    """
+    report = DynamicRaceReport(has_race=False, events_analyzed=len(trace.events))
+
+    by_address: Dict[str, Dict[Tuple, AccessEvent]] = defaultdict(dict)
+    writes_seen: Dict[str, bool] = defaultdict(bool)
+    for event in trace.events:
+        bucket = by_address[event.address]
+        if len(bucket) < max_events_per_address:
+            bucket.setdefault(_dedupe_key(event), event)
+        if event.is_write:
+            writes_seen[event.address] = True
+
+    report.addresses_analyzed = len(by_address)
+    reported: set = set()
+
+    for address, bucket in by_address.items():
+        if not writes_seen[address]:
+            continue
+        events = list(bucket.values())
+        for a, b in combinations(events, 2):
+            if len(report.pairs) >= max_pairs:
+                break
+            if not (a.is_write or b.is_write):
+                continue
+            if not _concurrent(a, b):
+                continue
+            if _mutually_excluded(a, b):
+                continue
+            signature = tuple(sorted([(a.line, a.col, a.operation), (b.line, b.col, b.operation)]))
+            if signature in reported:
+                continue
+            reported.add(signature)
+            report.pairs.append(DynamicRacePair(first=a, second=b))
+        if len(report.pairs) >= max_pairs:
+            break
+
+    report.has_race = bool(report.pairs)
+    return report

@@ -1,0 +1,39 @@
+"""Evaluation harness: metrics, pair matching, cross-validation and the
+per-table experiment drivers (paper §3.5–§4)."""
+
+from repro.eval.metrics import ConfusionCounts, FoldStatistics, mean_std
+from repro.eval.matching import pair_matches, pairs_correct
+from repro.eval.crossval import CrossValResult, run_finetune_crossval
+from repro.eval.experiments import (
+    PromptEvaluationRow,
+    evaluate_inspector,
+    evaluate_model_prompt,
+    evaluate_variable_identification,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from repro.eval.reporting import format_confusion_table, format_crossval_table
+
+__all__ = [
+    "ConfusionCounts",
+    "FoldStatistics",
+    "mean_std",
+    "pair_matches",
+    "pairs_correct",
+    "CrossValResult",
+    "run_finetune_crossval",
+    "PromptEvaluationRow",
+    "evaluate_inspector",
+    "evaluate_model_prompt",
+    "evaluate_variable_identification",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "format_confusion_table",
+    "format_crossval_table",
+]

@@ -1,0 +1,115 @@
+"""Stratified cross-validation of the fine-tuned models (paper §3.5, §4.2-4.3).
+
+For every fold: fine-tune the open-source model on the training records'
+prompt–response pairs, then evaluate both the pre-trained model and the
+fine-tuned model on the held-out records.  The result aggregates AVG/SD of
+recall, precision and F1 across folds — the layout of Tables 4 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dataset.drbml import DRBMLDataset
+from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
+from repro.dataset.records import DRBMLRecord
+from repro.eval.matching import pairs_correct
+from repro.eval.metrics import ConfusionCounts, FoldStatistics
+from repro.llm.base import LanguageModel
+from repro.llm.finetune import FineTuneConfig, FineTuner
+from repro.llm.zoo import create_model
+from repro.prompting.chains import run_strategy
+from repro.prompting.parsing import parse_pairs_response, parse_yes_no
+from repro.prompting.strategy import PromptStrategy
+
+__all__ = ["CrossValResult", "run_finetune_crossval"]
+
+
+@dataclass
+class CrossValResult:
+    """Fold-level confusion counts for the base and fine-tuned variants."""
+
+    model: str
+    kind: str  # "basic" or "advanced"
+    base_folds: List[ConfusionCounts] = field(default_factory=list)
+    tuned_folds: List[ConfusionCounts] = field(default_factory=list)
+
+    @property
+    def base_stats(self) -> FoldStatistics:
+        return FoldStatistics.from_counts(self.base_folds)
+
+    @property
+    def tuned_stats(self) -> FoldStatistics:
+        return FoldStatistics.from_counts(self.tuned_folds)
+
+    def as_rows(self) -> Dict[str, tuple]:
+        """Rows in the Table 4/6 layout keyed by display name."""
+        return {
+            self.model: self.base_stats.as_row(),
+            f"{self.model}-FT": self.tuned_stats.as_row(),
+        }
+
+
+def _evaluate_detection(model: LanguageModel, records: Sequence[DRBMLRecord]) -> ConfusionCounts:
+    counts = ConfusionCounts()
+    for record in records:
+        response = run_strategy(model.generate, PromptStrategy.BP1, record.trimmed_code)
+        verdict = parse_yes_no(response)
+        counts.add(record.has_race, bool(verdict) if verdict is not None else False)
+    return counts
+
+
+def _evaluate_advanced(model: LanguageModel, records: Sequence[DRBMLRecord]) -> ConfusionCounts:
+    counts = ConfusionCounts()
+    for record in records:
+        response = run_strategy(model.generate, PromptStrategy.ADVANCED, record.trimmed_code)
+        parsed = parse_pairs_response(response)
+        prediction = bool(parsed.race) if parsed.race is not None else parsed.has_pairs
+        counts.add(record.has_race, prediction, correct_positive=pairs_correct(parsed, record))
+    return counts
+
+
+def run_finetune_crossval(
+    dataset: DRBMLDataset,
+    model_name: str,
+    *,
+    kind: str = "basic",
+    n_folds: int = 5,
+    seed: int = 7,
+    config: Optional[FineTuneConfig] = None,
+) -> CrossValResult:
+    """Run the paper's fine-tuning cross-validation for one model.
+
+    Parameters
+    ----------
+    dataset:
+        The ≤4k-token DRB-ML subset.
+    model_name:
+        ``"starchat-beta"`` or ``"llama2-7b"`` (the open-source models).
+    kind:
+        ``"basic"`` (Table 4, detection) or ``"advanced"`` (Table 6, variable
+        identification).
+    """
+    if kind not in ("basic", "advanced"):
+        raise ValueError("kind must be 'basic' or 'advanced'")
+    result = CrossValResult(model=model_name, kind=kind)
+    folds = dataset.folds(n_folds=n_folds, seed=seed)
+    for assignment in folds:
+        train_records = dataset.records_for(assignment.train_names)
+        test_records = dataset.records_for(assignment.test_names)
+        base = create_model(model_name)
+        pairs = (
+            build_basic_pairs(train_records)
+            if kind == "basic"
+            else build_advanced_pairs(train_records)
+        )
+        tuner = FineTuner(base=base, config=config or FineTuneConfig.for_model(model_name))
+        tuned = tuner.fit(pairs)
+        if kind == "basic":
+            result.base_folds.append(_evaluate_detection(base, test_records))
+            result.tuned_folds.append(_evaluate_detection(tuned, test_records))
+        else:
+            result.base_folds.append(_evaluate_advanced(base, test_records))
+            result.tuned_folds.append(_evaluate_advanced(tuned, test_records))
+    return result

@@ -1,0 +1,223 @@
+"""Experiment drivers for every table of the paper's evaluation section.
+
+Each ``run_tableN`` function regenerates the corresponding table from scratch
+(dataset build → prompts → model calls → parsing → metrics) and returns a
+structured result that the reporting module renders in the paper's layout.
+The benchmark harness under ``benchmarks/`` calls these drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.corpus.microbenchmark import Microbenchmark
+from repro.dataset.drbml import DRBMLDataset
+from repro.dataset.records import DRBMLRecord
+from repro.dynamic.inspector import InspectorLikeDetector
+from repro.eval.matching import pairs_correct
+from repro.eval.metrics import ConfusionCounts
+from repro.llm.base import LanguageModel
+from repro.llm.zoo import available_models, create_model
+from repro.prompting.chains import run_strategy
+from repro.prompting.parsing import parse_pairs_response, parse_yes_no
+from repro.prompting.strategy import PromptStrategy
+
+__all__ = [
+    "PromptEvaluationRow",
+    "evaluate_model_prompt",
+    "evaluate_inspector",
+    "evaluate_variable_identification",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "default_subset",
+]
+
+
+@dataclass
+class PromptEvaluationRow:
+    """One table row: a tool/model under one prompt strategy."""
+
+    model: str
+    prompt: str
+    counts: ConfusionCounts
+
+    def as_dict(self) -> Dict[str, object]:
+        tp, fp, tn, fn, r, p, f1 = self.counts.as_row()
+        return {
+            "model": self.model,
+            "prompt": self.prompt,
+            "TP": tp,
+            "FP": fp,
+            "TN": tn,
+            "FN": fn,
+            "recall": round(r, 3),
+            "precision": round(p, 3),
+            "f1": round(f1, 3),
+        }
+
+
+def default_subset(config: Optional[CorpusConfig] = None) -> DRBMLDataset:
+    """The ≤4k-token evaluation subset used by every experiment (§3.2)."""
+    return DRBMLDataset.build_default(config).token_subset()
+
+
+# ---------------------------------------------------------------------------
+# detection experiments (Tables 2 and 3)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_model_prompt(
+    model: LanguageModel,
+    strategy: PromptStrategy,
+    records: Sequence[DRBMLRecord],
+) -> ConfusionCounts:
+    """Run one model under one prompt strategy over the given records."""
+    counts = ConfusionCounts()
+    for record in records:
+        response = run_strategy(model.generate, strategy, record.trimmed_code)
+        verdict = parse_yes_no(response)
+        prediction = bool(verdict) if verdict is not None else False
+        counts.add(record.has_race, prediction)
+    return counts
+
+
+def evaluate_inspector(
+    benchmarks: Sequence[Microbenchmark],
+    *,
+    detector: Optional[InspectorLikeDetector] = None,
+) -> ConfusionCounts:
+    """Run the Inspector-like dynamic detector over corpus microbenchmarks."""
+    detector = detector or InspectorLikeDetector()
+    counts = ConfusionCounts()
+    for bench in benchmarks:
+        prediction = detector.predict(bench)
+        counts.add(bench.has_race, prediction)
+    return counts
+
+
+def run_table2(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    model_name: str = "gpt-3.5-turbo",
+) -> List[PromptEvaluationRow]:
+    """Table 2: GPT-3.5-turbo with BP1 vs. BP2."""
+    records = (dataset or default_subset()).records
+    model = create_model(model_name)
+    rows = []
+    for strategy in (PromptStrategy.BP1, PromptStrategy.BP2):
+        counts = evaluate_model_prompt(model, strategy, records)
+        rows.append(PromptEvaluationRow(model=model_name, prompt=strategy.value, counts=counts))
+    return rows
+
+
+def run_table3(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    corpus_config: Optional[CorpusConfig] = None,
+    include_inspector: bool = True,
+    models: Optional[Sequence[str]] = None,
+    strategies: Sequence[PromptStrategy] = (
+        PromptStrategy.BP1,
+        PromptStrategy.AP1,
+        PromptStrategy.AP2,
+    ),
+) -> List[PromptEvaluationRow]:
+    """Table 3: Inspector baseline plus four LLMs under BP1/AP1/AP2."""
+    dataset = dataset or default_subset(corpus_config)
+    rows: List[PromptEvaluationRow] = []
+    if include_inspector:
+        benchmarks = build_corpus(corpus_config)
+        subset_names = {record.name for record in dataset.records}
+        benchmarks = [b for b in benchmarks if b.name in subset_names]
+        counts = evaluate_inspector(benchmarks)
+        rows.append(PromptEvaluationRow(model="Inspector", prompt="N/A", counts=counts))
+    for model_name in models or available_models():
+        model = create_model(model_name)
+        for strategy in strategies:
+            counts = evaluate_model_prompt(model, strategy, dataset.records)
+            rows.append(
+                PromptEvaluationRow(model=model_name, prompt=strategy.value, counts=counts)
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# variable identification (Table 5)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_variable_identification(
+    model: LanguageModel, records: Sequence[DRBMLRecord]
+) -> ConfusionCounts:
+    """Advanced scoring: a positive only counts when the reported pair is right."""
+    counts = ConfusionCounts()
+    for record in records:
+        response = run_strategy(model.generate, PromptStrategy.ADVANCED, record.trimmed_code)
+        parsed = parse_pairs_response(response)
+        prediction = bool(parsed.race) if parsed.race is not None else parsed.has_pairs
+        correct = pairs_correct(parsed, record)
+        counts.add(record.has_race, prediction, correct_positive=correct)
+    return counts
+
+
+def run_table5(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    models: Optional[Sequence[str]] = None,
+) -> List[PromptEvaluationRow]:
+    """Table 5: pre-trained models on detection + variable identification."""
+    records = (dataset or default_subset()).records
+    rows = []
+    for model_name in models or available_models():
+        model = create_model(model_name)
+        counts = evaluate_variable_identification(model, records)
+        rows.append(PromptEvaluationRow(model=model_name, prompt="ADVANCED", counts=counts))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# fine-tuning cross-validation (Tables 4 and 6)
+# ---------------------------------------------------------------------------
+
+
+def run_table4(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    models: Sequence[str] = ("starchat-beta", "llama2-7b"),
+    n_folds: int = 5,
+    seed: int = 7,
+):
+    """Table 4: basic fine-tuning (detection) under 5-fold cross-validation."""
+    from repro.eval.crossval import run_finetune_crossval
+
+    dataset = dataset or default_subset()
+    results = {}
+    for model_name in models:
+        results[model_name] = run_finetune_crossval(
+            dataset, model_name, kind="basic", n_folds=n_folds, seed=seed
+        )
+    return results
+
+
+def run_table6(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    models: Sequence[str] = ("starchat-beta", "llama2-7b"),
+    n_folds: int = 5,
+    seed: int = 7,
+):
+    """Table 6: advanced fine-tuning (variable identification) under 5-fold CV."""
+    from repro.eval.crossval import run_finetune_crossval
+
+    dataset = dataset or default_subset()
+    results = {}
+    for model_name in models:
+        results[model_name] = run_finetune_crossval(
+            dataset, model_name, kind="advanced", n_folds=n_folds, seed=seed
+        )
+    return results

@@ -1,0 +1,135 @@
+"""Binary-classification metrics (paper §3.6)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["ConfusionCounts", "FoldStatistics", "mean_std"]
+
+
+@dataclass
+class ConfusionCounts:
+    """TP/FP/TN/FN counts and the derived recall / precision / F1."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def add(self, truth: bool, prediction: bool, *, correct_positive: bool = True) -> None:
+        """Record one sample.
+
+        ``correct_positive`` supports the variable-identification scoring
+        (paper §3.6 / Table 5): a positive prediction on a positive sample
+        only counts as a true positive when the reported details were right;
+        otherwise the sample is a false negative.
+        """
+        if truth:
+            if prediction and correct_positive:
+                self.tp += 1
+            else:
+                self.fn += 1
+        else:
+            if prediction:
+                self.fp += 1
+            else:
+                self.tn += 1
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    def as_row(self) -> Tuple[int, int, int, int, float, float, float]:
+        """The (TP, FP, TN, FN, R, P, F1) row layout used by the paper's tables."""
+        return (self.tp, self.fp, self.tn, self.fn, self.recall, self.precision, self.f1)
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            tn=self.tn + other.tn,
+            fn=self.fn + other.fn,
+        )
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Population mean and standard deviation (the paper reports AVG and SD)."""
+    if not values:
+        return (0.0, 0.0)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return (mean, math.sqrt(variance))
+
+
+@dataclass
+class FoldStatistics:
+    """AVG/SD of recall, precision and F1 across cross-validation folds."""
+
+    recalls: List[float]
+    precisions: List[float]
+    f1s: List[float]
+
+    @classmethod
+    def from_counts(cls, fold_counts: Iterable[ConfusionCounts]) -> "FoldStatistics":
+        counts = list(fold_counts)
+        return cls(
+            recalls=[c.recall for c in counts],
+            precisions=[c.precision for c in counts],
+            f1s=[c.f1 for c in counts],
+        )
+
+    @property
+    def avg_recall(self) -> float:
+        return mean_std(self.recalls)[0]
+
+    @property
+    def sd_recall(self) -> float:
+        return mean_std(self.recalls)[1]
+
+    @property
+    def avg_precision(self) -> float:
+        return mean_std(self.precisions)[0]
+
+    @property
+    def sd_precision(self) -> float:
+        return mean_std(self.precisions)[1]
+
+    @property
+    def avg_f1(self) -> float:
+        return mean_std(self.f1s)[0]
+
+    @property
+    def sd_f1(self) -> float:
+        return mean_std(self.f1s)[1]
+
+    def as_row(self) -> Tuple[float, float, float, float, float, float]:
+        """(AVG R, SD R, AVG P, SD P, AVG F1, SD F1) — the Table 4/6 layout."""
+        return (
+            self.avg_recall,
+            self.sd_recall,
+            self.avg_precision,
+            self.sd_precision,
+            self.avg_f1,
+            self.sd_f1,
+        )

@@ -1,0 +1,51 @@
+"""Paper-style table rendering.
+
+The benchmark harness prints these tables so the regenerated numbers can be
+placed side by side with the paper's (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.eval.experiments import PromptEvaluationRow
+
+__all__ = ["format_confusion_table", "format_crossval_table"]
+
+
+def format_confusion_table(rows: Sequence[PromptEvaluationRow], *, title: str = "") -> str:
+    """Render rows in the Table 2/3/5 layout (TP FP TN FN R P F1)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'Model':<14s} {'Prompt':<9s} {'TP':>4s} {'FP':>4s} {'TN':>4s} {'FN':>4s} {'R':>7s} {'P':>7s} {'F1':>7s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        tp, fp, tn, fn, r, p, f1 = row.counts.as_row()
+        lines.append(
+            f"{row.model:<14s} {row.prompt:<9s} {tp:>4d} {fp:>4d} {tn:>4d} {fn:>4d} "
+            f"{r:>7.3f} {p:>7.3f} {f1:>7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_crossval_table(
+    rows: Dict[str, Tuple[float, float, float, float, float, float]], *, title: str = ""
+) -> str:
+    """Render AVG/SD rows in the Table 4/6 layout."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Model':<18s} {'AVG R':>7s} {'SD R':>7s} {'AVG P':>7s} {'SD P':>7s} "
+        f"{'AVG F1':>7s} {'SD F1':>7s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, (avg_r, sd_r, avg_p, sd_p, avg_f1, sd_f1) in rows.items():
+        lines.append(
+            f"{name:<18s} {avg_r:>7.3f} {sd_r:>7.3f} {avg_p:>7.3f} {sd_p:>7.3f} "
+            f"{avg_f1:>7.3f} {sd_f1:>7.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Language model interface.
+
+Every model in the zoo — and every fine-tuned wrapper — implements
+:class:`LanguageModel`: plain text in, plain text out, plus a convenience
+chat form.  The evaluation harness and the prompt chains only ever talk to
+this interface, so swapping a simulated model for a real API client would not
+change any downstream code.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["ChatMessage", "LanguageModel"]
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message of a chat conversation."""
+
+    role: str  # "system" | "user" | "assistant"
+    content: str
+
+
+class LanguageModel(abc.ABC):
+    """Abstract text-in/text-out model."""
+
+    #: Human-readable model identifier (e.g. ``"gpt-4"``).
+    name: str = "model"
+    #: Maximum prompt size in tokens (the paper filters inputs to 4k).
+    context_window: int = 4096
+
+    @abc.abstractmethod
+    def generate(self, prompt: str) -> str:
+        """Produce a completion for ``prompt``."""
+
+    def chat(self, messages: Sequence[ChatMessage]) -> str:
+        """Chat-style entry point: concatenates the conversation and generates.
+
+        The simulated models do not maintain conversational state beyond what
+        is present in the transcript, which matches how the paper drives the
+        real models (one detection request per code snippet).
+        """
+        transcript = "\n\n".join(f"[{m.role}] {m.content}" for m in messages)
+        return self.generate(transcript)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,154 @@
+"""Behavioral profiles of the simulated models.
+
+A simulated model's verdict is a stochastic function of the *evidence its own
+analysis produced* (the internal heuristic's race/no-race finding), never of
+the ground-truth label.  The per-(model, prompt-strategy) profile fixes
+
+* ``p_yes_given_evidence`` — probability of answering "yes" when the internal
+  heuristic found conflicting accesses;
+* ``p_yes_given_no_evidence`` — probability of answering "yes" when it did
+  not (hallucinated races / over-caution);
+* ``format_fidelity`` — probability of keeping the requested structured
+  output format (failures force the regex fallback parser, §4.5);
+* ``pair_fidelity`` — probability that a reported variable pair is taken from
+  the analysis rather than made up (variable identification, Table 5).
+
+Calibration
+-----------
+The two response rates are derived from the recall/false-positive rates the
+paper reports (Tables 2, 3 and 5) given the measured quality of the internal
+heuristic on the corpus (``HEURISTIC_TPR``/``HEURISTIC_FPR``):
+
+    TPR_target = P(yes | race)    = TPR_h * p1 + (1 - TPR_h) * p0
+    FPR_target = P(yes | no race) = FPR_h * p1 + (1 - FPR_h) * p0
+
+solving for ``p1`` (= ``p_yes_given_evidence``) and ``p0``.  This keeps the
+published *shape* of the comparison (which model wins, by roughly how much,
+how each prompt strategy shifts the balance) while every individual decision
+still flows through the real prompt → analysis → response → parsing pipeline.
+Disable calibration (``calibrated=False`` on the zoo models) to see the raw
+heuristic behaviour — that ablation is exercised by
+``benchmarks/bench_ablation_calibration.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.prompting.strategy import PromptStrategy
+
+__all__ = [
+    "HEURISTIC_TPR",
+    "HEURISTIC_FPR",
+    "BehaviorProfile",
+    "profile_for",
+    "deterministic_uniform",
+]
+
+#: Measured quality of the internal heuristic (the static detector) on the
+#: DRB-ML ≤4k-token subset.  Re-measure with
+#: ``python -m examples.traditional_vs_llm`` if the corpus generator changes.
+HEURISTIC_TPR = 1.00
+HEURISTIC_FPR = 0.224
+
+
+def _solve_response_rates(tpr_target: float, fpr_target: float) -> Tuple[float, float]:
+    """Solve the two response rates from target TPR/FPR (see module docstring)."""
+    denom = HEURISTIC_TPR - HEURISTIC_FPR
+    if denom <= 0:
+        raise ValueError("heuristic must be better than chance to calibrate against")
+    p1 = (tpr_target * (1 - HEURISTIC_FPR) - fpr_target * (1 - HEURISTIC_TPR)) / denom
+    p0 = (fpr_target * HEURISTIC_TPR - tpr_target * HEURISTIC_FPR) / denom
+    return (min(max(p1, 0.0), 1.0), min(max(p0, 0.0), 1.0))
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Stochastic response profile of one model under one prompt strategy."""
+
+    model: str
+    strategy: PromptStrategy
+    p_yes_given_evidence: float
+    p_yes_given_no_evidence: float
+    format_fidelity: float = 0.9
+    pair_fidelity: float = 0.2
+
+    @classmethod
+    def from_targets(
+        cls,
+        model: str,
+        strategy: PromptStrategy,
+        *,
+        tpr: float,
+        fpr: float,
+        format_fidelity: float = 0.9,
+        pair_fidelity: float = 0.2,
+    ) -> "BehaviorProfile":
+        p1, p0 = _solve_response_rates(tpr, fpr)
+        return cls(
+            model=model,
+            strategy=strategy,
+            p_yes_given_evidence=p1,
+            p_yes_given_no_evidence=p0,
+            format_fidelity=format_fidelity,
+            pair_fidelity=pair_fidelity,
+        )
+
+
+#: Target rates taken from the paper:
+#: Table 2 (GPT-3.5 BP1/BP2), Table 3 (all models × BP1/AP1/AP2) and
+#: Table 5 (advanced variable identification, column "ADVANCED").
+#: Each entry is (TPR, FPR, format_fidelity, pair_fidelity).
+_TARGETS: Dict[Tuple[str, PromptStrategy], Tuple[float, float, float, float]] = {
+    # GPT-3.5-turbo
+    ("gpt-3.5-turbo", PromptStrategy.BP1): (0.660, 0.561, 0.95, 0.25),
+    ("gpt-3.5-turbo", PromptStrategy.BP2): (0.350, 0.265, 0.80, 0.25),
+    ("gpt-3.5-turbo", PromptStrategy.AP1): (0.630, 0.571, 0.95, 0.25),
+    ("gpt-3.5-turbo", PromptStrategy.AP2): (0.690, 0.551, 0.95, 0.25),
+    ("gpt-3.5-turbo", PromptStrategy.ADVANCED): (0.500, 0.551, 0.80, 0.25),
+    # GPT-4
+    ("gpt-4", PromptStrategy.BP1): (0.770, 0.286, 0.98, 0.24),
+    ("gpt-4", PromptStrategy.BP2): (0.600, 0.250, 0.90, 0.24),
+    ("gpt-4", PromptStrategy.AP1): (0.780, 0.306, 0.98, 0.24),
+    ("gpt-4", PromptStrategy.AP2): (0.780, 0.286, 0.98, 0.24),
+    ("gpt-4", PromptStrategy.ADVANCED): (0.600, 0.316, 0.90, 0.24),
+    # StarChat-beta
+    ("starchat-beta", PromptStrategy.BP1): (0.630, 0.694, 0.75, 0.13),
+    ("starchat-beta", PromptStrategy.BP2): (0.500, 0.600, 0.60, 0.13),
+    ("starchat-beta", PromptStrategy.AP1): (0.620, 0.684, 0.75, 0.13),
+    ("starchat-beta", PromptStrategy.AP2): (0.630, 0.622, 0.75, 0.13),
+    ("starchat-beta", PromptStrategy.ADVANCED): (0.550, 0.673, 0.60, 0.13),
+    # Llama2-7b
+    ("llama2-7b", PromptStrategy.BP1): (0.650, 0.582, 0.75, 0.10),
+    ("llama2-7b", PromptStrategy.BP2): (0.520, 0.500, 0.60, 0.10),
+    ("llama2-7b", PromptStrategy.AP1): (0.650, 0.582, 0.75, 0.10),
+    ("llama2-7b", PromptStrategy.AP2): (0.660, 0.561, 0.75, 0.10),
+    ("llama2-7b", PromptStrategy.ADVANCED): (0.500, 0.663, 0.60, 0.10),
+}
+
+
+def profile_for(model: str, strategy: PromptStrategy) -> BehaviorProfile:
+    """Look up (or derive) the behavioral profile of a model under a strategy."""
+    key = (model, strategy)
+    if key not in _TARGETS:
+        # Unknown combinations fall back to the model's BP1 behaviour.
+        key = (model, PromptStrategy.BP1)
+    if key not in _TARGETS:
+        raise KeyError(f"no behavioral profile for model {model!r}")
+    tpr, fpr, fmt, pair = _TARGETS[key]
+    return BehaviorProfile.from_targets(
+        model, strategy, tpr=tpr, fpr=fpr, format_fidelity=fmt, pair_fidelity=pair
+    )
+
+
+def deterministic_uniform(*parts: str) -> float:
+    """A reproducible pseudo-uniform in [0, 1) derived from the given strings.
+
+    The simulated models use this instead of a global random number generator
+    so that every (model, strategy, benchmark) decision is stable across
+    processes and runs — the tables regenerate bit-identically.
+    """
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64

@@ -1,0 +1,121 @@
+"""Response text rendering for the simulated models.
+
+The simulated models answer in natural language (optionally with an embedded
+JSON block), exactly like the real chat models: the evaluation harness never
+receives a boolean, it receives text that must go through the response
+parsers in :mod:`repro.prompting.parsing` — including malformed output that
+forces the regex fallback (paper §4.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.llm.features import CodeFeatures
+
+__all__ = [
+    "render_detection_response",
+    "render_analysis_response",
+    "render_pairs_response",
+]
+
+#: (expr, line, col, op) — the pair element tuples produced by extract_features.
+PairElement = Tuple[str, int, int, str]
+
+
+def render_detection_response(verdict: bool, features: CodeFeatures) -> str:
+    """Plain yes/no answer with a short natural-language justification."""
+    if verdict:
+        subject = features.predicted_pairs[0][0] if features.predicted_pairs else "a shared variable"
+        return (
+            "yes. The provided code exhibits a potential data race: concurrent "
+            f"threads may update {subject} without sufficient synchronization."
+        )
+    if features.synchronization_score > 0:
+        return (
+            "no. The shared updates are protected by the synchronization "
+            "constructs present in the code, so no data race is expected."
+        )
+    return "no. Each iteration works on independent data, so no data race is expected."
+
+
+def render_analysis_response(features: CodeFeatures) -> str:
+    """Dependence-analysis answer used as chain 1 of the AP2 strategy."""
+    lines: List[str] = []
+    if not features.parses:
+        lines.append("The code could not be fully analyzed; treating accesses conservatively.")
+    if features.predicted_pairs:
+        lines.append("The following conflicting accesses were found by data dependence analysis:")
+        for expr, line, _col, op in features.predicted_pairs[:6]:
+            kind = "write" if op == "W" else "read"
+            lines.append(f"- {kind} of {expr} at line {line}")
+    else:
+        lines.append(
+            "No loop-carried data dependences between concurrent iterations were identified."
+        )
+    if features.has_reduction_clause:
+        lines.append("A reduction clause covers the accumulation variables.")
+    if features.has_critical or features.has_atomic or features.has_lock_calls:
+        lines.append("Mutual exclusion constructs guard some of the shared updates.")
+    return "\n".join(lines)
+
+
+def _format_pair_json(
+    names: Tuple[str, str], lines: Tuple[int, int], ops: Tuple[str, str], *, word_ops: bool
+) -> str:
+    def op_text(op: str) -> str:
+        if word_ops:
+            return "write" if op == "W" else "read"
+        return op
+
+    return (
+        "{\n"
+        '"data_race": 1,\n'
+        f'"variable_names": ["{names[0]}", "{names[1]}"],\n'
+        f'"variable_locations": [{lines[0]}, {lines[1]}],\n'
+        f'"operation_types": ["{op_text(ops[0])}", "{op_text(ops[1])}"]\n'
+        "}"
+    )
+
+
+def render_pairs_response(
+    verdict: bool,
+    pair: Optional[Sequence[PairElement]],
+    *,
+    well_formed: bool,
+    word_ops: bool = True,
+) -> str:
+    """Answer for a prompt that requested variable pairs.
+
+    Parameters
+    ----------
+    verdict:
+        The yes/no detection verdict.
+    pair:
+        Two pair elements (expr, line, col, op) to report, or ``None`` when the
+        model has nothing concrete to point at.
+    well_formed:
+        When ``False`` the answer is prose instead of the requested JSON,
+        exercising the regex fallback of the parser.
+    """
+    if not verdict:
+        return 'no.\n{\n"data_race": 0\n}' if well_formed else "no, this code looks race free."
+    if pair is None or len(pair) < 2:
+        if well_formed:
+            return (
+                'yes.\n{\n"data_race": 1,\n"variable_names": ["unknown", "unknown"],\n'
+                '"variable_locations": [0, 0],\n"operation_types": ["write", "write"]\n}'
+            )
+        return "yes, there appears to be a data race, but the exact variables are unclear."
+    (expr_a, line_a, _col_a, op_a), (expr_b, line_b, _col_b, op_b) = pair[0], pair[1]
+    if well_formed:
+        return "yes.\n" + _format_pair_json(
+            (expr_a, expr_b), (line_a, line_b), (op_a, op_b), word_ops=word_ops
+        )
+    op_word_a = "write" if op_a == "W" else "read"
+    op_word_b = "write" if op_b == "W" else "read"
+    return (
+        "Yes, the provided code exhibits data race issues. The data race is caused by "
+        f"the variable '{expr_a}' at line {line_a} and the variable '{expr_b}' at line "
+        f"{line_b}. The first access is a {op_word_a} and the second is a {op_word_b}."
+    )

@@ -1,0 +1,43 @@
+"""Prompt engineering strategies for data race detection (paper §3.3).
+
+The paper evaluates four prompt strategies:
+
+* **BP1** (Listing 4) — succinct yes/no detection prompt;
+* **BP2** (Listing 5) — multi-task prompt asking for yes/no plus a JSON
+  description of the variable pairs involved;
+* **AP1** (Listing 6) — BP1 plus the data-race definition and an instruction
+  to perform data-dependence analysis first;
+* **AP2** (Listing 7) — chain-of-thought: a dependence-analysis prompt whose
+  output feeds a second detection prompt (two chained calls).
+
+This package provides the templates, the sequential chain used by AP2, the
+response parsers (yes/no extraction and JSON/regex variable-pair parsing) and
+the :class:`PromptStrategy` dispatcher the experiments use.
+"""
+
+from repro.prompting.templates import (
+    AP1_TEMPLATE,
+    AP2_CHAIN1_TEMPLATE,
+    AP2_CHAIN2_TEMPLATE,
+    BP1_TEMPLATE,
+    BP2_TEMPLATE,
+    render_prompt,
+)
+from repro.prompting.strategy import PromptStrategy
+from repro.prompting.chains import SequentialChain, run_strategy
+from repro.prompting.parsing import ParsedPairs, parse_pairs_response, parse_yes_no
+
+__all__ = [
+    "BP1_TEMPLATE",
+    "BP2_TEMPLATE",
+    "AP1_TEMPLATE",
+    "AP2_CHAIN1_TEMPLATE",
+    "AP2_CHAIN2_TEMPLATE",
+    "render_prompt",
+    "PromptStrategy",
+    "SequentialChain",
+    "run_strategy",
+    "ParsedPairs",
+    "parse_yes_no",
+    "parse_pairs_response",
+]

@@ -1,0 +1,135 @@
+"""Response parsing: yes/no extraction and variable-pair extraction.
+
+The paper notes (§4.5) that not every model keeps to the requested output
+format, which forces regular-expression fallbacks.  The parsers here follow
+that structure: JSON first, regex second, and a conservative default when
+neither works.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["ParsedPairs", "parse_yes_no", "parse_pairs_response"]
+
+_YES_RE = re.compile(r"\byes\b", re.IGNORECASE)
+_NO_RE = re.compile(r"\bno\b", re.IGNORECASE)
+_JSON_BLOCK_RE = re.compile(r"\{.*\}", re.DOTALL)
+_PAIR_FALLBACK_RE = re.compile(
+    r"variable\s*'?(?P<var>[A-Za-z_][\w\[\]\+\-\* %]*)'?\s*(?:at|on)\s*line\s*(?P<line>\d+)",
+    re.IGNORECASE,
+)
+
+
+def parse_yes_no(text: str) -> Optional[bool]:
+    """Extract the binary detection verdict from a model response.
+
+    The instructions ask the model to *begin* with yes/no, so the first
+    occurrence wins; when only one of the two words appears anywhere, that
+    one is used; when neither appears the response is unusable (``None``).
+    """
+    if not text:
+        return None
+    yes_match = _YES_RE.search(text)
+    no_match = _NO_RE.search(text)
+    if yes_match and no_match:
+        return yes_match.start() < no_match.start()
+    if yes_match:
+        return True
+    if no_match:
+        return False
+    return None
+
+
+@dataclass
+class ParsedPairs:
+    """Structured result of parsing a variable-pair response."""
+
+    race: Optional[bool]
+    names: List[Tuple[str, str]] = field(default_factory=list)
+    lines: List[Tuple[int, int]] = field(default_factory=list)
+    operations: List[Tuple[str, str]] = field(default_factory=list)
+    used_fallback: bool = False
+
+    @property
+    def has_pairs(self) -> bool:
+        return bool(self.names)
+
+
+def _normalise_op(op: str) -> str:
+    op = op.strip().lower()
+    if op in ("w", "write"):
+        return "W"
+    if op in ("r", "read"):
+        return "R"
+    return op.upper()[:1] or "?"
+
+
+def _pairs_from_json(payload: dict) -> Optional[ParsedPairs]:
+    name_key = next((k for k in ("variable_names", "name", "names") if k in payload), None)
+    line_key = next(
+        (k for k in ("variable_locations", "line", "lines", "locations") if k in payload), None
+    )
+    op_key = next((k for k in ("operation_types", "operation", "operations") if k in payload), None)
+    if name_key is None:
+        return None
+    names = payload.get(name_key) or []
+    lines = payload.get(line_key) or [] if line_key else []
+    ops = payload.get(op_key) or [] if op_key else []
+    if len(names) < 2:
+        return None
+    race_flag = payload.get("data_race")
+    parsed = ParsedPairs(race=bool(race_flag) if race_flag is not None else True)
+    parsed.names.append((str(names[0]), str(names[1])))
+    if len(lines) >= 2:
+        try:
+            parsed.lines.append((int(lines[0]), int(lines[1])))
+        except (TypeError, ValueError):
+            pass
+    if len(ops) >= 2:
+        parsed.operations.append((_normalise_op(str(ops[0])), _normalise_op(str(ops[1]))))
+    return parsed
+
+
+def parse_pairs_response(text: str) -> ParsedPairs:
+    """Parse a response that was asked to include variable pairs.
+
+    Tries, in order: a JSON object embedded in the response; a regular
+    expression over natural-language phrasing ("the variable 'x' at line 9");
+    and finally falls back to just the yes/no verdict with no pairs.
+    """
+    verdict = parse_yes_no(text)
+    match = _JSON_BLOCK_RE.search(text or "")
+    if match:
+        try:
+            payload = json.loads(match.group(0))
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict):
+            parsed = _pairs_from_json(payload)
+            if parsed is not None:
+                if parsed.race is None:
+                    parsed.race = verdict
+                return parsed
+        if isinstance(payload, list) and payload and isinstance(payload[0], dict):
+            parsed = _pairs_from_json(payload[0])
+            if parsed is not None:
+                if parsed.race is None:
+                    parsed.race = verdict
+                return parsed
+
+    fallback_hits = _PAIR_FALLBACK_RE.findall(text or "")
+    if len(fallback_hits) >= 2:
+        (var_a, line_a), (var_b, line_b) = fallback_hits[0], fallback_hits[1]
+        parsed = ParsedPairs(race=True if verdict is None else verdict, used_fallback=True)
+        parsed.names.append((var_a.strip(), var_b.strip()))
+        try:
+            parsed.lines.append((int(line_a), int(line_b)))
+        except ValueError:
+            pass
+        return parsed
+
+    return ParsedPairs(race=verdict, used_fallback=True)

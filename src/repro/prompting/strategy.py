@@ -1,0 +1,33 @@
+"""Prompt strategy enumeration."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["PromptStrategy"]
+
+
+class PromptStrategy(str, enum.Enum):
+    """The prompt strategies evaluated in the paper.
+
+    ``BP2`` is only used in the preliminary Table 2 comparison; Table 3 uses
+    ``BP1``, ``AP1`` and ``AP2``.  ``ADVANCED`` denotes the variable-pair
+    identification request used for Table 5 (the Listing 9 style output
+    format without fine-tuning).
+    """
+
+    BP1 = "BP1"
+    BP2 = "BP2"
+    AP1 = "AP1"
+    AP2 = "AP2"
+    ADVANCED = "ADVANCED"
+
+    @property
+    def is_chained(self) -> bool:
+        """AP2 requires two sequential model calls."""
+        return self is PromptStrategy.AP2
+
+    @property
+    def requests_pairs(self) -> bool:
+        """Whether the strategy asks the model for variable pairs."""
+        return self in (PromptStrategy.BP2, PromptStrategy.ADVANCED)

@@ -1,0 +1,92 @@
+"""Prompt templates (paper Listings 4-7 and the advanced variable-pair prompt)."""
+
+from __future__ import annotations
+
+from repro.prompting.strategy import PromptStrategy
+
+__all__ = [
+    "BP1_TEMPLATE",
+    "BP2_TEMPLATE",
+    "AP1_TEMPLATE",
+    "AP2_CHAIN1_TEMPLATE",
+    "AP2_CHAIN2_TEMPLATE",
+    "ADVANCED_TEMPLATE",
+    "render_prompt",
+]
+
+#: Listing 4 — Basic Prompt 1: succinct detection.
+BP1_TEMPLATE = """You are an expert in High-Performance Computing. Examine the code presented to you and ascertain if it contains any data races.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.
+
+{code}
+"""
+
+#: Listing 5 — Basic Prompt 2: detection plus JSON variable pairs (multi-task).
+BP2_TEMPLATE = """You are an expert in High-Performance Computing. Examine the code presented to you and ascertain if it contains any data races.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.
+detail each occurrence of a data race by specifying the variable pairs involved, using the JSON format outlined below:
+{{
+"name": Names of each pair of variables involved in a data race.
+"line": line numbers of the paired variables within the code.
+"col": column number of the paird variables with in their line.
+"operation_types": Corresponding operations, 'W' for write operation and 'R' for read operation.
+}}
+
+{code}
+"""
+
+#: Listing 6 — Advanced Prompt 1: adds the definition and dependence analysis.
+AP1_TEMPLATE = """You are an expert in High-Performance Computing (HPC). Examine the provided code to identify any data races based on data dependence analysis.
+For clarity, a data race occurs when two or more threads access the same memory location simultaneously in a conflicting manner, without sufficient synchronization, with at least one of these accesses involving a write operation. It's crucial to analyze data dependence before determining potential data races.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.
+
+{code}
+"""
+
+#: Listing 7, chain 1 — dependence analysis step of the chain-of-thought prompt.
+AP2_CHAIN1_TEMPLATE = """You are an expert in High-Performance Computing (HPC). Analyze data dependence in the given code.
+
+{code}
+"""
+
+#: Listing 7, chain 2 — detection step consuming chain 1's output.
+AP2_CHAIN2_TEMPLATE = """A data race occurs when two or more threads access the same memory location simultaneously in a conflicting manner, without sufficient synchronization, with at least one of these accesses involving a write operation. Identify any data races based on the given data dependence information.
+Begin with a concise response: either 'yes' for the presence of a data race or 'no' if absent.
+
+Data dependence analysis:
+{analysis}
+
+{code}
+"""
+
+#: Advanced variable-pair identification prompt (pre-fine-tuning, Table 5);
+#: mirrors the Listing 9 output schema.
+ADVANCED_TEMPLATE = """You are an expert in High-Performance Computing. Examine the code presented to you and ascertain if it contains any data races.
+If a data race is present, detail each occurrence by specifying the variable pairs involved using the JSON format outlined below:
+{{
+"variable_names": Names of each pair of variables involved in a data race.
+"variable_locations": line numbers of the paired variables within the code.
+"operation_types": Corresponding operations, either 'write' or 'read'.
+}}
+
+{code}
+"""
+
+
+def render_prompt(strategy: PromptStrategy, code: str) -> str:
+    """Render the (first) prompt of a strategy for a given code snippet.
+
+    For AP2 this returns the chain-1 prompt; the chain runner builds the
+    second prompt from the first response.
+    """
+    if strategy is PromptStrategy.BP1:
+        return BP1_TEMPLATE.format(code=code)
+    if strategy is PromptStrategy.BP2:
+        return BP2_TEMPLATE.format(code=code)
+    if strategy is PromptStrategy.AP1:
+        return AP1_TEMPLATE.format(code=code)
+    if strategy is PromptStrategy.AP2:
+        return AP2_CHAIN1_TEMPLATE.format(code=code)
+    if strategy is PromptStrategy.ADVANCED:
+        return ADVANCED_TEMPLATE.format(code=code)
+    raise ValueError(f"unknown strategy {strategy!r}")

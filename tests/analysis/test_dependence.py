@@ -1,0 +1,97 @@
+"""Unit and property tests for the affine dependence machinery."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.dependence import (
+    SubscriptForm,
+    dependence_distance,
+    may_overlap,
+    normalize_subscript,
+)
+
+
+class TestNormalize:
+    def test_plain_variable(self):
+        form = normalize_subscript("i", ("i",))
+        assert form.is_affine and form.variable == "i" and form.coeff == 1 and form.offset == 0
+
+    def test_offset_positive(self):
+        form = normalize_subscript("i+1", ("i",))
+        assert form.offset == 1
+
+    def test_offset_negative(self):
+        form = normalize_subscript("i-2", ("i",))
+        assert form.offset == -2
+
+    def test_scaled(self):
+        form = normalize_subscript("2*i+1", ("i",))
+        assert form.coeff == 2 and form.offset == 1
+
+    def test_constant(self):
+        form = normalize_subscript("7", ("i",))
+        assert form.is_constant and form.offset == 7
+
+    def test_modulus_not_affine(self):
+        assert not normalize_subscript("i % 10", ("i",)).is_affine
+
+    def test_indirect_not_affine(self):
+        assert not normalize_subscript("idx[i]", ("i",)).is_affine
+
+    def test_other_variable_not_affine_wrt_loop(self):
+        assert not normalize_subscript("j", ("i",)).is_affine
+
+    def test_whitespace_tolerated(self):
+        form = normalize_subscript(" i + 4 ", ("i",))
+        assert form.offset == 4
+
+
+class TestDistanceAndOverlap:
+    def test_distance_one(self):
+        a = normalize_subscript("i+1", ("i",))
+        b = normalize_subscript("i", ("i",))
+        assert dependence_distance(a, b) == 1
+
+    def test_distance_requires_same_coeff(self):
+        a = normalize_subscript("2*i", ("i",))
+        b = normalize_subscript("i", ("i",))
+        assert dependence_distance(a, b) is None
+
+    def test_same_subscript_does_not_overlap_across_iterations(self):
+        a = normalize_subscript("i", ("i",))
+        assert not may_overlap(a, a, same_iteration_ok=True)
+
+    def test_same_subscript_overlaps_when_not_partitioned(self):
+        a = normalize_subscript("i", ("i",))
+        assert may_overlap(a, a, same_iteration_ok=False)
+
+    def test_shifted_overlaps(self):
+        a = normalize_subscript("i", ("i",))
+        b = normalize_subscript("i+1", ("i",))
+        assert may_overlap(a, b)
+
+    def test_constants_overlap_only_if_equal(self):
+        a = normalize_subscript("3", ("i",))
+        b = normalize_subscript("3", ("i",))
+        c = normalize_subscript("4", ("i",))
+        assert may_overlap(a, b)
+        assert not may_overlap(a, c)
+
+    def test_non_affine_is_conservative(self):
+        a = normalize_subscript("idx[i]", ("i",))
+        b = normalize_subscript("i", ("i",))
+        assert may_overlap(a, b)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_overlap_iff_offsets_differ_for_unit_coeff(self, off_a, off_b):
+        a = SubscriptForm(text="a", variable="i", coeff=1, offset=off_a)
+        b = SubscriptForm(text="b", variable="i", coeff=1, offset=off_b)
+        assert may_overlap(a, b, same_iteration_ok=True) == (off_a != off_b)
+
+    @given(st.integers(1, 8), st.integers(-20, 20), st.integers(-20, 20))
+    def test_distance_definition(self, coeff, off_a, off_b):
+        a = SubscriptForm(text="a", variable="i", coeff=coeff, offset=off_a)
+        b = SubscriptForm(text="b", variable="i", coeff=coeff, offset=off_b)
+        d = dependence_distance(a, b)
+        if d is not None:
+            # a(i) == b(i + d): coeff*i + off_a == coeff*(i+d) + off_b
+            assert coeff * 0 + off_a == coeff * d + off_b

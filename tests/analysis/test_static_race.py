@@ -1,0 +1,155 @@
+"""Tests for access extraction, sharing classification and the static detector."""
+
+import pytest
+
+from repro.analysis import StaticRaceDetector, extract_accesses, classify_sharing
+from repro.analysis.sharing import SharingAttribute
+from repro.corpus import CorpusConfig, build_corpus
+from repro.cparse import parse
+from repro.cparse.symbols import build_symbol_table
+
+
+RACY = """
+#include <stdio.h>
+int main()
+{
+  int i;
+  int len = 100;
+  int a[100];
+  for (i = 0; i < len; i++)
+    a[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < len - 1; i++)
+    a[i] = a[i+1] + 1;
+  return 0;
+}
+"""
+
+SAFE = """
+#include <stdio.h>
+int main()
+{
+  int i;
+  int len = 100;
+  int a[100];
+  int b[100];
+  for (i = 0; i < len; i++)
+    b[i] = i;
+#pragma omp parallel for
+  for (i = 0; i < len; i++)
+    a[i] = b[i] * 2;
+  return 0;
+}
+"""
+
+REDUCTION_OK = """
+int main()
+{
+  int i;
+  int sum = 0;
+#pragma omp parallel for reduction(+:sum)
+  for (i = 0; i < 50; i++)
+    sum += i;
+  return 0;
+}
+"""
+
+CRITICAL_OK = """
+int main()
+{
+  int i;
+  int sum = 0;
+#pragma omp parallel for
+  for (i = 0; i < 50; i++)
+  {
+#pragma omp critical
+    sum = sum + i;
+  }
+  return 0;
+}
+"""
+
+
+class TestAccessExtraction:
+    def test_extracts_only_parallel_accesses(self):
+        sites = extract_accesses(parse(RACY))
+        # sequential init loop contributes nothing
+        assert all(s.variable in ("a", "i", "len") for s in sites)
+        array_sites = [s for s in sites if s.variable == "a"]
+        assert {s.operation for s in array_sites} == {"R", "W"}
+
+    def test_records_locations(self):
+        sites = extract_accesses(parse(RACY))
+        write = next(s for s in sites if s.variable == "a" and s.is_write)
+        assert write.line == 12 and write.col == 5
+
+    def test_subscript_text(self):
+        sites = extract_accesses(parse(RACY))
+        read = next(s for s in sites if s.variable == "a" and not s.is_write)
+        assert read.subscript == "i+1"
+
+    def test_critical_context_flag(self):
+        sites = extract_accesses(parse(CRITICAL_OK))
+        sum_sites = [s for s in sites if s.variable == "sum"]
+        assert sum_sites and all(s.context.in_critical for s in sum_sites)
+
+    def test_reduction_clause_recorded(self):
+        sites = extract_accesses(parse(REDUCTION_OK))
+        sum_sites = [s for s in sites if s.variable == "sum"]
+        assert sum_sites and all("sum" in s.context.reduction_vars for s in sum_sites)
+
+
+class TestSharingClassification:
+    def test_reduction_variable(self):
+        unit = parse(REDUCTION_OK)
+        symbols = build_symbol_table(unit)
+        site = next(s for s in extract_accesses(unit) if s.variable == "sum")
+        assert classify_sharing(site, symbols) is SharingAttribute.REDUCTION
+
+    def test_worksharing_loop_index_private(self):
+        unit = parse(RACY)
+        symbols = build_symbol_table(unit)
+        site = next(s for s in extract_accesses(unit) if s.variable == "i")
+        assert classify_sharing(site, symbols) in (
+            SharingAttribute.LOOP_INDEX,
+            SharingAttribute.PRIVATE,
+        )
+
+    def test_shared_array(self):
+        unit = parse(RACY)
+        symbols = build_symbol_table(unit)
+        site = next(s for s in extract_accesses(unit) if s.variable == "a")
+        assert classify_sharing(site, symbols) is SharingAttribute.SHARED
+
+
+class TestStaticDetector:
+    def test_detects_antidependence(self):
+        report = StaticRaceDetector().analyze_source(RACY)
+        assert report.has_race
+        assert "a" in report.variables()
+
+    def test_accepts_independent_kernel(self):
+        report = StaticRaceDetector().analyze_source(SAFE)
+        assert not report.has_race
+
+    def test_accepts_reduction(self):
+        report = StaticRaceDetector().analyze_source(REDUCTION_OK)
+        assert not report.has_race
+
+    def test_accepts_critical(self):
+        report = StaticRaceDetector().analyze_source(CRITICAL_OK)
+        assert not report.has_race
+
+    def test_pair_locations_are_plausible(self):
+        report = StaticRaceDetector().analyze_source(RACY)
+        pair = report.pairs[0]
+        assert pair.first.line == pair.second.line == 12
+
+    def test_recall_on_corpus_sample(self):
+        """The static detector should flag the large majority of seeded races
+        (it is allowed to over-report on race-free kernels)."""
+        corpus = [b for b in build_corpus(CorpusConfig()) if b.category != "oversized"]
+        racy = [b for b in corpus if b.has_race][:40]
+        detector = StaticRaceDetector()
+        hits = sum(1 for b in racy if detector.analyze_source(b.code).has_race)
+        assert hits >= len(racy) * 0.8

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_summary_command(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "201 microbenchmarks" in out
+        assert "DRB-ML" in out
+
+    def test_table2_command_prints_table(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "BP1" in out and "BP2" in out
+
+    def test_table5_command_prints_all_models(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        for model in ("gpt-4", "gpt-3.5-turbo", "starchat-beta", "llama2-7b"):
+            assert model in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-table"])

@@ -1,0 +1,67 @@
+"""End-to-end tests of the public pipeline API."""
+
+import pytest
+
+from repro.core import DataRacePipeline, PipelineConfig
+from repro.prompting import PromptStrategy
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return DataRacePipeline(PipelineConfig())
+
+
+RACY_CODE = """#include <stdio.h>
+int main()
+{
+  int i;
+  int counter = 0;
+#pragma omp parallel for
+  for (i = 0; i < 64; i++)
+    counter = counter + 1;
+  return 0;
+}
+"""
+
+
+class TestPipeline:
+    def test_registry_and_dataset_sizes(self, pipeline):
+        assert len(pipeline.registry) == 201
+        assert len(pipeline.dataset) == 201
+        assert len(pipeline.evaluation_subset()) == 198
+
+    def test_detect_returns_outcome_with_response_text(self, pipeline):
+        outcome = pipeline.detect(RACY_CODE, model="gpt-4", strategy=PromptStrategy.BP1)
+        assert outcome.model == "gpt-4"
+        assert outcome.prediction in (True, False)
+        assert isinstance(outcome.response, str) and outcome.response
+
+    def test_detect_with_chain_strategy(self, pipeline):
+        outcome = pipeline.detect(RACY_CODE, model="gpt-4", strategy=PromptStrategy.AP2)
+        assert outcome.strategy == "AP2"
+
+    def test_identify_variables_returns_pairs_structure(self, pipeline):
+        outcome = pipeline.identify_variables(RACY_CODE, model="gpt-4")
+        assert outcome.pairs is not None
+
+    def test_models_listing(self, pipeline):
+        assert len(pipeline.models()) == 4
+
+    def test_model_instances_cached(self, pipeline):
+        assert pipeline.model("gpt-4") is pipeline.model("gpt-4")
+
+    def test_inspector_and_static_baselines_work(self, pipeline):
+        inspector_result = pipeline.inspector().analyze_source(RACY_CODE, num_threads=2)
+        static_report = pipeline.static_detector().analyze_source(RACY_CODE)
+        assert inspector_result.has_race
+        assert static_report.has_race
+
+    def test_finetune_on_small_subset(self, pipeline):
+        names = [r.name for r in pipeline.evaluation_subset().records[:30]]
+        tuned = pipeline.finetune("llama2-7b", kind="basic", train_names=names)
+        assert tuned.table_label == "Llama-FT"
+
+    def test_score_model_on_small_sample(self, pipeline):
+        records = pipeline.evaluation_subset().records[:12]
+        counts = pipeline.score_model(model="gpt-4", strategy=PromptStrategy.BP1, records=records)
+        assert counts.total == 12

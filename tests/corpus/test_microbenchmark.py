@@ -1,0 +1,120 @@
+"""Unit tests for the microbenchmark record types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.corpus.microbenchmark import AccessSpec, Microbenchmark, RaceLabel, RacePair
+
+
+class TestRaceLabel:
+    def test_yes_labels_have_race(self):
+        assert RaceLabel.Y1.has_race and RaceLabel.Y7.has_race
+
+    def test_no_labels_have_no_race(self):
+        assert not RaceLabel.N1.has_race and not RaceLabel.N5.has_race
+
+    def test_family_digit(self):
+        assert RaceLabel.Y3.family == 3
+        assert RaceLabel.N6.family == 6
+
+    def test_all_fourteen_labels_exist(self):
+        assert len(list(RaceLabel)) == 14
+
+
+class TestAccessSpec:
+    def test_valid_spec(self):
+        spec = AccessSpec(name="a[i+1]", line=64, col=10, operation="R")
+        assert spec.base_name == "a"
+        assert spec.drb_comment_form() == "a[i+1]@64:10:R"
+
+    def test_invalid_operation_rejected(self):
+        with pytest.raises(ValueError):
+            AccessSpec(name="x", line=1, col=1, operation="RW")
+
+    def test_invalid_line_rejected(self):
+        with pytest.raises(ValueError):
+            AccessSpec(name="x", line=0, col=1, operation="W")
+
+    def test_shifted_moves_lines_only(self):
+        spec = AccessSpec(name="x", line=10, col=3, operation="W")
+        moved = spec.shifted(5)
+        assert moved.line == 15 and moved.col == 3 and moved.name == "x"
+
+    def test_base_name_for_scalar(self):
+        assert AccessSpec(name="counter", line=2, col=2, operation="W").base_name == "counter"
+
+    @given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=0, max_value=500))
+    def test_shift_is_additive(self, line, delta):
+        spec = AccessSpec(name="a[i]", line=line, col=4, operation="R")
+        assert spec.shifted(delta).line == line + delta
+
+
+class TestRacePair:
+    def test_requires_a_write(self):
+        read = AccessSpec(name="a[i]", line=3, col=5, operation="R")
+        with pytest.raises(ValueError):
+            RacePair(read, read)
+
+    def test_comment_form(self):
+        read = AccessSpec(name="a[i+1]", line=64, col=10, operation="R")
+        write = AccessSpec(name="a[i]", line=64, col=5, operation="W")
+        pair = RacePair(read, write)
+        assert pair.drb_comment_form() == (
+            "Data race pair: a[i+1]@64:10:R vs. a[i]@64:5:W"
+        )
+
+    def test_base_names(self):
+        pair = RacePair(
+            AccessSpec(name="sum", line=9, col=5, operation="W"),
+            AccessSpec(name="sum", line=9, col=11, operation="R"),
+        )
+        assert pair.base_names() == ("sum", "sum")
+
+    def test_shifted_pair(self):
+        pair = RacePair(
+            AccessSpec(name="x", line=4, col=5, operation="W"),
+            AccessSpec(name="x", line=6, col=5, operation="R"),
+        )
+        moved = pair.shifted(3)
+        assert (moved.first.line, moved.second.line) == (7, 9)
+
+
+class TestMicrobenchmark:
+    def _pair(self):
+        return RacePair(
+            AccessSpec(name="a[i+1]", line=10, col=10, operation="R"),
+            AccessSpec(name="a[i]", line=10, col=5, operation="W"),
+        )
+
+    def test_yes_requires_pairs(self):
+        with pytest.raises(ValueError):
+            Microbenchmark(index=1, name="x.c", code="int main(){}", label=RaceLabel.Y1)
+
+    def test_no_forbids_pairs(self):
+        with pytest.raises(ValueError):
+            Microbenchmark(
+                index=1, name="x.c", code="int main(){}", label=RaceLabel.N1,
+                race_pairs=[self._pair()],
+            )
+
+    def test_drb_id_zero_padded(self):
+        bench = Microbenchmark(
+            index=7, name="DRB007-x-orig-yes.c", code="", label=RaceLabel.Y1,
+            race_pairs=[self._pair()],
+        )
+        assert bench.drb_id == "007"
+
+    def test_code_without_header_strips_leading_comment(self):
+        code = "/*\nheader line\n*/\nint main()\n{\n  return 0;\n}\n"
+        bench = Microbenchmark(
+            index=1, name="DRB001-x-orig-no.c", code=code, label=RaceLabel.N1
+        )
+        stripped = bench.code_without_header()
+        assert "header line" not in stripped
+        assert stripped.startswith("int main()")
+
+    def test_summary_mentions_race_state(self):
+        bench = Microbenchmark(
+            index=1, name="DRB001-x-orig-no.c", code="", label=RaceLabel.N2
+        )
+        assert "no race" in bench.summary()

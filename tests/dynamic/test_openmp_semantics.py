@@ -1,0 +1,192 @@
+"""Additional OpenMP semantics tests for the interpreter.
+
+These cover the data-environment clauses and worksharing constructs whose
+*value* semantics matter for the corpus (not just event recording).
+"""
+
+import pytest
+
+from repro.dynamic import Interpreter
+
+
+class TestDataEnvironment:
+    def test_firstprivate_initialises_from_shared_value(self):
+        interp = Interpreter(num_threads=2)
+        interp.run_source(
+            """
+            int main() {
+              int i;
+              int offset = 10;
+              int out[8];
+            #pragma omp parallel for firstprivate(offset)
+              for (i = 0; i < 8; i++)
+                out[i] = i + offset;
+              return 0;
+            }
+            """
+        )
+        assert interp._memory["out"] == [i + 10 for i in range(8)]
+
+    def test_lastprivate_writes_back_final_value(self):
+        interp = Interpreter(num_threads=2)
+        interp.run_source(
+            """
+            int main() {
+              int i;
+              double last_val = 0.0;
+              double a[10];
+              for (i = 0; i < 10; i++)
+                a[i] = i * 0.5;
+            #pragma omp parallel for lastprivate(last_val)
+              for (i = 0; i < 10; i++)
+                last_val = a[i];
+              return 0;
+            }
+            """
+        )
+        assert interp._memory["last_val"] == pytest.approx(4.5)
+
+    def test_max_reduction(self):
+        interp = Interpreter(num_threads=4)
+        interp.run_source(
+            """
+            int main() {
+              int i;
+              int best = 0;
+              int v[50];
+              for (i = 0; i < 50; i++)
+                v[i] = (i * 13) % 50;
+            #pragma omp parallel for reduction(max:best)
+              for (i = 0; i < 50; i++)
+              {
+                if (v[i] > best)
+                  best = v[i];
+              }
+              return 0;
+            }
+            """
+        )
+        assert interp._memory["best"] == max((i * 13) % 50 for i in range(50))
+
+    def test_private_variable_does_not_leak_back(self):
+        interp = Interpreter(num_threads=2)
+        interp.run_source(
+            """
+            int main() {
+              int i;
+              int tmp = 77;
+              int out[8];
+            #pragma omp parallel for private(tmp)
+              for (i = 0; i < 8; i++)
+              {
+                tmp = i;
+                out[i] = tmp;
+              }
+              return 0;
+            }
+            """
+        )
+        assert interp._memory["tmp"] == 77
+
+
+class TestWorksharingConstructs:
+    def test_sections_assign_different_threads(self):
+        interp = Interpreter(num_threads=2)
+        trace = interp.run_source(
+            """
+            int main() {
+              int first = 0;
+              int second = 0;
+            #pragma omp parallel sections
+              {
+            #pragma omp section
+                first = 1;
+            #pragma omp section
+                second = 2;
+              }
+              return 0;
+            }
+            """
+        )
+        assert interp._memory["first"] == 1 and interp._memory["second"] == 2
+        writers = {e.variable: e.thread for e in trace.events if e.is_write}
+        assert writers["first"] != writers["second"]
+
+    def test_atomic_capture_hands_out_unique_slots(self):
+        interp = Interpreter(num_threads=4)
+        interp.run_source(
+            """
+            int main() {
+              int i;
+              int slots[16];
+              int next = 0;
+            #pragma omp parallel for
+              for (i = 0; i < 16; i++)
+              {
+                int my_slot;
+            #pragma omp atomic capture
+                my_slot = next++;
+                slots[my_slot] = i;
+              }
+              return 0;
+            }
+            """
+        )
+        assert interp._memory["next"] == 16
+        assert sorted(interp._memory["slots"]) == list(range(16))
+
+    def test_ordered_construct_executes_in_iteration_order(self):
+        interp = Interpreter(num_threads=4)
+        trace = interp.run_source(
+            """
+            int main() {
+              int i;
+              int a[16];
+              a[0] = 0;
+            #pragma omp parallel for ordered
+              for (i = 1; i < 16; i++)
+              {
+            #pragma omp ordered
+                a[i] = a[i-1] + 1;
+              }
+              return 0;
+            }
+            """
+        )
+        assert all(e.ordered for e in trace.events if e.variable == "a")
+
+    def test_nowait_single_has_no_epoch_increment(self):
+        trace = Interpreter(num_threads=2).run_source(
+            """
+            int main() {
+              int data = 0;
+              int later = 0;
+            #pragma omp parallel num_threads(2)
+              {
+            #pragma omp single nowait
+                data = 1;
+                later = 2;
+              }
+              return 0;
+            }
+            """
+        )
+        later_epochs = {e.epoch for e in trace.events if e.variable == "later"}
+        assert later_epochs == {0}
+
+    def test_orphaned_simd_loop_runs_sequentially(self):
+        interp = Interpreter(num_threads=4)
+        trace = interp.run_source(
+            """
+            int main() {
+              int i;
+              int a[8];
+            #pragma omp simd
+              for (i = 0; i < 8; i++)
+                a[i] = i;
+              return 0;
+            }
+            """
+        )
+        assert interp._memory["a"] == list(range(8))
+        assert len(trace.events) == 0

@@ -1,0 +1,126 @@
+"""Cross-module integration tests.
+
+These tests exercise whole slices of the pipeline (corpus → dataset →
+prompts → models → metrics, corpus → detectors) and check the invariants
+that tie the modules together.
+"""
+
+import pytest
+
+from repro.core import DataRacePipeline
+from repro.dataset import DRBMLDataset, scrape_var_pairs
+from repro.dynamic import InspectorLikeDetector
+from repro.eval.experiments import evaluate_model_prompt
+from repro.eval.matching import base_name
+from repro.llm import create_model
+from repro.llm.behavior import HEURISTIC_FPR, HEURISTIC_TPR
+from repro.llm.features import extract_features
+from repro.prompting import PromptStrategy
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return DataRacePipeline()
+
+
+@pytest.fixture(scope="module")
+def subset(pipeline):
+    return pipeline.evaluation_subset()
+
+
+class TestCorpusDatasetConsistency:
+    def test_scraped_labels_equal_generator_ground_truth(self, pipeline):
+        """The DRB-ML scraping pipeline must recover exactly what the corpus
+        generator seeded (binary label and pair count) for every benchmark."""
+        for bench in pipeline.registry:
+            scraped = scrape_var_pairs(bench.code)
+            assert (len(scraped) > 0) == bench.has_race, bench.name
+            assert len(scraped) == len(bench.race_pairs), bench.name
+
+    def test_dataset_names_match_corpus_names(self, pipeline):
+        corpus_names = {b.name for b in pipeline.registry}
+        dataset_names = {r.name for r in pipeline.dataset.records}
+        assert corpus_names == dataset_names
+
+    def test_scraped_pair_variables_match_ground_truth(self, pipeline):
+        for bench in pipeline.registry:
+            scraped = scrape_var_pairs(bench.code)
+            for scraped_pair, truth_pair in zip(scraped, bench.race_pairs):
+                assert scraped_pair.first.base_name == truth_pair.first.base_name
+                assert scraped_pair.second.base_name == truth_pair.second.base_name
+
+
+class TestDetectorGroundTruthConsistency:
+    def test_inspector_pairs_name_ground_truth_variables(self, pipeline, subset):
+        """When the dynamic detector flags a seeded race, the conflicting
+        variable it reports must be one of the ground-truth race variables."""
+        detector = InspectorLikeDetector(schedules=("static",))
+        racy = [b for b in pipeline.registry if b.has_race and b.category == "antidep"][:6]
+        for bench in racy:
+            result = detector.analyze_benchmark(bench)
+            assert result.has_race, bench.name
+            truth_vars = {
+                base_name(access.name)
+                for pair in bench.race_pairs
+                for access in (pair.first, pair.second)
+            }
+            assert set(result.variables()) & truth_vars, bench.name
+
+    def test_static_heuristic_quality_matches_calibration_constants(self, subset):
+        """The calibration constants in repro.llm.behavior must reflect the
+        actual measured quality of the internal heuristic on the subset."""
+        tp = fn = fp = tn = 0
+        for record in subset.records:
+            predicted = extract_features(record.trimmed_code).heuristic_race
+            if record.has_race:
+                tp += predicted
+                fn += not predicted
+            else:
+                fp += predicted
+                tn += not predicted
+        measured_tpr = tp / (tp + fn)
+        measured_fpr = fp / (fp + tn)
+        assert measured_tpr == pytest.approx(HEURISTIC_TPR, abs=0.05)
+        assert measured_fpr == pytest.approx(HEURISTIC_FPR, abs=0.05)
+
+
+class TestCalibrationEndToEnd:
+    def test_gpt4_bp1_rates_match_paper_targets(self, subset):
+        """Running the full prompt → generate → parse pipeline must land near
+        the paper's GPT-4 BP1 recall / false-positive rate (the calibration
+        target), not merely the internal probabilities."""
+        counts = evaluate_model_prompt(create_model("gpt-4"), PromptStrategy.BP1, subset.records)
+        assert counts.recall == pytest.approx(0.77, abs=0.08)
+        fpr = counts.fp / (counts.fp + counts.tn)
+        assert fpr == pytest.approx(0.286, abs=0.08)
+
+    def test_model_ranking_matches_paper(self, subset):
+        """GPT-4 must beat the other three models under BP1 end to end."""
+        f1 = {}
+        for name in ("gpt-4", "gpt-3.5-turbo", "starchat-beta"):
+            counts = evaluate_model_prompt(create_model(name), PromptStrategy.BP1, subset.records)
+            f1[name] = counts.f1
+        assert f1["gpt-4"] > f1["gpt-3.5-turbo"]
+        assert f1["gpt-4"] > f1["starchat-beta"]
+
+
+class TestPipelineRoundTrips:
+    def test_detect_agrees_with_score_model_counting(self, pipeline, subset):
+        records = subset.records[:10]
+        counts = pipeline.score_model(
+            model="gpt-4", strategy=PromptStrategy.BP1, records=records
+        )
+        manual = 0
+        for record in records:
+            outcome = pipeline.detect(record.trimmed_code, model="gpt-4")
+            manual += outcome.says_race
+        assert counts.tp + counts.fp == manual
+
+    def test_dataset_save_load_preserves_evaluation(self, tmp_path, subset):
+        small = DRBMLDataset(records=subset.records[:8])
+        small.save(tmp_path)
+        loaded = DRBMLDataset.load(tmp_path)
+        model = create_model("gpt-4")
+        original = evaluate_model_prompt(model, PromptStrategy.BP1, small.records)
+        reloaded = evaluate_model_prompt(model, PromptStrategy.BP1, loaded.records)
+        assert original.as_row() == reloaded.as_row()

@@ -1,0 +1,97 @@
+"""Failure-injection tests: every layer must degrade gracefully on bad input."""
+
+import pytest
+
+from repro.cparse import parse
+from repro.cparse.parser import ParseError
+from repro.dynamic import InspectorLikeDetector, Interpreter, InterpreterError, InterpreterLimits
+from repro.llm import create_model, extract_features
+from repro.llm.finetune import FineTuner
+from repro.prompting import PromptStrategy, parse_pairs_response, parse_yes_no, render_prompt
+from repro.analysis import StaticRaceDetector
+
+
+NOT_C = "this is definitely not a C translation unit {{{"
+
+NON_TERMINATING = """
+int main() {
+  int x = 0;
+  while (x >= 0)
+    x = x + 1;
+  return 0;
+}
+"""
+
+UNSUPPORTED_POINTER_STORE = """
+int main() {
+  int x = 0;
+  int *p;
+  *p = 3;
+  return 0;
+}
+"""
+
+
+class TestFrontendFailures:
+    def test_parser_reports_error_not_crash(self):
+        with pytest.raises(ParseError):
+            parse("int main() { int x = ; }")
+
+    def test_feature_extraction_survives_unparseable_code(self):
+        features = extract_features(NOT_C)
+        assert features.parses is False
+        assert features.heuristic_race is False
+
+    def test_static_detector_propagates_parse_errors(self):
+        with pytest.raises(Exception):
+            StaticRaceDetector().analyze_source("int main( {")
+
+
+class TestInterpreterFailures:
+    def test_step_limit_stops_runaway_program(self):
+        interp = Interpreter(limits=InterpreterLimits(max_steps=5_000, max_loop_iterations=1_000))
+        with pytest.raises(InterpreterError):
+            interp.run_source(NON_TERMINATING)
+
+    def test_pointer_store_is_rejected_cleanly(self):
+        with pytest.raises(InterpreterError):
+            Interpreter().run_source(UNSUPPORTED_POINTER_STORE)
+
+    def test_inspector_marks_failure_and_stays_usable(self):
+        detector = InspectorLikeDetector(
+            schedules=("static",),
+            limits=InterpreterLimits(max_steps=5_000, max_loop_iterations=1_000),
+        )
+        result = detector.analyze_source(NON_TERMINATING, name="runaway")
+        assert result.failed is True
+        assert result.has_race is False
+        assert result.failure_reason
+
+    def test_out_of_bounds_subscript_reported(self):
+        code = "int main() { int a[4]; a[9] = 1; return 0; }"
+        with pytest.raises(InterpreterError):
+            Interpreter().run_source(code)
+
+
+class TestModelRobustness:
+    def test_model_answers_even_for_unparseable_code(self):
+        model = create_model("gpt-4")
+        response = model.generate(render_prompt(PromptStrategy.BP1, NOT_C))
+        assert parse_yes_no(response) is not None
+
+    def test_pair_response_parsing_never_raises(self):
+        for text in ("", "{", "yes {broken json", "42", None and "" or "###"):
+            parsed = parse_pairs_response(text)
+            assert parsed is not None
+
+    def test_finetuner_rejects_empty_training_set(self):
+        with pytest.raises(ValueError):
+            FineTuner(base=create_model("llama2-7b")).fit([])
+
+    def test_interpreter_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            Interpreter(num_threads=0)
+
+    def test_inspector_requires_a_schedule(self):
+        with pytest.raises(ValueError):
+            InspectorLikeDetector(schedules=())

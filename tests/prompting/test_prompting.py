@@ -1,0 +1,135 @@
+"""Tests for prompt templates, chains and response parsing."""
+
+import pytest
+
+from repro.prompting import (
+    PromptStrategy,
+    SequentialChain,
+    parse_pairs_response,
+    parse_yes_no,
+    render_prompt,
+    run_strategy,
+)
+from repro.prompting.chains import ChainStep, ap2_chain
+
+
+CODE = "#include <stdio.h>\nint main() { return 0; }\n"
+
+
+class TestTemplates:
+    def test_bp1_is_succinct_detection(self):
+        prompt = render_prompt(PromptStrategy.BP1, CODE)
+        assert "concise response" in prompt and CODE in prompt
+        assert "JSON" not in prompt
+
+    def test_bp2_requests_json_pairs(self):
+        prompt = render_prompt(PromptStrategy.BP2, CODE)
+        assert "JSON format" in prompt and '"col"' in prompt
+
+    def test_ap1_includes_definition(self):
+        prompt = render_prompt(PromptStrategy.AP1, CODE)
+        assert "data race occurs when two or more threads" in prompt
+
+    def test_ap2_first_prompt_is_analysis_only(self):
+        prompt = render_prompt(PromptStrategy.AP2, CODE)
+        assert "Analyze data dependence" in prompt
+        assert "concise response" not in prompt
+
+    def test_advanced_requests_variable_names(self):
+        prompt = render_prompt(PromptStrategy.ADVANCED, CODE)
+        assert "variable_names" in prompt
+
+    def test_strategy_flags(self):
+        assert PromptStrategy.AP2.is_chained
+        assert PromptStrategy.BP2.requests_pairs
+        assert not PromptStrategy.BP1.requests_pairs
+
+
+class TestChains:
+    def test_sequential_chain_passes_outputs_forward(self):
+        chain = SequentialChain(
+            [
+                ChainStep("first", lambda ctx: f"step1:{ctx['code']}"),
+                ChainStep("second", lambda ctx: f"step2:{ctx['first']}"),
+            ]
+        )
+        outputs = chain.run(lambda p: p.upper(), {"code": "abc"})
+        assert outputs["first"] == "STEP1:ABC"
+        assert outputs["second"] == "STEP2:STEP1:ABC"
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialChain([])
+
+    def test_ap2_chain_issues_two_calls(self):
+        calls = []
+
+        def fake_model(prompt):
+            calls.append(prompt)
+            return "no dependences found" if len(calls) == 1 else "no"
+
+        response = run_strategy(fake_model, PromptStrategy.AP2, CODE)
+        assert len(calls) == 2
+        assert "no dependences found" in calls[1]
+        assert response == "no"
+
+    def test_non_chained_strategy_single_call(self):
+        calls = []
+        run_strategy(lambda p: calls.append(p) or "yes", PromptStrategy.BP1, CODE)
+        assert len(calls) == 1
+
+
+class TestYesNoParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("yes, there is a data race", True),
+            ("Yes.", True),
+            ("no, the code is safe", False),
+            ("No data race is present", False),
+            ("The answer is yes although no synchronization exists", True),
+            ("", None),
+            ("cannot determine", None),
+        ],
+    )
+    def test_verdict_extraction(self, text, expected):
+        assert parse_yes_no(text) is expected
+
+    def test_first_keyword_wins(self):
+        assert parse_yes_no("no. Well, actually yes.") is False
+
+
+class TestPairParsing:
+    def test_json_pairs(self):
+        text = (
+            'yes.\n{"data_race": 1, "variable_names": ["a[i]", "a[i+1]"], '
+            '"variable_locations": [12, 12], "operation_types": ["write", "read"]}'
+        )
+        parsed = parse_pairs_response(text)
+        assert parsed.race is True
+        assert parsed.names == [("a[i]", "a[i+1]")]
+        assert parsed.lines == [(12, 12)]
+        assert parsed.operations == [("W", "R")]
+
+    def test_prose_fallback(self):
+        text = (
+            "Yes, the provided code exhibits data race issues. The data race is caused "
+            "by the variable 'x' at line 9 and the variable 'x' at line 26."
+        )
+        parsed = parse_pairs_response(text)
+        assert parsed.used_fallback
+        assert parsed.names == [("x", "x")]
+        assert parsed.lines == [(9, 26)]
+
+    def test_negative_json(self):
+        parsed = parse_pairs_response('no.\n{"data_race": 0}')
+        assert parsed.race is False and not parsed.has_pairs
+
+    def test_garbage_returns_verdict_only(self):
+        parsed = parse_pairs_response("maybe yes maybe not, hard to tell")
+        assert parsed.race is True  # first keyword is "yes"
+        assert not parsed.has_pairs
+
+    def test_malformed_json_falls_back(self):
+        parsed = parse_pairs_response('yes {"variable_names": ["a[i]"')
+        assert parsed.race is True
