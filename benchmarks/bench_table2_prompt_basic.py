@@ -11,8 +11,8 @@ from repro.eval.experiments import run_table2
 from repro.eval.reporting import format_confusion_table
 
 
-def test_table2_bp1_vs_bp2(benchmark, subset):
-    rows = run_once(benchmark, lambda: run_table2(subset))
+def test_table2_bp1_vs_bp2(benchmark, subset, engine):
+    rows = run_once(benchmark, lambda: run_table2(subset, engine=engine))
     print()
     print(format_confusion_table(rows, title="Table 2 — GPT-3.5-turbo, BP1 vs BP2"))
 

@@ -13,9 +13,9 @@ from repro.eval.experiments import run_table3
 from repro.eval.reporting import format_confusion_table
 
 
-def test_table3_tools_vs_llms(benchmark, subset, corpus_config):
+def test_table3_tools_vs_llms(benchmark, subset, corpus_config, engine):
     rows = run_once(
-        benchmark, lambda: run_table3(subset, corpus_config=corpus_config)
+        benchmark, lambda: run_table3(subset, corpus_config=corpus_config, engine=engine)
     )
     print()
     print(format_confusion_table(rows, title="Table 3 — Inspector vs LLM prompt strategies"))

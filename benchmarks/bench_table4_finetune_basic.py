@@ -11,8 +11,8 @@ from repro.eval.experiments import run_table4
 from repro.eval.reporting import format_crossval_table
 
 
-def test_table4_basic_finetuning(benchmark, subset):
-    results = run_once(benchmark, lambda: run_table4(subset))
+def test_table4_basic_finetuning(benchmark, subset, engine):
+    results = run_once(benchmark, lambda: run_table4(subset, engine=engine))
     print()
     for model_name, result in results.items():
         print(format_crossval_table(result.as_rows(), title=f"Table 4 — {model_name}"))

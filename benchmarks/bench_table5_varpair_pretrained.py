@@ -11,8 +11,8 @@ from repro.eval.experiments import run_table5
 from repro.eval.reporting import format_confusion_table
 
 
-def test_table5_variable_identification(benchmark, subset):
-    rows = run_once(benchmark, lambda: run_table5(subset))
+def test_table5_variable_identification(benchmark, subset, engine):
+    rows = run_once(benchmark, lambda: run_table5(subset, engine=engine))
     print()
     print(format_confusion_table(rows, title="Table 5 — variable identification (pre-trained)"))
 

@@ -11,8 +11,8 @@ from repro.eval.experiments import run_table6
 from repro.eval.reporting import format_crossval_table
 
 
-def test_table6_advanced_finetuning(benchmark, subset):
-    results = run_once(benchmark, lambda: run_table6(subset))
+def test_table6_advanced_finetuning(benchmark, subset, engine):
+    results = run_once(benchmark, lambda: run_table6(subset, engine=engine))
     print()
     for model_name, result in results.items():
         print(format_crossval_table(result.as_rows(), title=f"Table 6 — {model_name}"))

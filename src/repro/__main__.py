@@ -9,14 +9,23 @@ Usage::
     python -m repro table6            # advanced fine-tuning cross-validation
     python -m repro summary           # corpus + dataset statistics
     python -m repro all               # everything above in sequence
+
+    python -m repro table3 --jobs 8   # thread-pool execution (same results)
+    python -m repro all --cache /tmp/repro-cache.json   # persist responses
+
+Every table run goes through one shared
+:class:`~repro.engine.core.ExecutionEngine`; after each table the engine
+prints its stats line (request count, cache hit rate, wall time) unless
+``--no-stats`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import List, Optional
 
+from repro.engine import ExecutionEngine, ResponseCache
 from repro.eval.experiments import (
     default_subset,
     run_table2,
@@ -39,34 +48,47 @@ def _print_summary() -> None:
     print(default_subset().summary())
 
 
-def _run(table: str) -> None:
+def _run(table: str, engine: ExecutionEngine) -> None:
     subset = default_subset()
     if table == "table2":
-        print(format_confusion_table(run_table2(subset), title="Table 2 — GPT-3.5-turbo, BP1 vs BP2"))
+        print(
+            format_confusion_table(
+                run_table2(subset, engine=engine), title="Table 2 — GPT-3.5-turbo, BP1 vs BP2"
+            )
+        )
     elif table == "table3":
         print(
             format_confusion_table(
-                run_table3(subset), title="Table 3 — Inspector vs LLM prompt strategies"
+                run_table3(subset, engine=engine),
+                title="Table 3 — Inspector vs LLM prompt strategies",
             )
         )
     elif table == "table4":
-        for name, result in run_table4(subset).items():
+        for name, result in run_table4(subset, engine=engine).items():
             print(format_crossval_table(result.as_rows(), title=f"Table 4 — {name}"))
             print()
     elif table == "table5":
         print(
             format_confusion_table(
-                run_table5(subset), title="Table 5 — variable identification (pre-trained)"
+                run_table5(subset, engine=engine),
+                title="Table 5 — variable identification (pre-trained)",
             )
         )
     elif table == "table6":
-        for name, result in run_table6(subset).items():
+        for name, result in run_table6(subset, engine=engine).items():
             print(format_crossval_table(result.as_rows(), title=f"Table 6 — {name}"))
             print()
     elif table == "summary":
         _print_summary()
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(f"unknown command {table!r}")
+
+
+def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
+    cache: Optional[ResponseCache] = None
+    if args.cache_entries > 0:
+        cache = ResponseCache(args.cache_entries, path=args.cache)
+    return ExecutionEngine(jobs=args.jobs, cache=cache, batch_size=args.batch_size)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -80,13 +102,66 @@ def main(argv: List[str] | None = None) -> int:
         choices=["table2", "table3", "table4", "table5", "table6", "summary", "all"],
         help="which experiment to regenerate",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine parallelism: 1 = serial, N > 1 = thread pool (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="JSON file to load/save the model-response cache (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="in-memory response-cache capacity; 0 disables caching (default: 65536)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        metavar="N",
+        help="requests per engine chunk (default: 32)",
+    )
+    parser.add_argument(
+        "--no-stats",
+        action="store_true",
+        help="suppress the [engine] stats line after table runs",
+    )
     args = parser.parse_args(argv)
-    if args.command == "all":
-        for table in ("summary", "table2", "table3", "table4", "table5", "table6"):
-            _run(table)
+    if args.batch_size < 1:
+        parser.error("--batch-size must be >= 1")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 and 1 both mean serial)")
+    if args.cache_entries < 0:
+        parser.error("--cache-entries must be >= 0 (0 disables caching)")
+    if args.cache is not None and args.cache_entries == 0:
+        parser.error("--cache has no effect with --cache-entries 0 (caching disabled)")
+    engine = _build_engine(args)
+    commands = (
+        ("summary", "table2", "table3", "table4", "table5", "table6")
+        if args.command == "all"
+        else (args.command,)
+    )
+    for table in commands:
+        before = engine.telemetry.snapshot()
+        _run(table, engine)
+        if table != "summary" and not args.no_stats:
+            print(
+                engine.telemetry.format_stats(
+                    executor_name=engine.executor.name, since=before
+                )
+            )
+        if args.command == "all":
             print()
-    else:
-        _run(args.command)
+    if engine.cache is not None and args.cache is not None:
+        engine.cache.save()
     return 0
 
 

@@ -29,6 +29,16 @@ class PipelineConfig:
         Model used when none is given (GPT-4 is the paper's strongest).
     n_folds, fold_seed:
         Cross-validation layout (paper §3.5 uses 5 stratified folds).
+    jobs:
+        Execution-engine parallelism: 1 runs serially, N > 1 uses a
+        thread pool of that width.  Results are identical either way.
+    batch_size:
+        Requests per engine chunk (one chunk = one executor work item).
+    cache_entries:
+        In-memory response-cache capacity; 0 disables caching entirely.
+    cache_path:
+        Optional JSON file for the response cache: loaded automatically on
+        first engine use, written by :meth:`DataRacePipeline.save_cache`.
     """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
@@ -37,3 +47,7 @@ class PipelineConfig:
     default_model: str = "gpt-4"
     n_folds: int = 5
     fold_seed: int = 7
+    jobs: int = 1
+    batch_size: int = 32
+    cache_entries: int = 65536
+    cache_path: Optional[str] = None

@@ -24,7 +24,7 @@ from repro.corpus.registry import CorpusRegistry
 from repro.dataset.drbml import DRBMLDataset
 from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
 from repro.dynamic.inspector import InspectorLikeDetector
-from repro.eval.matching import pairs_correct
+from repro.engine import ExecutionEngine, ResponseCache, build_requests
 from repro.eval.metrics import ConfusionCounts
 from repro.llm.base import LanguageModel
 from repro.llm.finetune import FineTuneConfig, FineTunedModel, FineTuner
@@ -59,6 +59,7 @@ class DataRacePipeline:
         self._registry: Optional[CorpusRegistry] = None
         self._dataset: Optional[DRBMLDataset] = None
         self._models: Dict[str, LanguageModel] = {}
+        self._engine: Optional[ExecutionEngine] = None
 
     # -- lazily built artefacts -----------------------------------------------------
 
@@ -91,6 +92,39 @@ class DataRacePipeline:
     def models() -> List[str]:
         """Model names in the paper's order."""
         return available_models()
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine every scoring path runs through.
+
+        Built once from the config: ``jobs`` selects serial vs. thread-pool
+        execution, ``cache_entries``/``cache_path`` configure the response
+        cache.  Results are identical across these settings; they only
+        change how fast the calls run.
+        """
+        if self._engine is None:
+            cache = None
+            if self.config.cache_entries > 0:
+                cache = ResponseCache(self.config.cache_entries, path=self.config.cache_path)
+            self._engine = ExecutionEngine(
+                jobs=self.config.jobs,
+                cache=cache,
+                batch_size=self.config.batch_size,
+            )
+        return self._engine
+
+    def save_cache(self) -> Optional[str]:
+        """Persist the response cache to ``config.cache_path``, if both exist.
+
+        Returns the path written, or ``None`` when there is nothing to save
+        (caching disabled or no ``cache_path`` configured).  Loading is
+        automatic — the engine's cache reads the file on first use — but
+        saving is explicit so callers decide when a run's responses are
+        worth keeping.
+        """
+        if self.engine.cache is None or self.config.cache_path is None:
+            return None
+        return str(self.engine.cache.save())
 
     # -- route 1: prompt engineering -----------------------------------------------
 
@@ -163,25 +197,27 @@ class DataRacePipeline:
         strategy: Optional[PromptStrategy] = None,
         records: Optional[Sequence] = None,
     ) -> ConfusionCounts:
-        """Confusion counts of a model/strategy over the evaluation subset."""
+        """Confusion counts of a model/strategy over the evaluation subset.
+
+        Runs through the execution engine (batched, cached, parallel per
+        the pipeline config); scoring matches :meth:`detect` exactly — for
+        pair-requesting strategies a missing verdict counts as "no race"
+        (the ``"pairs-strict"`` mode).
+        """
         strategy = strategy or self.config.default_strategy
         records = records if records is not None else self.evaluation_subset().records
-        counts = ConfusionCounts()
-        for record in records:
-            outcome = self.detect(record.trimmed_code, model=model, strategy=strategy)
-            if strategy.requests_pairs and outcome.pairs is not None:
-                correct = pairs_correct(outcome.pairs, record)
-                counts.add(record.has_race, outcome.says_race, correct_positive=correct)
-            else:
-                counts.add(record.has_race, outcome.says_race)
-        return counts
+        scoring = "pairs-strict" if strategy.requests_pairs else "detection"
+        requests = build_requests(self.model(model), strategy, records, scoring=scoring)
+        return self.engine.run_counts(requests)
 
     def score_inspector(self, benchmarks: Optional[Sequence[Microbenchmark]] = None) -> ConfusionCounts:
         """Confusion counts of the Inspector-like detector over the subset."""
         subset_names = {r.name for r in self.evaluation_subset().records}
         benchmarks = benchmarks or [b for b in self.registry if b.name in subset_names]
+        benchmarks = list(benchmarks)
         detector = self.inspector()
+        predictions = self.engine.map(detector.predict, benchmarks)
         counts = ConfusionCounts()
-        for bench in benchmarks:
-            counts.add(bench.has_race, detector.predict(bench))
+        for bench, prediction in zip(benchmarks, predictions):
+            counts.add(bench.has_race, prediction)
         return counts

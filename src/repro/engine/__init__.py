@@ -1,0 +1,69 @@
+"""Batched, cached, parallel execution of model evaluation work.
+
+Every path that evaluates a language model over DRB-ML records — the
+pipeline facade, the ``run_tableN`` experiment drivers, the fine-tuning
+cross-validation and the benchmark harness — routes through this package
+instead of looping over ``model.generate`` itself.
+
+Module map
+----------
+
+``core``
+    :class:`ExecutionEngine` — accepts batches of
+    :class:`DetectionRequest`, chunks them per (model, strategy), maps the
+    chunks over an executor, satisfies repeats from the cache, and returns
+    an order-preserving :class:`RunResultStore`.  Also offers a generic
+    ``map`` for non-LLM work (the Inspector baseline).
+``requests``
+    The request/result dataclasses and the *only* implementation of
+    response scoring → confusion-count assembly (modes ``"detection"``,
+    ``"pairs"``, ``"pairs-strict"``; see the module docstring).
+``executors``
+    Pluggable execution backends: :class:`SerialExecutor` (reference) and
+    :class:`ThreadPoolExecutor`.  A backend is anything with an
+    order-preserving ``map(fn, items)``; implement that contract and pass
+    an instance to the engine — or register it in
+    :func:`create_executor` — to add a new one (async, multi-process, …).
+``cache``
+    :class:`ResponseCache` — thread-safe LRU keyed on the content hash of
+    ``(model.cache_identity, prompt)``, with optional JSON file
+    persistence (``--cache`` on the CLI).
+``telemetry``
+    :class:`EngineTelemetry` — thread-safe counters (requests, model
+    calls, cache hits/misses, wall time) with a one-line ``format_stats``
+    for the CLI and a ``snapshot`` dict for ``BENCH_engine.json``.
+
+Guarantee: the engine is a pure execution refactor.  For the deterministic
+simulated models, confusion counts are bit-identical across executors,
+batch sizes and cache states (enforced by ``tests/engine/test_equivalence``).
+"""
+
+from repro.engine.cache import CacheStats, ResponseCache
+from repro.engine.core import ExecutionEngine, resolve_engine
+from repro.engine.executors import SerialExecutor, ThreadPoolExecutor, create_executor
+from repro.engine.requests import (
+    SCORING_MODES,
+    DetectionRequest,
+    RunResult,
+    RunResultStore,
+    build_requests,
+    score_response,
+)
+from repro.engine.telemetry import EngineTelemetry
+
+__all__ = [
+    "CacheStats",
+    "ResponseCache",
+    "ExecutionEngine",
+    "resolve_engine",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "create_executor",
+    "SCORING_MODES",
+    "DetectionRequest",
+    "RunResult",
+    "RunResultStore",
+    "build_requests",
+    "score_response",
+    "EngineTelemetry",
+]

@@ -1,0 +1,158 @@
+"""Content-addressed response cache for model calls.
+
+The cache maps ``(model identity, prompt)`` to the model's response.  Keys
+are content-addressed: the identity string and the full prompt text are
+hashed together, so two models that would answer differently (for example
+two fine-tuned variants trained on different folds) never share entries as
+long as their :attr:`~repro.llm.base.LanguageModel.cache_identity` differs.
+
+Two storage layers compose:
+
+* an in-memory LRU bounded by ``max_entries`` (oldest entries evicted);
+* an optional JSON file, loaded on construction and written by
+  :meth:`ResponseCache.save`, so repeated CLI runs can reuse responses.
+
+All operations are thread-safe; the thread-pool executor hits the cache
+concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["CacheStats", "ResponseCache"]
+
+#: Bump when the key derivation changes; persisted files carry the version.
+_CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def cache_key(identity: str, prompt: str) -> str:
+    """Content-addressed key for one ``(model identity, prompt)`` request."""
+    digest = hashlib.sha256()
+    digest.update(identity.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(prompt.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResponseCache:
+    """Thread-safe LRU response cache with optional JSON persistence."""
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        *,
+        path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.path = Path(path) if path is not None else None
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lookup / insert ------------------------------------------------------------
+
+    def get(self, identity: str, prompt: str) -> Optional[str]:
+        """The cached response, or ``None`` on a miss (recorded in stats)."""
+        key = cache_key(identity, prompt)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, identity: str, prompt: str, response: str) -> None:
+        """Insert one response, evicting the least recently used on overflow."""
+        key = cache_key(identity, prompt)
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write every entry to ``path`` (or the constructor path) as JSON."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no cache file path configured")
+        with self._lock:
+            payload = {
+                "version": _CACHE_FORMAT_VERSION,
+                "entries": dict(self._entries),
+            }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=0), encoding="utf-8")
+        return target
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge entries from a JSON file; returns how many were loaded.
+
+        A cache file is an optimisation, never a requirement: unreadable,
+        corrupt or version-mismatched files load zero entries instead of
+        raising, so a damaged cache can at worst slow a run down.
+        """
+        source = Path(path)
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return 0
+        if not isinstance(payload, dict) or payload.get("version") != _CACHE_FORMAT_VERSION:
+            return 0
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return 0
+        with self._lock:
+            for key, response in entries.items():
+                self._entries[key] = response
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return len(entries)

@@ -1,0 +1,174 @@
+"""The execution engine: batched, cached, parallel model evaluation.
+
+:class:`ExecutionEngine` is the single funnel every evaluation path uses to
+call a language model.  Given a sequence of
+:class:`~repro.engine.requests.DetectionRequest`, it
+
+1. groups requests by (model instance, strategy, scoring mode) and splits
+   each group into chunks of ``batch_size``;
+2. maps the chunks over the configured executor (serial or thread pool);
+3. inside a chunk, renders all prompts via
+   :func:`~repro.prompting.chains.run_strategy_batch`, satisfies what it can
+   from the response cache and sends only the misses to the model's
+   ``generate_batch``;
+4. scores each response (:func:`~repro.engine.requests.score_response`) and
+   reassembles the results in the original request order.
+
+Because scoring preserves request order and the simulated models are
+deterministic functions of (model, strategy, code), the engine's output is
+bit-identical across executors and cache states — the refactor is purely
+about *how* the calls run, never about *what* they return.  (With a
+non-deterministic model the cache pins the first response per prompt.)
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.engine.cache import ResponseCache
+from repro.engine.executors import SerialExecutor, create_executor
+from repro.engine.requests import DetectionRequest, RunResult, RunResultStore, score_response
+from repro.engine.telemetry import EngineTelemetry
+from repro.prompting.chains import run_strategy_batch
+
+__all__ = ["ExecutionEngine", "resolve_engine"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_IndexedRequest = Tuple[int, DetectionRequest]
+
+
+def resolve_engine(engine: Optional["ExecutionEngine"]) -> "ExecutionEngine":
+    """The caller's engine, or the default: a fresh serial, uncached one.
+
+    The single definition of "no engine given" — every driver that accepts
+    an optional ``engine`` funnels through here, so default semantics can
+    never drift between the table drivers and the cross-validation loop.
+    """
+    return engine if engine is not None else ExecutionEngine()
+
+
+class ExecutionEngine:
+    """Runs batches of detection requests through an executor and a cache.
+
+    Parameters
+    ----------
+    executor:
+        An object with order-preserving ``map(fn, items)``; defaults to
+        :class:`~repro.engine.executors.SerialExecutor`.  Pass ``jobs=N``
+        instead to get a thread pool of width ``N``.
+    cache:
+        A :class:`~repro.engine.cache.ResponseCache`, or ``None`` to call
+        the model for every request.
+    batch_size:
+        Maximum requests per chunk; one chunk is one executor work item and
+        at most one ``generate_batch`` call per chain phase.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor=None,
+        jobs: Optional[int] = None,
+        cache: Optional[ResponseCache] = None,
+        batch_size: int = 32,
+        telemetry: Optional[EngineTelemetry] = None,
+    ) -> None:
+        if executor is not None and jobs is not None:
+            raise ValueError("pass either executor or jobs, not both")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.executor = executor if executor is not None else create_executor(jobs or 1)
+        self.cache = cache
+        self.batch_size = batch_size
+        self.telemetry = telemetry or EngineTelemetry()
+
+    # -- the main entry point -------------------------------------------------------
+
+    def run(self, requests: Iterable[DetectionRequest]) -> RunResultStore:
+        """Execute every request; results come back in request order."""
+        indexed: List[_IndexedRequest] = list(enumerate(requests))
+        start = time.perf_counter()
+        results: List[Optional[RunResult]] = [None] * len(indexed)
+        chunks = self._chunk(indexed)
+        for chunk_result in self.executor.map(self._run_chunk, chunks):
+            for index, result in chunk_result:
+                results[index] = result
+        self.telemetry.record_requests(len(indexed))
+        self.telemetry.record_run(time.perf_counter() - start)
+        return RunResultStore(results)
+
+    def run_counts(self, requests: Iterable[DetectionRequest]):
+        """Shorthand: execute and fold straight into confusion counts."""
+        return self.run(requests).confusion()
+
+    # -- generic parallel map (non-LLM work, e.g. the Inspector baseline) ----------
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Run ``fn`` over ``items`` on the engine's executor, with telemetry."""
+        items = list(items)
+        start = time.perf_counter()
+        mapped = self.executor.map(fn, items)
+        self.telemetry.record_requests(len(items))
+        self.telemetry.record_run(time.perf_counter() - start)
+        return mapped
+
+    # -- internals ------------------------------------------------------------------
+
+    def _chunk(self, indexed: Sequence[_IndexedRequest]) -> List[List[_IndexedRequest]]:
+        """Group by (model, strategy, scoring), then split into batch-sized runs."""
+        groups: "OrderedDict[Tuple[int, str, str], List[_IndexedRequest]]" = OrderedDict()
+        for index, request in indexed:
+            key = (id(request.model), request.strategy.value, request.scoring)
+            groups.setdefault(key, []).append((index, request))
+        chunks: List[List[_IndexedRequest]] = []
+        for group in groups.values():
+            for start in range(0, len(group), self.batch_size):
+                chunks.append(group[start : start + self.batch_size])
+        return chunks
+
+    def _run_chunk(self, chunk: Sequence[_IndexedRequest]) -> List[Tuple[int, RunResult]]:
+        """One executor work item: a same-(model, strategy, scoring) chunk."""
+        model = chunk[0][1].model
+        strategy = chunk[0][1].strategy
+        codes = [request.code for _, request in chunk]
+        responses = run_strategy_batch(
+            lambda prompts: self._generate_many(model, prompts), strategy, codes
+        )
+        return [
+            (index, score_response(request, response))
+            for (index, request), response in zip(chunk, responses)
+        ]
+
+    def _generate_many(self, model, prompts: Sequence[str]) -> List[str]:
+        """Cache-aware batched generation: only misses reach the model."""
+        prompts = list(prompts)
+        if self.cache is None:
+            self.telemetry.record_model_calls(len(prompts))
+            return list(model.generate_batch(prompts))
+        identity = getattr(model, "cache_identity", model.name)
+        responses: List[Optional[str]] = [None] * len(prompts)
+        miss_positions: List[int] = []
+        hits = 0
+        for position, prompt in enumerate(prompts):
+            cached = self.cache.get(identity, prompt)
+            if cached is not None:
+                responses[position] = cached
+                hits += 1
+            else:
+                miss_positions.append(position)
+        if miss_positions:
+            generated = model.generate_batch([prompts[i] for i in miss_positions])
+            self.telemetry.record_model_calls(len(miss_positions))
+            for position, response in zip(miss_positions, generated):
+                responses[position] = response
+                self.cache.put(identity, prompts[position], response)
+        self.telemetry.record_cache(hits, len(miss_positions))
+        return responses  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = f"cache={len(self.cache)} entries" if self.cache is not None else "no cache"
+        return f"<ExecutionEngine executor={self.executor!r} batch_size={self.batch_size} {cache}>"

@@ -1,0 +1,74 @@
+"""Pluggable executors: how the engine maps work over request chunks.
+
+An executor is anything with ``map(fn, items) -> list`` that preserves input
+order.  Two backends ship here:
+
+* :class:`SerialExecutor` — the reference backend; runs chunks in submission
+  order on the calling thread.  The engine's equivalence guarantee is stated
+  against this backend.
+* :class:`ThreadPoolExecutor` — fans chunks out over worker threads.  Because
+  every request is independent and the simulated models are deterministic,
+  results are bit-identical to the serial backend; the speedup comes from
+  overlapping model latency (network time for real API clients).
+
+To add a new backend (e.g. an async or multi-process one), implement the
+same ``map`` contract — order-preserving, exceptions propagated — and pass
+an instance to :class:`~repro.engine.core.ExecutionEngine`, or extend
+:func:`create_executor` so the CLI's ``--jobs`` flag can select it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["SerialExecutor", "ThreadPoolExecutor", "create_executor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialExecutor:
+    """Run every work item in order on the calling thread."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<SerialExecutor>"
+
+
+class ThreadPoolExecutor:
+    """Fan work items out over a bounded pool of threads.
+
+    A fresh pool is created per ``map`` call: the engine maps over chunks
+    (not individual records), so pool start-up cost is amortised across many
+    requests and no threads linger between runs.
+    """
+
+    name = "thread-pool"
+
+    def __init__(self, jobs: int = 4) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(item) for item in items]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(fn, items))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ThreadPoolExecutor jobs={self.jobs}>"
+
+
+def create_executor(jobs: int = 1):
+    """``jobs <= 1`` → serial; otherwise a thread pool of that width."""
+    if jobs <= 1:
+        return SerialExecutor()
+    return ThreadPoolExecutor(jobs=jobs)

@@ -1,0 +1,165 @@
+"""Request and result types for the execution engine.
+
+A :class:`DetectionRequest` names one unit of evaluation work: ask *model*
+about *record* under *strategy*, then score the response under one of the
+scoring modes the paper's tables use.  Scoring — response parsing plus the
+truth/prediction bookkeeping that feeds :class:`ConfusionCounts` — lives
+here and nowhere else; the pipeline, the experiment drivers and the
+cross-validation loop all assemble their confusion counts through
+:func:`score_response` / :meth:`RunResultStore.confusion`.
+
+Scoring modes
+-------------
+
+``"detection"``
+    Yes/no detection (Tables 2–4): parse a yes/no verdict, treating an
+    unparseable response as "no race".
+``"pairs"``
+    Variable identification (Tables 5–6): parse the structured pair
+    response; when the model omits an explicit verdict, the presence of
+    reported pairs counts as a positive.  A positive on a racy record is a
+    true positive only when the reported pair is correct (paper §3.6).
+``"pairs-strict"``
+    Like ``"pairs"`` but an absent verdict counts as "no race" — the
+    :meth:`DataRacePipeline.score_model` semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.eval.matching import pairs_correct
+from repro.eval.metrics import ConfusionCounts
+from repro.llm.base import LanguageModel
+from repro.prompting.parsing import ParsedPairs, parse_pairs_response, parse_yes_no
+from repro.prompting.strategy import PromptStrategy
+
+__all__ = [
+    "SCORING_MODES",
+    "DetectionRequest",
+    "RunResult",
+    "RunResultStore",
+    "build_requests",
+    "score_response",
+]
+
+SCORING_MODES = ("detection", "pairs", "pairs-strict")
+
+
+@dataclass(frozen=True)
+class DetectionRequest:
+    """One evaluation unit: (model, strategy, record) plus its scoring mode.
+
+    ``record`` is a :class:`~repro.dataset.records.DRBMLRecord` (anything
+    with ``name``, ``trimmed_code`` and ``has_race`` works).
+    """
+
+    model: LanguageModel
+    strategy: PromptStrategy
+    record: object
+    scoring: str = "detection"
+
+    def __post_init__(self) -> None:
+        if self.scoring not in SCORING_MODES:
+            raise ValueError(
+                f"unknown scoring mode {self.scoring!r}; expected one of {SCORING_MODES}"
+            )
+
+    @property
+    def code(self) -> str:
+        return self.record.trimmed_code
+
+
+@dataclass
+class RunResult:
+    """The scored outcome of one request."""
+
+    model: str
+    strategy: str
+    record_name: str
+    truth: bool
+    response: str
+    prediction: bool
+    correct_positive: bool = True
+    pairs: Optional[ParsedPairs] = None
+
+
+class RunResultStore:
+    """Ordered collection of results with confusion-count assembly."""
+
+    def __init__(self, results: Optional[Iterable[RunResult]] = None) -> None:
+        self.results: List[RunResult] = list(results or [])
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> RunResult:
+        return self.results[index]
+
+    def append(self, result: RunResult) -> None:
+        self.results.append(result)
+
+    def confusion(self) -> ConfusionCounts:
+        """Fold every result into TP/FP/TN/FN counts (the table layout)."""
+        counts = ConfusionCounts()
+        for result in self.results:
+            counts.add(
+                result.truth,
+                result.prediction,
+                correct_positive=result.correct_positive,
+            )
+        return counts
+
+    def responses(self) -> List[str]:
+        return [result.response for result in self.results]
+
+
+def build_requests(
+    model: LanguageModel,
+    strategy: PromptStrategy,
+    records: Sequence,
+    *,
+    scoring: Optional[str] = None,
+) -> List[DetectionRequest]:
+    """Requests for one model/strategy over a record sequence.
+
+    When ``scoring`` is omitted it follows the strategy: pair-requesting
+    strategies score as ``"pairs"``, everything else as ``"detection"``.
+    """
+    if scoring is None:
+        scoring = "pairs" if strategy.requests_pairs else "detection"
+    return [
+        DetectionRequest(model=model, strategy=strategy, record=record, scoring=scoring)
+        for record in records
+    ]
+
+
+def score_response(request: DetectionRequest, response: str) -> RunResult:
+    """Parse and score one model response under the request's scoring mode."""
+    record = request.record
+    if request.scoring == "detection":
+        verdict = parse_yes_no(response)
+        prediction = bool(verdict) if verdict is not None else False
+        pairs = None
+        correct = True
+    else:
+        pairs = parse_pairs_response(response)
+        if request.scoring == "pairs":
+            prediction = bool(pairs.race) if pairs.race is not None else pairs.has_pairs
+        else:  # "pairs-strict"
+            prediction = bool(pairs.race)
+        correct = pairs_correct(pairs, record)
+    return RunResult(
+        model=request.model.name,
+        strategy=request.strategy.value,
+        record_name=record.name,
+        truth=record.has_race,
+        response=response,
+        prediction=prediction,
+        correct_positive=correct,
+        pairs=pairs,
+    )

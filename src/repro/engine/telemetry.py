@@ -1,0 +1,114 @@
+"""Per-run telemetry: what the engine did and how fast.
+
+The engine increments counters from worker threads, so every mutation goes
+through a lock.  ``snapshot()`` returns a plain dict for machine-readable
+output (the throughput benchmark's ``BENCH_engine.json``), ``format_stats()``
+a one-line human summary for the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["EngineTelemetry"]
+
+
+class EngineTelemetry:
+    """Thread-safe counters for one engine instance (cumulative across runs)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.model_calls = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.runs = 0
+        self.wall_time_s = 0.0
+
+    # -- recording ------------------------------------------------------------------
+
+    def record_requests(self, n: int) -> None:
+        with self._lock:
+            self.requests += n
+
+    def record_model_calls(self, n: int) -> None:
+        with self._lock:
+            self.model_calls += n
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        with self._lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
+
+    def record_run(self, wall_time_s: float) -> None:
+        with self._lock:
+            self.runs += 1
+            self.wall_time_s += wall_time_s
+
+    # -- derived --------------------------------------------------------------------
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict view suitable for JSON serialisation."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "model_calls": self.model_calls,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": round(self.cache_hit_rate, 4),
+                "runs": self.runs,
+                "wall_time_s": round(self.wall_time_s, 4),
+                "requests_per_second": round(self.requests_per_second, 2),
+            }
+
+    def format_stats(
+        self,
+        *,
+        executor_name: Optional[str] = None,
+        since: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """One-line human-readable summary (printed by the CLI).
+
+        ``since`` — an earlier :meth:`snapshot` — turns the cumulative
+        counters into a delta, so a shared engine can report per-phase
+        stats (the CLI's per-table lines under ``repro all``).
+        """
+        snap = self.snapshot()
+        if since is not None:
+            for key in ("requests", "model_calls", "cache_hits", "cache_misses", "runs"):
+                snap[key] -= since.get(key, 0)
+            snap["wall_time_s"] = round(snap["wall_time_s"] - since.get("wall_time_s", 0.0), 4)
+            lookups = snap["cache_hits"] + snap["cache_misses"]
+            snap["cache_hit_rate"] = round(snap["cache_hits"] / lookups, 4) if lookups else 0.0
+            snap["requests_per_second"] = (
+                round(snap["requests"] / snap["wall_time_s"], 2)
+                if snap["wall_time_s"] > 0
+                else 0.0
+            )
+        parts = []
+        if executor_name:
+            parts.append(f"executor={executor_name}")
+        parts.append(f"requests={snap['requests']}")
+        parts.append(f"model_calls={snap['model_calls']}")
+        parts.append(f"cache_hit_rate={snap['cache_hit_rate'] * 100:.1f}%")
+        parts.append(f"wall={snap['wall_time_s']:.2f}s")
+        if snap["requests_per_second"]:
+            parts.append(f"throughput={snap['requests_per_second']:.1f} req/s")
+        return "[engine] " + " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<EngineTelemetry {self.snapshot()}>"

@@ -14,13 +14,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.dataset.drbml import DRBMLDataset
 from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
 from repro.dataset.records import DRBMLRecord
-from repro.eval.matching import pairs_correct
 from repro.eval.metrics import ConfusionCounts, FoldStatistics
 from repro.llm.base import LanguageModel
 from repro.llm.finetune import FineTuneConfig, FineTuner
 from repro.llm.zoo import create_model
-from repro.prompting.chains import run_strategy
-from repro.prompting.parsing import parse_pairs_response, parse_yes_no
 from repro.prompting.strategy import PromptStrategy
 
 __all__ = ["CrossValResult", "run_finetune_crossval"]
@@ -51,23 +48,22 @@ class CrossValResult:
         }
 
 
-def _evaluate_detection(model: LanguageModel, records: Sequence[DRBMLRecord]) -> ConfusionCounts:
-    counts = ConfusionCounts()
-    for record in records:
-        response = run_strategy(model.generate, PromptStrategy.BP1, record.trimmed_code)
-        verdict = parse_yes_no(response)
-        counts.add(record.has_race, bool(verdict) if verdict is not None else False)
-    return counts
+def _evaluate_fold(
+    engine, model: LanguageModel, records: Sequence[DRBMLRecord], kind: str
+) -> ConfusionCounts:
+    """Score one fold's held-out records through the execution engine.
 
+    ``"basic"`` folds use BP1 detection scoring; ``"advanced"`` folds use
+    the ADVANCED strategy with pair-correctness scoring — the same two
+    scoring modes the Table 2/5 drivers use (``repro.engine.requests``).
+    """
+    from repro.engine import build_requests
 
-def _evaluate_advanced(model: LanguageModel, records: Sequence[DRBMLRecord]) -> ConfusionCounts:
-    counts = ConfusionCounts()
-    for record in records:
-        response = run_strategy(model.generate, PromptStrategy.ADVANCED, record.trimmed_code)
-        parsed = parse_pairs_response(response)
-        prediction = bool(parsed.race) if parsed.race is not None else parsed.has_pairs
-        counts.add(record.has_race, prediction, correct_positive=pairs_correct(parsed, record))
-    return counts
+    if kind == "basic":
+        requests = build_requests(model, PromptStrategy.BP1, records, scoring="detection")
+    else:
+        requests = build_requests(model, PromptStrategy.ADVANCED, records, scoring="pairs")
+    return engine.run_counts(requests)
 
 
 def run_finetune_crossval(
@@ -78,6 +74,7 @@ def run_finetune_crossval(
     n_folds: int = 5,
     seed: int = 7,
     config: Optional[FineTuneConfig] = None,
+    engine=None,
 ) -> CrossValResult:
     """Run the paper's fine-tuning cross-validation for one model.
 
@@ -93,6 +90,9 @@ def run_finetune_crossval(
     """
     if kind not in ("basic", "advanced"):
         raise ValueError("kind must be 'basic' or 'advanced'")
+    from repro.engine import resolve_engine
+
+    engine = resolve_engine(engine)
     result = CrossValResult(model=model_name, kind=kind)
     folds = dataset.folds(n_folds=n_folds, seed=seed)
     for assignment in folds:
@@ -106,10 +106,6 @@ def run_finetune_crossval(
         )
         tuner = FineTuner(base=base, config=config or FineTuneConfig.for_model(model_name))
         tuned = tuner.fit(pairs)
-        if kind == "basic":
-            result.base_folds.append(_evaluate_detection(base, test_records))
-            result.tuned_folds.append(_evaluate_detection(tuned, test_records))
-        else:
-            result.base_folds.append(_evaluate_advanced(base, test_records))
-            result.tuned_folds.append(_evaluate_advanced(tuned, test_records))
+        result.base_folds.append(_evaluate_fold(engine, base, test_records, kind))
+        result.tuned_folds.append(_evaluate_fold(engine, tuned, test_records, kind))
     return result

@@ -4,6 +4,13 @@ Each ``run_tableN`` function regenerates the corresponding table from scratch
 (dataset build → prompts → model calls → parsing → metrics) and returns a
 structured result that the reporting module renders in the paper's layout.
 The benchmark harness under ``benchmarks/`` calls these drivers.
+
+All model calls flow through an :class:`~repro.engine.core.ExecutionEngine`;
+every driver accepts an optional ``engine`` so callers (the CLI's
+``--jobs``/``--cache`` flags, the benchmark harness) can share one engine —
+and its cache and telemetry — across tables.  When omitted, each call gets
+a fresh serial, uncached engine, which reproduces the seed behaviour
+exactly.
 """
 
 from __future__ import annotations
@@ -16,12 +23,9 @@ from repro.corpus.microbenchmark import Microbenchmark
 from repro.dataset.drbml import DRBMLDataset
 from repro.dataset.records import DRBMLRecord
 from repro.dynamic.inspector import InspectorLikeDetector
-from repro.eval.matching import pairs_correct
 from repro.eval.metrics import ConfusionCounts
 from repro.llm.base import LanguageModel
 from repro.llm.zoo import available_models, create_model
-from repro.prompting.chains import run_strategy
-from repro.prompting.parsing import parse_pairs_response, parse_yes_no
 from repro.prompting.strategy import PromptStrategy
 
 __all__ = [
@@ -66,6 +70,18 @@ def default_subset(config: Optional[CorpusConfig] = None) -> DRBMLDataset:
     return DRBMLDataset.build_default(config).token_subset()
 
 
+def _resolve_engine(engine):
+    """Delegates to :func:`repro.engine.resolve_engine`.
+
+    Imported lazily: ``repro.engine`` depends on the leaf modules of this
+    package (metrics, matching), so a module-level import here would be
+    circular through ``repro.eval.__init__``.
+    """
+    from repro.engine import resolve_engine
+
+    return resolve_engine(engine)
+
+
 # ---------------------------------------------------------------------------
 # detection experiments (Tables 2 and 3)
 # ---------------------------------------------------------------------------
@@ -75,27 +91,28 @@ def evaluate_model_prompt(
     model: LanguageModel,
     strategy: PromptStrategy,
     records: Sequence[DRBMLRecord],
+    *,
+    engine=None,
 ) -> ConfusionCounts:
     """Run one model under one prompt strategy over the given records."""
-    counts = ConfusionCounts()
-    for record in records:
-        response = run_strategy(model.generate, strategy, record.trimmed_code)
-        verdict = parse_yes_no(response)
-        prediction = bool(verdict) if verdict is not None else False
-        counts.add(record.has_race, prediction)
-    return counts
+    from repro.engine import build_requests
+
+    engine = _resolve_engine(engine)
+    return engine.run_counts(build_requests(model, strategy, records, scoring="detection"))
 
 
 def evaluate_inspector(
     benchmarks: Sequence[Microbenchmark],
     *,
     detector: Optional[InspectorLikeDetector] = None,
+    engine=None,
 ) -> ConfusionCounts:
     """Run the Inspector-like dynamic detector over corpus microbenchmarks."""
     detector = detector or InspectorLikeDetector()
+    benchmarks = list(benchmarks)
+    predictions = _resolve_engine(engine).map(detector.predict, benchmarks)
     counts = ConfusionCounts()
-    for bench in benchmarks:
-        prediction = detector.predict(bench)
+    for bench, prediction in zip(benchmarks, predictions):
         counts.add(bench.has_race, prediction)
     return counts
 
@@ -104,13 +121,15 @@ def run_table2(
     dataset: Optional[DRBMLDataset] = None,
     *,
     model_name: str = "gpt-3.5-turbo",
+    engine=None,
 ) -> List[PromptEvaluationRow]:
     """Table 2: GPT-3.5-turbo with BP1 vs. BP2."""
     records = (dataset or default_subset()).records
     model = create_model(model_name)
+    engine = _resolve_engine(engine)
     rows = []
     for strategy in (PromptStrategy.BP1, PromptStrategy.BP2):
-        counts = evaluate_model_prompt(model, strategy, records)
+        counts = evaluate_model_prompt(model, strategy, records, engine=engine)
         rows.append(PromptEvaluationRow(model=model_name, prompt=strategy.value, counts=counts))
     return rows
 
@@ -126,20 +145,22 @@ def run_table3(
         PromptStrategy.AP1,
         PromptStrategy.AP2,
     ),
+    engine=None,
 ) -> List[PromptEvaluationRow]:
     """Table 3: Inspector baseline plus four LLMs under BP1/AP1/AP2."""
     dataset = dataset or default_subset(corpus_config)
+    engine = _resolve_engine(engine)
     rows: List[PromptEvaluationRow] = []
     if include_inspector:
         benchmarks = build_corpus(corpus_config)
         subset_names = {record.name for record in dataset.records}
         benchmarks = [b for b in benchmarks if b.name in subset_names]
-        counts = evaluate_inspector(benchmarks)
+        counts = evaluate_inspector(benchmarks, engine=engine)
         rows.append(PromptEvaluationRow(model="Inspector", prompt="N/A", counts=counts))
     for model_name in models or available_models():
         model = create_model(model_name)
         for strategy in strategies:
-            counts = evaluate_model_prompt(model, strategy, dataset.records)
+            counts = evaluate_model_prompt(model, strategy, dataset.records, engine=engine)
             rows.append(
                 PromptEvaluationRow(model=model_name, prompt=strategy.value, counts=counts)
             )
@@ -152,30 +173,33 @@ def run_table3(
 
 
 def evaluate_variable_identification(
-    model: LanguageModel, records: Sequence[DRBMLRecord]
+    model: LanguageModel,
+    records: Sequence[DRBMLRecord],
+    *,
+    engine=None,
 ) -> ConfusionCounts:
     """Advanced scoring: a positive only counts when the reported pair is right."""
-    counts = ConfusionCounts()
-    for record in records:
-        response = run_strategy(model.generate, PromptStrategy.ADVANCED, record.trimmed_code)
-        parsed = parse_pairs_response(response)
-        prediction = bool(parsed.race) if parsed.race is not None else parsed.has_pairs
-        correct = pairs_correct(parsed, record)
-        counts.add(record.has_race, prediction, correct_positive=correct)
-    return counts
+    from repro.engine import build_requests
+
+    engine = _resolve_engine(engine)
+    return engine.run_counts(
+        build_requests(model, PromptStrategy.ADVANCED, records, scoring="pairs")
+    )
 
 
 def run_table5(
     dataset: Optional[DRBMLDataset] = None,
     *,
     models: Optional[Sequence[str]] = None,
+    engine=None,
 ) -> List[PromptEvaluationRow]:
     """Table 5: pre-trained models on detection + variable identification."""
     records = (dataset or default_subset()).records
+    engine = _resolve_engine(engine)
     rows = []
     for model_name in models or available_models():
         model = create_model(model_name)
-        counts = evaluate_variable_identification(model, records)
+        counts = evaluate_variable_identification(model, records, engine=engine)
         rows.append(PromptEvaluationRow(model=model_name, prompt="ADVANCED", counts=counts))
     return rows
 
@@ -191,6 +215,7 @@ def run_table4(
     models: Sequence[str] = ("starchat-beta", "llama2-7b"),
     n_folds: int = 5,
     seed: int = 7,
+    engine=None,
 ):
     """Table 4: basic fine-tuning (detection) under 5-fold cross-validation."""
     from repro.eval.crossval import run_finetune_crossval
@@ -199,7 +224,7 @@ def run_table4(
     results = {}
     for model_name in models:
         results[model_name] = run_finetune_crossval(
-            dataset, model_name, kind="basic", n_folds=n_folds, seed=seed
+            dataset, model_name, kind="basic", n_folds=n_folds, seed=seed, engine=engine
         )
     return results
 
@@ -210,6 +235,7 @@ def run_table6(
     models: Sequence[str] = ("starchat-beta", "llama2-7b"),
     n_folds: int = 5,
     seed: int = 7,
+    engine=None,
 ):
     """Table 6: advanced fine-tuning (variable identification) under 5-fold CV."""
     from repro.eval.crossval import run_finetune_crossval
@@ -218,6 +244,6 @@ def run_table6(
     results = {}
     for model_name in models:
         results[model_name] = run_finetune_crossval(
-            dataset, model_name, kind="advanced", n_folds=n_folds, seed=seed
+            dataset, model_name, kind="advanced", n_folds=n_folds, seed=seed, engine=engine
         )
     return results

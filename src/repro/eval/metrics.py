@@ -74,11 +74,23 @@ class ConfusionCounts:
 
 
 def mean_std(values: Sequence[float]) -> Tuple[float, float]:
-    """Population mean and standard deviation (the paper reports AVG and SD)."""
+    """Population mean and standard deviation (the paper reports AVG and SD).
+
+    Uses Welford's online algorithm: the naive two-pass formula computes the
+    mean of a constant sequence with a rounding error, so the squared
+    deviations come out as tiny non-zero values (sd ≈ 5e-17 instead of 0).
+    Welford's update adds an exact zero per element once the running mean
+    equals the value, so constant input yields sd == 0.0 exactly.
+    """
     if not values:
         return (0.0, 0.0)
-    mean = sum(values) / len(values)
-    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    mean = 0.0
+    m2 = 0.0
+    for count, value in enumerate(values, start=1):
+        delta = value - mean
+        mean += delta / count
+        m2 += delta * (value - mean)
+    variance = max(m2, 0.0) / len(values)
     return (mean, math.sqrt(variance))
 
 

@@ -36,6 +36,29 @@ class LanguageModel(abc.ABC):
     def generate(self, prompt: str) -> str:
         """Produce a completion for ``prompt``."""
 
+    def generate_batch(self, prompts: Sequence[str]) -> List[str]:
+        """Produce completions for many prompts (same order as the input).
+
+        The default implementation simply loops over :meth:`generate`;
+        adapters wrapping real APIs or local inference servers should
+        override it with a true batched call.  The execution engine only
+        ever talks to models through this method.
+        """
+        return [self.generate(prompt) for prompt in prompts]
+
+    @property
+    def cache_identity(self) -> str:
+        """Key namespace for the response cache.
+
+        Two model instances may share cached responses only when their
+        identities match.  The default — the model name — is right for
+        stateless models whose behaviour is fully determined by the name;
+        models with trained state (see
+        :class:`~repro.llm.finetune.FineTunedModel`) must extend it with a
+        content fingerprint of that state.
+        """
+        return self.name
+
     def chat(self, messages: Sequence[ChatMessage]) -> str:
         """Chat-style entry point: concatenates the conversation and generates.
 

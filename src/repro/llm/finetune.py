@@ -17,6 +17,7 @@ and 6).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -86,6 +87,27 @@ class FineTunedModel(LanguageModel):
         self.name = f"{base.name}-ft"
         self.table_label = f"{base.table_label}-FT"
         self.context_window = base.context_window
+
+    @property
+    def cache_identity(self) -> str:
+        """Name plus a content fingerprint of everything that shapes output.
+
+        Cross-validation trains one adapter per fold; all of them share the
+        ``"<base>-ft"`` name, so the name alone would let the response cache
+        hand fold 1's answers to fold 2's model.  The fingerprint covers the
+        trained adapter state, the fine-tune config (``adapter_weight`` and
+        ``feature_dim`` change the blended score even for equal weights),
+        the task kind and the base model's own identity (which encodes its
+        calibration mode).
+        """
+        digest = hashlib.sha256()
+        digest.update(self.adapter.weights.tobytes())
+        digest.update(repr(self.adapter.bias).encode("utf-8"))
+        digest.update(str(self.adapter.seed).encode("utf-8"))
+        digest.update(repr(self.config).encode("utf-8"))
+        digest.update(self.kind.encode("utf-8"))
+        digest.update(self.base.cache_identity.encode("utf-8"))
+        return f"{self.name}#{digest.hexdigest()[:16]}"
 
     # -- scoring ------------------------------------------------------------------
 

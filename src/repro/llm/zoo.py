@@ -18,6 +18,7 @@ same internal pipeline:
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
@@ -80,8 +81,14 @@ class SimulatedChatModel(LanguageModel):
     table_label = "SIM"
     context_window = 4096
 
-    def __init__(self, *, calibrated: bool = True) -> None:
+    def __init__(self, *, calibrated: bool = True, latency_s: float = 0.0) -> None:
         self.calibrated = calibrated
+        #: Simulated per-call latency.  The real models sit behind network
+        #: APIs, so a call is dominated by I/O wait; setting this lets the
+        #: throughput benchmarks exercise that regime (threads overlap the
+        #: sleep exactly as they would overlap network time).  It never
+        #: affects the response content.
+        self.latency_s = latency_s
         self._feature_cache: Dict[str, CodeFeatures] = {}
 
     # -- internals ----------------------------------------------------------------
@@ -126,6 +133,12 @@ class SimulatedChatModel(LanguageModel):
 
     # -- public API ---------------------------------------------------------------
 
+    @property
+    def cache_identity(self) -> str:
+        # An uncalibrated instance answers differently from the calibrated
+        # default, so it must not share cached responses with it.
+        return self.name if self.calibrated else f"{self.name}#uncalibrated"
+
     def score(self, code: str) -> float:
         """The model's internal probability that ``code`` has a data race.
 
@@ -141,6 +154,8 @@ class SimulatedChatModel(LanguageModel):
         )
 
     def generate(self, prompt: str) -> str:
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
         code = extract_code_from_prompt(prompt)
         features = self._features(code)
         if _is_analysis_request(prompt):
@@ -203,10 +218,12 @@ def available_models() -> List[str]:
     return ["gpt-3.5-turbo", "gpt-4", "starchat-beta", "llama2-7b"]
 
 
-def create_model(name: str, *, calibrated: bool = True) -> SimulatedChatModel:
+def create_model(
+    name: str, *, calibrated: bool = True, latency_s: float = 0.0
+) -> SimulatedChatModel:
     """Instantiate a zoo model by name."""
     try:
         cls = _MODEL_REGISTRY[name]
     except KeyError as exc:
         raise KeyError(f"unknown model {name!r}; available: {sorted(_MODEL_REGISTRY)}") from exc
-    return cls(calibrated=calibrated)
+    return cls(calibrated=calibrated, latency_s=latency_s)

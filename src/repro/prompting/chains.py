@@ -18,10 +18,13 @@ from repro.prompting.templates import (
     render_prompt,
 )
 
-__all__ = ["ChainStep", "SequentialChain", "run_strategy"]
+__all__ = ["ChainStep", "SequentialChain", "run_strategy", "run_strategy_batch"]
 
 #: A language model is anything that maps a prompt string to a response string.
 GenerateFn = Callable[[str], str]
+
+#: Batched form: a list of prompts in, the list of responses out (same order).
+GenerateBatchFn = Callable[[Sequence[str]], List[str]]
 
 
 @dataclass(frozen=True)
@@ -79,3 +82,30 @@ def run_strategy(generate: GenerateFn, strategy: PromptStrategy, code: str) -> s
         return context["verdict"]
     prompt = render_prompt(strategy, code)
     return generate(prompt)
+
+
+def run_strategy_batch(
+    generate_batch: GenerateBatchFn, strategy: PromptStrategy, codes: Sequence[str]
+) -> List[str]:
+    """Run a prompt strategy over many snippets with batched model calls.
+
+    Prompt construction is identical to :func:`run_strategy`, so for a
+    deterministic model the i-th response equals
+    ``run_strategy(generate, strategy, codes[i])``.  The AP2 chain becomes
+    two batched phases: all dependence-analysis prompts first, then all
+    verdict prompts built from the per-snippet analyses.
+    """
+    codes = list(codes)
+    if not codes:
+        return []
+    if strategy is PromptStrategy.AP2:
+        analyses = generate_batch(
+            [AP2_CHAIN1_TEMPLATE.format(code=code) for code in codes]
+        )
+        return generate_batch(
+            [
+                AP2_CHAIN2_TEMPLATE.format(code=code, analysis=analysis)
+                for code, analysis in zip(codes, analyses)
+            ]
+        )
+    return generate_batch([render_prompt(strategy, code) for code in codes])

@@ -26,3 +26,27 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-a-table"])
+
+    def test_engine_stats_line_printed(self, capsys):
+        assert main(["table2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[engine]" in out
+        assert "cache_hit_rate=" in out
+        assert "wall=" in out
+
+    def test_no_stats_flag_suppresses_line(self, capsys):
+        assert main(["table2", "--no-stats"]) == 0
+        assert "[engine]" not in capsys.readouterr().out
+
+    def test_cache_file_written_and_reused(self, tmp_path, capsys):
+        cache_file = tmp_path / "responses.json"
+        assert main(["table2", "--cache", str(cache_file)]) == 0
+        first = capsys.readouterr().out
+        assert cache_file.exists()
+        assert main(["table2", "--cache", str(cache_file)]) == 0
+        second = capsys.readouterr().out
+        assert "cache_hit_rate=100.0%" in second
+        # Same table either way: caching never changes results.
+        assert [l for l in first.splitlines() if "gpt" in l] == [
+            l for l in second.splitlines() if "gpt" in l
+        ]

@@ -1,0 +1,65 @@
+"""Response-cache behaviour: accounting, LRU eviction, file persistence."""
+
+from repro.engine import ResponseCache
+
+
+class TestCacheAccounting:
+    def test_miss_then_hit(self):
+        cache = ResponseCache()
+        assert cache.get("gpt-4", "prompt A") is None
+        cache.put("gpt-4", "prompt A", "response A")
+        assert cache.get("gpt-4", "prompt A") == "response A"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_identity_separates_models(self):
+        cache = ResponseCache()
+        cache.put("gpt-4", "same prompt", "gpt-4 says yes")
+        cache.put("llama2-7b", "same prompt", "llama says no")
+        assert cache.get("gpt-4", "same prompt") == "gpt-4 says yes"
+        assert cache.get("llama2-7b", "same prompt") == "llama says no"
+
+    def test_lru_evicts_oldest(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put("m", "p1", "r1")
+        cache.put("m", "p2", "r2")
+        assert cache.get("m", "p1") == "r1"  # p1 is now most recently used
+        cache.put("m", "p3", "r3")  # evicts p2
+        assert cache.get("m", "p2") is None
+        assert cache.get("m", "p1") == "r1"
+        assert cache.get("m", "p3") == "r3"
+        assert cache.stats.evictions == 1
+
+
+class TestCachePersistence:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResponseCache(path=path)
+        cache.put("gpt-4", "prompt A", "response A")
+        cache.put("gpt-4", "prompt B", "response B")
+        cache.save()
+
+        reloaded = ResponseCache(path=path)
+        assert len(reloaded) == 2
+        assert reloaded.get("gpt-4", "prompt A") == "response A"
+        assert reloaded.get("gpt-4", "prompt B") == "response B"
+
+    def test_corrupt_file_loads_as_empty(self, tmp_path):
+        """A damaged cache file must never crash a run — it is only a cache."""
+        path = tmp_path / "cache.json"
+        path.write_text("{not valid json", encoding="utf-8")
+        cache = ResponseCache(path=path)
+        assert len(cache) == 0
+        path.write_text('{"version": 99, "entries": {"k": "v"}}', encoding="utf-8")
+        assert ResponseCache(path=path).get("m", "p") is None
+
+    def test_load_respects_capacity(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResponseCache(path=path)
+        for i in range(10):
+            cache.put("m", f"p{i}", f"r{i}")
+        cache.save()
+
+        small = ResponseCache(max_entries=3, path=path)
+        assert len(small) == 3

@@ -1,0 +1,125 @@
+"""Engine mechanics: batching, cache accounting, telemetry, generate_batch."""
+
+import pytest
+
+from repro.engine import (
+    DetectionRequest,
+    ExecutionEngine,
+    ResponseCache,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    build_requests,
+    create_executor,
+)
+from repro.eval.experiments import default_subset
+from repro.llm.finetune import FineTuneConfig, FineTuner
+from repro.llm.zoo import create_model
+from repro.prompting.strategy import PromptStrategy
+from repro.prompting.templates import render_prompt
+
+
+@pytest.fixture(scope="module")
+def records():
+    return default_subset().records[:16]
+
+
+class TestGenerateBatch:
+    def test_default_implementation_matches_generate(self, records):
+        """The LanguageModel default must equal a per-prompt generate loop."""
+        model = create_model("starchat-beta")
+        prompts = [render_prompt(PromptStrategy.BP1, r.trimmed_code) for r in records[:6]]
+        reference = [create_model("starchat-beta").generate(p) for p in prompts]
+        assert model.generate_batch(prompts) == reference
+
+    def test_empty_batch(self):
+        assert create_model("gpt-4").generate_batch([]) == []
+
+
+class TestExecutors:
+    def test_create_executor_selects_backend(self):
+        assert isinstance(create_executor(1), SerialExecutor)
+        pool = create_executor(6)
+        assert isinstance(pool, ThreadPoolExecutor)
+        assert pool.jobs == 6
+
+    def test_map_preserves_order(self):
+        items = list(range(40))
+        assert ThreadPoolExecutor(jobs=4).map(lambda x: x * x, items) == [
+            x * x for x in items
+        ]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ThreadPoolExecutor(jobs=0)
+
+
+class TestEngineRun:
+    def test_counts_total_matches_records(self, records):
+        engine = ExecutionEngine()
+        counts = engine.run_counts(
+            build_requests(create_model("gpt-4"), PromptStrategy.BP1, records)
+        )
+        assert counts.total == len(records)
+
+    def test_cache_hit_miss_accounting(self, records):
+        engine = ExecutionEngine(cache=ResponseCache())
+        requests = build_requests(create_model("gpt-4"), PromptStrategy.BP1, records)
+        engine.run(requests)
+        assert engine.telemetry.cache_misses == len(records)
+        assert engine.telemetry.cache_hits == 0
+        assert engine.telemetry.model_calls == len(records)
+
+        engine.run(requests)
+        assert engine.telemetry.cache_hits == len(records)
+        assert engine.telemetry.model_calls == len(records)  # no new calls
+        assert engine.telemetry.cache_hit_rate == 0.5
+
+    def test_results_preserve_request_order(self, records):
+        model = create_model("gpt-4")
+        requests = build_requests(model, PromptStrategy.BP1, records)
+        store = ExecutionEngine(jobs=4, batch_size=3).run(requests)
+        assert [r.record_name for r in store] == [r.name for r in records]
+
+    def test_mixed_strategy_batch(self, records):
+        model = create_model("gpt-3.5-turbo")
+        requests = build_requests(model, PromptStrategy.BP1, records[:4]) + build_requests(
+            model, PromptStrategy.ADVANCED, records[:4], scoring="pairs"
+        )
+        store = ExecutionEngine(batch_size=2).run(requests)
+        assert len(store) == 8
+        assert [r.strategy for r in store] == ["BP1"] * 4 + ["ADVANCED"] * 4
+        assert all(r.pairs is not None for r in list(store)[4:])
+
+    def test_generic_map_counts_requests(self, records):
+        engine = ExecutionEngine(jobs=2)
+        assert engine.map(lambda r: r.has_race, records) == [r.has_race for r in records]
+        assert engine.telemetry.requests == len(records)
+
+    def test_rejects_unknown_scoring(self, records):
+        with pytest.raises(ValueError):
+            DetectionRequest(
+                model=create_model("gpt-4"),
+                strategy=PromptStrategy.BP1,
+                record=records[0],
+                scoring="nope",
+            )
+
+
+class TestCacheIdentity:
+    def test_uncalibrated_model_does_not_share_cache(self):
+        calibrated = create_model("gpt-4")
+        uncalibrated = create_model("gpt-4", calibrated=False)
+        assert calibrated.cache_identity != uncalibrated.cache_identity
+
+    def test_finetuned_models_have_distinct_identities(self, records):
+        """Two adapters trained on different folds must never share entries."""
+        from repro.dataset.pairs import build_basic_pairs
+
+        tuner = FineTuner(
+            base=create_model("llama2-7b"), config=FineTuneConfig.for_model("llama2-7b")
+        )
+        tuned_a = tuner.fit(build_basic_pairs(records[:8]))
+        tuned_b = tuner.fit(build_basic_pairs(records[8:16]))
+        assert tuned_a.name == tuned_b.name
+        assert tuned_a.cache_identity != tuned_b.cache_identity
+        assert tuned_a.cache_identity != tuned_a.base.cache_identity

@@ -1,0 +1,126 @@
+"""The engine is a pure execution refactor: every executor/cache/batch
+configuration must reproduce the seed's sequential loop bit-for-bit."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import DataRacePipeline, PipelineConfig
+from repro.engine import ExecutionEngine, ResponseCache, build_requests
+from repro.eval.experiments import default_subset, run_table2
+from repro.eval.matching import pairs_correct
+from repro.eval.metrics import ConfusionCounts
+from repro.llm.zoo import create_model
+from repro.prompting.chains import run_strategy
+from repro.prompting.parsing import parse_pairs_response, parse_yes_no
+from repro.prompting.strategy import PromptStrategy
+
+
+@pytest.fixture(scope="module")
+def subset():
+    return default_subset()
+
+
+def seed_detection_loop(model, strategy, records) -> ConfusionCounts:
+    """The seed's one-record-at-a-time scoring loop, kept as the reference."""
+    counts = ConfusionCounts()
+    for record in records:
+        response = run_strategy(model.generate, strategy, record.trimmed_code)
+        verdict = parse_yes_no(response)
+        counts.add(record.has_race, bool(verdict) if verdict is not None else False)
+    return counts
+
+
+def seed_pairs_loop(model, records) -> ConfusionCounts:
+    counts = ConfusionCounts()
+    for record in records:
+        response = run_strategy(model.generate, PromptStrategy.ADVANCED, record.trimmed_code)
+        parsed = parse_pairs_response(response)
+        prediction = bool(parsed.race) if parsed.race is not None else parsed.has_pairs
+        counts.add(record.has_race, prediction, correct_positive=pairs_correct(parsed, record))
+    return counts
+
+
+ENGINE_CONFIGS = [
+    pytest.param(dict(jobs=1), id="serial"),
+    pytest.param(dict(jobs=1, batch_size=5), id="serial-small-batches"),
+    pytest.param(dict(jobs=6, batch_size=7), id="thread-pool"),
+    pytest.param(dict(jobs=4, cache=ResponseCache()), id="thread-pool-cached"),
+]
+
+
+class TestEngineMatchesSeedLoop:
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    @pytest.mark.parametrize(
+        "strategy", [PromptStrategy.BP1, PromptStrategy.BP2, PromptStrategy.AP2]
+    )
+    def test_detection_scoring(self, subset, config, strategy):
+        records = subset.records[:40]
+        reference = seed_detection_loop(create_model("gpt-4"), strategy, records)
+        engine = ExecutionEngine(**config)
+        counts = engine.run_counts(
+            build_requests(create_model("gpt-4"), strategy, records, scoring="detection")
+        )
+        assert counts.as_row() == reference.as_row()
+
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    def test_pairs_scoring(self, subset, config):
+        records = subset.records[:40]
+        reference = seed_pairs_loop(create_model("gpt-3.5-turbo"), records)
+        engine = ExecutionEngine(**config)
+        counts = engine.run_counts(
+            build_requests(
+                create_model("gpt-3.5-turbo"), PromptStrategy.ADVANCED, records, scoring="pairs"
+            )
+        )
+        assert counts.as_row() == reference.as_row()
+
+    def test_cached_rerun_is_identical(self, subset):
+        """Cache hits must return byte-identical responses, not just counts."""
+        records = subset.records[:20]
+        engine = ExecutionEngine(cache=ResponseCache())
+        model = create_model("gpt-4")
+        first = engine.run(build_requests(model, PromptStrategy.BP1, records))
+        second = engine.run(build_requests(model, PromptStrategy.BP1, records))
+        assert first.responses() == second.responses()
+        assert engine.telemetry.cache_hits == len(records)
+
+
+class TestDriverEquivalence:
+    def test_run_table2_thread_pool_vs_serial(self, subset):
+        """Satellite requirement: table 2 identical under both executors."""
+        dataset = SimpleNamespace(records=subset.records[:60])
+        serial_rows = run_table2(dataset, engine=ExecutionEngine())
+        threaded_rows = run_table2(
+            dataset, engine=ExecutionEngine(jobs=6, cache=ResponseCache(), batch_size=8)
+        )
+        assert [(r.model, r.prompt, r.counts.as_row()) for r in serial_rows] == [
+            (r.model, r.prompt, r.counts.as_row()) for r in threaded_rows
+        ]
+
+    def test_pipeline_score_model_matches_seed_semantics(self, subset):
+        """score_model through the engine equals the seed's detect() loop."""
+        records = subset.records[:30]
+        pipeline = DataRacePipeline(PipelineConfig(jobs=4))
+        engine_counts = pipeline.score_model(
+            model="gpt-4", strategy=PromptStrategy.ADVANCED, records=records
+        )
+        reference = ConfusionCounts()
+        for record in records:
+            outcome = pipeline.detect(
+                record.trimmed_code, model="gpt-4", strategy=PromptStrategy.ADVANCED
+            )
+            correct = pairs_correct(outcome.pairs, record)
+            reference.add(record.has_race, outcome.says_race, correct_positive=correct)
+        assert engine_counts.as_row() == reference.as_row()
+
+    def test_pipeline_score_inspector_matches_seed_loop(self):
+        pipeline = DataRacePipeline(PipelineConfig(jobs=4))
+        engine_counts = pipeline.score_inspector()
+        subset_names = {r.name for r in pipeline.evaluation_subset().records}
+        benchmarks = [b for b in pipeline.registry if b.name in subset_names]
+        detector = pipeline.inspector()
+        reference = ConfusionCounts()
+        for bench in benchmarks:
+            reference.add(bench.has_race, detector.predict(bench))
+        assert engine_counts.as_row() == reference.as_row()
