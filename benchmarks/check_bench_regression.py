@@ -1,0 +1,64 @@
+"""Benchmark regression gate: compare fresh results to the committed floors.
+
+Run after ``bench_engine_throughput.py`` and ``bench_scheduler.py`` have
+written ``BENCH_engine.json`` / ``BENCH_scheduler.json`` to the repo root::
+
+    python benchmarks/check_bench_regression.py
+
+Exits non-zero (failing the CI job) when any measured number falls below
+its floor in ``benchmarks/baselines/BENCH_baseline.json``.  The floors are
+deliberately conservative — CI machines are slower and noisier than dev
+boxes — so a failure here means a real scheduling/executor regression, not
+jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "BENCH_baseline.json"
+
+
+def _load(path: Path) -> dict:
+    if not path.exists():
+        sys.exit(f"missing {path.name}: run the benchmarks first")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def main() -> int:
+    baseline = _load(BASELINE_PATH)
+    engine = _load(REPO_ROOT / "BENCH_engine.json")
+    scheduler = _load(REPO_ROOT / "BENCH_scheduler.json")
+
+    checks = [
+        (
+            "engine thread-pool speedup vs serial",
+            engine["speedup_thread_pool_vs_serial"],
+            baseline["engine"]["min_speedup_thread_pool_vs_serial"],
+        ),
+        (
+            "scheduler interleaved speedup vs sequential tables",
+            scheduler["speedup_interleaved_vs_sequential"],
+            baseline["scheduler"]["min_speedup_interleaved_vs_sequential"],
+        ),
+        (
+            "scheduler interleaved throughput (req/s)",
+            scheduler["interleaved_all_tables"]["requests_per_second"],
+            baseline["scheduler"]["min_interleaved_requests_per_second"],
+        ),
+    ]
+
+    failed = False
+    for label, measured, floor in checks:
+        status = "ok" if measured >= floor else "REGRESSION"
+        print(f"[bench-gate] {label}: {measured:g} (floor {floor:g}) {status}")
+        if measured < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,15 +8,25 @@ Usage::
     python -m repro table5            # variable identification (pre-trained)
     python -m repro table6            # advanced fine-tuning cross-validation
     python -m repro summary           # corpus + dataset statistics
-    python -m repro all               # everything above in sequence
+    python -m repro all               # every table through ONE interleaved
+                                      # engine run (the cross-table scheduler)
 
-    python -m repro table3 --jobs 8   # thread-pool execution (same results)
-    python -m repro all --cache /tmp/repro-cache.json   # persist responses
+    python -m repro table3 --jobs 8             # thread pool (same results)
+    python -m repro table3 --executor process   # shard across processes
+    python -m repro all --executor async --jobs 16   # asyncio backend
+    python -m repro all --sequential            # one engine run per table
+    python -m repro all --cache /tmp/repro-cache    # persist responses as
+                                      # append-only JSONL segments; legacy
+                                      # single-file JSON caches still load
 
-Every table run goes through one shared
-:class:`~repro.engine.core.ExecutionEngine`; after each table the engine
-prints its stats line (request count, cache hit rate, wall time) unless
-``--no-stats`` is given.
+``repro all`` plans every table first (requests + reducer), then feeds all
+of them to :func:`repro.engine.scheduler.run_all_tables`, which interleaves
+the mixed-model request batches into a single
+:class:`~repro.engine.core.ExecutionEngine` run — model latency overlaps
+across tables instead of the drivers running one after another.  Results
+are bit-identical to the sequential path.  After the run the engine prints
+one stats line (request count, cache hit rate, wall time) unless
+``--no-stats`` is given; per-table lines appear under ``--sequential``.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.engine import ExecutionEngine, ResponseCache
+from repro.engine import ExecutionEngine, ResponseCache, available_executors, run_all_tables
 from repro.eval.experiments import (
     default_subset,
     run_table2,
@@ -38,6 +48,14 @@ from repro.eval.reporting import format_confusion_table, format_crossval_table
 
 __all__ = ["main"]
 
+_TABLE_TITLES = {
+    "table2": "Table 2 — GPT-3.5-turbo, BP1 vs BP2",
+    "table3": "Table 3 — Inspector vs LLM prompt strategies",
+    "table4": "Table 4",
+    "table5": "Table 5 — variable identification (pre-trained)",
+    "table6": "Table 6",
+}
+
 
 def _print_summary() -> None:
     from repro.corpus import CorpusRegistry
@@ -48,47 +66,66 @@ def _print_summary() -> None:
     print(default_subset().summary())
 
 
+def _print_result(table: str, result) -> None:
+    """Render one table's result in the paper layout."""
+    if table in ("table4", "table6"):
+        for name, crossval in result.items():
+            print(format_crossval_table(crossval.as_rows(), title=f"{_TABLE_TITLES[table]} — {name}"))
+            print()
+    else:
+        print(format_confusion_table(result, title=_TABLE_TITLES[table]))
+
+
 def _run(table: str, engine: ExecutionEngine) -> None:
     subset = default_subset()
-    if table == "table2":
-        print(
-            format_confusion_table(
-                run_table2(subset, engine=engine), title="Table 2 — GPT-3.5-turbo, BP1 vs BP2"
-            )
-        )
-    elif table == "table3":
-        print(
-            format_confusion_table(
-                run_table3(subset, engine=engine),
-                title="Table 3 — Inspector vs LLM prompt strategies",
-            )
-        )
-    elif table == "table4":
-        for name, result in run_table4(subset, engine=engine).items():
-            print(format_crossval_table(result.as_rows(), title=f"Table 4 — {name}"))
-            print()
-    elif table == "table5":
-        print(
-            format_confusion_table(
-                run_table5(subset, engine=engine),
-                title="Table 5 — variable identification (pre-trained)",
-            )
-        )
-    elif table == "table6":
-        for name, result in run_table6(subset, engine=engine).items():
-            print(format_crossval_table(result.as_rows(), title=f"Table 6 — {name}"))
-            print()
-    elif table == "summary":
+    drivers = {
+        "table2": run_table2,
+        "table3": run_table3,
+        "table4": run_table4,
+        "table5": run_table5,
+        "table6": run_table6,
+    }
+    if table == "summary":
         _print_summary()
+    elif table in drivers:
+        _print_result(table, drivers[table](subset, engine=engine))
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(f"unknown command {table!r}")
+
+
+def _run_all(engine: ExecutionEngine, *, sequential: bool, stats: bool) -> None:
+    """``repro all``: summary, then every table through the scheduler."""
+    _print_summary()
+    print()
+    if sequential:
+        for table in ("table2", "table3", "table4", "table5", "table6"):
+            before = engine.telemetry.snapshot()
+            _run(table, engine)
+            if stats:
+                print(engine.telemetry.format_stats(executor_name=engine.executor.name, since=before))
+            print()
+        return
+    before = engine.telemetry.snapshot()
+    results = run_all_tables(default_subset(), engine=engine)
+    for table, result in results.items():
+        _print_result(table, result)
+        print()
+    if stats:
+        print(engine.telemetry.format_stats(executor_name=engine.executor.name, since=before))
 
 
 def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
     cache: Optional[ResponseCache] = None
     if args.cache_entries > 0:
         cache = ResponseCache(args.cache_entries, path=args.cache)
-    return ExecutionEngine(jobs=args.jobs, cache=cache, batch_size=args.batch_size)
+    jobs = args.jobs
+    if jobs is None:
+        # --executor without --jobs: parallel backends get a sensible
+        # default width instead of a one-worker pool.
+        jobs = 4 if args.executor not in (None, "serial") else 1
+    return ExecutionEngine(
+        jobs=jobs, executor_kind=args.executor, cache=cache, batch_size=args.batch_size
+    )
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -96,24 +133,54 @@ def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables of 'Data Race Detection Using Large Language Models'.",
+        epilog=(
+            "examples: 'repro all --executor async --jobs 16' runs every table "
+            "through one interleaved engine run on the asyncio backend; "
+            "'repro table3 --executor process' shards CPU-bound work across "
+            "processes; 'repro all --cache ./cache-dir' persists responses as "
+            "append-only JSONL segments."
+        ),
     )
     parser.add_argument(
         "command",
         choices=["table2", "table3", "table4", "table5", "table6", "summary", "all"],
-        help="which experiment to regenerate",
+        help="which experiment to regenerate ('all' interleaves every table into one engine run)",
     )
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="engine parallelism: 1 = serial, N > 1 = thread pool (default: 1)",
+        help=(
+            "executor width: 1 = serial, N > 1 = parallel (default: 1, "
+            "or 4 when a parallel --executor is selected)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        choices=list(available_executors()),
+        default=None,
+        help=(
+            "executor backend: serial (reference), thread (overlaps model "
+            "latency), process (shards CPU-bound work across processes), "
+            "async (asyncio event loop).  Results are identical across "
+            "backends (default: derived from --jobs)"
+        ),
+    )
+    parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="with 'all': run one engine run per table instead of the interleaved scheduler",
     )
     parser.add_argument(
         "--cache",
         default=None,
         metavar="PATH",
-        help="JSON file to load/save the model-response cache (default: in-memory only)",
+        help=(
+            "on-disk response cache: a directory of append-only JSONL "
+            "segments, written incrementally and atomically (legacy "
+            "single-file JSON caches load too; default: in-memory only)"
+        ),
     )
     parser.add_argument(
         "--cache-entries",
@@ -137,31 +204,31 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.batch_size < 1:
         parser.error("--batch-size must be >= 1")
-    if args.jobs < 0:
+    if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 and 1 both mean serial)")
     if args.cache_entries < 0:
         parser.error("--cache-entries must be >= 0 (0 disables caching)")
     if args.cache is not None and args.cache_entries == 0:
         parser.error("--cache has no effect with --cache-entries 0 (caching disabled)")
+    if args.sequential and args.command != "all":
+        parser.error("--sequential only applies to the 'all' command")
     engine = _build_engine(args)
-    commands = (
-        ("summary", "table2", "table3", "table4", "table5", "table6")
-        if args.command == "all"
-        else (args.command,)
-    )
-    for table in commands:
-        before = engine.telemetry.snapshot()
-        _run(table, engine)
-        if table != "summary" and not args.no_stats:
-            print(
-                engine.telemetry.format_stats(
-                    executor_name=engine.executor.name, since=before
-                )
-            )
+    try:
         if args.command == "all":
-            print()
-    if engine.cache is not None and args.cache is not None:
-        engine.cache.save()
+            _run_all(engine, sequential=args.sequential, stats=not args.no_stats)
+        else:
+            before = engine.telemetry.snapshot()
+            _run(args.command, engine)
+            if args.command != "summary" and not args.no_stats:
+                print(
+                    engine.telemetry.format_stats(
+                        executor_name=engine.executor.name, since=before
+                    )
+                )
+        if engine.cache is not None and args.cache is not None:
+            engine.cache.save()
+    finally:
+        engine.close()
     return 0
 
 

@@ -31,14 +31,23 @@ class PipelineConfig:
         Cross-validation layout (paper §3.5 uses 5 stratified folds).
     jobs:
         Execution-engine parallelism: 1 runs serially, N > 1 uses a
-        thread pool of that width.  Results are identical either way.
+        pool of that width.  Results are identical either way.
+    executor:
+        Executor backend: ``"serial"``, ``"thread"``, ``"process"``,
+        ``"async"`` or any kind registered with
+        :func:`repro.engine.executors.register_executor`.  ``None`` keeps
+        the historical ``jobs`` semantics (serial when 1, thread pool
+        otherwise).  Results are identical across backends; only wall
+        time changes.
     batch_size:
         Requests per engine chunk (one chunk = one executor work item).
     cache_entries:
         In-memory response-cache capacity; 0 disables caching entirely.
     cache_path:
-        Optional JSON file for the response cache: loaded automatically on
-        first engine use, written by :meth:`DataRacePipeline.save_cache`.
+        Optional on-disk response-cache location (a directory of JSONL
+        segments; legacy single-file JSON caches still load): loaded
+        automatically on first engine use, written by
+        :meth:`DataRacePipeline.save_cache`.
     """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
@@ -48,6 +57,7 @@ class PipelineConfig:
     n_folds: int = 5
     fold_seed: int = 7
     jobs: int = 1
+    executor: Optional[str] = None
     batch_size: int = 32
     cache_entries: int = 65536
     cache_path: Optional[str] = None

@@ -97,10 +97,11 @@ class DataRacePipeline:
     def engine(self) -> ExecutionEngine:
         """The execution engine every scoring path runs through.
 
-        Built once from the config: ``jobs`` selects serial vs. thread-pool
-        execution, ``cache_entries``/``cache_path`` configure the response
-        cache.  Results are identical across these settings; they only
-        change how fast the calls run.
+        Built once from the config: ``jobs``/``executor`` select the
+        backend (serial, thread, process or async),
+        ``cache_entries``/``cache_path`` configure the response cache.
+        Results are identical across these settings; they only change how
+        fast the calls run.
         """
         if self._engine is None:
             cache = None
@@ -108,10 +109,27 @@ class DataRacePipeline:
                 cache = ResponseCache(self.config.cache_entries, path=self.config.cache_path)
             self._engine = ExecutionEngine(
                 jobs=self.config.jobs,
+                executor_kind=self.config.executor,
                 cache=cache,
                 batch_size=self.config.batch_size,
             )
         return self._engine
+
+    def close(self) -> None:
+        """Release the engine's executor resources (pools, loops), if built.
+
+        Idempotent; the pipeline remains usable — the next engine access
+        builds a fresh one.  Also usable as a context manager.
+        """
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "DataRacePipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def save_cache(self) -> Optional[str]:
         """Persist the response cache to ``config.cache_path``, if both exist.

@@ -13,21 +13,31 @@ Module map
     :class:`DetectionRequest`, chunks them per (model, strategy), maps the
     chunks over an executor, satisfies repeats from the cache, and returns
     an order-preserving :class:`RunResultStore`.  Also offers a generic
-    ``map`` for non-LLM work (the Inspector baseline).
+    ``map`` for non-LLM work (the Inspector baseline).  For distributed
+    executors it ships picklable chunk payloads to a module-level worker
+    and merges cache/telemetry deltas back.
 ``requests``
     The request/result dataclasses and the *only* implementation of
     response scoring → confusion-count assembly (modes ``"detection"``,
     ``"pairs"``, ``"pairs-strict"``; see the module docstring).
 ``executors``
-    Pluggable execution backends: :class:`SerialExecutor` (reference) and
-    :class:`ThreadPoolExecutor`.  A backend is anything with an
-    order-preserving ``map(fn, items)``; implement that contract and pass
-    an instance to the engine — or register it in
-    :func:`create_executor` — to add a new one (async, multi-process, …).
+    The executor registry: :class:`SerialExecutor` (reference),
+    :class:`ThreadPoolExecutor`, :class:`ProcessPoolExecutor` (shards
+    CPU-bound work across processes) and :class:`AsyncExecutor` (a
+    persistent asyncio loop — the seam for real async API adapters).  A
+    backend is anything with an order-preserving ``map(fn, items)`` plus
+    ``close()``; register a factory with :func:`register_executor` to make
+    it selectable via ``--executor``.
+``scheduler``
+    The cross-table run scheduler: :class:`TablePlan` (a table's requests
+    plus its reducer) and :func:`run_all_tables`, which interleaves every
+    table's mixed-model request batches into **one** engine run so model
+    latency overlaps across tables instead of serialising five drivers.
 ``cache``
     :class:`ResponseCache` — thread-safe LRU keyed on the content hash of
-    ``(model.cache_identity, prompt)``, with optional JSON file
-    persistence (``--cache`` on the CLI).
+    ``(model.cache_identity, prompt)``, persisted as a directory of
+    size-bounded append-only JSONL segments written atomically
+    (``--cache`` on the CLI; legacy single-file caches still load).
 ``telemetry``
     :class:`EngineTelemetry` — thread-safe counters (requests, model
     calls, cache hits/misses, wall time) with a one-line ``format_stats``
@@ -35,12 +45,23 @@ Module map
 
 Guarantee: the engine is a pure execution refactor.  For the deterministic
 simulated models, confusion counts are bit-identical across executors,
-batch sizes and cache states (enforced by ``tests/engine/test_equivalence``).
+batch sizes, cache states and scheduling (interleaved vs. per-table) —
+enforced by ``tests/engine/test_equivalence`` and
+``tests/engine/test_scheduler``.
 """
 
-from repro.engine.cache import CacheStats, ResponseCache
+from repro.engine.cache import CacheStats, ResponseCache, cache_key
 from repro.engine.core import ExecutionEngine, resolve_engine
-from repro.engine.executors import SerialExecutor, ThreadPoolExecutor, create_executor
+from repro.engine.executors import (
+    EXECUTOR_KINDS,
+    AsyncExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    available_executors,
+    create_executor,
+    register_executor,
+)
 from repro.engine.requests import (
     SCORING_MODES,
     DetectionRequest,
@@ -49,21 +70,43 @@ from repro.engine.requests import (
     build_requests,
     score_response,
 )
+from repro.engine.scheduler import (
+    DEFAULT_TABLES,
+    TablePlan,
+    collect_default_plans,
+    results_fingerprint,
+    run_all_tables,
+    run_plans,
+    run_plans_sequential,
+)
 from repro.engine.telemetry import EngineTelemetry
 
 __all__ = [
     "CacheStats",
     "ResponseCache",
+    "cache_key",
     "ExecutionEngine",
     "resolve_engine",
+    "EXECUTOR_KINDS",
+    "AsyncExecutor",
+    "ProcessPoolExecutor",
     "SerialExecutor",
     "ThreadPoolExecutor",
+    "available_executors",
     "create_executor",
+    "register_executor",
     "SCORING_MODES",
     "DetectionRequest",
     "RunResult",
     "RunResultStore",
     "build_requests",
     "score_response",
+    "DEFAULT_TABLES",
+    "TablePlan",
+    "collect_default_plans",
+    "results_fingerprint",
+    "run_all_tables",
+    "run_plans",
+    "run_plans_sequential",
     "EngineTelemetry",
 ]

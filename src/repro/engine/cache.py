@@ -1,4 +1,4 @@
-"""Content-addressed response cache for model calls.
+"""Content-addressed response cache with segmented JSONL persistence.
 
 The cache maps ``(model identity, prompt)`` to the model's response.  Keys
 are content-addressed: the identity string and the full prompt text are
@@ -9,27 +9,53 @@ long as their :attr:`~repro.llm.base.LanguageModel.cache_identity` differs.
 Two storage layers compose:
 
 * an in-memory LRU bounded by ``max_entries`` (oldest entries evicted);
-* an optional JSON file, loaded on construction and written by
-  :meth:`ResponseCache.save`, so repeated CLI runs can reuse responses.
+* an optional on-disk store — a *directory* of append-only JSONL segments
+  (``segment-000001.jsonl``, …), loaded on construction and grown by
+  :meth:`ResponseCache.save`.
+
+The segmented format exists so long runs persist **incrementally**: each
+``save`` writes only the entries added since the previous one, as one or
+more new size-bounded segments (``segment_max_entries`` per shard), instead
+of rewriting the whole store.  Segments are written to a temp file and
+atomically renamed into place, so an interrupted run can never corrupt
+earlier segments — at worst the newest segment is truncated, and truncated
+or otherwise damaged lines simply don't load.  :meth:`compact` folds all
+live entries back into a minimal set of segments when shard count grows.
+
+Old-format caches (the single-JSON-file layout of format version 1) still
+load; the first ``save`` migrates them to a segment directory at the same
+path.
 
 All operations are thread-safe; the thread-pool executor hits the cache
-concurrently.
+concurrently, and the engine's distributed (process) path uses
+:meth:`snapshot_entries` / :meth:`put_key` to ship a read-only view to
+workers and merge their results back.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-__all__ = ["CacheStats", "ResponseCache"]
+__all__ = ["CacheStats", "ResponseCache", "cache_key"]
 
-#: Bump when the key derivation changes; persisted files carry the version.
-_CACHE_FORMAT_VERSION = 1
+#: Bump when the key derivation or on-disk layout changes.
+_CACHE_FORMAT_VERSION = 2
+#: Format version of the legacy whole-file JSON layout (still loadable).
+_LEGACY_FORMAT_VERSION = 1
+#: First line of every segment file; segments with a different header are
+#: ignored wholesale (future-format or foreign files).
+_SEGMENT_FORMAT = "repro-response-cache"
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
 
 
 @dataclass
@@ -67,21 +93,29 @@ def cache_key(identity: str, prompt: str) -> str:
 
 
 class ResponseCache:
-    """Thread-safe LRU response cache with optional JSON persistence."""
+    """Thread-safe LRU response cache with segmented JSONL persistence."""
 
     def __init__(
         self,
         max_entries: int = 65536,
         *,
         path: Optional[Union[str, Path]] = None,
+        segment_max_entries: int = 1024,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if segment_max_entries <= 0:
+            raise ValueError("segment_max_entries must be positive")
         self.max_entries = max_entries
+        self.segment_max_entries = segment_max_entries
         self.path = Path(path) if path is not None else None
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, str]" = OrderedDict()
+        #: Keys known to be on disk at ``self.path`` already.
+        self._persisted: set = set()
+        #: Insertion-ordered keys added since the last save (dict-as-set).
+        self._pending: "OrderedDict[str, None]" = OrderedDict()
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -104,55 +138,304 @@ class ResponseCache:
 
     def put(self, identity: str, prompt: str, response: str) -> None:
         """Insert one response, evicting the least recently used on overflow."""
-        key = cache_key(identity, prompt)
+        self.put_key(cache_key(identity, prompt), response)
+
+    def put_key(self, key: str, response: str) -> None:
+        """Insert by precomputed key (the engine's distributed merge path)."""
         with self._lock:
+            existing = self._entries.get(key)
             self._entries[key] = response
             self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            # New keys are pending by definition; a persisted key whose
+            # value changed must be re-appended or the disk copy goes
+            # stale (later segments win at load time).
+            if key not in self._persisted or existing != response:
+                self._pending[key] = None
+            self._evict_overflow_locked()
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._pending.clear()
+
+    def snapshot_entries(self) -> Dict[str, str]:
+        """A plain key→response copy (read-only view for worker processes)."""
+        with self._lock:
+            return dict(self._entries)
+
+    @property
+    def pending_count(self) -> int:
+        """Entries waiting to be persisted by the next :meth:`save`."""
+        with self._lock:
+            return len(self._pending)
+
+    def _evict_overflow_locked(self) -> None:
+        while len(self._entries) > self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._pending.pop(evicted, None)
+            self.stats.evictions += 1
 
     # -- persistence ----------------------------------------------------------------
 
+    def segment_files(self, path: Optional[Union[str, Path]] = None) -> List[Path]:
+        """Segment files at ``path`` (default: the constructor path), sorted."""
+        target = Path(path) if path is not None else self.path
+        if target is None or not target.is_dir():
+            return []
+        return sorted(target.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
     def save(self, path: Optional[Union[str, Path]] = None) -> Path:
-        """Write every entry to ``path`` (or the constructor path) as JSON."""
+        """Persist to ``path`` (or the constructor path); returns the path.
+
+        Saving to the constructor path is **incremental**: only entries
+        added since the last save are appended, as new atomic segments.  A
+        legacy single-file cache at that path is migrated to a segment
+        directory carrying the union of the file's entries and memory —
+        migration, like compaction, never shrinks the persistent store,
+        even when the file held more entries than ``max_entries``.  Saving
+        to any *other* path writes a deduplicated full snapshot (existing
+        segments there are folded in and replaced, compact-style; the
+        incremental bookkeeping only applies to the cache's own path).
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no cache file path configured")
+        incremental = self.path is not None and target == self.path
         with self._lock:
-            payload = {
-                "version": _CACHE_FORMAT_VERSION,
-                "entries": dict(self._entries),
-            }
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(payload, indent=0), encoding="utf-8")
+            if target.is_file():
+                # Legacy v1 file: replace it with a segment directory.  Its
+                # full entry set is re-read and merged under memory (the
+                # in-memory LRU may hold fewer entries than the file), and
+                # the directory is built fully beside the file before the
+                # swap, so a crash mid-migration never destroys the cache.
+                merged = self._parse_legacy_file(target)
+                merged.update(self._entries)
+                self._migrate_legacy_locked(target, list(merged.items()))
+                if incremental:
+                    self._persisted.update(merged)
+                    self._pending.clear()
+                return target
+            if incremental:
+                items = [
+                    (key, self._entries[key])
+                    for key in self._pending
+                    if key in self._entries
+                ]
+                target.mkdir(parents=True, exist_ok=True)
+                self._write_segments_locked(target, items)
+                self._persisted.update(key for key, _ in items)
+                self._pending.clear()
+            else:
+                # Full snapshot to a foreign path: fold any segments
+                # already there together with memory (memory wins) and
+                # replace them, so repeated snapshots never accumulate
+                # duplicate entry lines.
+                target.mkdir(parents=True, exist_ok=True)
+                self._rewrite_dir_locked(target)
         return target
 
-    def load(self, path: Union[str, Path]) -> int:
-        """Merge entries from a JSON file; returns how many were loaded.
+    def _rewrite_dir_locked(self, target: Path) -> Dict[str, str]:
+        """Fold ``target``'s segments together with memory into fresh ones.
 
-        A cache file is an optimisation, never a requirement: unreadable,
-        corrupt or version-mismatched files load zero entries instead of
-        raising, so a damaged cache can at worst slow a run down.
+        Parses every existing segment, overlays the in-memory entries
+        (memory wins on conflicts), writes the merged set as new segments
+        and removes the old files.  Returns the merged mapping.
+        """
+        old_segments = sorted(target.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+        merged: Dict[str, str] = {}
+        for segment in old_segments:
+            merged.update(self._parse_segment(segment))
+        merged.update(self._entries)
+        self._write_segments_locked(target, list(merged.items()))
+        for segment in old_segments:
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+        return merged
+
+    def _migrate_legacy_locked(self, target: Path, items: List[Tuple[str, str]]) -> None:
+        """Swap a legacy v1 file for a segment directory, crash-safely.
+
+        Segments are written into a temp directory first; only once they
+        are all on disk is the old file unlinked and the directory renamed
+        into place.  A crash before the unlink leaves the legacy file
+        untouched (plus an orphan temp dir); between unlink and rename the
+        data survives in the temp dir.
+        """
+        tmp_dir = Path(
+            tempfile.mkdtemp(prefix=f".{target.name}-migrate-", dir=target.parent)
+        )
+        try:
+            self._write_segments_locked(tmp_dir, items)
+            target.unlink()
+            os.rename(str(tmp_dir), str(target))
+        except BaseException:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+            raise
+
+    def _write_segments_locked(self, target: Path, items: List[Tuple[str, str]]) -> None:
+        """Append ``items`` as size-bounded segments, each written atomically."""
+        if not items:
+            return
+        next_index = self._next_segment_index(target)
+        for start in range(0, len(items), self.segment_max_entries):
+            shard = items[start : start + self.segment_max_entries]
+            lines = [json.dumps({"format": _SEGMENT_FORMAT, "version": _CACHE_FORMAT_VERSION})]
+            lines.extend(
+                json.dumps({"k": key, "r": response}, ensure_ascii=False)
+                for key, response in shard
+            )
+            payload = "\n".join(lines) + "\n"
+            final = target / f"{_SEGMENT_PREFIX}{next_index:06d}{_SEGMENT_SUFFIX}"
+            next_index += 1
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-segment-", suffix=_SEGMENT_SUFFIX, dir=target
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, final)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+    @staticmethod
+    def _next_segment_index(target: Path) -> int:
+        highest = 0
+        for segment in target.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"):
+            stem = segment.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+            if stem.isdigit():
+                highest = max(highest, int(stem))
+        return highest + 1
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge entries from a segment directory or legacy JSON file.
+
+        Returns how many entries were applied.  A cache store is an
+        optimisation, never a requirement: unreadable, corrupt, truncated
+        or version-mismatched files (or individual segment lines) load
+        zero/fewer entries instead of raising, so a damaged cache can at
+        worst slow a run down.
         """
         source = Path(path)
+        if source.is_dir():
+            loaded = self._load_segments(source)
+        else:
+            loaded = self._load_legacy_file(source)
+        return loaded
+
+    def _load_segments(self, source: Path) -> int:
+        loaded = 0
+        mark_persisted = self.path is not None and source == self.path
+        for segment in sorted(source.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")):
+            loaded += self._load_one_segment(segment, mark_persisted)
+        with self._lock:
+            self._evict_overflow_locked()
+        return loaded
+
+    @staticmethod
+    def _parse_segment(segment: Path) -> Dict[str, str]:
+        """Entries of one segment file; damaged headers/lines parse to less.
+
+        A truncated tail line (interrupted write) or damaged line is
+        skipped; everything that parses is kept.  A missing or
+        version-mismatched header skips the whole segment.
+        """
         try:
-            payload = json.loads(source.read_text(encoding="utf-8"))
-        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
-            return 0
-        if not isinstance(payload, dict) or payload.get("version") != _CACHE_FORMAT_VERSION:
-            return 0
-        entries = payload.get("entries", {})
-        if not isinstance(entries, dict):
-            return 0
+            text = segment.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return {}
+        lines = text.splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != _SEGMENT_FORMAT
+            or header.get("version") != _CACHE_FORMAT_VERSION
+        ):
+            return {}
+        entries: Dict[str, str] = {}
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or "k" not in entry or "r" not in entry:
+                continue
+            key, response = entry["k"], entry["r"]
+            if isinstance(key, str) and isinstance(response, str):
+                entries[key] = response
+        return entries
+
+    def _load_one_segment(self, segment: Path, mark_persisted: bool) -> int:
+        entries = self._parse_segment(segment)
         with self._lock:
             for key, response in entries.items():
                 self._entries[key] = response
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                if mark_persisted:
+                    self._persisted.add(key)
+                    self._pending.pop(key, None)
         return len(entries)
+
+    @staticmethod
+    def _parse_legacy_file(source: Path) -> Dict[str, str]:
+        """Full entry set of a format-1 whole-file JSON cache (or empty)."""
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("version") != _LEGACY_FORMAT_VERSION:
+            return {}
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return {}
+        return {
+            key: response
+            for key, response in entries.items()
+            if isinstance(key, str) and isinstance(response, str)
+        }
+
+    def _load_legacy_file(self, source: Path) -> int:
+        """Load the format-1 whole-file JSON layout (``{"version": 1, ...}``)."""
+        entries = self._parse_legacy_file(source)
+        with self._lock:
+            for key, response in entries.items():
+                self._entries[key] = response
+                # A legacy file is rewritten as segments on the next
+                # save, so its entries count as pending, not persisted.
+                if key not in self._persisted:
+                    self._pending[key] = None
+            self._evict_overflow_locked()
+        return len(entries)
+
+    def compact(self, path: Optional[Union[str, Path]] = None) -> Optional[Path]:
+        """Fold the on-disk store into a minimal set of fresh segments.
+
+        Incremental saves only ever append, so a long-lived cache directory
+        accumulates shards (and dead duplicates when entries were
+        re-inserted).  Compaction merges every on-disk entry with the
+        in-memory ones (memory wins on conflicts; disk entries evicted from
+        the bounded LRU are preserved — compaction must never shrink the
+        persistent store), writes the merged set as new segments, then
+        removes every older one.  Returns the directory, or ``None`` when
+        there is nothing on disk to compact.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None or not target.is_dir():
+            return None
+        with self._lock:
+            merged = self._rewrite_dir_locked(target)
+            if self.path is not None and target == self.path:
+                self._persisted = set(merged)
+                self._pending.clear()
+        return target

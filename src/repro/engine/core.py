@@ -6,13 +6,20 @@ call a language model.  Given a sequence of
 
 1. groups requests by (model instance, strategy, scoring mode) and splits
    each group into chunks of ``batch_size``;
-2. maps the chunks over the configured executor (serial or thread pool);
+2. maps the chunks over the configured executor (serial, thread pool,
+   process pool or async — see :mod:`repro.engine.executors`);
 3. inside a chunk, renders all prompts via
    :func:`~repro.prompting.chains.run_strategy_batch`, satisfies what it can
    from the response cache and sends only the misses to the model's
    ``generate_batch``;
 4. scores each response (:func:`~repro.engine.requests.score_response`) and
    reassembles the results in the original request order.
+
+For *distributed* executors (``executor.distributed`` is true, e.g. the
+process pool) the work item crossing the boundary must be picklable, so the
+engine ships self-contained chunk payloads — the requests plus a read-only
+snapshot of the cache — to the module-level :func:`_score_chunk_payload`
+worker, then merges the returned entries and telemetry back in the parent.
 
 Because scoring preserves request order and the simulated models are
 deterministic functions of (model, strategy, code), the engine's output is
@@ -25,9 +32,9 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.engine.cache import ResponseCache
+from repro.engine.cache import ResponseCache, cache_key
 from repro.engine.executors import SerialExecutor, create_executor
 from repro.engine.requests import DetectionRequest, RunResult, RunResultStore, score_response
 from repro.engine.telemetry import EngineTelemetry
@@ -40,6 +47,10 @@ R = TypeVar("R")
 
 _IndexedRequest = Tuple[int, DetectionRequest]
 
+#: What a distributed chunk worker sends back: the scored results plus the
+#: cache/telemetry deltas the parent must merge.
+_ChunkOutcome = Tuple[List[Tuple[int, RunResult]], Dict[str, str], int, int, int]
+
 
 def resolve_engine(engine: Optional["ExecutionEngine"]) -> "ExecutionEngine":
     """The caller's engine, or the default: a fresh serial, uncached one.
@@ -51,6 +62,85 @@ def resolve_engine(engine: Optional["ExecutionEngine"]) -> "ExecutionEngine":
     return engine if engine is not None else ExecutionEngine()
 
 
+def _generate_with_cache(
+    model,
+    prompts: Sequence[str],
+    get_response: Callable[[str], Optional[str]],
+    put_response: Callable[[str, str], None],
+) -> Tuple[List[str], int, int]:
+    """The one implementation of cache-aware batched generation.
+
+    Satisfies what it can via ``get_response`` (``None`` = miss), sends
+    only the misses to ``model.generate_batch`` in one call, stores fresh
+    responses via ``put_response`` and returns ``(responses, hits,
+    misses)`` in prompt order.  Both the in-process engine path and the
+    distributed chunk worker delegate here, so miss handling can never
+    drift between executors.
+    """
+    prompts = list(prompts)
+    responses: List[Optional[str]] = [None] * len(prompts)
+    miss_positions: List[int] = []
+    hits = 0
+    for position, prompt in enumerate(prompts):
+        cached = get_response(prompt)
+        if cached is not None:
+            responses[position] = cached
+            hits += 1
+        else:
+            miss_positions.append(position)
+    if miss_positions:
+        generated = model.generate_batch([prompts[i] for i in miss_positions])
+        for position, response in zip(miss_positions, generated):
+            responses[position] = response
+            put_response(prompts[position], response)
+    return responses, hits, len(miss_positions)  # type: ignore[return-value]
+
+
+def _score_chunk_payload(payload: Tuple[Sequence[_IndexedRequest], Optional[Dict[str, str]]]) -> _ChunkOutcome:
+    """Score one chunk in a worker process (no shared state with the parent).
+
+    ``payload`` is ``(chunk, cache_entries)`` where ``cache_entries`` is a
+    read-only key→response snapshot of the parent cache (or ``None`` when
+    caching is off).  The worker cannot mutate the parent cache, so it
+    returns the entries it generated alongside hit/miss/model-call counts;
+    the parent merges them after the map.  Chunks from the same run cannot
+    see each other's fresh entries — with deterministic models that only
+    costs duplicate calls, never changes a response.
+    """
+    chunk, cache_entries = payload
+    model = chunk[0][1].model
+    strategy = chunk[0][1].strategy
+    identity = getattr(model, "cache_identity", model.name)
+    new_entries: Dict[str, str] = {}
+    counters = {"hits": 0, "misses": 0, "calls": 0}
+
+    def get_response(prompt: str) -> Optional[str]:
+        key = cache_key(identity, prompt)
+        return cache_entries.get(key, new_entries.get(key))  # type: ignore[union-attr]
+
+    def put_response(prompt: str, response: str) -> None:
+        new_entries[cache_key(identity, prompt)] = response
+
+    def generate_many(prompts: Sequence[str]) -> List[str]:
+        if cache_entries is None:
+            counters["calls"] += len(prompts)
+            return list(model.generate_batch(prompts))
+        responses, hits, misses = _generate_with_cache(
+            model, prompts, get_response, put_response
+        )
+        counters["hits"] += hits
+        counters["misses"] += misses
+        counters["calls"] += misses
+        return responses
+
+    responses = run_strategy_batch(generate_many, strategy, [r.code for _, r in chunk])
+    scored = [
+        (index, score_response(request, response))
+        for (index, request), response in zip(chunk, responses)
+    ]
+    return scored, new_entries, counters["hits"], counters["misses"], counters["calls"]
+
+
 class ExecutionEngine:
     """Runs batches of detection requests through an executor and a cache.
 
@@ -58,8 +148,14 @@ class ExecutionEngine:
     ----------
     executor:
         An object with order-preserving ``map(fn, items)``; defaults to
-        :class:`~repro.engine.executors.SerialExecutor`.  Pass ``jobs=N``
-        instead to get a thread pool of width ``N``.
+        :class:`~repro.engine.executors.SerialExecutor`.
+    jobs:
+        Shorthand: build the executor via
+        :func:`~repro.engine.executors.create_executor` with this width.
+    executor_kind:
+        Backend name (``"serial"``, ``"thread"``, ``"process"``,
+        ``"async"`` or anything registered); combines with ``jobs``.
+        Mutually exclusive with ``executor``.
     cache:
         A :class:`~repro.engine.cache.ResponseCache`, or ``None`` to call
         the model for every request.
@@ -73,15 +169,20 @@ class ExecutionEngine:
         *,
         executor=None,
         jobs: Optional[int] = None,
+        executor_kind: Optional[str] = None,
         cache: Optional[ResponseCache] = None,
         batch_size: int = 32,
         telemetry: Optional[EngineTelemetry] = None,
     ) -> None:
-        if executor is not None and jobs is not None:
-            raise ValueError("pass either executor or jobs, not both")
+        if executor is not None and (jobs is not None or executor_kind is not None):
+            raise ValueError("pass either executor or jobs/executor_kind, not both")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        self.executor = executor if executor is not None else create_executor(jobs or 1)
+        self.executor = (
+            executor
+            if executor is not None
+            else create_executor(jobs or 1, kind=executor_kind)
+        )
         self.cache = cache
         self.batch_size = batch_size
         self.telemetry = telemetry or EngineTelemetry()
@@ -94,9 +195,12 @@ class ExecutionEngine:
         start = time.perf_counter()
         results: List[Optional[RunResult]] = [None] * len(indexed)
         chunks = self._chunk(indexed)
-        for chunk_result in self.executor.map(self._run_chunk, chunks):
-            for index, result in chunk_result:
-                results[index] = result
+        if getattr(self.executor, "distributed", False):
+            self._run_distributed(chunks, results)
+        else:
+            for chunk_result in self.executor.map(self._run_chunk, chunks):
+                for index, result in chunk_result:
+                    results[index] = result
         self.telemetry.record_requests(len(indexed))
         self.telemetry.record_run(time.perf_counter() - start)
         return RunResultStore(results)
@@ -108,13 +212,36 @@ class ExecutionEngine:
     # -- generic parallel map (non-LLM work, e.g. the Inspector baseline) ----------
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Run ``fn`` over ``items`` on the engine's executor, with telemetry."""
+        """Run ``fn`` over ``items`` on the engine's executor, with telemetry.
+
+        With a distributed executor, ``fn`` and every item must be picklable
+        (a module-level function or a method of a picklable instance).
+        """
         items = list(items)
         start = time.perf_counter()
         mapped = self.executor.map(fn, items)
         self.telemetry.record_requests(len(items))
         self.telemetry.record_run(time.perf_counter() - start)
         return mapped
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor's pool/loop (idempotent).
+
+        The cache is left untouched — persistence stays an explicit
+        decision (:meth:`ResponseCache.save` / the pipeline's
+        ``save_cache``).
+        """
+        close = getattr(self.executor, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- internals ------------------------------------------------------------------
 
@@ -129,6 +256,32 @@ class ExecutionEngine:
             for start in range(0, len(group), self.batch_size):
                 chunks.append(group[start : start + self.batch_size])
         return chunks
+
+    def _run_distributed(
+        self,
+        chunks: Sequence[Sequence[_IndexedRequest]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        """Map chunks over a process-boundary executor and merge the deltas.
+
+        The cache snapshot rides along in every payload, so a warm cache is
+        pickled once per chunk — O(chunks × entries) serialisation in the
+        parent.  That is the price of keeping workers stateless against a
+        persistent pool; shipping it once per run (pool initializer /
+        shared memory) is a known optimisation, tracked in the ROADMAP.
+        """
+        snapshot = self.cache.snapshot_entries() if self.cache is not None else None
+        payloads = [(chunk, snapshot) for chunk in chunks]
+        for scored, new_entries, hits, misses, calls in self.executor.map(
+            _score_chunk_payload, payloads
+        ):
+            for index, result in scored:
+                results[index] = result
+            if self.cache is not None:
+                for key, response in new_entries.items():
+                    self.cache.put_key(key, response)
+            self.telemetry.record_model_calls(calls)
+            self.telemetry.record_cache(hits, misses)
 
     def _run_chunk(self, chunk: Sequence[_IndexedRequest]) -> List[Tuple[int, RunResult]]:
         """One executor work item: a same-(model, strategy, scoring) chunk."""
@@ -150,24 +303,15 @@ class ExecutionEngine:
             self.telemetry.record_model_calls(len(prompts))
             return list(model.generate_batch(prompts))
         identity = getattr(model, "cache_identity", model.name)
-        responses: List[Optional[str]] = [None] * len(prompts)
-        miss_positions: List[int] = []
-        hits = 0
-        for position, prompt in enumerate(prompts):
-            cached = self.cache.get(identity, prompt)
-            if cached is not None:
-                responses[position] = cached
-                hits += 1
-            else:
-                miss_positions.append(position)
-        if miss_positions:
-            generated = model.generate_batch([prompts[i] for i in miss_positions])
-            self.telemetry.record_model_calls(len(miss_positions))
-            for position, response in zip(miss_positions, generated):
-                responses[position] = response
-                self.cache.put(identity, prompts[position], response)
-        self.telemetry.record_cache(hits, len(miss_positions))
-        return responses  # type: ignore[return-value]
+        responses, hits, misses = _generate_with_cache(
+            model,
+            prompts,
+            lambda prompt: self.cache.get(identity, prompt),
+            lambda prompt, response: self.cache.put(identity, prompt, response),
+        )
+        self.telemetry.record_model_calls(misses)
+        self.telemetry.record_cache(hits, misses)
+        return responses
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = f"cache={len(self.cache)} entries" if self.cache is not None else "no cache"

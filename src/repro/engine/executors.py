@@ -1,74 +1,328 @@
 """Pluggable executors: how the engine maps work over request chunks.
 
 An executor is anything with ``map(fn, items) -> list`` that preserves input
-order.  Two backends ship here:
+order and propagates exceptions.  Four backends ship here, all registered in
+:data:`EXECUTOR_KINDS` and selectable via :func:`create_executor` (the CLI's
+``--executor``/``--jobs`` flags and :attr:`PipelineConfig.executor`):
 
-* :class:`SerialExecutor` — the reference backend; runs chunks in submission
-  order on the calling thread.  The engine's equivalence guarantee is stated
-  against this backend.
-* :class:`ThreadPoolExecutor` — fans chunks out over worker threads.  Because
-  every request is independent and the simulated models are deterministic,
-  results are bit-identical to the serial backend; the speedup comes from
-  overlapping model latency (network time for real API clients).
+* :class:`SerialExecutor` (``"serial"``) — the reference backend; runs work
+  items in submission order on the calling thread.  The engine's equivalence
+  guarantee is stated against this backend.
+* :class:`ThreadPoolExecutor` (``"thread"``) — fans work items out over one
+  persistent pool of worker threads.  Overlaps model latency (network time
+  for real API clients); the pool is created lazily on first ``map`` and
+  lives until :meth:`~ThreadPoolExecutor.close`.
+* :class:`ProcessPoolExecutor` (``"process"``) — shards work across worker
+  *processes*, scaling the CPU-bound parts (feature extraction, response
+  rendering/parsing) past the GIL.  Everything crossing the process boundary
+  must be picklable; the executor advertises this with ``distributed =
+  True`` and the engine switches to self-contained, picklable chunk
+  payloads (see :func:`repro.engine.core._score_chunk_payload`).
+* :class:`AsyncExecutor` (``"async"``) — runs work items concurrently on a
+  persistent asyncio event loop in a background thread.  Synchronous
+  functions are offloaded to the loop's thread pool under a semaphore of
+  width ``jobs``; native ``async def`` functions are awaited directly — the
+  seam a real aiohttp-based API adapter plugs into without further engine
+  changes.
 
-To add a new backend (e.g. an async or multi-process one), implement the
-same ``map`` contract — order-preserving, exceptions propagated — and pass
-an instance to :class:`~repro.engine.core.ExecutionEngine`, or extend
-:func:`create_executor` so the CLI's ``--jobs`` flag can select it.
+Every backend owns whatever pool/loop it creates: ``close()`` releases it
+(idempotent), the executors are context managers, and a closed executor
+raises :class:`RuntimeError` on further ``map`` calls.  The engine and the
+CLI close their executor after a run.
+
+To add a new backend, implement the same ``map`` contract and register a
+factory with :func:`register_executor` so ``--executor <kind>`` can select
+it.
 """
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
-from typing import Callable, List, Sequence, TypeVar
+import inspect
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["SerialExecutor", "ThreadPoolExecutor", "create_executor"]
+__all__ = [
+    "EXECUTOR_KINDS",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "AsyncExecutor",
+    "available_executors",
+    "create_executor",
+    "register_executor",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
-class SerialExecutor:
+class _BaseExecutor:
+    """Shared close/context-manager plumbing for the pooled backends."""
+
+    name = "base"
+    #: True when ``map`` crosses a process boundary (fn/items must pickle).
+    distributed = False
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def close(self) -> None:
+        """Release pooled resources; further ``map`` calls raise."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(_BaseExecutor):
     """Run every work item in order on the calling thread."""
 
     name = "serial"
     jobs = 1
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        self._check_open()
         return [fn(item) for item in items]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<SerialExecutor>"
 
 
-class ThreadPoolExecutor:
-    """Fan work items out over a bounded pool of threads.
+class ThreadPoolExecutor(_BaseExecutor):
+    """Fan work items out over one persistent pool of worker threads.
 
-    A fresh pool is created per ``map`` call: the engine maps over chunks
-    (not individual records), so pool start-up cost is amortised across many
-    requests and no threads linger between runs.
+    The pool is created lazily on the first ``map`` call and reused for
+    every later one, so repeated engine runs (the CLI's ``repro all``, the
+    benchmark harness) never pay thread start-up cost twice.  ``close()``
+    shuts the pool down; use the executor as a context manager to scope it.
     """
 
-    name = "thread-pool"
+    name = "thread"
 
     def __init__(self, jobs: int = 4) -> None:
+        super().__init__()
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            self._check_open()
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-engine"
+                )
+            return self._pool
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        self._check_open()
         items = list(items)
         if len(items) <= 1 or self.jobs == 1:
             return [fn(item) for item in items]
-        with concurrent.futures.ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(fn, items))
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        with self._lock:
+            super().close()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ThreadPoolExecutor jobs={self.jobs}>"
 
 
-def create_executor(jobs: int = 1):
-    """``jobs <= 1`` → serial; otherwise a thread pool of that width."""
-    if jobs <= 1:
-        return SerialExecutor()
-    return ThreadPoolExecutor(jobs=jobs)
+class ProcessPoolExecutor(_BaseExecutor):
+    """Shard work items across one persistent pool of worker processes.
+
+    Threads only overlap I/O waits; a process pool also scales the
+    CPU-bound half of a request (feature extraction, response rendering and
+    parsing) across cores.  The price is the pickle boundary: ``fn`` must be
+    a module-level callable and every item/result must be picklable.  The
+    engine honours this automatically — ``distributed = True`` makes it
+    dispatch self-contained chunk payloads instead of bound-method closures.
+    """
+
+    name = "process"
+    distributed = True
+
+    def __init__(self, jobs: int = 4) -> None:
+        super().__init__()
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        with self._lock:
+            self._check_open()
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        self._check_open()
+        items = list(items)
+        if not items:
+            return []
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        with self._lock:
+            super().close()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProcessPoolExecutor jobs={self.jobs}>"
+
+
+class AsyncExecutor(_BaseExecutor):
+    """Run work items concurrently on a persistent asyncio event loop.
+
+    The loop runs in a dedicated background thread for the executor's whole
+    lifetime.  ``map`` submits one task per item, bounded by a semaphore of
+    width ``jobs``, and gathers the results in input order:
+
+    * a plain function is offloaded to a dedicated thread pool of width
+      ``jobs`` (asyncio's *default* executor caps at ``min(32, cpus + 4)``
+      threads, which would silently undercut larger ``jobs`` values), so
+      today's synchronous simulated models work unchanged;
+    * an ``async def`` function is awaited natively — this is the seam where
+      a real aiohttp/``AsyncAnthropic``-style API adapter slots in with true
+      non-blocking concurrency.
+    """
+
+    name = "async"
+
+    def __init__(self, jobs: int = 8) -> None:
+        super().__init__()
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            self._check_open()
+            if self._loop is None:
+                self._loop = asyncio.new_event_loop()
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-async-worker"
+                )
+                self._thread = threading.Thread(
+                    target=self._loop.run_forever,
+                    name="repro-async-executor",
+                    daemon=True,
+                )
+                self._thread.start()
+            return self._loop
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        self._check_open()
+        items = list(items)
+        if not items:
+            return []
+        loop = self._ensure_loop()
+        pool = self._pool
+        is_async = inspect.iscoroutinefunction(fn)
+
+        async def _gather() -> List[R]:
+            semaphore = asyncio.Semaphore(self.jobs)
+            running = asyncio.get_running_loop()
+
+            async def _one(item: T) -> R:
+                async with semaphore:
+                    if is_async:
+                        return await fn(item)
+                    return await running.run_in_executor(pool, fn, item)
+
+            return await asyncio.gather(*(_one(item) for item in items))
+
+        return list(asyncio.run_coroutine_threadsafe(_gather(), loop).result())
+
+    def close(self) -> None:
+        with self._lock:
+            super().close()
+            loop, thread, pool = self._loop, self._thread, self._pool
+            self._loop = self._thread = self._pool = None
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10)
+        loop.close()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AsyncExecutor jobs={self.jobs}>"
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_EXECUTOR_FACTORIES: Dict[str, Callable[[int], object]] = {}
+
+
+def register_executor(kind: str, factory: Callable[[int], object]) -> None:
+    """Register ``factory(jobs) -> executor`` under ``kind``.
+
+    Registered kinds become valid values for :func:`create_executor` and,
+    through it, the CLI's ``--executor`` flag and ``PipelineConfig.executor``.
+    """
+    _EXECUTOR_FACTORIES[kind] = factory
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Registered executor kinds, in registration order."""
+    return tuple(_EXECUTOR_FACTORIES)
+
+
+register_executor("serial", lambda jobs: SerialExecutor())
+register_executor("thread", lambda jobs: ThreadPoolExecutor(jobs=jobs))
+register_executor("process", lambda jobs: ProcessPoolExecutor(jobs=jobs))
+register_executor("async", lambda jobs: AsyncExecutor(jobs=jobs))
+
+#: The built-in backend names (the CLI's ``--executor`` choices).
+EXECUTOR_KINDS = ("serial", "thread", "process", "async")
+
+
+def create_executor(jobs: int = 1, kind: Optional[str] = None):
+    """Build an executor from the registry.
+
+    ``kind=None`` keeps the historical ``--jobs`` semantics: ``jobs <= 1``
+    selects the serial backend, anything larger a thread pool of that width.
+    An explicit ``kind`` picks that backend directly with ``max(jobs, 1)``
+    workers.
+    """
+    if kind is None:
+        kind = "serial" if jobs <= 1 else "thread"
+    try:
+        factory = _EXECUTOR_FACTORIES[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown executor kind {kind!r}; registered: {available_executors()}"
+        ) from exc
+    return factory(max(jobs, 1))

@@ -4,12 +4,20 @@ For every fold: fine-tune the open-source model on the training records'
 prompt–response pairs, then evaluate both the pre-trained model and the
 fine-tuned model on the held-out records.  The result aggregates AVG/SD of
 recall, precision and F1 across folds — the layout of Tables 4 and 6.
+
+Like the table drivers, cross-validation splits into a **plan** phase
+(:func:`plan_finetune_crossval` — trains every fold's adapter, pure CPU
+work, and lays out all base/tuned evaluation requests) and a **reduce**
+phase (:meth:`CrossValPlan.reduce` — slices the ordered results back into
+per-fold confusion counts).  :func:`run_finetune_crossval` composes the two
+through one engine run; the cross-table scheduler instead merges the plan's
+requests into its single interleaved run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.drbml import DRBMLDataset
 from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
@@ -20,7 +28,7 @@ from repro.llm.finetune import FineTuneConfig, FineTuner
 from repro.llm.zoo import create_model
 from repro.prompting.strategy import PromptStrategy
 
-__all__ = ["CrossValResult", "run_finetune_crossval"]
+__all__ = ["CrossValPlan", "CrossValResult", "plan_finetune_crossval", "run_finetune_crossval"]
 
 
 @dataclass
@@ -48,10 +56,8 @@ class CrossValResult:
         }
 
 
-def _evaluate_fold(
-    engine, model: LanguageModel, records: Sequence[DRBMLRecord], kind: str
-) -> ConfusionCounts:
-    """Score one fold's held-out records through the execution engine.
+def _fold_requests(model: LanguageModel, records: Sequence[DRBMLRecord], kind: str):
+    """Requests scoring one fold's held-out records.
 
     ``"basic"`` folds use BP1 detection scoring; ``"advanced"`` folds use
     the ADVANCED strategy with pair-correctness scoring — the same two
@@ -60,10 +66,79 @@ def _evaluate_fold(
     from repro.engine import build_requests
 
     if kind == "basic":
-        requests = build_requests(model, PromptStrategy.BP1, records, scoring="detection")
-    else:
-        requests = build_requests(model, PromptStrategy.ADVANCED, records, scoring="pairs")
-    return engine.run_counts(requests)
+        return build_requests(model, PromptStrategy.BP1, records, scoring="detection")
+    return build_requests(model, PromptStrategy.ADVANCED, records, scoring="pairs")
+
+
+@dataclass
+class CrossValPlan:
+    """All of one model's cross-validation requests plus the fold layout.
+
+    ``requests`` holds, for every fold in order, the base model's held-out
+    evaluations followed by the tuned model's — the exact order the
+    sequential loop issued them, so reducing a slice of an interleaved run
+    reproduces its counts bit-for-bit.
+    """
+
+    model: str
+    kind: str
+    requests: List = field(default_factory=list)
+    #: Per fold: (base_start, tuned_start, end) offsets into ``requests``.
+    fold_spans: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def reduce(self, store) -> CrossValResult:
+        """Slice ordered results back into per-fold confusion counts."""
+        from repro.engine import RunResultStore
+
+        result = CrossValResult(model=self.model, kind=self.kind)
+        for base_start, tuned_start, end in self.fold_spans:
+            result.base_folds.append(
+                RunResultStore(store.results[base_start:tuned_start]).confusion()
+            )
+            result.tuned_folds.append(
+                RunResultStore(store.results[tuned_start:end]).confusion()
+            )
+        return result
+
+
+def plan_finetune_crossval(
+    dataset: DRBMLDataset,
+    model_name: str,
+    *,
+    kind: str = "basic",
+    n_folds: int = 5,
+    seed: int = 7,
+    config: Optional[FineTuneConfig] = None,
+    model_factory: Optional[Callable[[str], LanguageModel]] = None,
+) -> CrossValPlan:
+    """Plan the paper's fine-tuning cross-validation for one model.
+
+    Fine-tunes every fold's adapter here (CPU-only, no model calls) and
+    returns the evaluation requests plus the fold layout.  Parameters match
+    :func:`run_finetune_crossval`; ``model_factory`` lets benchmarks inject
+    e.g. latency-simulated base models.
+    """
+    if kind not in ("basic", "advanced"):
+        raise ValueError("kind must be 'basic' or 'advanced'")
+    factory = model_factory or create_model
+    plan = CrossValPlan(model=model_name, kind=kind)
+    for assignment in dataset.folds(n_folds=n_folds, seed=seed):
+        train_records = dataset.records_for(assignment.train_names)
+        test_records = dataset.records_for(assignment.test_names)
+        base = factory(model_name)
+        pairs = (
+            build_basic_pairs(train_records)
+            if kind == "basic"
+            else build_advanced_pairs(train_records)
+        )
+        tuner = FineTuner(base=base, config=config or FineTuneConfig.for_model(model_name))
+        tuned = tuner.fit(pairs)
+        base_start = len(plan.requests)
+        plan.requests.extend(_fold_requests(base, test_records, kind))
+        tuned_start = len(plan.requests)
+        plan.requests.extend(_fold_requests(tuned, test_records, kind))
+        plan.fold_spans.append((base_start, tuned_start, len(plan.requests)))
+    return plan
 
 
 def run_finetune_crossval(
@@ -88,24 +163,10 @@ def run_finetune_crossval(
         ``"basic"`` (Table 4, detection) or ``"advanced"`` (Table 6, variable
         identification).
     """
-    if kind not in ("basic", "advanced"):
-        raise ValueError("kind must be 'basic' or 'advanced'")
     from repro.engine import resolve_engine
 
+    plan = plan_finetune_crossval(
+        dataset, model_name, kind=kind, n_folds=n_folds, seed=seed, config=config
+    )
     engine = resolve_engine(engine)
-    result = CrossValResult(model=model_name, kind=kind)
-    folds = dataset.folds(n_folds=n_folds, seed=seed)
-    for assignment in folds:
-        train_records = dataset.records_for(assignment.train_names)
-        test_records = dataset.records_for(assignment.test_names)
-        base = create_model(model_name)
-        pairs = (
-            build_basic_pairs(train_records)
-            if kind == "basic"
-            else build_advanced_pairs(train_records)
-        )
-        tuner = FineTuner(base=base, config=config or FineTuneConfig.for_model(model_name))
-        tuned = tuner.fit(pairs)
-        result.base_folds.append(_evaluate_fold(engine, base, test_records, kind))
-        result.tuned_folds.append(_evaluate_fold(engine, tuned, test_records, kind))
-    return result
+    return plan.reduce(engine.run(plan.requests))

@@ -1,22 +1,32 @@
 """Experiment drivers for every table of the paper's evaluation section.
 
-Each ``run_tableN`` function regenerates the corresponding table from scratch
-(dataset build → prompts → model calls → parsing → metrics) and returns a
-structured result that the reporting module renders in the paper's layout.
-The benchmark harness under ``benchmarks/`` calls these drivers.
+Each table is expressed in two phases:
 
-All model calls flow through an :class:`~repro.engine.core.ExecutionEngine`;
-every driver accepts an optional ``engine`` so callers (the CLI's
-``--jobs``/``--cache`` flags, the benchmark harness) can share one engine —
-and its cache and telemetry — across tables.  When omitted, each call gets
-a fresh serial, uncached engine, which reproduces the seed behaviour
-exactly.
+* ``plan_tableN`` — the **plan** phase: build the table's
+  :class:`~repro.engine.requests.DetectionRequest` batch (dataset →
+  prompts, plus any CPU-side preparation such as fine-tuning the
+  cross-validation fold models) and a reducer that will assemble the
+  paper-layout rows from scored results.  Planning never calls a model.
+* ``run_tableN`` — the familiar driver: execute the plan through an
+  :class:`~repro.engine.core.ExecutionEngine` and reduce.  Results are
+  unchanged from the pre-plan drivers; the split exists so
+  :func:`repro.engine.scheduler.run_all_tables` can interleave **every**
+  table's requests into a single engine run instead of serialising five
+  drivers.
+
+All drivers accept an optional ``engine`` so callers (the CLI's
+``--jobs``/``--executor``/``--cache`` flags, the benchmark harness) can
+share one engine — and its cache and telemetry — across tables.  When
+omitted, each call gets a fresh serial, uncached engine, which reproduces
+the seed behaviour exactly.  ``model_factory`` (default
+:func:`repro.llm.zoo.create_model`) lets benchmarks inject e.g.
+latency-simulated model instances without changing the plan shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.corpus.generator import CorpusConfig, build_corpus
 from repro.corpus.microbenchmark import Microbenchmark
@@ -33,6 +43,11 @@ __all__ = [
     "evaluate_model_prompt",
     "evaluate_inspector",
     "evaluate_variable_identification",
+    "plan_table2",
+    "plan_table3",
+    "plan_table4",
+    "plan_table5",
+    "plan_table6",
     "run_table2",
     "run_table3",
     "run_table4",
@@ -40,6 +55,9 @@ __all__ = [
     "run_table6",
     "default_subset",
 ]
+
+#: Builds a model instance from a zoo name (benchmarks override this).
+ModelFactory = Callable[[str], LanguageModel]
 
 
 @dataclass
@@ -83,6 +101,30 @@ def _resolve_engine(engine):
 
 
 # ---------------------------------------------------------------------------
+# row-segment bookkeeping shared by the detection-table plans
+# ---------------------------------------------------------------------------
+
+
+class _RowSegments:
+    """Maps contiguous result slices back to (model, prompt) table rows."""
+
+    def __init__(self) -> None:
+        self._segments: List[tuple] = []
+
+    def add(self, model: str, prompt: str, start: int, end: int) -> None:
+        self._segments.append((model, prompt, start, end))
+
+    def reduce(self, store, *, leading_rows: Optional[List[PromptEvaluationRow]] = None):
+        from repro.engine import RunResultStore
+
+        rows = list(leading_rows or [])
+        for model, prompt, start, end in self._segments:
+            counts = RunResultStore(store.results[start:end]).confusion()
+            rows.append(PromptEvaluationRow(model=model, prompt=prompt, counts=counts))
+        return rows
+
+
+# ---------------------------------------------------------------------------
 # detection experiments (Tables 2 and 3)
 # ---------------------------------------------------------------------------
 
@@ -117,6 +159,27 @@ def evaluate_inspector(
     return counts
 
 
+def plan_table2(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    model_name: str = "gpt-3.5-turbo",
+    model_factory: Optional[ModelFactory] = None,
+):
+    """Plan Table 2: GPT-3.5-turbo with BP1 vs. BP2."""
+    from repro.engine import build_requests
+    from repro.engine.scheduler import TablePlan
+
+    records = (dataset or default_subset()).records
+    model = (model_factory or create_model)(model_name)
+    segments = _RowSegments()
+    requests = []
+    for strategy in (PromptStrategy.BP1, PromptStrategy.BP2):
+        start = len(requests)
+        requests.extend(build_requests(model, strategy, records, scoring="detection"))
+        segments.add(model_name, strategy.value, start, len(requests))
+    return TablePlan(table="table2", requests=requests, reduce=segments.reduce)
+
+
 def run_table2(
     dataset: Optional[DRBMLDataset] = None,
     *,
@@ -124,14 +187,64 @@ def run_table2(
     engine=None,
 ) -> List[PromptEvaluationRow]:
     """Table 2: GPT-3.5-turbo with BP1 vs. BP2."""
-    records = (dataset or default_subset()).records
-    model = create_model(model_name)
-    engine = _resolve_engine(engine)
-    rows = []
-    for strategy in (PromptStrategy.BP1, PromptStrategy.BP2):
-        counts = evaluate_model_prompt(model, strategy, records, engine=engine)
-        rows.append(PromptEvaluationRow(model=model_name, prompt=strategy.value, counts=counts))
-    return rows
+    return plan_table2(dataset, model_name=model_name).execute(_resolve_engine(engine))
+
+
+def plan_table3(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    corpus_config: Optional[CorpusConfig] = None,
+    include_inspector: bool = True,
+    models: Optional[Sequence[str]] = None,
+    strategies: Sequence[PromptStrategy] = (
+        PromptStrategy.BP1,
+        PromptStrategy.AP1,
+        PromptStrategy.AP2,
+    ),
+    model_factory: Optional[ModelFactory] = None,
+):
+    """Plan Table 3: Inspector baseline plus the LLM/strategy grid.
+
+    The Inspector is not an LLM, so its scoring runs in the plan's
+    ``prepare`` step (through ``engine.map``, sharing the executor) and its
+    row is prepended at reduce time.
+    """
+    from repro.engine import build_requests
+    from repro.engine.scheduler import TablePlan
+
+    dataset = dataset or default_subset(corpus_config)
+    factory = model_factory or create_model
+    segments = _RowSegments()
+    requests = []
+    for model_name in models or available_models():
+        model = factory(model_name)
+        for strategy in strategies:
+            start = len(requests)
+            requests.extend(
+                build_requests(model, strategy, dataset.records, scoring="detection")
+            )
+            segments.add(model_name, strategy.value, start, len(requests))
+
+    prepared: Dict[str, ConfusionCounts] = {}
+    prepare = None
+    if include_inspector:
+        subset_names = {record.name for record in dataset.records}
+
+        def prepare(engine):
+            benchmarks = [
+                b for b in build_corpus(corpus_config) if b.name in subset_names
+            ]
+            prepared["inspector"] = evaluate_inspector(benchmarks, engine=engine)
+
+    def reduce(store):
+        leading = []
+        if "inspector" in prepared:
+            leading.append(
+                PromptEvaluationRow(model="Inspector", prompt="N/A", counts=prepared["inspector"])
+            )
+        return segments.reduce(store, leading_rows=leading)
+
+    return TablePlan(table="table3", requests=requests, reduce=reduce, prepare=prepare)
 
 
 def run_table3(
@@ -148,23 +261,14 @@ def run_table3(
     engine=None,
 ) -> List[PromptEvaluationRow]:
     """Table 3: Inspector baseline plus four LLMs under BP1/AP1/AP2."""
-    dataset = dataset or default_subset(corpus_config)
-    engine = _resolve_engine(engine)
-    rows: List[PromptEvaluationRow] = []
-    if include_inspector:
-        benchmarks = build_corpus(corpus_config)
-        subset_names = {record.name for record in dataset.records}
-        benchmarks = [b for b in benchmarks if b.name in subset_names]
-        counts = evaluate_inspector(benchmarks, engine=engine)
-        rows.append(PromptEvaluationRow(model="Inspector", prompt="N/A", counts=counts))
-    for model_name in models or available_models():
-        model = create_model(model_name)
-        for strategy in strategies:
-            counts = evaluate_model_prompt(model, strategy, dataset.records, engine=engine)
-            rows.append(
-                PromptEvaluationRow(model=model_name, prompt=strategy.value, counts=counts)
-            )
-    return rows
+    plan = plan_table3(
+        dataset,
+        corpus_config=corpus_config,
+        include_inspector=include_inspector,
+        models=models,
+        strategies=strategies,
+    )
+    return plan.execute(_resolve_engine(engine))
 
 
 # ---------------------------------------------------------------------------
@@ -187,6 +291,30 @@ def evaluate_variable_identification(
     )
 
 
+def plan_table5(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    models: Optional[Sequence[str]] = None,
+    model_factory: Optional[ModelFactory] = None,
+):
+    """Plan Table 5: pre-trained models on variable identification."""
+    from repro.engine import build_requests
+    from repro.engine.scheduler import TablePlan
+
+    records = (dataset or default_subset()).records
+    factory = model_factory or create_model
+    segments = _RowSegments()
+    requests = []
+    for model_name in models or available_models():
+        model = factory(model_name)
+        start = len(requests)
+        requests.extend(
+            build_requests(model, PromptStrategy.ADVANCED, records, scoring="pairs")
+        )
+        segments.add(model_name, "ADVANCED", start, len(requests))
+    return TablePlan(table="table5", requests=requests, reduce=segments.reduce)
+
+
 def run_table5(
     dataset: Optional[DRBMLDataset] = None,
     *,
@@ -194,19 +322,71 @@ def run_table5(
     engine=None,
 ) -> List[PromptEvaluationRow]:
     """Table 5: pre-trained models on detection + variable identification."""
-    records = (dataset or default_subset()).records
-    engine = _resolve_engine(engine)
-    rows = []
-    for model_name in models or available_models():
-        model = create_model(model_name)
-        counts = evaluate_variable_identification(model, records, engine=engine)
-        rows.append(PromptEvaluationRow(model=model_name, prompt="ADVANCED", counts=counts))
-    return rows
+    return plan_table5(dataset, models=models).execute(_resolve_engine(engine))
 
 
 # ---------------------------------------------------------------------------
 # fine-tuning cross-validation (Tables 4 and 6)
 # ---------------------------------------------------------------------------
+
+
+def _plan_crossval_table(
+    table: str,
+    kind: str,
+    dataset: Optional[DRBMLDataset],
+    models: Sequence[str],
+    n_folds: int,
+    seed: int,
+    model_factory: Optional[ModelFactory],
+):
+    """Shared plan builder for Tables 4 and 6.
+
+    Fine-tuning happens here, at plan time — it is pure CPU work on the
+    training folds, so by execution time the whole table is detection
+    requests the scheduler can interleave with every other table.
+    """
+    from repro.engine.scheduler import TablePlan
+    from repro.eval.crossval import plan_finetune_crossval
+
+    dataset = dataset or default_subset()
+    subplans = []
+    requests = []
+    spans = []
+    for model_name in models:
+        subplan = plan_finetune_crossval(
+            dataset,
+            model_name,
+            kind=kind,
+            n_folds=n_folds,
+            seed=seed,
+            model_factory=model_factory,
+        )
+        start = len(requests)
+        requests.extend(subplan.requests)
+        spans.append((model_name, subplan, start, len(requests)))
+        subplans.append(subplan)
+
+    def reduce(store):
+        from repro.engine import RunResultStore
+
+        return {
+            model_name: subplan.reduce(RunResultStore(store.results[start:end]))
+            for model_name, subplan, start, end in spans
+        }
+
+    return TablePlan(table=table, requests=requests, reduce=reduce)
+
+
+def plan_table4(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    models: Sequence[str] = ("starchat-beta", "llama2-7b"),
+    n_folds: int = 5,
+    seed: int = 7,
+    model_factory: Optional[ModelFactory] = None,
+):
+    """Plan Table 4: basic fine-tuning (detection) under cross-validation."""
+    return _plan_crossval_table("table4", "basic", dataset, models, n_folds, seed, model_factory)
 
 
 def run_table4(
@@ -218,15 +398,22 @@ def run_table4(
     engine=None,
 ):
     """Table 4: basic fine-tuning (detection) under 5-fold cross-validation."""
-    from repro.eval.crossval import run_finetune_crossval
+    plan = plan_table4(dataset, models=models, n_folds=n_folds, seed=seed)
+    return plan.execute(_resolve_engine(engine))
 
-    dataset = dataset or default_subset()
-    results = {}
-    for model_name in models:
-        results[model_name] = run_finetune_crossval(
-            dataset, model_name, kind="basic", n_folds=n_folds, seed=seed, engine=engine
-        )
-    return results
+
+def plan_table6(
+    dataset: Optional[DRBMLDataset] = None,
+    *,
+    models: Sequence[str] = ("starchat-beta", "llama2-7b"),
+    n_folds: int = 5,
+    seed: int = 7,
+    model_factory: Optional[ModelFactory] = None,
+):
+    """Plan Table 6: advanced fine-tuning (variable identification) under CV."""
+    return _plan_crossval_table(
+        "table6", "advanced", dataset, models, n_folds, seed, model_factory
+    )
 
 
 def run_table6(
@@ -238,12 +425,5 @@ def run_table6(
     engine=None,
 ):
     """Table 6: advanced fine-tuning (variable identification) under 5-fold CV."""
-    from repro.eval.crossval import run_finetune_crossval
-
-    dataset = dataset or default_subset()
-    results = {}
-    for model_name in models:
-        results[model_name] = run_finetune_crossval(
-            dataset, model_name, kind="advanced", n_folds=n_folds, seed=seed, engine=engine
-        )
-    return results
+    plan = plan_table6(dataset, models=models, n_folds=n_folds, seed=seed)
+    return plan.execute(_resolve_engine(engine))

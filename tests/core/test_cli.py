@@ -39,14 +39,37 @@ class TestCLI:
         assert "[engine]" not in capsys.readouterr().out
 
     def test_cache_file_written_and_reused(self, tmp_path, capsys):
-        cache_file = tmp_path / "responses.json"
-        assert main(["table2", "--cache", str(cache_file)]) == 0
+        cache_dir = tmp_path / "responses"
+        assert main(["table2", "--cache", str(cache_dir)]) == 0
         first = capsys.readouterr().out
-        assert cache_file.exists()
-        assert main(["table2", "--cache", str(cache_file)]) == 0
+        assert cache_dir.is_dir()
+        assert list(cache_dir.glob("segment-*.jsonl"))
+        assert main(["table2", "--cache", str(cache_dir)]) == 0
         second = capsys.readouterr().out
         assert "cache_hit_rate=100.0%" in second
         # Same table either way: caching never changes results.
         assert [l for l in first.splitlines() if "gpt" in l] == [
             l for l in second.splitlines() if "gpt" in l
         ]
+
+    def test_executor_flag_selects_backend(self, capsys):
+        assert main(["table2", "--executor", "async"]) == 0
+        out = capsys.readouterr().out
+        assert "executor=async" in out and "Table 2" in out
+
+    def test_executor_process_same_table(self, capsys):
+        assert main(["table2", "--no-stats"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table2", "--executor", "process", "--jobs", "2", "--no-stats"]) == 0
+        process = capsys.readouterr().out
+        assert [l for l in serial.splitlines() if "gpt" in l] == [
+            l for l in process.splitlines() if "gpt" in l
+        ]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--executor", "quantum"])
+
+    def test_sequential_requires_all(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--sequential"])

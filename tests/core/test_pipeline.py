@@ -65,3 +65,24 @@ class TestPipeline:
         records = pipeline.evaluation_subset().records[:12]
         counts = pipeline.score_model(model="gpt-4", strategy=PromptStrategy.BP1, records=records)
         assert counts.total == 12
+
+    def test_executor_config_selects_backend(self):
+        from repro.engine import AsyncExecutor
+
+        with DataRacePipeline(PipelineConfig(executor="async", jobs=4)) as pipeline:
+            assert isinstance(pipeline.engine.executor, AsyncExecutor)
+            records = pipeline.evaluation_subset().records[:6]
+            counts = pipeline.score_model(
+                model="gpt-4", strategy=PromptStrategy.BP1, records=records
+            )
+            assert counts.total == 6
+            executor = pipeline.engine.executor
+        assert executor.closed
+
+    def test_close_is_idempotent_and_rebuilds(self):
+        pipeline = DataRacePipeline(PipelineConfig(jobs=2))
+        first = pipeline.engine
+        pipeline.close()
+        pipeline.close()
+        assert pipeline.engine is not first  # fresh engine after close
+        pipeline.close()

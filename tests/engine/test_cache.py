@@ -1,6 +1,8 @@
-"""Response-cache behaviour: accounting, LRU eviction, file persistence."""
+"""Response-cache behaviour: accounting, LRU eviction, segmented persistence."""
 
-from repro.engine import ResponseCache
+import json
+
+from repro.engine import ResponseCache, cache_key
 
 
 class TestCacheAccounting:
@@ -33,8 +35,8 @@ class TestCacheAccounting:
 
 
 class TestCachePersistence:
-    def test_file_round_trip(self, tmp_path):
-        path = tmp_path / "cache.json"
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache"
         cache = ResponseCache(path=path)
         cache.put("gpt-4", "prompt A", "response A")
         cache.put("gpt-4", "prompt B", "response B")
@@ -55,7 +57,7 @@ class TestCachePersistence:
         assert ResponseCache(path=path).get("m", "p") is None
 
     def test_load_respects_capacity(self, tmp_path):
-        path = tmp_path / "cache.json"
+        path = tmp_path / "cache"
         cache = ResponseCache(path=path)
         for i in range(10):
             cache.put("m", f"p{i}", f"r{i}")
@@ -63,3 +65,187 @@ class TestCachePersistence:
 
         small = ResponseCache(max_entries=3, path=path)
         assert len(small) == 3
+
+
+class TestSegmentedPersistence:
+    """The on-disk store is a directory of append-only JSONL segments."""
+
+    def test_incremental_save_appends_segments_only(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path)
+        for i in range(4):
+            cache.put("m", f"p{i}", f"r{i}")
+        assert cache.pending_count == 4
+        cache.save()
+        assert cache.pending_count == 0
+        first = cache.segment_files()
+        assert len(first) == 1
+        before = first[0].read_bytes()
+
+        # A second save with nothing new writes nothing at all.
+        cache.save()
+        assert cache.segment_files() == first
+        assert first[0].read_bytes() == before
+
+        # New entries land in a NEW segment; old segments are untouched.
+        cache.put("m", "p-new", "r-new")
+        cache.save()
+        segments = cache.segment_files()
+        assert len(segments) == 2
+        assert first[0].read_bytes() == before
+
+        reloaded = ResponseCache(path=path)
+        assert len(reloaded) == 5
+        assert reloaded.get("m", "p-new") == "r-new"
+
+    def test_segments_are_size_bounded(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path, segment_max_entries=2)
+        for i in range(5):
+            cache.put("m", f"p{i}", f"r{i}")
+        cache.save()
+        assert len(cache.segment_files()) == 3  # 2 + 2 + 1
+        assert len(ResponseCache(path=path)) == 5
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path)
+        cache.put("m", "p", "r")
+        cache.save()
+        leftovers = [f for f in path.iterdir() if not f.name.startswith("segment-")]
+        assert leftovers == []
+
+    def test_truncated_segment_loads_partially(self, tmp_path):
+        """An interrupted write loses at most the torn tail line."""
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path)
+        for i in range(3):
+            cache.put("m", f"p{i}", f"r{i}")
+        cache.save()
+        segment = cache.segment_files()[0]
+        text = segment.read_text(encoding="utf-8")
+        segment.write_text(text[: len(text) - 5], encoding="utf-8")  # tear the last entry
+
+        reloaded = ResponseCache(path=path)
+        assert len(reloaded) == 2
+        assert reloaded.get("m", "p0") == "r0"
+        assert reloaded.get("m", "p1") == "r1"
+
+    def test_garbage_segment_loads_as_empty(self, tmp_path):
+        path = tmp_path / "cache"
+        path.mkdir()
+        (path / "segment-000001.jsonl").write_text("not a header\nnot json", encoding="utf-8")
+        assert len(ResponseCache(path=path)) == 0
+
+    def test_wrong_version_segment_is_skipped(self, tmp_path):
+        path = tmp_path / "cache"
+        path.mkdir()
+        lines = [
+            json.dumps({"format": "repro-response-cache", "version": 99}),
+            json.dumps({"k": "some-key", "r": "some-response"}),
+        ]
+        (path / "segment-000001.jsonl").write_text("\n".join(lines), encoding="utf-8")
+        assert len(ResponseCache(path=path)) == 0
+
+    def test_legacy_v1_file_loads_and_migrates(self, tmp_path):
+        """Old whole-file JSON caches still load; saving converts in place."""
+        path = tmp_path / "cache.json"
+        key = cache_key("gpt-4", "prompt A")
+        path.write_text(
+            json.dumps({"version": 1, "entries": {key: "response A"}}), encoding="utf-8"
+        )
+        cache = ResponseCache(path=path)
+        assert cache.get("gpt-4", "prompt A") == "response A"
+
+        cache.put("gpt-4", "prompt B", "response B")
+        cache.save()
+        assert path.is_dir()  # migrated to a segment directory
+        reloaded = ResponseCache(path=path)
+        assert len(reloaded) == 2
+        assert reloaded.get("gpt-4", "prompt A") == "response A"
+        assert reloaded.get("gpt-4", "prompt B") == "response B"
+
+    def test_compact_folds_segments(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path, segment_max_entries=2)
+        for i in range(6):
+            cache.put("m", f"p{i}", f"r{i}")
+            cache.save()  # one tiny segment per save
+        assert len(cache.segment_files()) == 6
+        cache.compact()
+        assert len(cache.segment_files()) == 3  # ceil(6 / 2)
+        reloaded = ResponseCache(path=path)
+        assert len(reloaded) == 6
+        assert reloaded.get("m", "p5") == "r5"
+
+    def test_compact_preserves_entries_evicted_from_memory(self, tmp_path):
+        """Compaction must never shrink the persistent store: disk entries
+        pushed out of the bounded in-memory LRU survive the rewrite."""
+        path = tmp_path / "cache"
+        big = ResponseCache(path=path)
+        for i in range(10):
+            big.put("m", f"p{i}", f"r{i}")
+        big.save()
+
+        small = ResponseCache(max_entries=3, path=path)
+        assert len(small) == 3  # memory holds only the newest three
+        small.compact()
+        reloaded = ResponseCache(path=path)
+        assert len(reloaded) == 10
+        assert reloaded.get("m", "p0") == "r0"
+
+    def test_legacy_migration_preserves_entries_beyond_capacity(self, tmp_path):
+        """Migration, like compaction, must never shrink the store: entries
+        the bounded LRU could not hold still reach the segment directory."""
+        path = tmp_path / "cache.json"
+        entries = {cache_key("m", f"p{i}"): f"r{i}" for i in range(10)}
+        path.write_text(json.dumps({"version": 1, "entries": entries}), encoding="utf-8")
+        small = ResponseCache(max_entries=3, path=path)
+        assert len(small) == 3
+        small.save()
+        assert path.is_dir()
+        assert len(ResponseCache(path=path)) == 10
+
+    def test_snapshot_save_to_foreign_path_replaces_not_appends(self, tmp_path):
+        backup = tmp_path / "backup"
+        cache = ResponseCache()
+        cache.put("m", "p0", "r0")
+        cache.put("m", "p1", "r1")
+        cache.save(backup)
+        cache.save(backup)  # a second snapshot must not duplicate entries
+        lines = sum(
+            len(seg.read_text(encoding="utf-8").splitlines()) - 1  # minus header
+            for seg in cache.segment_files(backup)
+        )
+        assert lines == 2
+        assert len(ResponseCache(path=backup)) == 2
+
+    def test_legacy_migration_leaves_no_temp_dirs(self, tmp_path):
+        path = tmp_path / "cache.json"
+        key = cache_key("m", "p")
+        path.write_text(json.dumps({"version": 1, "entries": {key: "r"}}), encoding="utf-8")
+        cache = ResponseCache(path=path)
+        cache.save()
+        assert path.is_dir()
+        leftovers = [f for f in tmp_path.iterdir() if f != path]
+        assert leftovers == []
+
+    def test_later_segments_win_on_duplicate_keys(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path)
+        cache.put("m", "p", "old")
+        cache.save()
+        cache.put("m", "p", "new")  # re-inserted: appended again on next save
+        cache.save()
+        assert ResponseCache(path=path).get("m", "p") == "new"
+
+    def test_snapshot_and_put_key_round_trip(self):
+        """The distributed executor path reads snapshots and merges raw keys."""
+        cache = ResponseCache()
+        cache.put("m", "p", "r")
+        snapshot = cache.snapshot_entries()
+        assert snapshot == {cache_key("m", "p"): "r"}
+        other = ResponseCache()
+        for key, response in snapshot.items():
+            other.put_key(key, response)
+        assert other.get("m", "p") == "r"

@@ -1,15 +1,22 @@
 """Engine mechanics: batching, cache accounting, telemetry, generate_batch."""
 
+import asyncio
+
 import pytest
 
 from repro.engine import (
+    EXECUTOR_KINDS,
+    AsyncExecutor,
     DetectionRequest,
     ExecutionEngine,
+    ProcessPoolExecutor,
     ResponseCache,
     SerialExecutor,
     ThreadPoolExecutor,
+    available_executors,
     build_requests,
     create_executor,
+    register_executor,
 )
 from repro.eval.experiments import default_subset
 from repro.llm.finetune import FineTuneConfig, FineTuner
@@ -35,6 +42,11 @@ class TestGenerateBatch:
         assert create_model("gpt-4").generate_batch([]) == []
 
 
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
 class TestExecutors:
     def test_create_executor_selects_backend(self):
         assert isinstance(create_executor(1), SerialExecutor)
@@ -42,15 +54,115 @@ class TestExecutors:
         assert isinstance(pool, ThreadPoolExecutor)
         assert pool.jobs == 6
 
+    def test_create_executor_by_kind(self):
+        assert isinstance(create_executor(4, kind="serial"), SerialExecutor)
+        assert isinstance(create_executor(4, kind="thread"), ThreadPoolExecutor)
+        with create_executor(2, kind="process") as process:
+            assert isinstance(process, ProcessPoolExecutor)
+            assert process.jobs == 2
+        with create_executor(4, kind="async") as async_:
+            assert isinstance(async_, AsyncExecutor)
+
+    def test_registry_lists_builtin_kinds(self):
+        assert set(EXECUTOR_KINDS) <= set(available_executors())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            create_executor(2, kind="quantum")
+
+    def test_register_custom_backend(self):
+        register_executor("test-custom", lambda jobs: SerialExecutor())
+        try:
+            assert isinstance(create_executor(3, kind="test-custom"), SerialExecutor)
+        finally:
+            from repro.engine import executors
+
+            executors._EXECUTOR_FACTORIES.pop("test-custom", None)
+
     def test_map_preserves_order(self):
         items = list(range(40))
-        assert ThreadPoolExecutor(jobs=4).map(lambda x: x * x, items) == [
-            x * x for x in items
-        ]
+        with ThreadPoolExecutor(jobs=4) as pool:
+            assert pool.map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_process_map_preserves_order(self):
+        items = list(range(40))
+        with ProcessPoolExecutor(jobs=3) as pool:
+            assert pool.distributed
+            assert pool.map(_square, items) == [x * x for x in items]
+
+    def test_async_map_preserves_order(self):
+        items = list(range(40))
+        with AsyncExecutor(jobs=8) as pool:
+            assert pool.map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_async_map_awaits_coroutine_functions(self):
+        """async def work items run natively — the real-API adapter seam."""
+
+        async def slow_square(x):
+            await asyncio.sleep(0)
+            return x * x
+
+        with AsyncExecutor(jobs=4) as pool:
+            assert pool.map(slow_square, list(range(10))) == [x * x for x in range(10)]
+
+    def test_thread_pool_is_persistent_across_maps(self):
+        pool = ThreadPoolExecutor(jobs=2)
+        try:
+            pool.map(lambda x: x, [1, 2, 3])
+            first = pool._pool
+            assert first is not None
+            pool.map(lambda x: x, [4, 5, 6])
+            assert pool._pool is first
+        finally:
+            pool.close()
+        assert pool._pool is None
+
+    def test_closed_executor_rejects_map(self):
+        for executor in (
+            SerialExecutor(),
+            ThreadPoolExecutor(jobs=2),
+            ProcessPoolExecutor(jobs=2),
+            AsyncExecutor(jobs=2),
+        ):
+            executor.close()
+            assert executor.closed
+            with pytest.raises(RuntimeError):
+                executor.map(_square, [1, 2])
+            executor.close()  # idempotent
+
+    def test_executors_propagate_exceptions(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        for executor in (SerialExecutor(), ThreadPoolExecutor(jobs=2), AsyncExecutor(jobs=2)):
+            with executor, pytest.raises(RuntimeError, match="boom"):
+                executor.map(boom, [1, 2])
 
     def test_rejects_bad_jobs(self):
+        for cls in (ThreadPoolExecutor, ProcessPoolExecutor, AsyncExecutor):
+            with pytest.raises(ValueError):
+                cls(jobs=0)
+
+
+class TestEngineLifecycle:
+    def test_engine_close_closes_executor(self):
+        engine = ExecutionEngine(jobs=4)
+        engine.close()
+        assert engine.executor.closed
+
+    def test_engine_context_manager(self, records):
+        with ExecutionEngine(jobs=2) as engine:
+            counts = engine.run_counts(
+                build_requests(create_model("gpt-4"), PromptStrategy.BP1, records[:4])
+            )
+            assert counts.total == 4
+        assert engine.executor.closed
+
+    def test_rejects_executor_plus_kind(self):
         with pytest.raises(ValueError):
-            ThreadPoolExecutor(jobs=0)
+            ExecutionEngine(executor=SerialExecutor(), executor_kind="thread")
+        with pytest.raises(ValueError):
+            ExecutionEngine(executor=SerialExecutor(), jobs=4)
 
 
 class TestEngineRun:

@@ -6,8 +6,26 @@ from types import SimpleNamespace
 import pytest
 
 from repro.core import DataRacePipeline, PipelineConfig
-from repro.engine import ExecutionEngine, ResponseCache, build_requests
-from repro.eval.experiments import default_subset, run_table2
+from repro.dataset.drbml import DRBMLDataset
+from repro.engine import (
+    ExecutionEngine,
+    ResponseCache,
+    build_requests,
+    results_fingerprint,
+    run_plans,
+    run_plans_sequential,
+)
+from repro.eval.experiments import (
+    default_subset,
+    plan_table2,
+    plan_table3,
+    plan_table4,
+    plan_table5,
+    plan_table6,
+    run_table2,
+    run_table3,
+    run_table5,
+)
 from repro.eval.matching import pairs_correct
 from repro.eval.metrics import ConfusionCounts
 from repro.llm.zoo import create_model
@@ -46,6 +64,13 @@ ENGINE_CONFIGS = [
     pytest.param(dict(jobs=1, batch_size=5), id="serial-small-batches"),
     pytest.param(dict(jobs=6, batch_size=7), id="thread-pool"),
     pytest.param(dict(jobs=4, cache=ResponseCache()), id="thread-pool-cached"),
+    pytest.param(dict(jobs=3, executor_kind="process", batch_size=8), id="process-pool"),
+    pytest.param(
+        dict(jobs=3, executor_kind="process", cache=ResponseCache(), batch_size=8),
+        id="process-pool-cached",
+    ),
+    pytest.param(dict(jobs=8, executor_kind="async", batch_size=7), id="async"),
+    pytest.param(dict(jobs=8, executor_kind="async", cache=ResponseCache()), id="async-cached"),
 ]
 
 
@@ -57,22 +82,22 @@ class TestEngineMatchesSeedLoop:
     def test_detection_scoring(self, subset, config, strategy):
         records = subset.records[:40]
         reference = seed_detection_loop(create_model("gpt-4"), strategy, records)
-        engine = ExecutionEngine(**config)
-        counts = engine.run_counts(
-            build_requests(create_model("gpt-4"), strategy, records, scoring="detection")
-        )
+        with ExecutionEngine(**config) as engine:
+            counts = engine.run_counts(
+                build_requests(create_model("gpt-4"), strategy, records, scoring="detection")
+            )
         assert counts.as_row() == reference.as_row()
 
     @pytest.mark.parametrize("config", ENGINE_CONFIGS)
     def test_pairs_scoring(self, subset, config):
         records = subset.records[:40]
         reference = seed_pairs_loop(create_model("gpt-3.5-turbo"), records)
-        engine = ExecutionEngine(**config)
-        counts = engine.run_counts(
-            build_requests(
-                create_model("gpt-3.5-turbo"), PromptStrategy.ADVANCED, records, scoring="pairs"
+        with ExecutionEngine(**config) as engine:
+            counts = engine.run_counts(
+                build_requests(
+                    create_model("gpt-3.5-turbo"), PromptStrategy.ADVANCED, records, scoring="pairs"
+                )
             )
-        )
         assert counts.as_row() == reference.as_row()
 
     def test_cached_rerun_is_identical(self, subset):
@@ -114,6 +139,21 @@ class TestDriverEquivalence:
             reference.add(record.has_race, outcome.says_race, correct_positive=correct)
         assert engine_counts.as_row() == reference.as_row()
 
+    def test_run_table3_same_rows_on_every_backend(self, subset):
+        """Table 3 rows (Inspector + LLM grid) identical across backends."""
+        dataset = DRBMLDataset(records=subset.records[:24])
+        reference = run_table3(dataset, include_inspector=False, engine=ExecutionEngine())
+        for config in (
+            dict(jobs=4),
+            dict(jobs=3, executor_kind="process"),
+            dict(jobs=8, executor_kind="async"),
+        ):
+            with ExecutionEngine(**config) as engine:
+                rows = run_table3(dataset, include_inspector=False, engine=engine)
+            assert [(r.model, r.prompt, r.counts.as_row()) for r in rows] == [
+                (r.model, r.prompt, r.counts.as_row()) for r in reference
+            ]
+
     def test_pipeline_score_inspector_matches_seed_loop(self):
         pipeline = DataRacePipeline(PipelineConfig(jobs=4))
         engine_counts = pipeline.score_inspector()
@@ -124,3 +164,55 @@ class TestDriverEquivalence:
         for bench in benchmarks:
             reference.add(bench.has_race, detector.predict(bench))
         assert engine_counts.as_row() == reference.as_row()
+
+
+def _mini_all_table_plans(records):
+    """Plans for all five tables, shrunk for test speed."""
+    dataset = DRBMLDataset(records=list(records))
+    return [
+        plan_table2(dataset),
+        plan_table3(dataset, include_inspector=False, models=("gpt-4", "llama2-7b")),
+        plan_table4(dataset, models=("starchat-beta",), n_folds=2),
+        plan_table5(dataset, models=("gpt-4", "gpt-3.5-turbo")),
+        plan_table6(dataset, models=("llama2-7b",), n_folds=2),
+    ]
+
+
+class TestSchedulerEquivalence:
+    """run_all_tables (one interleaved engine run) is a pure scheduling
+    refactor: table rows are bit-identical to the five sequential drivers,
+    under every executor backend and cache state."""
+
+    @pytest.fixture(scope="class")
+    def mini_records(self, subset):
+        return subset.records[:24]
+
+    @pytest.fixture(scope="class")
+    def sequential_reference(self, mini_records):
+        plans = _mini_all_table_plans(mini_records)
+        return results_fingerprint(run_plans_sequential(plans, engine=ExecutionEngine()))
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            pytest.param(dict(jobs=1), id="serial"),
+            pytest.param(dict(jobs=6, batch_size=5), id="thread-pool"),
+            pytest.param(dict(jobs=6, cache=ResponseCache(), batch_size=5), id="thread-cached"),
+            pytest.param(dict(jobs=3, executor_kind="process", batch_size=8), id="process-pool"),
+            pytest.param(dict(jobs=8, executor_kind="async", batch_size=8), id="async"),
+        ],
+    )
+    def test_interleaved_matches_sequential(self, mini_records, sequential_reference, config):
+        plans = _mini_all_table_plans(mini_records)
+        with ExecutionEngine(**config) as engine:
+            interleaved = run_plans(plans, engine=engine)
+        assert results_fingerprint(interleaved) == sequential_reference
+
+    def test_interleaved_matches_sequential_warm_cache(self, mini_records, sequential_reference):
+        cache = ResponseCache()
+        plans = _mini_all_table_plans(mini_records)
+        with ExecutionEngine(jobs=4, cache=cache, batch_size=6) as engine:
+            first = run_plans(plans, engine=engine)
+            second = run_plans(_mini_all_table_plans(mini_records), engine=engine)
+        assert results_fingerprint(first) == sequential_reference
+        assert results_fingerprint(second) == sequential_reference
