@@ -7,14 +7,20 @@ completely between tables.  The scheduler concatenates every table's
 requests into **one** engine run, so chunks from all tables fill the pool
 at once.
 
-The simulated models take a per-call latency (``LATENCY_S``) standing in
-for the network round-trip that dominates real API calls, and the tables
-are shrunk so that each one alone cannot saturate the pool — exactly the
-regime (few in-flight requests per table, many tables) where cross-table
-interleaving pays.  Plans are built outside the timed region (fine-tuning
-the cross-validation folds is CPU work both paths share), and each path
-gets freshly built plans so neither benefits from the models' warm feature
-caches.  The Inspector baseline is excluded: it is not model work.
+The simulated models take *heterogeneous* per-call latencies
+(``MODEL_LATENCY_S`` — a slow Llama, a fast GPT-3.5, models in between)
+plus deterministic per-prompt jitter (``LATENCY_JITTER_S``), standing in
+for the network round-trips that dominate real API calls; a uniform
+latency would hide exactly the straggler effects the scheduler exists to
+absorb.  The jitter is drawn from the prompt text, so both schedules sleep
+identically for identical requests — the comparison stays apples to
+apples.  The tables are shrunk so that each one alone cannot saturate the
+pool — exactly the regime (few in-flight requests per table, many tables,
+wildly uneven per-table cost) where cross-table interleaving pays.  Plans
+are built outside the timed region (fine-tuning the cross-validation folds
+is CPU work both paths share), and each path gets freshly built plans so
+neither benefits from the models' warm feature caches.  The Inspector
+baseline is excluded: it is not model work.
 
 Responses are unaffected by scheduling, so both paths must produce
 identical table rows — and the interleaved run must be at least
@@ -46,8 +52,17 @@ from repro.eval.experiments import (
 from repro.llm.zoo import create_model
 from repro.prompting.strategy import PromptStrategy
 
-#: Simulated per-call model latency (a cheap stand-in for network time).
-LATENCY_S = 0.01
+#: Simulated per-call latency per model (cheap stand-ins for network time).
+#: Distinct values per model: the slow Llama's chunks are the stragglers
+#: the interleaved schedule has to absorb.
+MODEL_LATENCY_S = {
+    "gpt-3.5-turbo": 0.004,
+    "gpt-4": 0.012,
+    "starchat-beta": 0.008,
+    "llama2-7b": 0.025,
+}
+#: Deterministic per-prompt jitter on top (same prompt -> same sleep).
+LATENCY_JITTER_S = 0.004
 N_RECORDS = 12
 JOBS = 16
 #: Two chunks per (model, strategy) group: no single table fills the pool.
@@ -64,7 +79,9 @@ def _build_plans(records):
     dataset = DRBMLDataset(records=list(records))
 
     def factory(name):
-        return create_model(name, latency_s=LATENCY_S)
+        return create_model(
+            name, latency_s=MODEL_LATENCY_S[name], latency_jitter_s=LATENCY_JITTER_S
+        )
 
     return [
         plan_table2(dataset, model_factory=factory),
@@ -108,7 +125,8 @@ def test_scheduler_interleaved_vs_sequential_tables(benchmark, subset):
         "requests": n_requests,
         "jobs": JOBS,
         "batch_size": BATCH_SIZE,
-        "simulated_latency_s": LATENCY_S,
+        "simulated_latency_s": MODEL_LATENCY_S,
+        "simulated_latency_jitter_s": LATENCY_JITTER_S,
         "sequential_tables": {
             "seconds": round(sequential_s, 4),
             "requests_per_second": round(n_requests / sequential_s, 2),

@@ -1,7 +1,8 @@
 """Benchmark regression gate: compare fresh results to the committed floors.
 
-Run after ``bench_engine_throughput.py`` and ``bench_scheduler.py`` have
-written ``BENCH_engine.json`` / ``BENCH_scheduler.json`` to the repo root::
+Run after ``bench_engine_throughput.py``, ``bench_scheduler.py`` and
+``bench_dispatch.py`` have written ``BENCH_engine.json`` /
+``BENCH_scheduler.json`` / ``BENCH_dispatch.json`` to the repo root::
 
     python benchmarks/check_bench_regression.py
 
@@ -32,6 +33,7 @@ def main() -> int:
     baseline = _load(BASELINE_PATH)
     engine = _load(REPO_ROOT / "BENCH_engine.json")
     scheduler = _load(REPO_ROOT / "BENCH_scheduler.json")
+    dispatch = _load(REPO_ROOT / "BENCH_dispatch.json")
 
     checks = [
         (
@@ -48,6 +50,11 @@ def main() -> int:
             "scheduler interleaved throughput (req/s)",
             scheduler["interleaved_all_tables"]["requests_per_second"],
             baseline["scheduler"]["min_interleaved_requests_per_second"],
+        ),
+        (
+            "dispatch dynamic+LPT speedup vs ordered static map",
+            dispatch["speedup_dynamic_lpt_vs_ordered"],
+            baseline["dispatch"]["min_speedup_dynamic_lpt_vs_ordered"],
         ),
     ]
 

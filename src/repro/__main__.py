@@ -18,24 +18,40 @@ Usage::
     python -m repro all --cache /tmp/repro-cache    # persist responses as
                                       # append-only JSONL segments; legacy
                                       # single-file JSON caches still load
+    python -m repro all --dispatch ordered      # reference blocking-map path
+    python -m repro all --no-lpt                # keep plan-order chunk dispatch
 
 ``repro all`` plans every table first (requests + reducer), then feeds all
 of them to :func:`repro.engine.scheduler.run_all_tables`, which interleaves
 the mixed-model request batches into a single
 :class:`~repro.engine.core.ExecutionEngine` run — model latency overlaps
-across tables instead of the drivers running one after another.  Results
-are bit-identical to the sequential path.  After the run the engine prints
-one stats line (request count, cache hit rate, wall time) unless
-``--no-stats`` is given; per-table lines appear under ``--sequential``.
+across tables instead of the drivers running one after another.  Chunks
+are dispatched in completion order by default (``--dispatch dynamic``) and
+ordered longest-first by the cost model (``--lpt``); with ``--cache`` the
+cost model persists as ``costmodel.json`` inside the cache directory, so
+the next invocation schedules its *first* run with measured latencies.
+Results are bit-identical to the sequential path and across every
+dispatch/executor combination.  After the run the engine prints one stats
+line (request count, cache hit rate, wall time) plus the slowest
+(model, strategy) groups, unless ``--no-stats`` is given; per-table lines
+appear under ``--sequential``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.engine import ExecutionEngine, ResponseCache, available_executors, run_all_tables
+from repro.engine import (
+    DISPATCH_MODES,
+    CostModel,
+    ExecutionEngine,
+    ResponseCache,
+    available_executors,
+    run_all_tables,
+)
 from repro.eval.experiments import (
     default_subset,
     run_table2,
@@ -93,6 +109,13 @@ def _run(table: str, engine: ExecutionEngine) -> None:
         raise ValueError(f"unknown command {table!r}")
 
 
+def _print_group_stats(engine: ExecutionEngine, top_k: int = 3) -> None:
+    """The slowest (model, strategy) groups of the run, if any were recorded."""
+    breakdown = engine.telemetry.format_group_stats(top_k)
+    if breakdown:
+        print(breakdown)
+
+
 def _run_all(engine: ExecutionEngine, *, sequential: bool, stats: bool) -> None:
     """``repro all``: summary, then every table through the scheduler."""
     _print_summary()
@@ -104,6 +127,8 @@ def _run_all(engine: ExecutionEngine, *, sequential: bool, stats: bool) -> None:
             if stats:
                 print(engine.telemetry.format_stats(executor_name=engine.executor.name, since=before))
             print()
+        if stats:
+            _print_group_stats(engine)
         return
     before = engine.telemetry.snapshot()
     results = run_all_tables(default_subset(), engine=engine)
@@ -112,19 +137,34 @@ def _run_all(engine: ExecutionEngine, *, sequential: bool, stats: bool) -> None:
         print()
     if stats:
         print(engine.telemetry.format_stats(executor_name=engine.executor.name, since=before))
+        _print_group_stats(engine)
 
 
 def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
     cache: Optional[ResponseCache] = None
     if args.cache_entries > 0:
         cache = ResponseCache(args.cache_entries, path=args.cache)
+    # The cost model persists beside the cache segments, so a later
+    # invocation schedules its first run with this run's latencies.
+    cost_model = (
+        CostModel(path=Path(args.cache) / "costmodel.json")
+        if args.cache is not None
+        else CostModel()
+    )
     jobs = args.jobs
     if jobs is None:
         # --executor without --jobs: parallel backends get a sensible
         # default width instead of a one-worker pool.
         jobs = 4 if args.executor not in (None, "serial") else 1
     return ExecutionEngine(
-        jobs=jobs, executor_kind=args.executor, cache=cache, batch_size=args.batch_size
+        jobs=jobs,
+        executor_kind=args.executor,
+        cache=cache,
+        batch_size=args.batch_size,
+        dispatch=args.dispatch,
+        lpt=args.lpt,
+        adaptive_batching=args.adaptive_batching,
+        cost_model=cost_model,
     )
 
 
@@ -138,7 +178,10 @@ def main(argv: List[str] | None = None) -> int:
             "through one interleaved engine run on the asyncio backend; "
             "'repro table3 --executor process' shards CPU-bound work across "
             "processes; 'repro all --cache ./cache-dir' persists responses as "
-            "append-only JSONL segments."
+            "append-only JSONL segments plus the scheduling cost model; "
+            "'repro all --dispatch ordered --no-lpt --no-adaptive-batching' "
+            "selects the reference blocking-map, plan-order, static-chunk "
+            "path (identical results, more straggler wall time)."
         ),
     )
     parser.add_argument(
@@ -165,6 +208,38 @@ def main(argv: List[str] | None = None) -> int:
             "latency), process (shards CPU-bound work across processes), "
             "async (asyncio event loop).  Results are identical across "
             "backends (default: derived from --jobs)"
+        ),
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=list(DISPATCH_MODES),
+        default="dynamic",
+        help=(
+            "chunk dispatch mode: dynamic (default) merges chunks in "
+            "completion order so no worker waits behind a straggler at the "
+            "merge barrier; ordered is the reference blocking-map path.  "
+            "Results are identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--lpt",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "dispatch chunks longest-processing-time first using the cost "
+            "model's observed per-(model, strategy) latencies (plan order "
+            "until latencies exist; --no-lpt keeps plan order always)"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive-batching",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "let the cost model scale chunk sizes per (model, strategy) "
+            "group around --batch-size (slow groups split finer, fast ones "
+            "batch coarser); --no-adaptive-batching pins every chunk to "
+            "exactly --batch-size"
         ),
     )
     parser.add_argument(
@@ -225,8 +300,10 @@ def main(argv: List[str] | None = None) -> int:
                         executor_name=engine.executor.name, since=before
                     )
                 )
+                _print_group_stats(engine)
         if engine.cache is not None and args.cache is not None:
             engine.cache.save()
+            engine.cost_model.save()
     finally:
         engine.close()
     return 0

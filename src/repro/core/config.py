@@ -39,8 +39,21 @@ class PipelineConfig:
         the historical ``jobs`` semantics (serial when 1, thread pool
         otherwise).  Results are identical across backends; only wall
         time changes.
+    dispatch:
+        Chunk dispatch mode: ``"dynamic"`` (default) merges chunks in
+        completion order via the executor's ``map_unordered``;
+        ``"ordered"`` is the reference blocking-``map`` path.  Results
+        are identical either way.
+    lpt:
+        Dispatch chunks longest-processing-time first using the engine's
+        cost model (falls back to plan order until latencies have been
+        observed).
+    adaptive_batching:
+        Let the cost model scale chunk sizes per (model, strategy) group
+        around ``batch_size``; off, every chunk is exactly ``batch_size``.
     batch_size:
         Requests per engine chunk (one chunk = one executor work item).
+        The cost model adapts actual chunk sizes around this baseline.
     cache_entries:
         In-memory response-cache capacity; 0 disables caching entirely.
     cache_path:
@@ -58,6 +71,9 @@ class PipelineConfig:
     fold_seed: int = 7
     jobs: int = 1
     executor: Optional[str] = None
+    dispatch: str = "dynamic"
+    lpt: bool = True
+    adaptive_batching: bool = True
     batch_size: int = 32
     cache_entries: int = 65536
     cache_path: Optional[str] = None

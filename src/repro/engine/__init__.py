@@ -10,12 +10,21 @@ Module map
 
 ``core``
     :class:`ExecutionEngine` — accepts batches of
-    :class:`DetectionRequest`, chunks them per (model, strategy), maps the
-    chunks over an executor, satisfies repeats from the cache, and returns
-    an order-preserving :class:`RunResultStore`.  Also offers a generic
-    ``map`` for non-LLM work (the Inspector baseline).  For distributed
-    executors it ships picklable chunk payloads to a module-level worker
-    and merges cache/telemetry deltas back.
+    :class:`DetectionRequest`, chunks them per (model, strategy) with
+    cost-model-driven sizes and LPT (longest-processing-time-first) order,
+    dispatches the chunks over an executor (``dispatch="dynamic"`` merges
+    them in completion order, ``"ordered"`` through blocking ``map``),
+    satisfies repeats from the cache, and returns an order-preserving
+    :class:`RunResultStore`.  Also offers a generic ``map`` for non-LLM
+    work (the Inspector baseline).  For distributed executors it ships
+    picklable chunk payloads to a module-level worker — the cache snapshot
+    is broadcast once per run via a temp file, not pickled per chunk — and
+    merges cache/telemetry deltas back.
+``costmodel``
+    :class:`CostModel` — per-(model ``cache_identity``, strategy) EWMA of
+    observed seconds-per-request, fed by chunk telemetry, driving LPT
+    ordering and adaptive chunk sizing; optionally persisted as
+    ``costmodel.json`` beside the response cache.
 ``requests``
     The request/result dataclasses and the *only* implementation of
     response scoring → confusion-count assembly (modes ``"detection"``,
@@ -25,9 +34,10 @@ Module map
     :class:`ThreadPoolExecutor`, :class:`ProcessPoolExecutor` (shards
     CPU-bound work across processes) and :class:`AsyncExecutor` (a
     persistent asyncio loop — the seam for real async API adapters).  A
-    backend is anything with an order-preserving ``map(fn, items)`` plus
-    ``close()``; register a factory with :func:`register_executor` to make
-    it selectable via ``--executor``.
+    backend implements order-preserving ``map(fn, items)``, ``submit`` and
+    completion-order ``map_unordered`` (streams ``(index, result)`` pairs
+    as work finishes) plus ``close()``; register a factory with
+    :func:`register_executor` to make it selectable via ``--executor``.
 ``scheduler``
     The cross-table run scheduler: :class:`TablePlan` (a table's requests
     plus its reducer) and :func:`run_all_tables`, which interleaves every
@@ -51,7 +61,8 @@ enforced by ``tests/engine/test_equivalence`` and
 """
 
 from repro.engine.cache import CacheStats, ResponseCache, cache_key
-from repro.engine.core import ExecutionEngine, resolve_engine
+from repro.engine.core import DISPATCH_MODES, ExecutionEngine, resolve_engine
+from repro.engine.costmodel import CostModel
 from repro.engine.executors import (
     EXECUTOR_KINDS,
     AsyncExecutor,
@@ -85,8 +96,10 @@ __all__ = [
     "CacheStats",
     "ResponseCache",
     "cache_key",
+    "DISPATCH_MODES",
     "ExecutionEngine",
     "resolve_engine",
+    "CostModel",
     "EXECUTOR_KINDS",
     "AsyncExecutor",
     "ProcessPoolExecutor",

@@ -20,7 +20,12 @@ of rewriting the whole store.  Segments are written to a temp file and
 atomically renamed into place, so an interrupted run can never corrupt
 earlier segments — at worst the newest segment is truncated, and truncated
 or otherwise damaged lines simply don't load.  :meth:`compact` folds all
-live entries back into a minimal set of segments when shard count grows.
+live entries back into a minimal set of segments when shard count grows —
+and runs **automatically**: the cache tracks the on-disk dead/duplicate
+entry ratio (appended lines superseded by later re-inserts of the same
+key), and when a save pushes it past ``auto_compact_ratio`` with at least
+``auto_compact_min_segments`` shards on disk, the store is folded in the
+same save, so long-lived caches never accumulate unbounded dead weight.
 
 Old-format caches (the single-JSON-file layout of format version 1) still
 load; the first ``save`` migrates them to a segment directory at the same
@@ -65,6 +70,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    compactions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -79,6 +85,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "compactions": self.compactions,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -101,13 +108,23 @@ class ResponseCache:
         *,
         path: Optional[Union[str, Path]] = None,
         segment_max_entries: int = 1024,
+        auto_compact_ratio: Optional[float] = 0.5,
+        auto_compact_min_segments: int = 4,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         if segment_max_entries <= 0:
             raise ValueError("segment_max_entries must be positive")
+        if auto_compact_ratio is not None and not 0.0 < auto_compact_ratio <= 1.0:
+            raise ValueError("auto_compact_ratio must be in (0, 1] or None")
         self.max_entries = max_entries
         self.segment_max_entries = segment_max_entries
+        #: Fold the on-disk store when its dead-entry ratio exceeds this
+        #: (``None`` disables auto-compaction; :meth:`compact` stays manual).
+        self.auto_compact_ratio = auto_compact_ratio
+        #: Never auto-compact below this many segments — folding two tiny
+        #: shards saves nothing and costs a rewrite on every save.
+        self.auto_compact_min_segments = auto_compact_min_segments
         self.path = Path(path) if path is not None else None
         self.stats = CacheStats()
         self._lock = threading.Lock()
@@ -116,6 +133,9 @@ class ResponseCache:
         self._persisted: set = set()
         #: Insertion-ordered keys added since the last save (dict-as-set).
         self._pending: "OrderedDict[str, None]" = OrderedDict()
+        #: Entry *lines* on disk at ``self.path``, counting duplicates a
+        #: re-insert appended — the denominator of the dead-entry ratio.
+        self._disk_entry_lines = 0
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -169,6 +189,22 @@ class ResponseCache:
         with self._lock:
             return len(self._pending)
 
+    @property
+    def dead_entry_ratio(self) -> float:
+        """Fraction of on-disk entry lines superseded by later re-inserts.
+
+        ``0.0`` for a store where every line is live (or no store at all);
+        approaches ``1.0`` as appends keep rewriting the same keys.  This
+        is the signal :meth:`save` uses to trigger automatic compaction.
+        """
+        with self._lock:
+            return self._dead_ratio_locked()
+
+    def _dead_ratio_locked(self) -> float:
+        if self._disk_entry_lines <= 0:
+            return 0.0
+        return max(0.0, 1.0 - len(self._persisted) / self._disk_entry_lines)
+
     def _evict_overflow_locked(self) -> None:
         while len(self._entries) > self.max_entries:
             evicted, _ = self._entries.popitem(last=False)
@@ -214,6 +250,7 @@ class ResponseCache:
                 if incremental:
                     self._persisted.update(merged)
                     self._pending.clear()
+                    self._disk_entry_lines = len(merged)
                 return target
             if incremental:
                 items = [
@@ -225,6 +262,8 @@ class ResponseCache:
                 self._write_segments_locked(target, items)
                 self._persisted.update(key for key, _ in items)
                 self._pending.clear()
+                self._disk_entry_lines += len(items)
+                self._maybe_auto_compact_locked(target)
             else:
                 # Full snapshot to a foreign path: fold any segments
                 # already there together with memory (memory wins) and
@@ -233,6 +272,27 @@ class ResponseCache:
                 target.mkdir(parents=True, exist_ok=True)
                 self._rewrite_dir_locked(target)
         return target
+
+    def _maybe_auto_compact_locked(self, target: Path) -> bool:
+        """Fold the store if the dead-entry ratio crossed the threshold."""
+        if self.auto_compact_ratio is None:
+            return False
+        if self._dead_ratio_locked() <= self.auto_compact_ratio:
+            return False
+        segments = list(target.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+        if len(segments) < self.auto_compact_min_segments:
+            return False
+        self._compact_locked(target)
+        return True
+
+    def _compact_locked(self, target: Path) -> None:
+        """Shared implementation of manual :meth:`compact` and auto-compact."""
+        merged = self._rewrite_dir_locked(target)
+        if self.path is not None and target == self.path:
+            self._persisted = set(merged)
+            self._pending.clear()
+            self._disk_entry_lines = len(merged)
+        self.stats.compactions += 1
 
     def _rewrite_dir_locked(self, target: Path) -> Dict[str, str]:
         """Fold ``target``'s segments together with memory into fresh ones.
@@ -385,6 +445,10 @@ class ResponseCache:
                 if mark_persisted:
                     self._persisted.add(key)
                     self._pending.pop(key, None)
+            if mark_persisted:
+                # Cross-segment duplicates (re-inserted keys) count once per
+                # segment they appear in, which is what makes them *dead*.
+                self._disk_entry_lines += len(entries)
         return len(entries)
 
     @staticmethod
@@ -434,8 +498,5 @@ class ResponseCache:
         if target is None or not target.is_dir():
             return None
         with self._lock:
-            merged = self._rewrite_dir_locked(target)
-            if self.path is not None and target == self.path:
-                self._persisted = set(merged)
-                self._pending.clear()
+            self._compact_locked(target)
         return target

@@ -5,51 +5,86 @@ call a language model.  Given a sequence of
 :class:`~repro.engine.requests.DetectionRequest`, it
 
 1. groups requests by (model instance, strategy, scoring mode) and splits
-   each group into chunks of ``batch_size``;
-2. maps the chunks over the configured executor (serial, thread pool,
-   process pool or async — see :mod:`repro.engine.executors`);
+   each group into chunks — sized by ``batch_size``, optionally *adapted*
+   per group by the cost model (smaller chunks for slow models, larger for
+   fast/cached ones) and ordered longest-processing-time first (LPT) so
+   expensive groups never become a straggler tail;
+2. dispatches the chunks over the configured executor (serial, thread
+   pool, process pool or async — see :mod:`repro.engine.executors`) in one
+   of two modes: ``"ordered"`` uses the blocking order-preserving ``map``,
+   ``"dynamic"`` (the default) streams ``(index, result)`` pairs through
+   ``map_unordered`` and merges each chunk the moment it completes;
 3. inside a chunk, renders all prompts via
    :func:`~repro.prompting.chains.run_strategy_batch`, satisfies what it can
    from the response cache and sends only the misses to the model's
    ``generate_batch``;
 4. scores each response (:func:`~repro.engine.requests.score_response`) and
-   reassembles the results in the original request order.
+   reassembles the results in the original request order — dynamic dispatch
+   writes each scored chunk straight into its slots of the result store, so
+   completion order never leaks into output order.
+
+Every chunk's elapsed time is fed back into the engine's
+:class:`~repro.engine.costmodel.CostModel` and the per-(model, strategy)
+telemetry groups, so a long-lived engine schedules its *next* run with
+measured latencies.
 
 For *distributed* executors (``executor.distributed`` is true, e.g. the
 process pool) the work item crossing the boundary must be picklable, so the
-engine ships self-contained chunk payloads — the requests plus a read-only
-snapshot of the cache — to the module-level :func:`_score_chunk_payload`
-worker, then merges the returned entries and telemetry back in the parent.
+engine ships self-contained chunk payloads to the module-level
+:func:`_score_chunk_payload` worker, then merges the returned entry deltas
+and telemetry back in the parent.  The cache snapshot is **broadcast once
+per run**: the parent serialises it to a temp file
+(:func:`_publish_snapshot`), every payload carries only the ``(path,
+token)`` reference, and each worker process deserialises it at most once
+per run (:func:`_load_published_snapshot` memoises by token).  Parent-side
+serialisation is therefore O(entries) per run, not O(chunks × entries).
 
 Because scoring preserves request order and the simulated models are
 deterministic functions of (model, strategy, code), the engine's output is
-bit-identical across executors and cache states — the refactor is purely
-about *how* the calls run, never about *what* they return.  (With a
-non-deterministic model the cache pins the first response per prompt.)
+bit-identical across executors, dispatch modes, chunk sizings and cache
+states — the refactor is purely about *how* the calls run, never about
+*what* they return.  (With a non-deterministic model the cache pins the
+first response per prompt.)
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import pickle
+import statistics
+import tempfile
 import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.engine.cache import ResponseCache, cache_key
+from repro.engine.costmodel import CostModel
 from repro.engine.executors import SerialExecutor, create_executor
 from repro.engine.requests import DetectionRequest, RunResult, RunResultStore, score_response
 from repro.engine.telemetry import EngineTelemetry
 from repro.prompting.chains import run_strategy_batch
 
-__all__ = ["ExecutionEngine", "resolve_engine"]
+__all__ = ["DISPATCH_MODES", "ExecutionEngine", "resolve_engine"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Valid values for ``ExecutionEngine(dispatch=...)`` / the CLI's ``--dispatch``.
+DISPATCH_MODES = ("ordered", "dynamic")
+
 _IndexedRequest = Tuple[int, DetectionRequest]
 
-#: What a distributed chunk worker sends back: the scored results plus the
-#: cache/telemetry deltas the parent must merge.
-_ChunkOutcome = Tuple[List[Tuple[int, RunResult]], Dict[str, str], int, int, int]
+#: What executing one chunk produces in-process: the scored results plus
+#: hit/miss/model-call counters and the chunk's wall time.
+_ChunkOutcome = Tuple[List[Tuple[int, RunResult]], Dict[str, int], float]
+
+#: What a distributed chunk worker sends back: a chunk outcome plus the
+#: cache entry delta the parent must merge.
+_DistributedOutcome = Tuple[List[Tuple[int, RunResult]], Dict[str, str], Dict[str, int], float]
+
+#: A published cache snapshot: (temp-file path, unique broadcast token).
+_SnapshotRef = Tuple[str, Tuple[int, int]]
 
 
 def resolve_engine(engine: Optional["ExecutionEngine"]) -> "ExecutionEngine":
@@ -96,18 +131,84 @@ def _generate_with_cache(
     return responses, hits, len(miss_positions)  # type: ignore[return-value]
 
 
-def _score_chunk_payload(payload: Tuple[Sequence[_IndexedRequest], Optional[Dict[str, str]]]) -> _ChunkOutcome:
+# ---------------------------------------------------------------------------
+# broadcast-once cache shipping (the process-backend hot path)
+# ---------------------------------------------------------------------------
+
+#: Monotonic per-process counter; combined with the pid it makes broadcast
+#: tokens unique even if a temp path is recycled by the OS.
+_snapshot_counter = itertools.count(1)
+
+#: Worker-side memo: the most recently loaded snapshot, keyed by token.  A
+#: worker process keeps at most one snapshot alive — the engine publishes a
+#: fresh one per run, so older epochs can never be referenced again.
+_WORKER_SNAPSHOTS: Dict[Tuple[int, int], Dict[str, str]] = {}
+
+
+def _publish_snapshot(entries: Dict[str, str]) -> _SnapshotRef:
+    """Serialise the cache snapshot to a temp file, once per run.
+
+    Returns a small picklable ``(path, token)`` reference that every chunk
+    payload carries instead of the entries themselves.
+    """
+    token = (os.getpid(), next(_snapshot_counter))
+    fd, path = tempfile.mkstemp(prefix="repro-cache-snapshot-", suffix=".pkl")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(entries, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    except BaseException:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        raise
+    return path, token
+
+
+def _retire_snapshot(ref: Optional[_SnapshotRef]) -> None:
+    """Delete a published snapshot file (after every chunk has completed)."""
+    if ref is None:
+        return
+    try:
+        os.unlink(ref[0])
+    except OSError:
+        pass
+
+
+def _load_published_snapshot(ref: Optional[_SnapshotRef]) -> Optional[Dict[str, str]]:
+    """Worker side: the published entries, deserialised at most once per run."""
+    if ref is None:
+        return None
+    path, token = ref
+    entries = _WORKER_SNAPSHOTS.get(token)
+    if entries is None:
+        with open(path, "rb") as handle:
+            entries = pickle.load(handle)
+        _WORKER_SNAPSHOTS.clear()
+        _WORKER_SNAPSHOTS[token] = entries
+    return entries
+
+
+def _score_chunk_payload(
+    payload: Tuple[Sequence[_IndexedRequest], Optional[_SnapshotRef]],
+) -> _DistributedOutcome:
     """Score one chunk in a worker process (no shared state with the parent).
 
-    ``payload`` is ``(chunk, cache_entries)`` where ``cache_entries`` is a
-    read-only key→response snapshot of the parent cache (or ``None`` when
+    ``payload`` is ``(chunk, snapshot_ref)`` where ``snapshot_ref`` points
+    at the run's published read-only cache snapshot (or is ``None`` when
     caching is off).  The worker cannot mutate the parent cache, so it
-    returns the entries it generated alongside hit/miss/model-call counts;
-    the parent merges them after the map.  Chunks from the same run cannot
-    see each other's fresh entries — with deterministic models that only
-    costs duplicate calls, never changes a response.
+    returns the entries it generated alongside hit/miss/model-call counts
+    and its wall time; the parent merges them as each chunk completes.
+    Chunks from the same run cannot see each other's fresh entries — with
+    deterministic models that only costs duplicate calls, never changes a
+    response.
     """
-    chunk, cache_entries = payload
+    chunk, snapshot_ref = payload
+    cache_entries = _load_published_snapshot(snapshot_ref)
+    # Time only the chunk's own work: the one-time snapshot deserialisation
+    # above must not be charged to this (model, strategy) group's cost
+    # estimate, or the first chunk per worker would skew the EWMA.
+    start = time.perf_counter()
     model = chunk[0][1].model
     strategy = chunk[0][1].strategy
     identity = getattr(model, "cache_identity", model.name)
@@ -138,7 +239,7 @@ def _score_chunk_payload(payload: Tuple[Sequence[_IndexedRequest], Optional[Dict
         (index, score_response(request, response))
         for (index, request), response in zip(chunk, responses)
     ]
-    return scored, new_entries, counters["hits"], counters["misses"], counters["calls"]
+    return scored, new_entries, counters, time.perf_counter() - start
 
 
 class ExecutionEngine:
@@ -147,7 +248,8 @@ class ExecutionEngine:
     Parameters
     ----------
     executor:
-        An object with order-preserving ``map(fn, items)``; defaults to
+        An object with order-preserving ``map(fn, items)`` (and, for
+        dynamic dispatch, completion-order ``map_unordered``); defaults to
         :class:`~repro.engine.executors.SerialExecutor`.
     jobs:
         Shorthand: build the executor via
@@ -160,8 +262,27 @@ class ExecutionEngine:
         A :class:`~repro.engine.cache.ResponseCache`, or ``None`` to call
         the model for every request.
     batch_size:
-        Maximum requests per chunk; one chunk is one executor work item and
-        at most one ``generate_batch`` call per chain phase.
+        Baseline requests per chunk; one chunk is one executor work item
+        and at most one ``generate_batch`` call per chain phase.  With
+        ``adaptive_batching`` the cost model scales each group's actual
+        chunk size around this baseline (within ``[batch_size / 4,
+        batch_size * 4]``, never below 1).
+    dispatch:
+        ``"dynamic"`` (default) merges chunks in completion order via the
+        executor's ``map_unordered`` — no chunk waits behind a slower one
+        at the merge barrier; ``"ordered"`` is the reference path through
+        blocking ``map``.  Output is bit-identical either way.
+    lpt:
+        Dispatch chunks longest-processing-time first, using the cost
+        model's estimates.  Groups never observed keep plan order.
+    adaptive_batching:
+        Let the cost model shrink chunk sizes for slow groups and grow
+        them for fast ones.  Off: every chunk is exactly ``batch_size``.
+    cost_model:
+        A :class:`~repro.engine.costmodel.CostModel` to share/persist;
+        defaults to a fresh in-memory one.  It is always fed with observed
+        chunk latencies, even when ``lpt`` and ``adaptive_batching`` are
+        off.
     """
 
     def __init__(
@@ -173,11 +294,19 @@ class ExecutionEngine:
         cache: Optional[ResponseCache] = None,
         batch_size: int = 32,
         telemetry: Optional[EngineTelemetry] = None,
+        dispatch: str = "dynamic",
+        lpt: bool = True,
+        adaptive_batching: bool = True,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if executor is not None and (jobs is not None or executor_kind is not None):
             raise ValueError("pass either executor or jobs/executor_kind, not both")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {dispatch!r}; expected one of {DISPATCH_MODES}"
+            )
         self.executor = (
             executor
             if executor is not None
@@ -186,6 +315,10 @@ class ExecutionEngine:
         self.cache = cache
         self.batch_size = batch_size
         self.telemetry = telemetry or EngineTelemetry()
+        self.dispatch = dispatch
+        self.lpt = lpt
+        self.adaptive_batching = adaptive_batching
+        self.cost_model = cost_model if cost_model is not None else CostModel()
 
     # -- the main entry point -------------------------------------------------------
 
@@ -198,9 +331,7 @@ class ExecutionEngine:
         if getattr(self.executor, "distributed", False):
             self._run_distributed(chunks, results)
         else:
-            for chunk_result in self.executor.map(self._run_chunk, chunks):
-                for index, result in chunk_result:
-                    results[index] = result
+            self._run_local(chunks, results)
         self.telemetry.record_requests(len(indexed))
         self.telemetry.record_run(time.perf_counter() - start)
         return RunResultStore(results)
@@ -229,9 +360,9 @@ class ExecutionEngine:
     def close(self) -> None:
         """Release the executor's pool/loop (idempotent).
 
-        The cache is left untouched — persistence stays an explicit
-        decision (:meth:`ResponseCache.save` / the pipeline's
-        ``save_cache``).
+        The cache and cost model are left untouched — persistence stays an
+        explicit decision (:meth:`ResponseCache.save` /
+        :meth:`CostModel.save` / the pipeline's ``save_cache``).
         """
         close = getattr(self.executor, "close", None)
         if callable(close):
@@ -245,62 +376,157 @@ class ExecutionEngine:
 
     # -- internals ------------------------------------------------------------------
 
+    def _dynamic(self) -> bool:
+        """Dynamic dispatch requested and supported by the executor."""
+        return self.dispatch == "dynamic" and hasattr(self.executor, "map_unordered")
+
     def _chunk(self, indexed: Sequence[_IndexedRequest]) -> List[List[_IndexedRequest]]:
-        """Group by (model, strategy, scoring), then split into batch-sized runs."""
+        """Group, size and order the work items for this run.
+
+        1. group requests by (model, strategy, scoring) in plan order;
+        2. size each group's chunks — ``batch_size``, or scaled by the cost
+           model's per-request estimate relative to the median group so
+           slow groups split finer and fast groups batch coarser;
+        3. order the chunks LPT (estimated chunk seconds, descending).
+           Stable sort: without estimates the run keeps plan order exactly,
+           so a cold engine behaves like the pre-cost-model engine.
+        """
         groups: "OrderedDict[Tuple[int, str, str], List[_IndexedRequest]]" = OrderedDict()
         for index, request in indexed:
             key = (id(request.model), request.strategy.value, request.scoring)
             groups.setdefault(key, []).append((index, request))
+
+        estimates: Dict[Tuple[int, str, str], Optional[float]] = {}
+        for key, group in groups.items():
+            model = group[0][1].model
+            identity = getattr(model, "cache_identity", model.name)
+            estimates[key] = self.cost_model.estimate(identity, group[0][1].strategy.value)
+        known = [cost for cost in estimates.values() if cost is not None and cost > 0]
+        median_cost = statistics.median(known) if known else None
+
         chunks: List[List[_IndexedRequest]] = []
-        for group in groups.values():
-            for start in range(0, len(group), self.batch_size):
-                chunks.append(group[start : start + self.batch_size])
+        chunk_costs: List[float] = []
+        for key, group in groups.items():
+            cost = estimates[key]
+            size = self.batch_size
+            if (
+                self.adaptive_batching
+                and cost is not None
+                and cost > 0
+                and median_cost is not None
+            ):
+                scaled = int(round(self.batch_size * median_cost / cost))
+                size = max(1, max(self.batch_size // 4, min(self.batch_size * 4, scaled)))
+            per_request = cost if cost is not None else (median_cost or 0.0)
+            for start in range(0, len(group), size):
+                chunk = group[start : start + size]
+                chunks.append(chunk)
+                chunk_costs.append(per_request * len(chunk))
+        if self.lpt and known:
+            order = sorted(range(len(chunks)), key=lambda i: -chunk_costs[i])
+            chunks = [chunks[i] for i in order]
         return chunks
+
+    def _run_local(
+        self,
+        chunks: Sequence[Sequence[_IndexedRequest]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        """Execute chunks in-process and merge each outcome as it lands."""
+        if self._dynamic():
+            outcomes = self.executor.map_unordered(self._run_chunk, chunks)
+        else:
+            outcomes = enumerate(self.executor.map(self._run_chunk, chunks))
+        for chunk_index, (scored, counters, elapsed) in outcomes:
+            for index, result in scored:
+                results[index] = result
+            self._record_chunk(chunks[chunk_index], counters, elapsed)
 
     def _run_distributed(
         self,
         chunks: Sequence[Sequence[_IndexedRequest]],
         results: List[Optional[RunResult]],
     ) -> None:
-        """Map chunks over a process-boundary executor and merge the deltas.
+        """Dispatch chunks over a process-boundary executor, merge the deltas.
 
-        The cache snapshot rides along in every payload, so a warm cache is
-        pickled once per chunk — O(chunks × entries) serialisation in the
-        parent.  That is the price of keeping workers stateless against a
-        persistent pool; shipping it once per run (pool initializer /
-        shared memory) is a known optimisation, tracked in the ROADMAP.
+        The cache snapshot is published exactly once per run; payloads
+        carry only its reference, so parent-side serialisation is
+        O(entries) regardless of chunk count.  The snapshot file outlives
+        every chunk (workers may load it lazily) and is removed when the
+        run finishes — including on error.
         """
-        snapshot = self.cache.snapshot_entries() if self.cache is not None else None
-        payloads = [(chunk, snapshot) for chunk in chunks]
-        for scored, new_entries, hits, misses, calls in self.executor.map(
-            _score_chunk_payload, payloads
-        ):
-            for index, result in scored:
-                results[index] = result
-            if self.cache is not None:
-                for key, response in new_entries.items():
-                    self.cache.put_key(key, response)
-            self.telemetry.record_model_calls(calls)
-            self.telemetry.record_cache(hits, misses)
+        snapshot_ref = (
+            _publish_snapshot(self.cache.snapshot_entries())
+            if self.cache is not None
+            else None
+        )
+        try:
+            payloads = [(chunk, snapshot_ref) for chunk in chunks]
+            if self._dynamic():
+                outcomes = self.executor.map_unordered(_score_chunk_payload, payloads)
+            else:
+                outcomes = enumerate(self.executor.map(_score_chunk_payload, payloads))
+            for chunk_index, (scored, new_entries, counters, elapsed) in outcomes:
+                for index, result in scored:
+                    results[index] = result
+                if self.cache is not None:
+                    for key, response in new_entries.items():
+                        self.cache.put_key(key, response)
+                self._record_chunk(chunks[chunk_index], counters, elapsed)
+        finally:
+            _retire_snapshot(snapshot_ref)
 
-    def _run_chunk(self, chunk: Sequence[_IndexedRequest]) -> List[Tuple[int, RunResult]]:
-        """One executor work item: a same-(model, strategy, scoring) chunk."""
+    def _record_chunk(
+        self,
+        chunk: Sequence[_IndexedRequest],
+        counters: Dict[str, int],
+        elapsed: float,
+    ) -> None:
+        """Fold one completed chunk into telemetry and the cost model."""
+        request = chunk[0][1]
+        model = request.model
+        self.telemetry.record_model_calls(counters["calls"])
+        self.telemetry.record_cache(counters["hits"], counters["misses"])
+        self.telemetry.record_group(
+            model.name,
+            request.strategy.value,
+            requests=len(chunk),
+            seconds=elapsed,
+            hits=counters["hits"],
+            misses=counters["misses"],
+            calls=counters["calls"],
+        )
+        identity = getattr(model, "cache_identity", model.name)
+        self.cost_model.observe(identity, request.strategy.value, elapsed / len(chunk))
+
+    def _run_chunk(self, chunk: Sequence[_IndexedRequest]) -> _ChunkOutcome:
+        """One executor work item: a same-(model, strategy, scoring) chunk.
+
+        Counters are collected locally and merged by the dispatching thread
+        (:meth:`_record_chunk`), keeping worker threads off the telemetry
+        lock and giving every chunk an attributable wall time.
+        """
+        start = time.perf_counter()
         model = chunk[0][1].model
         strategy = chunk[0][1].strategy
+        counters = {"hits": 0, "misses": 0, "calls": 0}
         codes = [request.code for _, request in chunk]
         responses = run_strategy_batch(
-            lambda prompts: self._generate_many(model, prompts), strategy, codes
+            lambda prompts: self._generate_many(model, prompts, counters), strategy, codes
         )
-        return [
+        scored = [
             (index, score_response(request, response))
             for (index, request), response in zip(chunk, responses)
         ]
+        return scored, counters, time.perf_counter() - start
 
-    def _generate_many(self, model, prompts: Sequence[str]) -> List[str]:
+    def _generate_many(
+        self, model, prompts: Sequence[str], counters: Dict[str, int]
+    ) -> List[str]:
         """Cache-aware batched generation: only misses reach the model."""
         prompts = list(prompts)
         if self.cache is None:
-            self.telemetry.record_model_calls(len(prompts))
+            counters["calls"] += len(prompts)
             return list(model.generate_batch(prompts))
         identity = getattr(model, "cache_identity", model.name)
         responses, hits, misses = _generate_with_cache(
@@ -309,10 +535,14 @@ class ExecutionEngine:
             lambda prompt: self.cache.get(identity, prompt),
             lambda prompt, response: self.cache.put(identity, prompt, response),
         )
-        self.telemetry.record_model_calls(misses)
-        self.telemetry.record_cache(hits, misses)
+        counters["hits"] += hits
+        counters["misses"] += misses
+        counters["calls"] += misses
         return responses
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = f"cache={len(self.cache)} entries" if self.cache is not None else "no cache"
-        return f"<ExecutionEngine executor={self.executor!r} batch_size={self.batch_size} {cache}>"
+        return (
+            f"<ExecutionEngine executor={self.executor!r} dispatch={self.dispatch}"
+            f" batch_size={self.batch_size} lpt={self.lpt} {cache}>"
+        )

@@ -1,0 +1,204 @@
+"""Per-(model, strategy) latency cost model driving the engine's scheduling.
+
+The evaluation workload is embarrassingly parallel but *heterogeneous*: a
+fine-tuned Llama answering ADVANCED pair prompts costs orders of magnitude
+more wall time per request than a cached GPT-3.5 yes/no check.  The engine
+therefore keeps a :class:`CostModel` — an exponentially weighted moving
+average (EWMA) of observed seconds-per-request for every
+``(model.cache_identity, strategy)`` group — and uses it two ways:
+
+* **LPT ordering** — chunks are dispatched longest-processing-time first,
+  so the expensive groups start immediately and the cheap ones pack into
+  the gaps, instead of a slow group scheduled last turning into a straggler
+  tail while every other worker idles (classic list-scheduling: LPT bounds
+  the makespan at 4/3 of optimal, arbitrary order only at 2×).
+* **adaptive chunk sizing** — slow groups get smaller chunks (finer
+  scheduling granularity, so one chunk can never add a long indivisible
+  tail) and fast or cached groups get larger ones (less per-chunk
+  overhead).
+
+Observations are fed by the engine after every chunk completes — including
+chunks scored in worker processes, whose elapsed time rides back with the
+chunk outcome — so a long-lived engine (the CLI's ``repro all``, the
+pipeline facade, the benchmark harness) adapts from its own telemetry
+within a session.  The model can also be persisted as a small JSON file
+beside the response cache (the CLI stores ``costmodel.json`` inside the
+``--cache`` directory), so the *first* run of a new session already knows
+which groups are slow.
+
+Like the response cache, a cost model store is an optimisation, never a
+requirement: a missing, corrupt or version-mismatched file loads as empty
+and the scheduler falls back to plan order and uniform chunk sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["CostModel"]
+
+#: Bump when the on-disk layout changes.
+_FORMAT = "repro-cost-model"
+_FORMAT_VERSION = 1
+
+
+class CostModel:
+    """EWMA seconds-per-request estimates per ``(model identity, strategy)``.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``: the weight of the newest
+        observation.  The default favours stability over reactivity — one
+        anomalously slow chunk (GC pause, cold pool) should not reorder the
+        whole next run.
+    path:
+        Optional JSON store; loaded on construction when it exists,
+        written by :meth:`save`.
+    """
+
+    def __init__(
+        self, *, alpha: float = 0.25, path: Optional[Union[str, Path]] = None
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._ewma: Dict[Tuple[str, str], float] = {}
+        self._observations: Dict[Tuple[str, str], int] = {}
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        """How many (identity, strategy) groups have an estimate."""
+        with self._lock:
+            return len(self._ewma)
+
+    def __bool__(self) -> bool:
+        # An empty model is still a usable model.
+        return True
+
+    # -- recording / querying -------------------------------------------------------
+
+    def observe(self, identity: str, strategy: str, seconds_per_request: float) -> None:
+        """Fold one chunk's measured per-request latency into the EWMA."""
+        if seconds_per_request < 0:
+            return
+        key = (identity, strategy)
+        with self._lock:
+            previous = self._ewma.get(key)
+            if previous is None:
+                self._ewma[key] = seconds_per_request
+            else:
+                self._ewma[key] = (
+                    self.alpha * seconds_per_request + (1.0 - self.alpha) * previous
+                )
+            self._observations[key] = self._observations.get(key, 0) + 1
+
+    def estimate(
+        self, identity: str, strategy: str, default: Optional[float] = None
+    ) -> Optional[float]:
+        """Estimated seconds per request, or ``default`` when never observed."""
+        with self._lock:
+            return self._ewma.get((identity, strategy), default)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Every group's estimate as plain dicts (slowest first)."""
+        with self._lock:
+            groups = [
+                {
+                    "model": identity,
+                    "strategy": strategy,
+                    "seconds_per_request": value,
+                    "observations": self._observations.get((identity, strategy), 0),
+                }
+                for (identity, strategy), value in self._ewma.items()
+            ]
+        groups.sort(key=lambda g: -g["seconds_per_request"])  # type: ignore[operator]
+        return groups
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ewma.clear()
+            self._observations.clear()
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write the model as one small JSON file (temp file + atomic rename)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no cost-model path configured")
+        payload = {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "alpha": self.alpha,
+            "groups": self.snapshot(),
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{target.name}-", suffix=".tmp", dir=target.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge estimates from ``path``; damaged stores load as empty.
+
+        Returns how many groups were applied.  Loaded estimates overwrite
+        in-memory ones for the same group (the store is assumed newer than
+        nothing), but never raise: the cost model degrades to plan-order
+        scheduling, exactly like a cold start.
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return 0
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _FORMAT
+            or payload.get("version") != _FORMAT_VERSION
+            or not isinstance(payload.get("groups"), list)
+        ):
+            return 0
+        applied = 0
+        with self._lock:
+            for group in payload["groups"]:
+                if not isinstance(group, dict):
+                    continue
+                identity = group.get("model")
+                strategy = group.get("strategy")
+                seconds = group.get("seconds_per_request")
+                if (
+                    not isinstance(identity, str)
+                    or not isinstance(strategy, str)
+                    or not isinstance(seconds, (int, float))
+                    or seconds < 0
+                ):
+                    continue
+                key = (identity, strategy)
+                self._ewma[key] = float(seconds)
+                observations = group.get("observations")
+                self._observations[key] = (
+                    int(observations) if isinstance(observations, int) and observations > 0 else 1
+                )
+                applied += 1
+        return applied
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CostModel groups={len(self)} alpha={self.alpha}>"

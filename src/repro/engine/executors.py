@@ -1,9 +1,24 @@
 """Pluggable executors: how the engine maps work over request chunks.
 
-An executor is anything with ``map(fn, items) -> list`` that preserves input
-order and propagates exceptions.  Four backends ship here, all registered in
-:data:`EXECUTOR_KINDS` and selectable via :func:`create_executor` (the CLI's
-``--executor``/``--jobs`` flags and :attr:`PipelineConfig.executor`):
+An executor implements two dispatch contracts:
+
+* ``map(fn, items) -> list`` — the *ordered* contract: results in input
+  order, exceptions propagated.  This is the reference path the engine's
+  equivalence guarantee is stated against.
+* ``submit(fn, item) -> Future`` plus ``map_unordered(fn, items)`` — the
+  *completion-order* contract: ``map_unordered`` returns an iterator of
+  ``(index, result)`` pairs yielded **as work items finish**, so a consumer
+  can merge fast results while slow ones are still running instead of
+  blocking behind an order-preserving barrier.  Indices refer to positions
+  in ``items``; every index appears exactly once.  The first work-item
+  exception is re-raised to the consumer and every not-yet-started future
+  is cancelled — the same happens when the consumer abandons (closes) the
+  iterator early.  A closed executor raises :class:`RuntimeError` from
+  ``submit`` and ``map_unordered`` alike.
+
+Four backends ship here, all registered in :data:`EXECUTOR_KINDS` and
+selectable via :func:`create_executor` (the CLI's ``--executor``/``--jobs``
+flags and :attr:`PipelineConfig.executor`):
 
 * :class:`SerialExecutor` (``"serial"``) — the reference backend; runs work
   items in submission order on the calling thread.  The engine's equivalence
@@ -30,9 +45,10 @@ Every backend owns whatever pool/loop it creates: ``close()`` releases it
 raises :class:`RuntimeError` on further ``map`` calls.  The engine and the
 CLI close their executor after a run.
 
-To add a new backend, implement the same ``map`` contract and register a
+To add a new backend, implement ``map`` and ``submit`` and register a
 factory with :func:`register_executor` so ``--executor <kind>`` can select
-it.
+it; ``map_unordered`` comes for free from :class:`_BaseExecutor` once
+``submit`` exists.
 """
 
 from __future__ import annotations
@@ -41,7 +57,7 @@ import asyncio
 import concurrent.futures
 import inspect
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = [
     "EXECUTOR_KINDS",
@@ -73,12 +89,52 @@ class _BaseExecutor:
             raise RuntimeError(f"{type(self).__name__} is closed")
 
     def close(self) -> None:
-        """Release pooled resources; further ``map`` calls raise."""
+        """Release pooled resources; further ``map``/``submit`` calls raise."""
         self._closed = True
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def submit(self, fn: Callable[[T], R], item: T) -> "concurrent.futures.Future[R]":
+        """Schedule one work item; returns a future for its result."""
+        raise NotImplementedError
+
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[Tuple[int, R]]:
+        """Yield ``(index, result)`` pairs in completion order.
+
+        The default implementation submits every item up front and drains
+        the futures as they finish.  If a work item raises, or the consumer
+        closes the iterator before exhausting it, every outstanding future
+        is cancelled (futures already running run to completion — only
+        not-yet-started work is dropped).
+        """
+        self._check_open()
+        items = list(items)
+        futures: Dict["concurrent.futures.Future[R]", int] = {}
+        try:
+            for index, item in enumerate(items):
+                futures[self.submit(fn, item)] = index
+        except BaseException:
+            # A mid-loop submit failure (broken pool, concurrent close)
+            # must not strand the futures already submitted.
+            for future in futures:
+                future.cancel()
+            raise
+        return self._drain_completed(futures)
+
+    @staticmethod
+    def _drain_completed(
+        futures: Dict["concurrent.futures.Future[R]", int],
+    ) -> Iterator[Tuple[int, R]]:
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+        finally:
+            for future in futures:
+                future.cancel()
 
     def __enter__(self):
         return self
@@ -96,6 +152,33 @@ class SerialExecutor(_BaseExecutor):
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         self._check_open()
         return [fn(item) for item in items]
+
+    def submit(self, fn: Callable[[T], R], item: T) -> "concurrent.futures.Future[R]":
+        """Run the item immediately; the returned future is already done."""
+        self._check_open()
+        future: "concurrent.futures.Future[R]" = concurrent.futures.Future()
+        try:
+            future.set_result(fn(item))
+        except BaseException as exc:  # propagate through future.result()
+            future.set_exception(exc)
+        return future
+
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[Tuple[int, R]]:
+        """Lazy serial stream: completion order *is* submission order.
+
+        Abandoning the iterator early simply stops executing the remaining
+        items — the serial analogue of cancelling queued futures.
+        """
+        self._check_open()
+
+        def _stream() -> Iterator[Tuple[int, R]]:
+            for index, item in enumerate(items):
+                self._check_open()
+                yield index, fn(item)
+
+        return _stream()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<SerialExecutor>"
@@ -135,6 +218,9 @@ class ThreadPoolExecutor(_BaseExecutor):
         if len(items) <= 1 or self.jobs == 1:
             return [fn(item) for item in items]
         return list(self._ensure_pool().map(fn, items))
+
+    def submit(self, fn: Callable[[T], R], item: T) -> "concurrent.futures.Future[R]":
+        return self._ensure_pool().submit(fn, item)
 
     def close(self) -> None:
         with self._lock:
@@ -183,6 +269,9 @@ class ProcessPoolExecutor(_BaseExecutor):
             return []
         return list(self._ensure_pool().map(fn, items))
 
+    def submit(self, fn: Callable[[T], R], item: T) -> "concurrent.futures.Future[R]":
+        return self._ensure_pool().submit(fn, item)
+
     def close(self) -> None:
         with self._lock:
             super().close()
@@ -220,6 +309,7 @@ class AsyncExecutor(_BaseExecutor):
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
         self._lock = threading.Lock()
 
     def _ensure_loop(self) -> asyncio.AbstractEventLoop:
@@ -230,6 +320,9 @@ class AsyncExecutor(_BaseExecutor):
                 self._pool = concurrent.futures.ThreadPoolExecutor(
                     max_workers=self.jobs, thread_name_prefix="repro-async-worker"
                 )
+                # Bounds native-coroutine concurrency for submit(); binds to
+                # the loop on first acquire (Python >= 3.10 semantics).
+                self._semaphore = asyncio.Semaphore(self.jobs)
                 self._thread = threading.Thread(
                     target=self._loop.run_forever,
                     name="repro-async-executor",
@@ -261,11 +354,37 @@ class AsyncExecutor(_BaseExecutor):
 
         return list(asyncio.run_coroutine_threadsafe(_gather(), loop).result())
 
+    def submit(self, fn: Callable[[T], R], item: T) -> "concurrent.futures.Future[R]":
+        """Schedule one item on the loop; sync fns offload to the thread pool.
+
+        Native coroutine functions are bounded by a semaphore of width
+        ``jobs`` (the offload pool is bounded by its own worker count), so
+        ``map_unordered`` keeps the same concurrency limit as ``map``.
+        """
+        self._check_open()
+        loop = self._ensure_loop()
+        pool, semaphore = self._pool, self._semaphore
+
+        if inspect.iscoroutinefunction(fn):
+
+            async def _run() -> R:
+                async with semaphore:  # type: ignore[union-attr]
+                    return await fn(item)
+
+        else:
+
+            async def _run() -> R:
+                running = asyncio.get_running_loop()
+                return await running.run_in_executor(pool, fn, item)
+
+        return asyncio.run_coroutine_threadsafe(_run(), loop)
+
     def close(self) -> None:
         with self._lock:
             super().close()
             loop, thread, pool = self._loop, self._thread, self._pool
             self._loop = self._thread = self._pool = None
+            self._semaphore = None
         if loop is None:
             return
         loop.call_soon_threadsafe(loop.stop)

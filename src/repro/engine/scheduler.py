@@ -12,6 +12,11 @@ collections of plans:
   executor saturated for the whole evaluation, so one table's stragglers
   overlap the next table's work instead of leaving workers idle between
   drivers.  Result slices are dispatched back to each plan's reducer.
+  Because the combined run flows through the engine's cost-model
+  scheduling, the slowest (model, strategy) groups of the *whole*
+  evaluation are dispatched first (LPT) and merged in completion order
+  (``dispatch="dynamic"``), regardless of which table contributed them —
+  the scheduler supplies the global workload, the engine the global order.
 * :func:`run_plans_sequential` — the reference path: one ``engine.run`` per
   plan, in order, exactly like calling the five drivers one after another.
   Both paths produce bit-identical table rows

@@ -4,12 +4,21 @@ The engine increments counters from worker threads, so every mutation goes
 through a lock.  ``snapshot()`` returns a plain dict for machine-readable
 output (the throughput benchmark's ``BENCH_engine.json``), ``format_stats()``
 a one-line human summary for the CLI.
+
+Besides the global counters, telemetry keeps a per-``(model, strategy)``
+**group** breakdown — requests, model calls, cache hits/misses and summed
+chunk wall time — fed by the engine after every chunk completes.
+``group_snapshot()`` returns the groups slowest-first (mean seconds per
+request) and ``format_group_stats()`` renders the top-k slowest for the
+CLI, so a heterogeneous run shows at a glance *which* model/strategy pair
+is eating the wall clock.  The same observations drive the cost model's
+LPT scheduling (:mod:`repro.engine.costmodel`).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["EngineTelemetry"]
 
@@ -25,6 +34,8 @@ class EngineTelemetry:
         self.cache_misses = 0
         self.runs = 0
         self.wall_time_s = 0.0
+        #: (model, strategy) -> cumulative counters for that group's chunks.
+        self._groups: Dict[Tuple[str, str], Dict[str, float]] = {}
 
     # -- recording ------------------------------------------------------------------
 
@@ -45,6 +56,29 @@ class EngineTelemetry:
         with self._lock:
             self.runs += 1
             self.wall_time_s += wall_time_s
+
+    def record_group(
+        self,
+        model: str,
+        strategy: str,
+        *,
+        requests: int,
+        seconds: float,
+        hits: int = 0,
+        misses: int = 0,
+        calls: int = 0,
+    ) -> None:
+        """Fold one completed chunk into its (model, strategy) group."""
+        with self._lock:
+            group = self._groups.setdefault(
+                (model, strategy),
+                {"requests": 0, "seconds": 0.0, "hits": 0, "misses": 0, "calls": 0},
+            )
+            group["requests"] += requests
+            group["seconds"] += seconds
+            group["hits"] += hits
+            group["misses"] += misses
+            group["calls"] += calls
 
     # -- derived --------------------------------------------------------------------
 
@@ -74,6 +108,61 @@ class EngineTelemetry:
                 "wall_time_s": round(self.wall_time_s, 4),
                 "requests_per_second": round(self.requests_per_second, 2),
             }
+
+    def group_snapshot(self) -> List[Dict[str, object]]:
+        """Per-(model, strategy) breakdown, slowest mean latency first.
+
+        ``mean_latency_s`` is summed chunk wall time over requests — it
+        includes prompt rendering and scoring, i.e. the *schedulable* cost
+        of a request in that group, which is exactly what the cost model
+        and a human hunting stragglers both care about.
+        """
+        with self._lock:
+            groups = [
+                {
+                    "model": model,
+                    "strategy": strategy,
+                    "requests": int(stats["requests"]),
+                    "model_calls": int(stats["calls"]),
+                    "cache_hits": int(stats["hits"]),
+                    "cache_misses": int(stats["misses"]),
+                    "cache_hit_rate": (
+                        round(stats["hits"] / (stats["hits"] + stats["misses"]), 4)
+                        if stats["hits"] + stats["misses"]
+                        else 0.0
+                    ),
+                    "wall_time_s": round(stats["seconds"], 4),
+                    "mean_latency_s": (
+                        round(stats["seconds"] / stats["requests"], 6)
+                        if stats["requests"]
+                        else 0.0
+                    ),
+                }
+                for (model, strategy), stats in self._groups.items()
+            ]
+        groups.sort(key=lambda g: -g["mean_latency_s"])  # type: ignore[operator]
+        return groups
+
+    def format_group_stats(self, top_k: int = 3) -> str:
+        """The top-k slowest (model, strategy) groups, one line each.
+
+        Returns an empty string when no groups were recorded (e.g. a run
+        of pure non-LLM work through ``engine.map``).
+        """
+        groups = self.group_snapshot()
+        if not groups or top_k < 1:
+            return ""
+        shown = groups[:top_k]
+        lines = [f"[engine] slowest groups (top {len(shown)} of {len(groups)}):"]
+        for group in shown:
+            lines.append(
+                f"[engine]   {group['model']}/{group['strategy']}: "
+                f"requests={group['requests']} "
+                f"model_calls={group['model_calls']} "
+                f"mean={group['mean_latency_s'] * 1000:.1f}ms/req "
+                f"cache_hit_rate={group['cache_hit_rate'] * 100:.1f}%"
+            )
+        return "\n".join(lines)
 
     def format_stats(
         self,

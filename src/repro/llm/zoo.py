@@ -81,7 +81,13 @@ class SimulatedChatModel(LanguageModel):
     table_label = "SIM"
     context_window = 4096
 
-    def __init__(self, *, calibrated: bool = True, latency_s: float = 0.0) -> None:
+    def __init__(
+        self,
+        *,
+        calibrated: bool = True,
+        latency_s: float = 0.0,
+        latency_jitter_s: float = 0.0,
+    ) -> None:
         self.calibrated = calibrated
         #: Simulated per-call latency.  The real models sit behind network
         #: APIs, so a call is dominated by I/O wait; setting this lets the
@@ -89,6 +95,12 @@ class SimulatedChatModel(LanguageModel):
         #: sleep exactly as they would overlap network time).  It never
         #: affects the response content.
         self.latency_s = latency_s
+        #: Extra per-call latency in ``[0, latency_jitter_s)``, drawn
+        #: *deterministically* from the prompt text — two calls with the
+        #: same prompt sleep identically, so benchmarks comparing two
+        #: schedules over the same requests stay an apples-to-apples
+        #: comparison while still exercising non-uniform call times.
+        self.latency_jitter_s = latency_jitter_s
         self._feature_cache: Dict[str, CodeFeatures] = {}
 
     # -- internals ----------------------------------------------------------------
@@ -154,8 +166,11 @@ class SimulatedChatModel(LanguageModel):
         )
 
     def generate(self, prompt: str) -> str:
-        if self.latency_s > 0:
-            time.sleep(self.latency_s)
+        delay = self.latency_s
+        if self.latency_jitter_s > 0:
+            delay += self.latency_jitter_s * deterministic_uniform(self.name, "latency", prompt)
+        if delay > 0:
+            time.sleep(delay)
         code = extract_code_from_prompt(prompt)
         features = self._features(code)
         if _is_analysis_request(prompt):
@@ -219,11 +234,15 @@ def available_models() -> List[str]:
 
 
 def create_model(
-    name: str, *, calibrated: bool = True, latency_s: float = 0.0
+    name: str,
+    *,
+    calibrated: bool = True,
+    latency_s: float = 0.0,
+    latency_jitter_s: float = 0.0,
 ) -> SimulatedChatModel:
     """Instantiate a zoo model by name."""
     try:
         cls = _MODEL_REGISTRY[name]
     except KeyError as exc:
         raise KeyError(f"unknown model {name!r}; available: {sorted(_MODEL_REGISTRY)}") from exc
-    return cls(calibrated=calibrated, latency_s=latency_s)
+    return cls(calibrated=calibrated, latency_s=latency_s, latency_jitter_s=latency_jitter_s)

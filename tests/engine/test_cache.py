@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.engine import ResponseCache, cache_key
 
 
@@ -249,3 +251,81 @@ class TestSegmentedPersistence:
         for key, response in snapshot.items():
             other.put_key(key, response)
         assert other.get("m", "p") == "r"
+
+
+class TestAutoCompact:
+    """Saves that push the dead/duplicate ratio past the threshold fold the
+    store automatically; compact() stays available for manual use."""
+
+    @staticmethod
+    def _churn(cache, rounds, n_keys=4, start=0):
+        """Re-insert the same keys with fresh values, saving each round."""
+        for round_index in range(start, start + rounds):
+            for i in range(n_keys):
+                cache.put("m", f"p{i}", f"r{i}@{round_index}")
+            cache.save()
+
+    def test_dead_ratio_tracks_duplicates(self, tmp_path):
+        cache = ResponseCache(path=tmp_path / "cache", auto_compact_ratio=None)
+        self._churn(cache, 1)
+        assert cache.dead_entry_ratio == 0.0
+        self._churn(cache, 1, start=1)  # 8 lines on disk, 4 live
+        assert cache.dead_entry_ratio == pytest.approx(0.5)
+
+    def test_dead_ratio_recomputed_on_load(self, tmp_path):
+        path = tmp_path / "cache"
+        self._churn(ResponseCache(path=path, auto_compact_ratio=None), 2)
+        reloaded = ResponseCache(path=path, auto_compact_ratio=None)
+        assert reloaded.dead_entry_ratio == pytest.approx(0.5)
+
+    def test_save_triggers_auto_compact_past_threshold(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(
+            path=path, auto_compact_ratio=0.5, auto_compact_min_segments=3
+        )
+        self._churn(cache, 2)  # ratio exactly 0.5: not *past* the threshold
+        assert cache.stats.compactions == 0
+        assert len(cache.segment_files()) == 2
+
+        self._churn(cache, 1, start=2)  # 12 lines, 4 live -> ratio 2/3, 3 segments
+        assert cache.stats.compactions == 1
+        assert len(cache.segment_files()) == 1  # folded back down
+        assert cache.dead_entry_ratio == 0.0
+        reloaded = ResponseCache(path=path)
+        assert len(reloaded) == 4
+        assert reloaded.get("m", "p0") == "r0@2"  # newest values survive
+
+    def test_min_segments_guard_defers_compaction(self, tmp_path):
+        cache = ResponseCache(
+            path=tmp_path / "cache", auto_compact_ratio=0.1, auto_compact_min_segments=5
+        )
+        self._churn(cache, 4)  # ratio 0.75 but only 4 segments
+        assert cache.stats.compactions == 0
+        self._churn(cache, 1, start=4)
+        assert cache.stats.compactions == 1
+
+    def test_none_ratio_disables_auto_compact(self, tmp_path):
+        cache = ResponseCache(path=tmp_path / "cache", auto_compact_ratio=None)
+        self._churn(cache, 6)
+        assert cache.stats.compactions == 0
+        assert len(cache.segment_files()) == 6
+        # Manual compaction still works and is counted.
+        cache.compact()
+        assert cache.stats.compactions == 1
+        assert len(cache.segment_files()) == 1
+
+    def test_rejects_bad_ratio(self):
+        for ratio in (0.0, -0.2, 1.5):
+            with pytest.raises(ValueError):
+                ResponseCache(auto_compact_ratio=ratio)
+
+    def test_incremental_saves_after_auto_compact_still_load(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path, auto_compact_ratio=0.5, auto_compact_min_segments=2)
+        self._churn(cache, 3)
+        assert cache.stats.compactions >= 1
+        cache.put("m", "p-new", "r-new")
+        cache.save()
+        reloaded = ResponseCache(path=path)
+        assert reloaded.get("m", "p-new") == "r-new"
+        assert len(reloaded) == 5

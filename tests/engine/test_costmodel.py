@@ -1,0 +1,117 @@
+"""CostModel behaviour: EWMA math, resilient persistence, engine feeding."""
+
+import json
+
+import pytest
+
+from repro.engine import CostModel
+
+
+class TestEwma:
+    def test_first_observation_sets_estimate(self):
+        model = CostModel(alpha=0.25)
+        model.observe("gpt-4", "BP1", 0.04)
+        assert model.estimate("gpt-4", "BP1") == pytest.approx(0.04)
+
+    def test_later_observations_blend(self):
+        model = CostModel(alpha=0.25)
+        model.observe("gpt-4", "BP1", 0.04)
+        model.observe("gpt-4", "BP1", 0.08)
+        assert model.estimate("gpt-4", "BP1") == pytest.approx(0.25 * 0.08 + 0.75 * 0.04)
+
+    def test_unobserved_group_returns_default(self):
+        model = CostModel()
+        assert model.estimate("gpt-4", "BP1") is None
+        assert model.estimate("gpt-4", "BP1", default=1.5) == 1.5
+
+    def test_groups_are_independent(self):
+        model = CostModel()
+        model.observe("gpt-4", "BP1", 0.01)
+        model.observe("gpt-4", "ADVANCED", 0.09)
+        model.observe("llama2-7b", "BP1", 0.5)
+        assert len(model) == 3
+        assert model.estimate("gpt-4", "BP1") == pytest.approx(0.01)
+        assert model.estimate("llama2-7b", "BP1") == pytest.approx(0.5)
+
+    def test_negative_observations_ignored(self):
+        model = CostModel()
+        model.observe("gpt-4", "BP1", -1.0)
+        assert model.estimate("gpt-4", "BP1") is None
+
+    def test_snapshot_sorted_slowest_first(self):
+        model = CostModel()
+        model.observe("fast", "BP1", 0.001)
+        model.observe("slow", "BP1", 0.1)
+        snapshot = model.snapshot()
+        assert [g["model"] for g in snapshot] == ["slow", "fast"]
+        assert snapshot[0]["observations"] == 1
+
+    def test_rejects_bad_alpha(self):
+        for alpha in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                CostModel(alpha=alpha)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        model = CostModel(path=path)
+        model.observe("gpt-4", "BP1", 0.04)
+        model.observe("llama2-7b", "ADVANCED", 0.2)
+        model.save()
+
+        reloaded = CostModel(path=path)
+        assert len(reloaded) == 2
+        assert reloaded.estimate("gpt-4", "BP1") == pytest.approx(0.04)
+        assert reloaded.estimate("llama2-7b", "ADVANCED") == pytest.approx(0.2)
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "cache-dir" / "costmodel.json"
+        model = CostModel(path=path)
+        model.observe("gpt-4", "BP1", 0.04)
+        assert model.save() == path
+        assert path.exists()
+
+    def test_corrupt_store_loads_as_empty(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        path.write_text("{definitely not json", encoding="utf-8")
+        model = CostModel(path=path)
+        assert len(model) == 0
+
+    def test_wrong_version_store_is_skipped(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        payload = {
+            "format": "repro-cost-model",
+            "version": 99,
+            "groups": [{"model": "gpt-4", "strategy": "BP1", "seconds_per_request": 1.0}],
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert len(CostModel(path=path)) == 0
+
+    def test_damaged_groups_are_skipped(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        payload = {
+            "format": "repro-cost-model",
+            "version": 1,
+            "groups": [
+                "not a dict",
+                {"model": "gpt-4"},  # missing fields
+                {"model": "gpt-4", "strategy": "BP1", "seconds_per_request": -2},
+                {"model": "gpt-4", "strategy": "BP1", "seconds_per_request": 0.03},
+            ],
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        model = CostModel(path=path)
+        assert len(model) == 1
+        assert model.estimate("gpt-4", "BP1") == pytest.approx(0.03)
+
+    def test_missing_path_raises_on_save(self):
+        with pytest.raises(ValueError):
+            CostModel().save()
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        model = CostModel(path=path)
+        model.observe("gpt-4", "BP1", 0.04)
+        model.save()
+        assert [f.name for f in tmp_path.iterdir()] == ["costmodel.json"]

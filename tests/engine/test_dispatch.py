@@ -1,0 +1,400 @@
+"""Dynamic dispatch, cost-model scheduling and broadcast-once cache shipping.
+
+Three contracts are pinned here:
+
+* the executors' completion-order contract — ``submit`` /
+  ``map_unordered`` semantics, including cancellation and close behaviour;
+* the engine's dispatch equivalence — dynamic completion-order merging,
+  LPT ordering and adaptive chunk sizing never change results, only wall
+  time;
+* the process-backend snapshot broadcast — the cache crosses the parent
+  boundary O(entries) per **run**, not per chunk.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro.engine.core as engine_core
+from repro.engine import (
+    AsyncExecutor,
+    CostModel,
+    ExecutionEngine,
+    ProcessPoolExecutor,
+    ResponseCache,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    build_requests,
+)
+from repro.eval.experiments import default_subset
+from repro.llm.zoo import create_model
+from repro.prompting.strategy import PromptStrategy
+
+
+@pytest.fixture(scope="module")
+def records():
+    return default_subset().records[:16]
+
+
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+class TestMapUnordered:
+    @pytest.mark.parametrize(
+        "make_executor",
+        [
+            pytest.param(lambda: SerialExecutor(), id="serial"),
+            pytest.param(lambda: ThreadPoolExecutor(jobs=4), id="thread"),
+            pytest.param(lambda: ProcessPoolExecutor(jobs=2), id="process"),
+            pytest.param(lambda: AsyncExecutor(jobs=4), id="async"),
+        ],
+    )
+    def test_yields_every_index_exactly_once(self, make_executor):
+        items = list(range(20))
+        with make_executor() as executor:
+            pairs = list(executor.map_unordered(_square, items))
+        assert sorted(index for index, _ in pairs) == items
+        assert all(result == index * index for index, result in pairs)
+
+    def test_empty_items(self):
+        with ThreadPoolExecutor(jobs=2) as pool:
+            assert list(pool.map_unordered(_square, [])) == []
+
+    def test_thread_pool_yields_in_completion_order(self):
+        """A fast item submitted after a slow one comes back first."""
+
+        def sleepy(seconds):
+            time.sleep(seconds)
+            return seconds
+
+        with ThreadPoolExecutor(jobs=2) as pool:
+            first_index, _ = next(pool.map_unordered(sleepy, [0.2, 0.0]))
+        assert first_index == 1
+
+    def test_serial_streams_lazily_in_order(self):
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        executor = SerialExecutor()
+        stream = executor.map_unordered(record, [1, 2, 3])
+        assert calls == []  # nothing runs until the stream is consumed
+        assert next(stream) == (0, 1)
+        assert calls == [1]
+        stream.close()
+        assert calls == [1]  # abandoning the stream stops execution
+
+    def test_exception_propagates_and_cancels_rest(self):
+        calls = []
+
+        def boom(x):
+            calls.append(x)
+            time.sleep(0.02)
+            if x == 0:
+                raise RuntimeError("boom")
+            return x
+
+        with ThreadPoolExecutor(jobs=1) as pool:
+            with pytest.raises(RuntimeError, match="boom"):
+                list(pool.map_unordered(boom, list(range(10))))
+        # The single worker ran the failing item (and possibly a successor
+        # that started before the cancellation landed); queued futures were
+        # cancelled instead of run.
+        assert len(calls) < 10
+
+    def test_abandoning_iterator_cancels_pending(self):
+        calls = []
+
+        def slow(x):
+            calls.append(x)
+            time.sleep(0.02)
+            return x
+
+        with ThreadPoolExecutor(jobs=1) as pool:
+            stream = pool.map_unordered(slow, list(range(10)))
+            next(stream)
+            stream.close()  # consumer walks away; queued futures cancelled
+        assert len(calls) < 10
+
+
+class TestSubmit:
+    def test_submit_returns_future_with_result(self):
+        for executor in (SerialExecutor(), ThreadPoolExecutor(jobs=2), AsyncExecutor(jobs=2)):
+            with executor:
+                assert executor.submit(_square, 7).result(timeout=10) == 49
+
+    def test_process_submit(self):
+        with ProcessPoolExecutor(jobs=2) as pool:
+            assert pool.submit(_square, 7).result(timeout=30) == 49
+
+    def test_submit_propagates_exception_through_future(self):
+        def boom(x):
+            raise ValueError("bad item")
+
+        for executor in (SerialExecutor(), ThreadPoolExecutor(jobs=2), AsyncExecutor(jobs=2)):
+            with executor:
+                with pytest.raises(ValueError, match="bad item"):
+                    executor.submit(boom, 1).result(timeout=10)
+
+    def test_closed_executor_rejects_submit_and_map_unordered(self):
+        for executor in (
+            SerialExecutor(),
+            ThreadPoolExecutor(jobs=2),
+            ProcessPoolExecutor(jobs=2),
+            AsyncExecutor(jobs=2),
+        ):
+            executor.close()
+            with pytest.raises(RuntimeError):
+                executor.submit(_square, 1)
+            with pytest.raises(RuntimeError):
+                executor.map_unordered(_square, [1, 2])
+
+    def test_async_submit_awaits_coroutine_functions(self):
+        async def acc(x):
+            return x + 1
+
+        with AsyncExecutor(jobs=2) as pool:
+            assert pool.submit(acc, 41).result(timeout=10) == 42
+
+
+class _MapOnlyExecutor:
+    """An executor predating the completion-order contract (map only)."""
+
+    name = "map-only"
+    distributed = False
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class TestEngineDispatch:
+    def test_rejects_unknown_dispatch(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(dispatch="eventually")
+
+    @pytest.mark.parametrize("config_id,config", [
+        ("thread", dict(jobs=4, batch_size=5)),
+        ("async", dict(jobs=4, executor_kind="async", batch_size=5)),
+        ("process", dict(jobs=2, executor_kind="process", batch_size=5)),
+    ])
+    def test_dynamic_matches_ordered_responses(self, records, config_id, config):
+        """Same store, response for response, under both dispatch modes."""
+        model_name = "gpt-4"
+        with ExecutionEngine(dispatch="ordered", lpt=False, **config) as ordered_engine:
+            ordered = ordered_engine.run(
+                build_requests(create_model(model_name), PromptStrategy.BP1, records)
+            )
+        with ExecutionEngine(dispatch="dynamic", **config) as dynamic_engine:
+            dynamic = dynamic_engine.run(
+                build_requests(create_model(model_name), PromptStrategy.BP1, records)
+            )
+        assert [(r.record_name, r.response) for r in dynamic] == [
+            (r.record_name, r.response) for r in ordered
+        ]
+
+    def test_lpt_and_adaptive_keep_results_after_warmup(self, records):
+        """A warmed cost model reorders and resizes chunks; results hold."""
+        cost_model = CostModel()
+        reference = None
+        with ExecutionEngine(
+            jobs=4, batch_size=4, cost_model=cost_model, cache=ResponseCache()
+        ) as engine:
+            for _ in range(3):  # run 1 cold, runs 2-3 LPT + adaptive + cached
+                requests = []
+                for name in ("gpt-4", "llama2-7b"):
+                    requests += build_requests(
+                        create_model(name), PromptStrategy.BP1, records
+                    )
+                    requests += build_requests(
+                        create_model(name), PromptStrategy.ADVANCED, records, scoring="pairs"
+                    )
+                store = engine.run(requests)
+                fingerprint = [(r.model, r.strategy, r.record_name, r.response) for r in store]
+                if reference is None:
+                    reference = fingerprint
+                assert fingerprint == reference
+        assert len(cost_model) == 4  # every (model, strategy) group observed
+
+    def test_dynamic_falls_back_to_map_without_map_unordered(self, records):
+        engine = ExecutionEngine(executor=_MapOnlyExecutor(), dispatch="dynamic")
+        counts = engine.run_counts(
+            build_requests(create_model("gpt-4"), PromptStrategy.BP1, records)
+        )
+        assert counts.total == len(records)
+
+    def test_results_preserve_request_order_under_dynamic(self, records):
+        model = create_model("gpt-4")
+        with ExecutionEngine(jobs=4, batch_size=3, dispatch="dynamic") as engine:
+            store = engine.run(build_requests(model, PromptStrategy.BP1, records))
+        assert [r.record_name for r in store] == [r.name for r in records]
+
+    def test_group_telemetry_recorded(self, records):
+        engine = ExecutionEngine(cache=ResponseCache())
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        groups = engine.telemetry.group_snapshot()
+        assert len(groups) == 1
+        group = groups[0]
+        assert group["model"] == "gpt-4"
+        assert group["strategy"] == "BP1"
+        assert group["requests"] == len(records)
+        assert group["model_calls"] == len(records)
+        assert group["cache_hit_rate"] == 0.0
+        # A warm rerun flips the hit rate without new model calls.
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        group = engine.telemetry.group_snapshot()[0]
+        assert group["requests"] == 2 * len(records)
+        assert group["model_calls"] == len(records)
+        assert group["cache_hit_rate"] == 0.5
+        stats = engine.telemetry.format_group_stats(top_k=3)
+        assert "gpt-4/BP1" in stats and "slowest groups" in stats
+
+
+class TestCostModelScheduling:
+    def _requests(self, records, fast, slow):
+        return build_requests(fast, PromptStrategy.BP1, records) + build_requests(
+            slow, PromptStrategy.BP1, records
+        )
+
+    def test_lpt_orders_slow_group_first(self, records):
+        fast = create_model("gpt-4")
+        slow = create_model("llama2-7b")
+        cost_model = CostModel()
+        cost_model.observe(fast.cache_identity, "BP1", 0.001)
+        cost_model.observe(slow.cache_identity, "BP1", 0.1)
+        engine = ExecutionEngine(batch_size=4, cost_model=cost_model, adaptive_batching=False)
+        chunks = engine._chunk(list(enumerate(self._requests(records[:8], fast, slow))))
+        # Plan order puts the fast model first; LPT must flip that.
+        assert chunks[0][0][1].model is slow
+        assert chunks[-1][0][1].model is fast
+
+    def test_adaptive_sizing_shrinks_slow_chunks(self, records):
+        fast = create_model("gpt-4")
+        slow = create_model("llama2-7b")
+        cost_model = CostModel()
+        cost_model.observe(fast.cache_identity, "BP1", 0.001)
+        cost_model.observe(slow.cache_identity, "BP1", 0.1)
+        engine = ExecutionEngine(batch_size=4, cost_model=cost_model, lpt=False)
+        chunks = engine._chunk(list(enumerate(self._requests(records[:8], fast, slow))))
+        slow_sizes = {len(c) for c in chunks if c[0][1].model is slow}
+        fast_sizes = {len(c) for c in chunks if c[0][1].model is fast}
+        assert max(slow_sizes) < 4  # slow group split finer than batch_size
+        assert max(fast_sizes) > 4  # fast group batched coarser
+
+    def test_cold_cost_model_keeps_plan_order_and_uniform_chunks(self, records):
+        fast = create_model("gpt-4")
+        slow = create_model("llama2-7b")
+        engine = ExecutionEngine(batch_size=4)
+        chunks = engine._chunk(list(enumerate(self._requests(records[:8], fast, slow))))
+        assert [len(c) for c in chunks] == [4, 4, 4, 4]
+        assert chunks[0][0][1].model is fast  # plan order untouched
+
+
+class _RecordingDistributedExecutor(SerialExecutor):
+    """In-process stand-in for the process pool: picklable-payload contract
+    without the fork, so payloads and worker globals stay inspectable."""
+
+    name = "recording-distributed"
+    distributed = True
+
+    def __init__(self):
+        super().__init__()
+        self.payloads = []
+
+    def map(self, fn, items):
+        self.payloads.extend(items)
+        return super().map(fn, items)
+
+    def map_unordered(self, fn, items):
+        self.payloads.extend(items)
+        return super().map_unordered(fn, items)
+
+
+class TestBroadcastOnceSnapshot:
+    @pytest.fixture()
+    def publish_counter(self, monkeypatch):
+        """Count parent-side snapshot serialisations."""
+        published = []
+        original = engine_core._publish_snapshot
+
+        def counting_publish(entries):
+            ref = original(entries)
+            published.append(ref)
+            return ref
+
+        monkeypatch.setattr(engine_core, "_publish_snapshot", counting_publish)
+        return published
+
+    def test_snapshot_serialised_once_per_run_not_per_chunk(
+        self, records, publish_counter, tmp_path
+    ):
+        cache = ResponseCache()
+        for record in records:  # warm cache: the snapshot is non-trivial
+            cache.put("gpt-4", f"warm {record.name}", "yes")
+        executor = _RecordingDistributedExecutor()
+        engine = ExecutionEngine(executor=executor, cache=cache, batch_size=1)
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+
+        assert len(executor.payloads) == len(records)  # batch_size=1 -> chunk per record
+        assert len(publish_counter) == 1, "snapshot must be published once per run"
+        ref = publish_counter[0]
+        for _, payload_ref in executor.payloads:
+            assert payload_ref == ref  # payloads carry only the tiny reference
+            assert not isinstance(payload_ref, dict)
+
+        # A second run republishes (entries changed) — still once.
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        assert len(publish_counter) == 2
+
+    def test_snapshot_file_removed_after_run(self, records, publish_counter):
+        import os
+
+        cache = ResponseCache()
+        cache.put("gpt-4", "warm", "yes")
+        engine = ExecutionEngine(
+            executor=_RecordingDistributedExecutor(), cache=cache, batch_size=4
+        )
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        path, _ = publish_counter[0]
+        assert not os.path.exists(path)
+
+    def test_worker_memo_keeps_only_latest_token(self, records, publish_counter):
+        cache = ResponseCache()
+        cache.put("gpt-4", "warm", "yes")
+        engine = ExecutionEngine(
+            executor=_RecordingDistributedExecutor(), cache=cache, batch_size=4
+        )
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records[:4]))
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records[:4]))
+        assert len(engine_core._WORKER_SNAPSHOTS) == 1
+        (token,) = engine_core._WORKER_SNAPSHOTS
+        assert token == publish_counter[-1][1]
+
+    def test_uncached_run_publishes_nothing(self, records, publish_counter):
+        engine = ExecutionEngine(executor=_RecordingDistributedExecutor(), batch_size=4)
+        counts = engine.run_counts(
+            build_requests(create_model("gpt-4"), PromptStrategy.BP1, records)
+        )
+        assert counts.total == len(records)
+        assert publish_counter == []
+
+    def test_distributed_results_match_serial_with_warm_cache(self, records):
+        """The broadcast path returns the same store as the in-process path."""
+        reference_engine = ExecutionEngine(cache=ResponseCache())
+        reference = reference_engine.run(
+            build_requests(create_model("gpt-4"), PromptStrategy.BP1, records)
+        )
+        cache = ResponseCache()
+        engine = ExecutionEngine(
+            executor=_RecordingDistributedExecutor(), cache=cache, batch_size=3
+        )
+        first = engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        second = engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        assert first.responses() == reference.responses()
+        assert second.responses() == reference.responses()
+        # The deltas merged back made the second run hit the snapshot.
+        assert engine.telemetry.cache_hits == len(records)

@@ -71,6 +71,27 @@ ENGINE_CONFIGS = [
     ),
     pytest.param(dict(jobs=8, executor_kind="async", batch_size=7), id="async"),
     pytest.param(dict(jobs=8, executor_kind="async", cache=ResponseCache()), id="async-cached"),
+    # The default configs above all run dispatch="dynamic"; pin the ordered
+    # reference path and the no-LPT/no-adaptive combinations explicitly so
+    # a default change can never silently drop coverage of either mode.
+    pytest.param(
+        dict(jobs=6, batch_size=7, dispatch="ordered", lpt=False, adaptive_batching=False),
+        id="thread-pool-ordered-static",
+    ),
+    pytest.param(
+        dict(
+            jobs=3,
+            executor_kind="process",
+            cache=ResponseCache(),
+            batch_size=8,
+            dispatch="ordered",
+        ),
+        id="process-pool-ordered-cached",
+    ),
+    pytest.param(
+        dict(jobs=8, executor_kind="async", batch_size=7, dispatch="dynamic", lpt=False),
+        id="async-dynamic-no-lpt",
+    ),
 ]
 
 
@@ -200,6 +221,14 @@ class TestSchedulerEquivalence:
             pytest.param(dict(jobs=6, cache=ResponseCache(), batch_size=5), id="thread-cached"),
             pytest.param(dict(jobs=3, executor_kind="process", batch_size=8), id="process-pool"),
             pytest.param(dict(jobs=8, executor_kind="async", batch_size=8), id="async"),
+            pytest.param(
+                dict(jobs=6, batch_size=5, dispatch="ordered", lpt=False),
+                id="thread-ordered-no-lpt",
+            ),
+            pytest.param(
+                dict(jobs=3, executor_kind="process", batch_size=8, dispatch="ordered"),
+                id="process-ordered",
+            ),
         ],
     )
     def test_interleaved_matches_sequential(self, mini_records, sequential_reference, config):
@@ -209,10 +238,13 @@ class TestSchedulerEquivalence:
         assert results_fingerprint(interleaved) == sequential_reference
 
     def test_interleaved_matches_sequential_warm_cache(self, mini_records, sequential_reference):
+        """Runs 2+ reuse the cache AND a warmed cost model: dynamic dispatch
+        with live LPT ordering and adaptive chunk sizes must still be exact."""
         cache = ResponseCache()
         plans = _mini_all_table_plans(mini_records)
         with ExecutionEngine(jobs=4, cache=cache, batch_size=6) as engine:
             first = run_plans(plans, engine=engine)
             second = run_plans(_mini_all_table_plans(mini_records), engine=engine)
+        assert len(engine.cost_model) > 0  # LPT had estimates for run two
         assert results_fingerprint(first) == sequential_reference
         assert results_fingerprint(second) == sequential_reference
