@@ -1,8 +1,9 @@
 """Benchmark regression gate: compare fresh results to the committed floors.
 
-Run after ``bench_engine_throughput.py``, ``bench_scheduler.py`` and
-``bench_dispatch.py`` have written ``BENCH_engine.json`` /
-``BENCH_scheduler.json`` / ``BENCH_dispatch.json`` to the repo root::
+Run after ``bench_engine_throughput.py``, ``bench_scheduler.py``,
+``bench_dispatch.py`` and ``bench_async.py`` have written
+``BENCH_engine.json`` / ``BENCH_scheduler.json`` / ``BENCH_dispatch.json``
+/ ``BENCH_async.json`` to the repo root::
 
     python benchmarks/check_bench_regression.py
 
@@ -34,6 +35,7 @@ def main() -> int:
     engine = _load(REPO_ROOT / "BENCH_engine.json")
     scheduler = _load(REPO_ROOT / "BENCH_scheduler.json")
     dispatch = _load(REPO_ROOT / "BENCH_dispatch.json")
+    async_io = _load(REPO_ROOT / "BENCH_async.json")
 
     checks = [
         (
@@ -55,6 +57,11 @@ def main() -> int:
             "dispatch dynamic+LPT speedup vs ordered static map",
             dispatch["speedup_dynamic_lpt_vs_ordered"],
             baseline["dispatch"]["min_speedup_dynamic_lpt_vs_ordered"],
+        ),
+        (
+            "async-native backend speedup vs thread backend",
+            async_io["speedup_async_vs_thread"],
+            baseline["async"]["min_speedup_async_vs_thread"],
         ),
     ]
 

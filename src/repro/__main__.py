@@ -14,6 +14,12 @@ Usage::
     python -m repro table3 --jobs 8             # thread pool (same results)
     python -m repro table3 --executor process   # shard across processes
     python -m repro all --executor async --jobs 16   # asyncio backend
+    python -m repro all --executor async --max-inflight 256
+                                      # async-native model I/O: chunk work
+                                      # awaits on one event loop; concurrent
+                                      # same-model calls coalesce into
+                                      # batched wire calls (--no-coalesce,
+                                      # --coalesce-window-ms to tune)
     python -m repro all --sequential            # one engine run per table
     python -m repro all --cache /tmp/repro-cache    # persist responses as
                                       # append-only JSONL segments; legacy
@@ -141,16 +147,23 @@ def _run_all(engine: ExecutionEngine, *, sequential: bool, stats: bool) -> None:
 
 
 def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
-    cache: Optional[ResponseCache] = None
-    if args.cache_entries > 0:
-        cache = ResponseCache(args.cache_entries, path=args.cache)
     # The cost model persists beside the cache segments, so a later
-    # invocation schedules its first run with this run's latencies.
+    # invocation schedules its first run with this run's latencies.  It is
+    # built before the cache because cost-aware eviction weighs cache
+    # entries with the same model's estimates.
     cost_model = (
         CostModel(path=Path(args.cache) / "costmodel.json")
         if args.cache is not None
         else CostModel()
     )
+    cache: Optional[ResponseCache] = None
+    if args.cache_entries > 0:
+        cache = ResponseCache(
+            args.cache_entries,
+            path=args.cache,
+            cost_aware_eviction=args.cost_aware_eviction,
+            cost_model=cost_model,
+        )
     jobs = args.jobs
     if jobs is None:
         # --executor without --jobs: parallel backends get a sensible
@@ -165,6 +178,10 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
         lpt=args.lpt,
         adaptive_batching=args.adaptive_batching,
         cost_model=cost_model,
+        max_inflight=args.max_inflight,
+        coalesce=args.coalesce,
+        coalesce_window_s=args.coalesce_window_ms / 1000.0,
+        coalesce_max_batch=args.coalesce_max_batch,
     )
 
 
@@ -243,6 +260,41 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "async backend: maximum concurrently in-flight chunk coroutines "
+            "on the event loop — raise far beyond any sensible --jobs to "
+            "saturate a latency-bound remote API (default: --jobs)"
+        ),
+    )
+    parser.add_argument(
+        "--coalesce",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "async backend: merge concurrent same-(model, strategy) calls "
+            "into single generate_batch_async wire calls (identical "
+            "results; --no-coalesce issues one call per chunk)"
+        ),
+    )
+    parser.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="how long the coalescer holds a batch open for joiners (default: 2.0)",
+    )
+    parser.add_argument(
+        "--coalesce-max-batch",
+        type=int,
+        default=128,
+        metavar="N",
+        help="coalescer flushes early at this many accumulated prompts (default: 128)",
+    )
+    parser.add_argument(
         "--sequential",
         action="store_true",
         help="with 'all': run one engine run per table instead of the interleaved scheduler",
@@ -265,6 +317,15 @@ def main(argv: List[str] | None = None) -> int:
         help="in-memory response-cache capacity; 0 disables caching (default: 65536)",
     )
     parser.add_argument(
+        "--cost-aware-eviction",
+        action="store_true",
+        help=(
+            "weight cache eviction by the cost model's per-model latency "
+            "estimates: the cheapest-to-regenerate entries go first, slow "
+            "models' responses survive longest"
+        ),
+    )
+    parser.add_argument(
         "--batch-size",
         type=int,
         default=32,
@@ -283,8 +344,18 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--jobs must be >= 0 (0 and 1 both mean serial)")
     if args.cache_entries < 0:
         parser.error("--cache-entries must be >= 0 (0 disables caching)")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        parser.error("--max-inflight must be >= 1")
+    if args.coalesce_window_ms < 0:
+        parser.error("--coalesce-window-ms must be >= 0")
+    if args.coalesce_max_batch < 1:
+        parser.error("--coalesce-max-batch must be >= 1")
     if args.cache is not None and args.cache_entries == 0:
         parser.error("--cache has no effect with --cache-entries 0 (caching disabled)")
+    if args.cost_aware_eviction and args.cache_entries == 0:
+        parser.error(
+            "--cost-aware-eviction has no effect with --cache-entries 0 (caching disabled)"
+        )
     if args.sequential and args.command != "all":
         parser.error("--sequential only applies to the 'all' command")
     engine = _build_engine(args)

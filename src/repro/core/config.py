@@ -54,8 +54,23 @@ class PipelineConfig:
     batch_size:
         Requests per engine chunk (one chunk = one executor work item).
         The cost model adapts actual chunk sizes around this baseline.
+    max_inflight:
+        Async backend only: maximum concurrently in-flight chunk
+        coroutines (the event-loop semaphore width).  ``None`` falls back
+        to ``jobs``, matching the thread backend's worker count.
+    coalesce:
+        Async backend only: merge concurrent same-(model, strategy) model
+        calls into single ``generate_batch_async`` wire calls.  Results
+        are identical either way.
+    coalesce_window_s, coalesce_max_batch:
+        The coalescer's collection window (seconds) and early-flush
+        prompt limit.
     cache_entries:
         In-memory response-cache capacity; 0 disables caching entirely.
+    cost_aware_eviction:
+        Weight response-cache LRU eviction by the cost model's
+        seconds-per-request estimate per model identity, so slow models'
+        responses survive longest in a full cache.
     cache_path:
         Optional on-disk response-cache location (a directory of JSONL
         segments; legacy single-file JSON caches still load): loaded
@@ -75,5 +90,10 @@ class PipelineConfig:
     lpt: bool = True
     adaptive_batching: bool = True
     batch_size: int = 32
+    max_inflight: Optional[int] = None
+    coalesce: bool = True
+    coalesce_window_s: float = 0.002
+    coalesce_max_batch: int = 128
     cache_entries: int = 65536
     cache_path: Optional[str] = None
+    cost_aware_eviction: bool = False

@@ -24,7 +24,7 @@ from repro.corpus.registry import CorpusRegistry
 from repro.dataset.drbml import DRBMLDataset
 from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
 from repro.dynamic.inspector import InspectorLikeDetector
-from repro.engine import ExecutionEngine, ResponseCache, build_requests
+from repro.engine import CostModel, ExecutionEngine, ResponseCache, build_requests
 from repro.eval.metrics import ConfusionCounts
 from repro.llm.base import LanguageModel
 from repro.llm.finetune import FineTuneConfig, FineTunedModel, FineTuner
@@ -104,9 +104,17 @@ class DataRacePipeline:
         fast the calls run.
         """
         if self._engine is None:
+            # One cost model shared by the scheduler and (when cost-aware
+            # eviction is on) the cache's eviction policy.
+            cost_model = CostModel()
             cache = None
             if self.config.cache_entries > 0:
-                cache = ResponseCache(self.config.cache_entries, path=self.config.cache_path)
+                cache = ResponseCache(
+                    self.config.cache_entries,
+                    path=self.config.cache_path,
+                    cost_aware_eviction=self.config.cost_aware_eviction,
+                    cost_model=cost_model,
+                )
             self._engine = ExecutionEngine(
                 jobs=self.config.jobs,
                 executor_kind=self.config.executor,
@@ -115,6 +123,11 @@ class DataRacePipeline:
                 dispatch=self.config.dispatch,
                 lpt=self.config.lpt,
                 adaptive_batching=self.config.adaptive_batching,
+                cost_model=cost_model,
+                max_inflight=self.config.max_inflight,
+                coalesce=self.config.coalesce,
+                coalesce_window_s=self.config.coalesce_window_s,
+                coalesce_max_batch=self.config.coalesce_max_batch,
             )
         return self._engine
 

@@ -25,6 +25,11 @@ Module map
     observed seconds-per-request, fed by chunk telemetry, driving LPT
     ordering and adaptive chunk sizing; optionally persisted as
     ``costmodel.json`` beside the response cache.
+``coalesce``
+    :class:`MicroBatchCoalescer` — merges concurrent
+    ``generate_batch_async`` calls for the same (model, strategy) into one
+    wire call on the async-native path (window + max-batch bounded);
+    responses are sliced back per caller, so results never change.
 ``requests``
     The request/result dataclasses and the *only* implementation of
     response scoring → confusion-count assembly (modes ``"detection"``,
@@ -61,6 +66,7 @@ enforced by ``tests/engine/test_equivalence`` and
 """
 
 from repro.engine.cache import CacheStats, ResponseCache, cache_key
+from repro.engine.coalesce import MicroBatchCoalescer
 from repro.engine.core import DISPATCH_MODES, ExecutionEngine, resolve_engine
 from repro.engine.costmodel import CostModel
 from repro.engine.executors import (
@@ -99,6 +105,7 @@ __all__ = [
     "DISPATCH_MODES",
     "ExecutionEngine",
     "resolve_engine",
+    "MicroBatchCoalescer",
     "CostModel",
     "EXECUTOR_KINDS",
     "AsyncExecutor",

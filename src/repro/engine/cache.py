@@ -8,7 +8,10 @@ long as their :attr:`~repro.llm.base.LanguageModel.cache_identity` differs.
 
 Two storage layers compose:
 
-* an in-memory LRU bounded by ``max_entries`` (oldest entries evicted);
+* an in-memory LRU bounded by ``max_entries`` (oldest entries evicted —
+  or, with ``cost_aware_eviction`` and a cost model, the *cheapest to
+  regenerate* among the oldest, so slow models' responses survive
+  longest);
 * an optional on-disk store — a *directory* of append-only JSONL segments
   (``segment-000001.jsonl``, …), loaded on construction and grown by
   :meth:`ResponseCache.save`.
@@ -110,6 +113,9 @@ class ResponseCache:
         segment_max_entries: int = 1024,
         auto_compact_ratio: Optional[float] = 0.5,
         auto_compact_min_segments: int = 4,
+        cost_aware_eviction: bool = False,
+        cost_model=None,
+        eviction_sample: int = 8,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -117,6 +123,8 @@ class ResponseCache:
             raise ValueError("segment_max_entries must be positive")
         if auto_compact_ratio is not None and not 0.0 < auto_compact_ratio <= 1.0:
             raise ValueError("auto_compact_ratio must be in (0, 1] or None")
+        if eviction_sample < 1:
+            raise ValueError("eviction_sample must be >= 1")
         self.max_entries = max_entries
         self.segment_max_entries = segment_max_entries
         #: Fold the on-disk store when its dead-entry ratio exceeds this
@@ -125,10 +133,27 @@ class ResponseCache:
         #: Never auto-compact below this many segments — folding two tiny
         #: shards saves nothing and costs a rewrite on every save.
         self.auto_compact_min_segments = auto_compact_min_segments
+        #: Weight LRU eviction by the cost model's seconds-per-request
+        #: estimate for each entry's model identity: among the oldest
+        #: ``eviction_sample`` entries, the *cheapest to regenerate* goes
+        #: first, so slow models' responses survive longest.  Requires a
+        #: ``cost_model`` (anything with ``identity_estimate(identity)``,
+        #: i.e. :class:`~repro.engine.costmodel.CostModel`); without one
+        #: the policy degrades to plain LRU.
+        self.cost_aware_eviction = cost_aware_eviction
+        self.cost_model = cost_model
+        self.eviction_sample = eviction_sample
         self.path = Path(path) if path is not None else None
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, str]" = OrderedDict()
+        #: key -> model identity, recorded on insert when known and
+        #: persisted alongside each segment entry, so reloaded caches keep
+        #: their cost weights.  Entries from stores written before the
+        #: identity field existed (or merged via ``put_key`` without one)
+        #: have no identity and therefore no cost weight — those evict
+        #: first under cost-aware eviction.
+        self._identities: Dict[str, str] = {}
         #: Keys known to be on disk at ``self.path`` already.
         self._persisted: set = set()
         #: Insertion-ordered keys added since the last save (dict-as-set).
@@ -158,14 +183,21 @@ class ResponseCache:
 
     def put(self, identity: str, prompt: str, response: str) -> None:
         """Insert one response, evicting the least recently used on overflow."""
-        self.put_key(cache_key(identity, prompt), response)
+        self.put_key(cache_key(identity, prompt), response, identity=identity)
 
-    def put_key(self, key: str, response: str) -> None:
-        """Insert by precomputed key (the engine's distributed merge path)."""
+    def put_key(self, key: str, response: str, identity: Optional[str] = None) -> None:
+        """Insert by precomputed key (the engine's distributed merge path).
+
+        ``identity`` attaches the model identity for cost-aware eviction;
+        the key itself is a one-way hash, so the identity must ride along
+        explicitly where the caller still knows it.
+        """
         with self._lock:
             existing = self._entries.get(key)
             self._entries[key] = response
             self._entries.move_to_end(key)
+            if identity is not None:
+                self._identities[key] = identity
             # New keys are pending by definition; a persisted key whose
             # value changed must be re-appended or the disk copy goes
             # stale (later segments win at load time).
@@ -176,6 +208,7 @@ class ResponseCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._identities.clear()
             self._pending.clear()
 
     def snapshot_entries(self) -> Dict[str, str]:
@@ -207,9 +240,36 @@ class ResponseCache:
 
     def _evict_overflow_locked(self) -> None:
         while len(self._entries) > self.max_entries:
-            evicted, _ = self._entries.popitem(last=False)
+            evicted = self._select_victim_locked()
+            del self._entries[evicted]
+            self._identities.pop(evicted, None)
             self._pending.pop(evicted, None)
             self.stats.evictions += 1
+
+    def _select_victim_locked(self) -> str:
+        """The key to evict next: LRU, optionally weighted by recompute cost.
+
+        Cost-aware mode looks at the ``eviction_sample`` least recently
+        used entries and evicts the one whose model identity the cost
+        model estimates cheapest to regenerate (ties and unknown
+        identities fall back to oldest-first, so the policy degrades to
+        plain LRU when estimates are missing).  The bounded sample keeps
+        eviction O(sample), not O(entries).
+        """
+        iterator = iter(self._entries)
+        if not self.cost_aware_eviction or self.cost_model is None:
+            return next(iterator)
+        sample = [key for key, _ in zip(iterator, range(self.eviction_sample))]
+
+        def recompute_cost(key: str) -> float:
+            identity = self._identities.get(key)
+            if identity is None:
+                return 0.0
+            estimate = self.cost_model.identity_estimate(identity)
+            return estimate if estimate is not None else 0.0
+
+        # min() is stable: among equal costs the least recently used wins.
+        return min(sample, key=recompute_cost)
 
     # -- persistence ----------------------------------------------------------------
 
@@ -246,7 +306,7 @@ class ResponseCache:
                 # swap, so a crash mid-migration never destroys the cache.
                 merged = self._parse_legacy_file(target)
                 merged.update(self._entries)
-                self._migrate_legacy_locked(target, list(merged.items()))
+                self._migrate_legacy_locked(target, self._as_records_locked(merged))
                 if incremental:
                     self._persisted.update(merged)
                     self._pending.clear()
@@ -254,13 +314,13 @@ class ResponseCache:
                 return target
             if incremental:
                 items = [
-                    (key, self._entries[key])
+                    (key, self._entries[key], self._identities.get(key))
                     for key in self._pending
                     if key in self._entries
                 ]
                 target.mkdir(parents=True, exist_ok=True)
                 self._write_segments_locked(target, items)
-                self._persisted.update(key for key, _ in items)
+                self._persisted.update(key for key, _, _ in items)
                 self._pending.clear()
                 self._disk_entry_lines += len(items)
                 self._maybe_auto_compact_locked(target)
@@ -294,19 +354,37 @@ class ResponseCache:
             self._disk_entry_lines = len(merged)
         self.stats.compactions += 1
 
+    def _as_records_locked(
+        self, entries: Dict[str, str]
+    ) -> List[Tuple[str, str, Optional[str]]]:
+        """Attach the known identity (or ``None``) to each entry for writing."""
+        return [
+            (key, response, self._identities.get(key))
+            for key, response in entries.items()
+        ]
+
     def _rewrite_dir_locked(self, target: Path) -> Dict[str, str]:
         """Fold ``target``'s segments together with memory into fresh ones.
 
         Parses every existing segment, overlays the in-memory entries
-        (memory wins on conflicts), writes the merged set as new segments
-        and removes the old files.  Returns the merged mapping.
+        (memory wins on conflicts; on-disk identities are kept for entries
+        memory has no identity for), writes the merged set as new segments
+        and removes the old files.  Returns the merged key→response map.
         """
         old_segments = sorted(target.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
         merged: Dict[str, str] = {}
+        identities: Dict[str, str] = {}
         for segment in old_segments:
-            merged.update(self._parse_segment(segment))
+            for key, (response, identity) in self._parse_segment(segment).items():
+                merged[key] = response
+                if identity is not None:
+                    identities[key] = identity
         merged.update(self._entries)
-        self._write_segments_locked(target, list(merged.items()))
+        identities.update(self._identities)
+        records = [
+            (key, response, identities.get(key)) for key, response in merged.items()
+        ]
+        self._write_segments_locked(target, records)
         for segment in old_segments:
             try:
                 segment.unlink()
@@ -314,7 +392,9 @@ class ResponseCache:
                 pass
         return merged
 
-    def _migrate_legacy_locked(self, target: Path, items: List[Tuple[str, str]]) -> None:
+    def _migrate_legacy_locked(
+        self, target: Path, items: List[Tuple[str, str, Optional[str]]]
+    ) -> None:
         """Swap a legacy v1 file for a segment directory, crash-safely.
 
         Segments are written into a temp directory first; only once they
@@ -334,7 +414,18 @@ class ResponseCache:
             shutil.rmtree(tmp_dir, ignore_errors=True)
             raise
 
-    def _write_segments_locked(self, target: Path, items: List[Tuple[str, str]]) -> None:
+    @staticmethod
+    def _entry_line(key: str, response: str, identity: Optional[str]) -> str:
+        entry: Dict[str, str] = {"k": key, "r": response}
+        if identity is not None:
+            # Optional field: readers that predate it simply ignore it, so
+            # the format version stays unchanged.
+            entry["i"] = identity
+        return json.dumps(entry, ensure_ascii=False)
+
+    def _write_segments_locked(
+        self, target: Path, items: List[Tuple[str, str, Optional[str]]]
+    ) -> None:
         """Append ``items`` as size-bounded segments, each written atomically."""
         if not items:
             return
@@ -343,8 +434,8 @@ class ResponseCache:
             shard = items[start : start + self.segment_max_entries]
             lines = [json.dumps({"format": _SEGMENT_FORMAT, "version": _CACHE_FORMAT_VERSION})]
             lines.extend(
-                json.dumps({"k": key, "r": response}, ensure_ascii=False)
-                for key, response in shard
+                self._entry_line(key, response, identity)
+                for key, response, identity in shard
             )
             payload = "\n".join(lines) + "\n"
             final = target / f"{_SEGMENT_PREFIX}{next_index:06d}{_SEGMENT_SUFFIX}"
@@ -400,12 +491,14 @@ class ResponseCache:
         return loaded
 
     @staticmethod
-    def _parse_segment(segment: Path) -> Dict[str, str]:
-        """Entries of one segment file; damaged headers/lines parse to less.
+    def _parse_segment(segment: Path) -> Dict[str, Tuple[str, Optional[str]]]:
+        """``key -> (response, identity)`` of one segment file.
 
-        A truncated tail line (interrupted write) or damaged line is
-        skipped; everything that parses is kept.  A missing or
-        version-mismatched header skips the whole segment.
+        Damaged headers/lines parse to less: a truncated tail line
+        (interrupted write) or damaged line is skipped; everything that
+        parses is kept.  A missing or version-mismatched header skips the
+        whole segment.  The identity field is optional (stores written
+        before it existed load with ``None``).
         """
         try:
             text = segment.read_text(encoding="utf-8")
@@ -424,7 +517,7 @@ class ResponseCache:
             or header.get("version") != _CACHE_FORMAT_VERSION
         ):
             return {}
-        entries: Dict[str, str] = {}
+        entries: Dict[str, Tuple[str, Optional[str]]] = {}
         for line in lines[1:]:
             try:
                 entry = json.loads(line)
@@ -433,15 +526,18 @@ class ResponseCache:
             if not isinstance(entry, dict) or "k" not in entry or "r" not in entry:
                 continue
             key, response = entry["k"], entry["r"]
+            identity = entry.get("i")
             if isinstance(key, str) and isinstance(response, str):
-                entries[key] = response
+                entries[key] = (response, identity if isinstance(identity, str) else None)
         return entries
 
     def _load_one_segment(self, segment: Path, mark_persisted: bool) -> int:
         entries = self._parse_segment(segment)
         with self._lock:
-            for key, response in entries.items():
+            for key, (response, identity) in entries.items():
                 self._entries[key] = response
+                if identity is not None:
+                    self._identities[key] = identity
                 if mark_persisted:
                     self._persisted.add(key)
                     self._pending.pop(key, None)

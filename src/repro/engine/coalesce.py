@@ -1,0 +1,205 @@
+"""Micro-batch coalescing for the engine's async-native dispatch path.
+
+The engine chunks its work per (model, strategy) *before* dispatch, sized
+for scheduling, not for the wire: with small adaptive chunks and a large
+``max_inflight``, many coroutines for the *same* model end up awaiting
+generation at the same moment.  Issuing one ``generate_batch_async`` per
+chunk would waste the provider's batch lane — real LLM APIs amortise
+per-request overhead (connection, auth, queueing) across a batch.
+
+:class:`MicroBatchCoalescer` merges those concurrent requests: the first
+arrival for a ``(model, strategy)`` key opens a collection window
+(``window_s``), later arrivals for the same key append to it, and the
+window flushes as **one** ``generate_batch_async`` call — early when the
+accumulated prompt count reaches ``max_batch``.  Each waiter's coroutine
+gets exactly its own slice of the batched response back, in its own prompt
+order, so coalescing is invisible to callers: responses are bit-identical
+to per-chunk calls for a deterministic model (the engine's equivalence
+suite pins this).
+
+Everything here runs on one event loop — the coalescer's state is only
+ever touched from coroutines of the engine's :class:`AsyncExecutor` loop —
+so no locks are needed.  The flush triggered by ``max_batch`` executes in
+the triggering waiter's coroutine and the window flush in the window's
+timer task, so the coalescer never owns orphan tasks of its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["MicroBatchCoalescer"]
+
+#: The model-call side of a flush: prompts in, responses out, same order.
+GenerateBatchAsyncFn = Callable[[Sequence[str]], Awaitable[List[str]]]
+
+
+class _PendingBatch:
+    """Requests collected for one key while its window is open."""
+
+    __slots__ = ("generate", "waiters", "total", "timer")
+
+    def __init__(self, generate: GenerateBatchAsyncFn) -> None:
+        self.generate = generate
+        #: ``(prompts, future)`` per waiting caller, arrival order.
+        self.waiters: List[Tuple[List[str], "asyncio.Future[List[str]]"]] = []
+        self.total = 0
+        self.timer: Optional["asyncio.Task[None]"] = None
+
+
+class MicroBatchCoalescer:
+    """Merge concurrent same-key batch requests into one model call.
+
+    Parameters
+    ----------
+    window_s:
+        How long the first arrival holds the batch open for others to
+        join.  The window trades a little latency on the *first* request
+        for fewer, larger model calls; a couple of milliseconds is plenty
+        when requests arrive from coroutines scheduled in the same loop
+        iteration.
+    max_batch:
+        Flush early once this many prompts have accumulated, so one giant
+        window never forms an unboundedly large request.
+    on_flush:
+        Optional callback ``(waiters, prompts)`` invoked after every
+        flush with how many callers and prompts it merged — the engine
+        wires this to telemetry.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 128,
+        on_flush: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.on_flush = on_flush
+        self._pending: Dict[Hashable, _PendingBatch] = {}
+
+    @property
+    def pending_keys(self) -> int:
+        """How many keys currently hold an open window (0 between runs)."""
+        return len(self._pending)
+
+    async def generate(
+        self,
+        key: Hashable,
+        generate_batch_async: GenerateBatchAsyncFn,
+        prompts: Sequence[str],
+    ) -> List[str]:
+        """Generate ``prompts`` through the shared batch for ``key``.
+
+        Returns this caller's responses in this caller's prompt order,
+        exactly as a direct ``generate_batch_async(prompts)`` call would.
+        """
+        prompts = list(prompts)
+        if not prompts:
+            return []
+        if len(prompts) >= self.max_batch:
+            # Already a full batch on its own: call straight through rather
+            # than holding a window open.  Any batch still collecting for
+            # this key keeps its own window/timer — responses are per
+            # prompt, so inter-batch ordering is irrelevant.
+            responses = await self._call(generate_batch_async, prompts)
+            # Notified only after success, like _execute's merged flushes,
+            # so the flush counters never include failed wire calls.
+            self._notify(1, len(prompts))
+            return responses
+        loop = asyncio.get_running_loop()
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _PendingBatch(generate_batch_async)
+            self._pending[key] = batch
+            batch.timer = loop.create_task(self._flush_after_window(key, batch))
+        future: "asyncio.Future[List[str]]" = loop.create_future()
+        batch.waiters.append((prompts, future))
+        batch.total += len(prompts)
+        if batch.total >= self.max_batch:
+            # This waiter tipped the batch over the limit: flush inline in
+            # its own coroutine (no orphan task) and then collect its slice.
+            self._close(key, batch)
+            await self._execute(batch)
+        return await future
+
+    # -- internals ------------------------------------------------------------------
+
+    async def _flush_after_window(self, key: Hashable, batch: _PendingBatch) -> None:
+        """Timer task: flush the batch when its collection window elapses."""
+        try:
+            if self.window_s > 0:
+                await asyncio.sleep(self.window_s)
+        except asyncio.CancelledError:
+            return  # flushed early by max_batch — nothing left to do
+        if self._pending.get(key) is not batch:
+            return  # already flushed
+        batch.timer = None  # we *are* the timer; nothing to cancel
+        self._close(key, batch)
+        await self._execute(batch)
+
+    def _close(self, key: Hashable, batch: _PendingBatch) -> None:
+        """Detach the batch so new arrivals open a fresh window."""
+        if self._pending.get(key) is batch:
+            del self._pending[key]
+        if batch.timer is not None:
+            batch.timer.cancel()
+            batch.timer = None
+
+    async def _execute(self, batch: _PendingBatch) -> None:
+        """Run the merged call and fan results (or the error) back out.
+
+        Only waiters still awaiting their future participate: a chunk
+        coroutine cancelled while waiting (an aborted run) cancels the
+        future it was blocked on, and its prompts must not turn into a
+        stray wire call — when *every* waiter is gone, no call is made at
+        all, honouring the contract that abandoned work is dropped.
+        """
+        waiters = [(p, f) for p, f in batch.waiters if not f.done()]
+        all_prompts = [prompt for prompts, _ in waiters for prompt in prompts]
+        if not all_prompts:
+            return
+        try:
+            responses = await self._call(batch.generate, all_prompts)
+        except BaseException as exc:
+            for _, future in waiters:
+                if not future.done():
+                    future.set_exception(exc)
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            return
+        self._notify(len(waiters), len(all_prompts))
+        position = 0
+        for prompts, future in waiters:
+            slice_ = responses[position : position + len(prompts)]
+            position += len(prompts)
+            if not future.done():  # cancelled mid-call: its slice is dropped
+                future.set_result(slice_)
+
+    @staticmethod
+    async def _call(
+        generate_batch_async: GenerateBatchAsyncFn, prompts: List[str]
+    ) -> List[str]:
+        responses = list(await generate_batch_async(prompts))
+        if len(responses) != len(prompts):
+            raise RuntimeError(
+                f"generate_batch_async returned {len(responses)} responses "
+                f"for {len(prompts)} prompts"
+            )
+        return responses
+
+    def _notify(self, waiters: int, prompts: int) -> None:
+        if self.on_flush is not None:
+            self.on_flush(waiters, prompts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MicroBatchCoalescer window_s={self.window_s}"
+            f" max_batch={self.max_batch} pending={self.pending_keys}>"
+        )

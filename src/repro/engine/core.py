@@ -13,7 +13,12 @@ call a language model.  Given a sequence of
    pool, process pool or async — see :mod:`repro.engine.executors`) in one
    of two modes: ``"ordered"`` uses the blocking order-preserving ``map``,
    ``"dynamic"`` (the default) streams ``(index, result)`` pairs through
-   ``map_unordered`` and merges each chunk the moment it completes;
+   ``map_unordered`` and merges each chunk the moment it completes.  On an
+   **async-native** executor (``native_async``, the ``AsyncExecutor``) the
+   chunk work item is a coroutine: model I/O is awaited on the event loop
+   under the executor's ``max_inflight`` semaphore, and a micro-batch
+   coalescer (:mod:`repro.engine.coalesce`) merges concurrent same-(model,
+   strategy) misses into single ``generate_batch_async`` wire calls;
 3. inside a chunk, renders all prompts via
    :func:`~repro.prompting.chains.run_strategy_batch`, satisfies what it can
    from the response cache and sends only the misses to the model's
@@ -59,11 +64,12 @@ from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.engine.cache import ResponseCache, cache_key
+from repro.engine.coalesce import MicroBatchCoalescer
 from repro.engine.costmodel import CostModel
 from repro.engine.executors import SerialExecutor, create_executor
 from repro.engine.requests import DetectionRequest, RunResult, RunResultStore, score_response
 from repro.engine.telemetry import EngineTelemetry
-from repro.prompting.chains import run_strategy_batch
+from repro.prompting.chains import run_strategy_batch, run_strategy_batch_async
 
 __all__ = ["DISPATCH_MODES", "ExecutionEngine", "resolve_engine"]
 
@@ -97,6 +103,28 @@ def resolve_engine(engine: Optional["ExecutionEngine"]) -> "ExecutionEngine":
     return engine if engine is not None else ExecutionEngine()
 
 
+def _partition_cached(
+    prompts: Sequence[str],
+    get_response: Callable[[str], Optional[str]],
+) -> Tuple[List[Optional[str]], List[int]]:
+    """Split a prompt batch into cache hits and miss positions.
+
+    Returns ``(responses, miss_positions)`` where ``responses`` holds the
+    cached response per prompt (``None`` at every miss position).  The one
+    place hit/miss partitioning is implemented — the sync path, the
+    async-native path and the distributed chunk worker all delegate here.
+    """
+    responses: List[Optional[str]] = [None] * len(prompts)
+    miss_positions: List[int] = []
+    for position, prompt in enumerate(prompts):
+        cached = get_response(prompt)
+        if cached is not None:
+            responses[position] = cached
+        else:
+            miss_positions.append(position)
+    return responses, miss_positions
+
+
 def _generate_with_cache(
     model,
     prompts: Sequence[str],
@@ -113,22 +141,13 @@ def _generate_with_cache(
     drift between executors.
     """
     prompts = list(prompts)
-    responses: List[Optional[str]] = [None] * len(prompts)
-    miss_positions: List[int] = []
-    hits = 0
-    for position, prompt in enumerate(prompts):
-        cached = get_response(prompt)
-        if cached is not None:
-            responses[position] = cached
-            hits += 1
-        else:
-            miss_positions.append(position)
+    responses, miss_positions = _partition_cached(prompts, get_response)
     if miss_positions:
         generated = model.generate_batch([prompts[i] for i in miss_positions])
         for position, response in zip(miss_positions, generated):
             responses[position] = response
             put_response(prompts[position], response)
-    return responses, hits, len(miss_positions)  # type: ignore[return-value]
+    return responses, len(prompts) - len(miss_positions), len(miss_positions)  # type: ignore[return-value]
 
 
 # ---------------------------------------------------------------------------
@@ -283,6 +302,20 @@ class ExecutionEngine:
         defaults to a fresh in-memory one.  It is always fed with observed
         chunk latencies, even when ``lpt`` and ``adaptive_batching`` are
         off.
+    max_inflight:
+        Async-native path only: maximum concurrently in-flight chunk
+        coroutines (the :class:`~repro.engine.executors.AsyncExecutor`
+        semaphore width).  ``None`` keeps the executor's default (its
+        ``jobs``).  Only valid with ``jobs``/``executor_kind``; pass it to
+        the executor directly when constructing one yourself.
+    coalesce:
+        Async-native path only: merge concurrent ``generate_batch_async``
+        calls for the same (model, strategy) into one model call through a
+        :class:`~repro.engine.coalesce.MicroBatchCoalescer`.  Responses
+        are bit-identical either way; coalescing only changes how many
+        wire calls carry them.
+    coalesce_window_s / coalesce_max_batch:
+        The coalescer's collection window and early-flush prompt limit.
     """
 
     def __init__(
@@ -298,11 +331,21 @@ class ExecutionEngine:
         lpt: bool = True,
         adaptive_batching: bool = True,
         cost_model: Optional[CostModel] = None,
+        max_inflight: Optional[int] = None,
+        coalesce: bool = True,
+        coalesce_window_s: float = 0.002,
+        coalesce_max_batch: int = 128,
     ) -> None:
-        if executor is not None and (jobs is not None or executor_kind is not None):
-            raise ValueError("pass either executor or jobs/executor_kind, not both")
+        if executor is not None and (
+            jobs is not None or executor_kind is not None or max_inflight is not None
+        ):
+            raise ValueError(
+                "pass either executor or jobs/executor_kind/max_inflight, not both"
+            )
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None")
         if dispatch not in DISPATCH_MODES:
             raise ValueError(
                 f"unknown dispatch mode {dispatch!r}; expected one of {DISPATCH_MODES}"
@@ -310,7 +353,7 @@ class ExecutionEngine:
         self.executor = (
             executor
             if executor is not None
-            else create_executor(jobs or 1, kind=executor_kind)
+            else create_executor(jobs or 1, kind=executor_kind, max_inflight=max_inflight)
         )
         self.cache = cache
         self.batch_size = batch_size
@@ -319,6 +362,19 @@ class ExecutionEngine:
         self.lpt = lpt
         self.adaptive_batching = adaptive_batching
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.coalescer = (
+            MicroBatchCoalescer(
+                window_s=coalesce_window_s,
+                max_batch=coalesce_max_batch,
+                on_flush=self.telemetry.record_coalesce_flush,
+            )
+            if coalesce
+            else None
+        )
+        #: Live/peak chunk coroutines; touched only on the executor's loop
+        #: thread, so no lock is needed.
+        self._inflight = 0
+        self._inflight_peak = 0
 
     # -- the main entry point -------------------------------------------------------
 
@@ -380,6 +436,10 @@ class ExecutionEngine:
         """Dynamic dispatch requested and supported by the executor."""
         return self.dispatch == "dynamic" and hasattr(self.executor, "map_unordered")
 
+    def _async_native(self) -> bool:
+        """Chunk work should run as coroutines awaiting model I/O natively."""
+        return bool(getattr(self.executor, "native_async", False))
+
     def _chunk(self, indexed: Sequence[_IndexedRequest]) -> List[List[_IndexedRequest]]:
         """Group, size and order the work items for this run.
 
@@ -432,15 +492,29 @@ class ExecutionEngine:
         chunks: Sequence[Sequence[_IndexedRequest]],
         results: List[Optional[RunResult]],
     ) -> None:
-        """Execute chunks in-process and merge each outcome as it lands."""
+        """Execute chunks in-process and merge each outcome as it lands.
+
+        With an async-native executor the chunk work item is a *coroutine*
+        (:meth:`_run_chunk_async`): model I/O is awaited on the executor's
+        event loop under its ``max_inflight`` semaphore, so concurrency is
+        bounded by in-flight awaits, not worker threads.  Everything else —
+        dispatch modes, merge order, scoring — is shared with the sync
+        path, and results are bit-identical.
+        """
+        run_chunk = self._run_chunk
+        if self._async_native():
+            run_chunk = self._run_chunk_async
+            self._inflight_peak = 0  # peak is per run; telemetry keeps the max
         if self._dynamic():
-            outcomes = self.executor.map_unordered(self._run_chunk, chunks)
+            outcomes = self.executor.map_unordered(run_chunk, chunks)
         else:
-            outcomes = enumerate(self.executor.map(self._run_chunk, chunks))
+            outcomes = enumerate(self.executor.map(run_chunk, chunks))
         for chunk_index, (scored, counters, elapsed) in outcomes:
             for index, result in scored:
                 results[index] = result
             self._record_chunk(chunks[chunk_index], counters, elapsed)
+        if self._async_native():
+            self.telemetry.record_inflight_peak(self._inflight_peak)
 
     def _run_distributed(
         self,
@@ -470,8 +544,10 @@ class ExecutionEngine:
                 for index, result in scored:
                     results[index] = result
                 if self.cache is not None:
+                    model = chunks[chunk_index][0][1].model
+                    identity = getattr(model, "cache_identity", model.name)
                     for key, response in new_entries.items():
-                        self.cache.put_key(key, response)
+                        self.cache.put_key(key, response, identity=identity)
                 self._record_chunk(chunks[chunk_index], counters, elapsed)
         finally:
             _retire_snapshot(snapshot_ref)
@@ -539,6 +615,83 @@ class ExecutionEngine:
         counters["misses"] += misses
         counters["calls"] += misses
         return responses
+
+    # -- the async-native chunk path -------------------------------------------------
+
+    async def _run_chunk_async(self, chunk: Sequence[_IndexedRequest]) -> _ChunkOutcome:
+        """One chunk as a coroutine: model I/O awaited, never thread-blocked.
+
+        The semantics mirror :meth:`_run_chunk` exactly — same prompts,
+        same cache interaction, same scoring — so the async-native path
+        inherits the engine's bit-identical-results guarantee.  Only the
+        transport differs: misses go through ``generate_batch_async``
+        (optionally merged with other chunks' misses by the coalescer)
+        instead of a blocking ``generate_batch``.
+        """
+        self._inflight += 1
+        self._inflight_peak = max(self._inflight_peak, self._inflight)
+        try:
+            start = time.perf_counter()
+            model = chunk[0][1].model
+            strategy = chunk[0][1].strategy
+            counters = {"hits": 0, "misses": 0, "calls": 0}
+            codes = [request.code for _, request in chunk]
+
+            async def generate_many(prompts: Sequence[str]) -> List[str]:
+                return await self._generate_many_async(model, strategy, prompts, counters)
+
+            responses = await run_strategy_batch_async(generate_many, strategy, codes)
+            scored = [
+                (index, score_response(request, response))
+                for (index, request), response in zip(chunk, responses)
+            ]
+            return scored, counters, time.perf_counter() - start
+        finally:
+            self._inflight -= 1
+
+    async def _generate_many_async(
+        self, model, strategy, prompts: Sequence[str], counters: Dict[str, int]
+    ) -> List[str]:
+        """Async mirror of :meth:`_generate_many`: only misses reach the model.
+
+        Misses are sent through the micro-batch coalescer when one is
+        configured, keyed by (model, strategy), so chunks awaiting a slot
+        at the same moment share one ``generate_batch_async`` wire call.
+        Sync-only models (no native async override) bypass the coalescer:
+        their batch call runs serially in one offload thread, so merging
+        many chunks into it would *serialise* work the per-chunk offloads
+        run in parallel across the executor's pool.
+        """
+        prompts = list(prompts)
+        coalesce = self.coalescer is not None and getattr(
+            model, "has_native_async", True
+        )
+
+        async def call_model(miss_prompts: List[str]) -> List[str]:
+            if coalesce:
+                return await self.coalescer.generate(
+                    (id(model), strategy.value),
+                    model.generate_batch_async,
+                    miss_prompts,
+                )
+            return list(await model.generate_batch_async(miss_prompts))
+
+        if self.cache is None:
+            counters["calls"] += len(prompts)
+            return await call_model(prompts)
+        identity = getattr(model, "cache_identity", model.name)
+        responses, miss_positions = _partition_cached(
+            prompts, lambda prompt: self.cache.get(identity, prompt)
+        )
+        if miss_positions:
+            generated = await call_model([prompts[i] for i in miss_positions])
+            for position, response in zip(miss_positions, generated):
+                responses[position] = response
+                self.cache.put(identity, prompts[position], response)
+        counters["hits"] += len(prompts) - len(miss_positions)
+        counters["misses"] += len(miss_positions)
+        counters["calls"] += len(miss_positions)
+        return responses  # type: ignore[return-value]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = f"cache={len(self.cache)} entries" if self.cache is not None else "no cache"

@@ -72,6 +72,10 @@ class CostModel:
         self._lock = threading.Lock()
         self._ewma: Dict[Tuple[str, str], float] = {}
         self._observations: Dict[Tuple[str, str], int] = {}
+        #: identity -> strategies observed for it, so per-identity queries
+        #: (:meth:`identity_estimate`, called on the cache's eviction hot
+        #: path) scan a handful of strategies instead of every group.
+        self._identity_strategies: Dict[str, set] = {}
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -100,6 +104,7 @@ class CostModel:
                     self.alpha * seconds_per_request + (1.0 - self.alpha) * previous
                 )
             self._observations[key] = self._observations.get(key, 0) + 1
+            self._identity_strategies.setdefault(identity, set()).add(strategy)
 
     def estimate(
         self, identity: str, strategy: str, default: Optional[float] = None
@@ -107,6 +112,23 @@ class CostModel:
         """Estimated seconds per request, or ``default`` when never observed."""
         with self._lock:
             return self._ewma.get((identity, strategy), default)
+
+    def identity_estimate(
+        self, identity: str, default: Optional[float] = None
+    ) -> Optional[float]:
+        """The *worst-case* seconds-per-request estimate for one model identity.
+
+        The maximum over every strategy observed for ``identity`` — the
+        right number for decisions made per model rather than per group,
+        like the response cache's cost-aware eviction (a cached response
+        is worth at most what regenerating it would cost).  ``default``
+        when the identity was never observed under any strategy.
+        """
+        with self._lock:
+            strategies = self._identity_strategies.get(identity)
+            if not strategies:
+                return default
+            return max(self._ewma[(identity, strategy)] for strategy in strategies)
 
     def snapshot(self) -> List[Dict[str, object]]:
         """Every group's estimate as plain dicts (slowest first)."""
@@ -127,6 +149,7 @@ class CostModel:
         with self._lock:
             self._ewma.clear()
             self._observations.clear()
+            self._identity_strategies.clear()
 
     # -- persistence ----------------------------------------------------------------
 
@@ -193,6 +216,7 @@ class CostModel:
                     continue
                 key = (identity, strategy)
                 self._ewma[key] = float(seconds)
+                self._identity_strategies.setdefault(identity, set()).add(strategy)
                 observations = group.get("observations")
                 self._observations[key] = (
                     int(observations) if isinstance(observations, int) and observations > 0 else 1

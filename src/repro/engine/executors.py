@@ -35,10 +35,12 @@ flags and :attr:`PipelineConfig.executor`):
   payloads (see :func:`repro.engine.core._score_chunk_payload`).
 * :class:`AsyncExecutor` (``"async"``) — runs work items concurrently on a
   persistent asyncio event loop in a background thread.  Synchronous
-  functions are offloaded to the loop's thread pool under a semaphore of
-  width ``jobs``; native ``async def`` functions are awaited directly — the
-  seam a real aiohttp-based API adapter plugs into without further engine
-  changes.
+  functions are offloaded to the loop's thread pool of width ``jobs``;
+  native ``async def`` functions are awaited directly under a semaphore of
+  width ``max_inflight`` (default: ``jobs``).  ``native_async = True``
+  tells the engine to dispatch awaitable chunk coroutines here, so model
+  I/O is awaited on the loop — concurrency bounded by the semaphore, not
+  by threads.
 
 Every backend owns whatever pool/loop it creates: ``close()`` releases it
 (idempotent), the executors are context managers, and a closed executor
@@ -74,6 +76,47 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+class _CompletionStream:
+    """The iterator ``map_unordered`` hands out: futures in completion order.
+
+    A plain generator would be simpler, but closing a generator that was
+    never started runs none of its code — an abandoned stream would leak
+    every submitted future.  This object cancels all outstanding futures
+    on ``close()`` (and on garbage collection) no matter how far iteration
+    got, so "consumer walked away" always means "queued work is dropped".
+    """
+
+    def __init__(self, futures: Dict["concurrent.futures.Future[R]", int]) -> None:
+        self._futures = futures
+        self._completed = concurrent.futures.as_completed(futures)
+        self._closed = False
+
+    def __iter__(self) -> "Iterator[Tuple[int, R]]":
+        return self
+
+    def __next__(self) -> Tuple[int, R]:
+        if self._closed:
+            raise StopIteration
+        try:
+            future = next(self._completed)
+            return self._futures[future], future.result()
+        except BaseException:
+            # Exhaustion, a work-item exception or a cancelled future all
+            # end the stream; cancel whatever has not started yet.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for future in self._futures:
+            future.cancel()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+
 class _BaseExecutor:
     """Shared close/context-manager plumbing for the pooled backends."""
 
@@ -107,9 +150,10 @@ class _BaseExecutor:
 
         The default implementation submits every item up front and drains
         the futures as they finish.  If a work item raises, or the consumer
-        closes the iterator before exhausting it, every outstanding future
-        is cancelled (futures already running run to completion — only
-        not-yet-started work is dropped).
+        closes (or drops) the iterator before exhausting it — even before
+        taking a single result — every outstanding future is cancelled
+        (futures already running run to completion in thread/process pools;
+        the async backend cancels in-flight coroutines too).
         """
         self._check_open()
         items = list(items)
@@ -123,18 +167,7 @@ class _BaseExecutor:
             for future in futures:
                 future.cancel()
             raise
-        return self._drain_completed(futures)
-
-    @staticmethod
-    def _drain_completed(
-        futures: Dict["concurrent.futures.Future[R]", int],
-    ) -> Iterator[Tuple[int, R]]:
-        try:
-            for future in concurrent.futures.as_completed(futures):
-                yield futures[future], future.result()
-        finally:
-            for future in futures:
-                future.cancel()
+        return _CompletionStream(futures)
 
     def __enter__(self):
         return self
@@ -287,25 +320,39 @@ class AsyncExecutor(_BaseExecutor):
     """Run work items concurrently on a persistent asyncio event loop.
 
     The loop runs in a dedicated background thread for the executor's whole
-    lifetime.  ``map`` submits one task per item, bounded by a semaphore of
-    width ``jobs``, and gathers the results in input order:
+    lifetime.  ``map`` submits one task per item and gathers the results in
+    input order:
 
     * a plain function is offloaded to a dedicated thread pool of width
       ``jobs`` (asyncio's *default* executor caps at ``min(32, cpus + 4)``
       threads, which would silently undercut larger ``jobs`` values), so
       today's synchronous simulated models work unchanged;
-    * an ``async def`` function is awaited natively — this is the seam where
-      a real aiohttp/``AsyncAnthropic``-style API adapter slots in with true
-      non-blocking concurrency.
+    * an ``async def`` function is awaited natively under a semaphore of
+      width ``max_inflight`` — the engine's async-native dispatch path runs
+      chunk coroutines through exactly this seam, so in-flight concurrency
+      is bounded by the semaphore, **not** by a thread count.
+
+    ``native_async`` advertises the seam: the engine sees it and dispatches
+    awaitable chunk coroutines (model I/O awaited on the loop) instead of
+    offloading synchronous chunk functions to the thread pool.
     """
 
     name = "async"
+    #: The engine dispatches coroutine chunk functions to this backend.
+    native_async = True
 
-    def __init__(self, jobs: int = 8) -> None:
+    def __init__(self, jobs: int = 8, max_inflight: Optional[int] = None) -> None:
         super().__init__()
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None")
         self.jobs = jobs
+        #: Concurrently-running native coroutines; defaults to ``jobs`` so a
+        #: plain ``--executor async --jobs N`` behaves like N workers, but it
+        #: can be raised far beyond any sensible thread count (coroutines
+        #: waiting on I/O cost a few KB, not a stack each).
+        self.max_inflight = max_inflight if max_inflight is not None else jobs
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
@@ -320,9 +367,15 @@ class AsyncExecutor(_BaseExecutor):
                 self._pool = concurrent.futures.ThreadPoolExecutor(
                     max_workers=self.jobs, thread_name_prefix="repro-async-worker"
                 )
+                # Make the dedicated pool the loop's default executor, so
+                # every sync offload on this loop — including
+                # ``asyncio.to_thread`` inside a model's default
+                # ``generate_batch_async`` — gets the full ``jobs`` width
+                # instead of asyncio's global min(32, cpus + 4) cap.
+                self._loop.set_default_executor(self._pool)
                 # Bounds native-coroutine concurrency for submit(); binds to
                 # the loop on first acquire (Python >= 3.10 semantics).
-                self._semaphore = asyncio.Semaphore(self.jobs)
+                self._semaphore = asyncio.Semaphore(self.max_inflight)
                 self._thread = threading.Thread(
                     target=self._loop.run_forever,
                     name="repro-async-executor",
@@ -341,7 +394,7 @@ class AsyncExecutor(_BaseExecutor):
         is_async = inspect.iscoroutinefunction(fn)
 
         async def _gather() -> List[R]:
-            semaphore = asyncio.Semaphore(self.jobs)
+            semaphore = asyncio.Semaphore(self.max_inflight if is_async else self.jobs)
             running = asyncio.get_running_loop()
 
             async def _one(item: T) -> R:
@@ -350,7 +403,18 @@ class AsyncExecutor(_BaseExecutor):
                         return await fn(item)
                     return await running.run_in_executor(pool, fn, item)
 
-            return await asyncio.gather(*(_one(item) for item in items))
+            # Explicit tasks instead of bare coroutines: when one work item
+            # raises, gather re-raises immediately but would leave sibling
+            # tasks running — an aborted run must not keep issuing model
+            # calls in the background, so cancel them and wait them out.
+            tasks = [running.create_task(_one(item)) for item in items]
+            try:
+                return await asyncio.gather(*tasks)
+            except BaseException:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                raise
 
         return list(asyncio.run_coroutine_threadsafe(_gather(), loop).result())
 
@@ -358,8 +422,9 @@ class AsyncExecutor(_BaseExecutor):
         """Schedule one item on the loop; sync fns offload to the thread pool.
 
         Native coroutine functions are bounded by a semaphore of width
-        ``jobs`` (the offload pool is bounded by its own worker count), so
-        ``map_unordered`` keeps the same concurrency limit as ``map``.
+        ``max_inflight`` (the offload pool is bounded by its ``jobs``
+        workers), so ``map_unordered`` keeps the same concurrency limits
+        as ``map``.
         """
         self._check_open()
         loop = self._ensure_loop()
@@ -387,6 +452,24 @@ class AsyncExecutor(_BaseExecutor):
             self._semaphore = None
         if loop is None:
             return
+        # Cancel whatever is still pending and let it unwind *on* the loop
+        # before stopping it — otherwise orphaned coroutines would be
+        # garbage-collected after loop.close() and their cleanup (semaphore
+        # releases, ...) would hit a dead loop.
+        async def _drain_pending() -> None:
+            tasks = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        try:
+            asyncio.run_coroutine_threadsafe(_drain_pending(), loop).result(timeout=10)
+        except (concurrent.futures.TimeoutError, RuntimeError):  # pragma: no cover
+            pass  # a wedged task must not make close() hang forever
         loop.call_soon_threadsafe(loop.stop)
         if thread is not None:
             thread.join(timeout=10)
@@ -395,21 +478,23 @@ class AsyncExecutor(_BaseExecutor):
             pool.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<AsyncExecutor jobs={self.jobs}>"
+        return f"<AsyncExecutor jobs={self.jobs} max_inflight={self.max_inflight}>"
 
 
 # ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
-_EXECUTOR_FACTORIES: Dict[str, Callable[[int], object]] = {}
+_EXECUTOR_FACTORIES: Dict[str, Callable[..., object]] = {}
 
 
-def register_executor(kind: str, factory: Callable[[int], object]) -> None:
-    """Register ``factory(jobs) -> executor`` under ``kind``.
+def register_executor(kind: str, factory: Callable[..., object]) -> None:
+    """Register ``factory(jobs, **options) -> executor`` under ``kind``.
 
     Registered kinds become valid values for :func:`create_executor` and,
     through it, the CLI's ``--executor`` flag and ``PipelineConfig.executor``.
+    A factory may accept only ``jobs`` — backend-specific options it does
+    not declare (e.g. ``max_inflight``) are simply not forwarded to it.
     """
     _EXECUTOR_FACTORIES[kind] = factory
 
@@ -419,22 +504,30 @@ def available_executors() -> Tuple[str, ...]:
     return tuple(_EXECUTOR_FACTORIES)
 
 
-register_executor("serial", lambda jobs: SerialExecutor())
-register_executor("thread", lambda jobs: ThreadPoolExecutor(jobs=jobs))
-register_executor("process", lambda jobs: ProcessPoolExecutor(jobs=jobs))
-register_executor("async", lambda jobs: AsyncExecutor(jobs=jobs))
+register_executor("serial", lambda jobs, **_options: SerialExecutor())
+register_executor("thread", lambda jobs, **_options: ThreadPoolExecutor(jobs=jobs))
+register_executor("process", lambda jobs, **_options: ProcessPoolExecutor(jobs=jobs))
+register_executor(
+    "async",
+    lambda jobs, max_inflight=None, **_options: AsyncExecutor(
+        jobs=jobs, max_inflight=max_inflight
+    ),
+)
 
 #: The built-in backend names (the CLI's ``--executor`` choices).
 EXECUTOR_KINDS = ("serial", "thread", "process", "async")
 
 
-def create_executor(jobs: int = 1, kind: Optional[str] = None):
+def create_executor(jobs: int = 1, kind: Optional[str] = None, **options):
     """Build an executor from the registry.
 
     ``kind=None`` keeps the historical ``--jobs`` semantics: ``jobs <= 1``
     selects the serial backend, anything larger a thread pool of that width.
     An explicit ``kind`` picks that backend directly with ``max(jobs, 1)``
-    workers.
+    workers.  ``options`` holds backend-specific settings (``max_inflight``
+    for the async backend); ``None`` values and options the factory does
+    not accept are dropped, so e.g. ``--max-inflight`` is harmless with the
+    thread backend.
     """
     if kind is None:
         kind = "serial" if jobs <= 1 else "thread"
@@ -444,4 +537,11 @@ def create_executor(jobs: int = 1, kind: Optional[str] = None):
         raise ValueError(
             f"unknown executor kind {kind!r}; registered: {available_executors()}"
         ) from exc
-    return factory(max(jobs, 1))
+    options = {key: value for key, value in options.items() if value is not None}
+    if options:
+        parameters = inspect.signature(factory).parameters
+        if not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        ):
+            options = {key: value for key, value in options.items() if key in parameters}
+    return factory(max(jobs, 1), **options)

@@ -34,6 +34,15 @@ class EngineTelemetry:
         self.cache_misses = 0
         self.runs = 0
         self.wall_time_s = 0.0
+        #: Peak concurrently-in-flight chunk coroutines (async-native path).
+        self.async_inflight_peak = 0
+        #: Batched model calls issued by the micro-batch coalescer.
+        self.coalesce_flushes = 0
+        #: Requests that shared a flush with at least one other chunk —
+        #: i.e. model calls *saved* by coalescing.
+        self.coalesce_merged = 0
+        #: Prompts carried by coalesced flushes.
+        self.coalesce_prompts = 0
         #: (model, strategy) -> cumulative counters for that group's chunks.
         self._groups: Dict[Tuple[str, str], Dict[str, float]] = {}
 
@@ -56,6 +65,18 @@ class EngineTelemetry:
         with self._lock:
             self.runs += 1
             self.wall_time_s += wall_time_s
+
+    def record_inflight_peak(self, peak: int) -> None:
+        """Fold one async run's peak concurrent chunk coroutines (keeps max)."""
+        with self._lock:
+            self.async_inflight_peak = max(self.async_inflight_peak, peak)
+
+    def record_coalesce_flush(self, waiters: int, prompts: int) -> None:
+        """One coalescer flush: ``waiters`` chunk calls merged into one."""
+        with self._lock:
+            self.coalesce_flushes += 1
+            self.coalesce_merged += max(0, waiters - 1)
+            self.coalesce_prompts += prompts
 
     def record_group(
         self,
@@ -107,6 +128,10 @@ class EngineTelemetry:
                 "runs": self.runs,
                 "wall_time_s": round(self.wall_time_s, 4),
                 "requests_per_second": round(self.requests_per_second, 2),
+                "async_inflight_peak": self.async_inflight_peak,
+                "coalesce_flushes": self.coalesce_flushes,
+                "coalesce_merged": self.coalesce_merged,
+                "coalesce_prompts": self.coalesce_prompts,
             }
 
     def group_snapshot(self) -> List[Dict[str, object]]:
@@ -178,7 +203,16 @@ class EngineTelemetry:
         """
         snap = self.snapshot()
         if since is not None:
-            for key in ("requests", "model_calls", "cache_hits", "cache_misses", "runs"):
+            for key in (
+                "requests",
+                "model_calls",
+                "cache_hits",
+                "cache_misses",
+                "runs",
+                "coalesce_flushes",
+                "coalesce_merged",
+                "coalesce_prompts",
+            ):
                 snap[key] -= since.get(key, 0)
             snap["wall_time_s"] = round(snap["wall_time_s"] - since.get("wall_time_s", 0.0), 4)
             lookups = snap["cache_hits"] + snap["cache_misses"]
@@ -197,6 +231,13 @@ class EngineTelemetry:
         parts.append(f"wall={snap['wall_time_s']:.2f}s")
         if snap["requests_per_second"]:
             parts.append(f"throughput={snap['requests_per_second']:.1f} req/s")
+        if snap["async_inflight_peak"]:
+            parts.append(f"inflight_peak={snap['async_inflight_peak']}")
+        if snap["coalesce_flushes"]:
+            parts.append(
+                f"coalesced={snap['coalesce_merged']} calls into "
+                f"{snap['coalesce_flushes']} flushes"
+            )
         return "[engine] " + " ".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,25 +1,139 @@
-"""Low-rank adapters for fine-tuning (the QLoRA analogue).
+"""Model adapters: fine-tuning heads and transport wrappers.
 
-The paper fine-tunes Llama2-7b and StarChat-beta with QLoRA (LoRA attention
-dimension 64, dropout 0.1).  At simulation scale the trainable component is a
-logistic head over hashed n-gram code features, factored through a fixed
-random projection of rank ``rank`` — i.e. only ``rank + 1`` parameters are
-trained on top of a frozen featurisation, which is the structural point of a
-LoRA adapter.
+Two kinds of adapter live here:
+
+* :class:`LowRankAdapter` — the QLoRA analogue.  The paper fine-tunes
+  Llama2-7b and StarChat-beta with QLoRA (LoRA attention dimension 64,
+  dropout 0.1).  At simulation scale the trainable component is a logistic
+  head over hashed n-gram code features, factored through a fixed random
+  projection of rank ``rank`` — i.e. only ``rank + 1`` parameters are
+  trained on top of a frozen featurisation, which is the structural point
+  of a LoRA adapter.
+* :class:`AsyncRemoteAdapter` — a *transport* adapter: it wraps any
+  :class:`~repro.llm.base.LanguageModel` in a simulated remote API client
+  with configurable per-call network latency and jitter, implemented
+  natively on asyncio.  The sync path blocks for the latency like a
+  requests-style client; the async path awaits it like an aiohttp-style
+  client, so an event loop can keep thousands of calls in flight at once.
+  This is the shape a real ``AsyncAnthropic``/``AsyncOpenAI`` adapter
+  takes — swap the ``asyncio.sleep`` for the real awaited HTTP call.
 """
 
 from __future__ import annotations
 
+import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-__all__ = ["LowRankAdapter"]
+from repro.llm.base import LanguageModel
+from repro.llm.behavior import simulated_latency
+
+__all__ = ["AsyncRemoteAdapter", "LowRankAdapter"]
 
 
 def _sigmoid(z: np.ndarray | float) -> np.ndarray | float:
     return 1.0 / (1.0 + np.exp(-z))
+
+
+class AsyncRemoteAdapter(LanguageModel):
+    """A simulated remote API client around any language model.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped model; it supplies the response *content* (and the
+        cache identity).  It should itself be latency-free — this adapter
+        owns the transport latency.
+    latency_s:
+        Base per-call network latency in seconds.
+    latency_jitter_s:
+        Extra per-call latency in ``[0, latency_jitter_s)``, drawn
+        deterministically from the prompt text, so two runs over the same
+        prompts sleep identically (benchmarks stay apples-to-apples).
+    max_concurrency:
+        Optional cap on concurrently in-flight async calls through this
+        adapter — the analogue of an HTTP client's connection-pool limit.
+        ``None`` leaves concurrency to the caller (the engine's
+        ``max_inflight`` semaphore).
+    """
+
+    def __init__(
+        self,
+        inner: LanguageModel,
+        *,
+        latency_s: float = 0.05,
+        latency_jitter_s: float = 0.0,
+        max_concurrency: Optional[int] = None,
+    ) -> None:
+        if latency_s < 0 or latency_jitter_s < 0:
+            raise ValueError("latencies must be >= 0")
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1 or None")
+        self.inner = inner
+        self.name = inner.name
+        self.context_window = inner.context_window
+        self.latency_s = latency_s
+        self.latency_jitter_s = latency_jitter_s
+        self.max_concurrency = max_concurrency
+        # asyncio primitives bind to a loop; create the semaphore lazily on
+        # the loop that first uses it and rebuild if the loop changes (the
+        # AsyncExecutor recreates its loop after close()).
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._semaphore_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def cache_identity(self) -> str:
+        # Transport latency never changes the response content, so the
+        # adapter shares cached responses with its inner model.
+        return self.inner.cache_identity
+
+    def _call_delay(self, prompt: str) -> float:
+        return simulated_latency(
+            self.latency_s, self.latency_jitter_s, self.name, "remote-latency", prompt
+        )
+
+    def generate(self, prompt: str) -> str:
+        """Sync client behaviour: block the calling thread for the latency."""
+        delay = self._call_delay(prompt)
+        if delay > 0:
+            time.sleep(delay)
+        return self.inner.generate(prompt)
+
+    async def generate_async(self, prompt: str) -> str:
+        """Async client behaviour: await the latency on the event loop."""
+        semaphore = self._ensure_semaphore()
+        if semaphore is None:
+            return await self._call(prompt)
+        async with semaphore:
+            return await self._call(prompt)
+
+    # generate_batch_async comes from the LanguageModel default, which
+    # gathers the native generate_async — every call's latency (and the
+    # max_concurrency semaphore) applies per call within one gather.
+
+    async def _call(self, prompt: str) -> str:
+        delay = self._call_delay(prompt)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return self.inner.generate(prompt)
+
+    def _ensure_semaphore(self) -> Optional[asyncio.Semaphore]:
+        if self.max_concurrency is None:
+            return None
+        loop = asyncio.get_running_loop()
+        if self._semaphore is None or self._semaphore_loop is not loop:
+            self._semaphore = asyncio.Semaphore(self.max_concurrency)
+            self._semaphore_loop = loop
+        return self._semaphore
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AsyncRemoteAdapter inner={self.inner!r} latency_s={self.latency_s}"
+            f" jitter_s={self.latency_jitter_s}>"
+        )
 
 
 @dataclass

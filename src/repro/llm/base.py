@@ -10,6 +10,7 @@ change any downstream code.
 from __future__ import annotations
 
 import abc
+import asyncio
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -45,6 +46,52 @@ class LanguageModel(abc.ABC):
         ever talks to models through this method.
         """
         return [self.generate(prompt) for prompt in prompts]
+
+    async def generate_async(self, prompt: str) -> str:
+        """Produce a completion without blocking the event loop.
+
+        The default offloads the synchronous :meth:`generate` to a worker
+        thread, so any model is usable from the async execution path.
+        Adapters whose transport is natively asynchronous (aiohttp-style
+        API clients, the simulated zoo models) override this with a real
+        coroutine — that is what lets thousands of calls be in flight on
+        one event loop instead of one per pool thread.
+        """
+        return await asyncio.to_thread(self.generate, prompt)
+
+    async def generate_batch_async(self, prompts: Sequence[str]) -> List[str]:
+        """Batched async generation (same order as the input).
+
+        The default picks the most concurrent correct path available: a
+        model that overrides :meth:`generate_async` gets a gather over it
+        (every call's latency overlaps on the loop); a sync-only model
+        gets its own :meth:`generate_batch` offloaded to a worker thread
+        in one piece, preserving whatever batching the adapter implements.
+        Natively-batched adapters should override this with one awaited
+        call — the engine's async dispatch path and the micro-batch
+        coalescer only ever talk to models through this method.
+        """
+        prompts = list(prompts)
+        if self.has_native_async:
+            return list(
+                await asyncio.gather(*(self.generate_async(p) for p in prompts))
+            )
+        return await asyncio.to_thread(self.generate_batch, prompts)
+
+    @property
+    def has_native_async(self) -> bool:
+        """Whether this model's async methods are more than a thread offload.
+
+        True when :meth:`generate_async` or :meth:`generate_batch_async`
+        is overridden.  The engine's micro-batch coalescer checks this: a
+        merged mega-batch only helps when the batch call genuinely fans
+        out on the loop — for a sync-only model it would *serialise* many
+        chunks' calls into one worker thread, so coalescing is skipped.
+        """
+        return (
+            type(self).generate_async is not LanguageModel.generate_async
+            or type(self).generate_batch_async is not LanguageModel.generate_batch_async
+        )
 
     @property
     def cache_identity(self) -> str:

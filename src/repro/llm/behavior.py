@@ -45,6 +45,7 @@ __all__ = [
     "BehaviorProfile",
     "profile_for",
     "deterministic_uniform",
+    "simulated_latency",
 ]
 
 #: Measured quality of the internal heuristic (the static detector) on the
@@ -152,3 +153,19 @@ def deterministic_uniform(*parts: str) -> float:
     """
     digest = hashlib.sha256("|".join(parts).encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little") / 2**64
+
+
+def simulated_latency(base_s: float, jitter_s: float, *salt_parts: str) -> float:
+    """Base latency plus deterministic jitter in ``[0, jitter_s)``.
+
+    The one latency model every simulated transport uses (the zoo models
+    and :class:`~repro.llm.adapters.AsyncRemoteAdapter`): the jitter is
+    drawn via :func:`deterministic_uniform` from ``salt_parts`` — salt it
+    with the model name and the prompt so each call gets its own stable
+    delay, and benchmarks comparing two schedules over the same requests
+    stay apples-to-apples.
+    """
+    delay = base_s
+    if jitter_s > 0:
+        delay += jitter_s * deterministic_uniform(*salt_parts)
+    return delay

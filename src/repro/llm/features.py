@@ -30,6 +30,12 @@ __all__ = [
 
 _CODE_START_RE = re.compile(r"^\s*(#include|int\s+main|void\s+main)", re.MULTILINE)
 
+#: Shared tokenizer instance.  :class:`CodeTokenizer` is a frozen, stateless
+#: dataclass, and both :func:`extract_features` and :func:`hashed_ngram_vector`
+#: sit in hot loops (the fine-tuning cross-validation featurises every prompt
+#: of every fold) — constructing a fresh tokenizer per call was pure waste.
+_TOKENIZER = CodeTokenizer()
+
 
 def extract_code_from_prompt(prompt: str) -> str:
     """Pull the C code snippet out of a detection prompt.
@@ -102,7 +108,7 @@ def extract_features(code: str, *, detector: Optional[StaticRaceDetector] = None
         has_task="omp task" in lowered or "sections" in lowered,
         has_simd="simd" in lowered,
         shared_compound_update=bool(re.search(r"\w+\s*(\+=|-=|\*=)", lowered)),
-        token_count=CodeTokenizer().count(code),
+        token_count=_TOKENIZER.count(code),
     )
     try:
         report: StaticRaceReport = detector.analyze_source(code)
@@ -127,7 +133,7 @@ def hashed_ngram_vector(code: str, *, dim: int = 512, ngram: int = 2) -> np.ndar
     are hashed into ``dim`` buckets, and the vector is L2-normalised so the
     logistic adapter's learning rate is scale independent.
     """
-    tokens = CodeTokenizer().tokenize(code)
+    tokens = _TOKENIZER.tokenize(code)
     vector = np.zeros(dim, dtype=np.float64)
     for order in range(1, ngram + 1):
         for start in range(0, max(0, len(tokens) - order + 1)):

@@ -17,13 +17,19 @@ same internal pipeline:
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
 from repro.llm.base import LanguageModel
-from repro.llm.behavior import BehaviorProfile, deterministic_uniform, profile_for
+from repro.llm.behavior import (
+    BehaviorProfile,
+    deterministic_uniform,
+    profile_for,
+    simulated_latency,
+)
 from repro.llm.features import CodeFeatures, extract_code_from_prompt, extract_features
 from repro.llm.responses import (
     render_analysis_response,
@@ -165,12 +171,37 @@ class SimulatedChatModel(LanguageModel):
             else profile.p_yes_given_no_evidence
         )
 
+    def _call_delay(self, prompt: str) -> float:
+        """Simulated network latency for one call (deterministic per prompt)."""
+        return simulated_latency(
+            self.latency_s, self.latency_jitter_s, self.name, "latency", prompt
+        )
+
     def generate(self, prompt: str) -> str:
-        delay = self.latency_s
-        if self.latency_jitter_s > 0:
-            delay += self.latency_jitter_s * deterministic_uniform(self.name, "latency", prompt)
+        delay = self._call_delay(prompt)
         if delay > 0:
             time.sleep(delay)
+        return self._respond(prompt)
+
+    async def generate_async(self, prompt: str) -> str:
+        """Natively-async call: the simulated latency awaits on the loop.
+
+        Only the I/O wait is asynchronous — ``asyncio.sleep`` stands in for
+        a real client awaiting its HTTP response — so thousands of calls
+        can be in flight on one event loop.  The response itself is the
+        same deterministic function of the prompt as :meth:`generate`.
+        """
+        delay = self._call_delay(prompt)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return self._respond(prompt)
+
+    # generate_batch_async needs no override: the LanguageModel default
+    # sees the native generate_async and gathers it, so every call's
+    # latency overlaps in one event-loop pass.
+
+    def _respond(self, prompt: str) -> str:
+        """The pure-compute response (no latency): shared by sync and async."""
         code = extract_code_from_prompt(prompt)
         features = self._features(code)
         if _is_analysis_request(prompt):

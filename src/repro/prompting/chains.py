@@ -9,7 +9,7 @@ implementation used LangChain's ``SequentialChain``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Awaitable, Callable, List, Sequence
 
 from repro.prompting.strategy import PromptStrategy
 from repro.prompting.templates import (
@@ -18,13 +18,22 @@ from repro.prompting.templates import (
     render_prompt,
 )
 
-__all__ = ["ChainStep", "SequentialChain", "run_strategy", "run_strategy_batch"]
+__all__ = [
+    "ChainStep",
+    "SequentialChain",
+    "run_strategy",
+    "run_strategy_batch",
+    "run_strategy_batch_async",
+]
 
 #: A language model is anything that maps a prompt string to a response string.
 GenerateFn = Callable[[str], str]
 
 #: Batched form: a list of prompts in, the list of responses out (same order).
 GenerateBatchFn = Callable[[Sequence[str]], List[str]]
+
+#: Awaitable batched form (the engine's async-native dispatch path).
+GenerateBatchAsyncFn = Callable[[Sequence[str]], Awaitable[List[str]]]
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,24 @@ def run_strategy(generate: GenerateFn, strategy: PromptStrategy, code: str) -> s
     return generate(prompt)
 
 
+def _ap2_phase1_prompts(codes: Sequence[str]) -> List[str]:
+    """The AP2 chain's dependence-analysis prompts, one per snippet."""
+    return [AP2_CHAIN1_TEMPLATE.format(code=code) for code in codes]
+
+
+def _ap2_phase2_prompts(codes: Sequence[str], analyses: Sequence[str]) -> List[str]:
+    """The AP2 chain's verdict prompts, embedding each snippet's analysis."""
+    return [
+        AP2_CHAIN2_TEMPLATE.format(code=code, analysis=analysis)
+        for code, analysis in zip(codes, analyses)
+    ]
+
+
+def _plain_prompts(strategy: PromptStrategy, codes: Sequence[str]) -> List[str]:
+    """Single-phase strategies: one rendered prompt per snippet."""
+    return [render_prompt(strategy, code) for code in codes]
+
+
 def run_strategy_batch(
     generate_batch: GenerateBatchFn, strategy: PromptStrategy, codes: Sequence[str]
 ) -> List[str]:
@@ -99,13 +126,27 @@ def run_strategy_batch(
     if not codes:
         return []
     if strategy is PromptStrategy.AP2:
-        analyses = generate_batch(
-            [AP2_CHAIN1_TEMPLATE.format(code=code) for code in codes]
-        )
-        return generate_batch(
-            [
-                AP2_CHAIN2_TEMPLATE.format(code=code, analysis=analysis)
-                for code, analysis in zip(codes, analyses)
-            ]
-        )
-    return generate_batch([render_prompt(strategy, code) for code in codes])
+        analyses = generate_batch(_ap2_phase1_prompts(codes))
+        return generate_batch(_ap2_phase2_prompts(codes, analyses))
+    return generate_batch(_plain_prompts(strategy, codes))
+
+
+async def run_strategy_batch_async(
+    generate_batch: GenerateBatchAsyncFn, strategy: PromptStrategy, codes: Sequence[str]
+) -> List[str]:
+    """Awaitable mirror of :func:`run_strategy_batch`.
+
+    Both variants build their prompt lists through the same helpers, so
+    for a deterministic model the responses are byte-identical — the
+    engine's async-native path leans on this for its
+    bit-identical-results guarantee.  The AP2 chain stays two
+    *sequential* batched phases (phase 2's prompts embed phase 1's
+    responses); concurrency lives inside each awaited batch call.
+    """
+    codes = list(codes)
+    if not codes:
+        return []
+    if strategy is PromptStrategy.AP2:
+        analyses = await generate_batch(_ap2_phase1_prompts(codes))
+        return await generate_batch(_ap2_phase2_prompts(codes, analyses))
+    return await generate_batch(_plain_prompts(strategy, codes))

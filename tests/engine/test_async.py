@@ -1,0 +1,389 @@
+"""The async-native I/O path: coalescer semantics, adapters, telemetry.
+
+The tentpole contract pinned here:
+
+* ``MicroBatchCoalescer`` merges concurrent same-key batch requests into
+  one ``generate_batch_async`` call and hands every caller exactly its own
+  slice back (errors fan out to every waiter);
+* the engine's async-native dispatch awaits model I/O on the executor's
+  event loop — in-flight concurrency bounded by ``max_inflight``, not by
+  thread count — and with simulated latency beats the thread backend at
+  equal ``--jobs`` (the full benchmark lives in
+  ``benchmarks/bench_async.py``);
+* ``AsyncRemoteAdapter`` and the zoo's native ``generate_async`` produce
+  byte-identical responses to their sync counterparts.
+
+Bit-identical *confusion counts* across the async-native configurations
+are pinned in ``tests/engine/test_equivalence.py``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.engine import ExecutionEngine, MicroBatchCoalescer, ResponseCache, build_requests
+from repro.eval.experiments import default_subset
+from repro.llm.adapters import AsyncRemoteAdapter
+from repro.llm.zoo import create_model
+from repro.prompting.strategy import PromptStrategy
+from repro.prompting.templates import render_prompt
+
+
+@pytest.fixture(scope="module")
+def records():
+    return default_subset().records[:16]
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestMicroBatchCoalescer:
+    def test_concurrent_callers_share_one_model_call(self):
+        calls = []
+
+        async def generate_batch(prompts):
+            calls.append(list(prompts))
+            await asyncio.sleep(0)
+            return [f"r:{p}" for p in prompts]
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(window_s=0.01, max_batch=64)
+            results = await asyncio.gather(
+                coalescer.generate("k", generate_batch, ["a", "b"]),
+                coalescer.generate("k", generate_batch, ["c"]),
+                coalescer.generate("k", generate_batch, ["d", "e"]),
+            )
+            return results
+
+        first, second, third = run_async(scenario())
+        assert first == ["r:a", "r:b"]
+        assert second == ["r:c"]
+        assert third == ["r:d", "r:e"]
+        assert len(calls) == 1  # one wire call carried all three chunks
+        assert sorted(calls[0]) == ["a", "b", "c", "d", "e"]
+
+    def test_different_keys_do_not_merge(self):
+        calls = []
+
+        async def generate_batch(prompts):
+            calls.append(list(prompts))
+            return [p.upper() for p in prompts]
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(window_s=0.005, max_batch=64)
+            return await asyncio.gather(
+                coalescer.generate(("m1", "BP1"), generate_batch, ["a"]),
+                coalescer.generate(("m2", "BP1"), generate_batch, ["b"]),
+            )
+
+        assert run_async(scenario()) == [["A"], ["B"]]
+        assert len(calls) == 2
+
+    def test_max_batch_flushes_early(self):
+        flush_sizes = []
+
+        async def generate_batch(prompts):
+            flush_sizes.append(len(prompts))
+            return list(prompts)
+
+        async def scenario():
+            # A window so long the test would time out if it were the only
+            # trigger: max_batch must flush the moment it fills.
+            coalescer = MicroBatchCoalescer(window_s=30.0, max_batch=4)
+            start = time.perf_counter()
+            await asyncio.gather(
+                coalescer.generate("k", generate_batch, ["a", "b"]),
+                coalescer.generate("k", generate_batch, ["c", "d"]),
+            )
+            assert time.perf_counter() - start < 5.0
+            assert coalescer.pending_keys == 0
+
+        run_async(scenario())
+        assert flush_sizes == [4]
+
+    def test_oversized_request_calls_straight_through(self):
+        calls = []
+
+        async def generate_batch(prompts):
+            calls.append(len(prompts))
+            return list(prompts)
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(window_s=30.0, max_batch=4)
+            return await coalescer.generate("k", generate_batch, list("abcdef"))
+
+        assert run_async(scenario()) == list("abcdef")
+        assert calls == [6]
+
+    def test_model_error_reaches_every_waiter(self):
+        async def generate_batch(prompts):
+            raise RuntimeError("api down")
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(window_s=0.005, max_batch=64)
+            results = await asyncio.gather(
+                coalescer.generate("k", generate_batch, ["a"]),
+                coalescer.generate("k", generate_batch, ["b"]),
+                return_exceptions=True,
+            )
+            return results
+
+        results = run_async(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_miscounting_model_is_an_error(self):
+        async def generate_batch(prompts):
+            return ["only one"]
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(window_s=0.001, max_batch=64)
+            return await coalescer.generate("k", generate_batch, ["a", "b"])
+
+        with pytest.raises(RuntimeError, match="responses"):
+            run_async(scenario())
+
+    def test_empty_prompts_short_circuit(self):
+        async def generate_batch(prompts):  # pragma: no cover - must not run
+            raise AssertionError("should not be called")
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer()
+            return await coalescer.generate("k", generate_batch, [])
+
+        assert run_async(scenario()) == []
+
+    def test_on_flush_reports_waiters_and_prompts(self):
+        flushes = []
+
+        async def generate_batch(prompts):
+            return list(prompts)
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(
+                window_s=0.005, max_batch=64, on_flush=lambda w, p: flushes.append((w, p))
+            )
+            await asyncio.gather(
+                coalescer.generate("k", generate_batch, ["a", "b"]),
+                coalescer.generate("k", generate_batch, ["c"]),
+            )
+
+        run_async(scenario())
+        assert flushes == [(2, 3)]
+
+    def test_cancelled_waiters_do_not_trigger_a_wire_call(self):
+        """An aborted run cancels chunk coroutines mid-window; the flush must
+        not turn their prompts into a stray (billable) model call."""
+        calls = []
+
+        async def generate_batch(prompts):
+            calls.append(list(prompts))
+            return list(prompts)
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(window_s=0.01, max_batch=64)
+            task = asyncio.create_task(coalescer.generate("k", generate_batch, ["a"]))
+            await asyncio.sleep(0)  # the waiter joins the window
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            await asyncio.sleep(0.05)  # the window elapses and flushes
+
+        run_async(scenario())
+        assert calls == []  # every waiter was gone: no wire call at all
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatchCoalescer(window_s=-0.001)
+        with pytest.raises(ValueError):
+            MicroBatchCoalescer(max_batch=0)
+
+
+class TestModelAsyncProtocol:
+    def test_zoo_generate_async_matches_sync(self, records):
+        model = create_model("gpt-4")
+        prompts = [render_prompt(PromptStrategy.BP1, r.trimmed_code) for r in records[:6]]
+        reference = [create_model("gpt-4").generate(p) for p in prompts]
+        assert run_async(model.generate_batch_async(prompts)) == reference
+        assert [run_async(model.generate_async(p)) for p in prompts] == reference
+
+    def test_default_async_offload_matches_sync(self):
+        """A sync-only model still works through the async protocol."""
+        from repro.llm.base import LanguageModel
+
+        class MinimalModel(LanguageModel):
+            name = "minimal"
+
+            def generate(self, prompt):
+                return f"echo:{len(prompt)}"
+
+        model = MinimalModel()
+        prompts = ["one", "two two", "three three three"]
+        assert run_async(model.generate_batch_async(prompts)) == model.generate_batch(prompts)
+        assert run_async(model.generate_async("x")) == model.generate("x")
+
+    def test_zoo_async_latency_overlaps(self):
+        """N concurrent 30ms calls must take ~one latency, not N of them."""
+        model = create_model("gpt-4", latency_s=0.03)
+        prompts = [
+            render_prompt(PromptStrategy.BP1, f"int main() {{ int x{i}; }}")
+            for i in range(8)
+        ]
+        start = time.perf_counter()
+        run_async(model.generate_batch_async(prompts))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 8 * 0.03  # strictly better than the serial sum
+
+    def test_remote_adapter_matches_inner_content(self, records):
+        inner = create_model("gpt-4")
+        adapter = AsyncRemoteAdapter(inner, latency_s=0.0)
+        prompt = render_prompt(PromptStrategy.BP1, records[0].trimmed_code)
+        reference = create_model("gpt-4").generate(prompt)
+        assert adapter.generate(prompt) == reference
+        assert run_async(adapter.generate_async(prompt)) == reference
+        assert adapter.cache_identity == inner.cache_identity
+
+    def test_remote_adapter_max_concurrency_bounds_inflight(self):
+        inner = create_model("gpt-4")
+        adapter = AsyncRemoteAdapter(inner, latency_s=0.01, max_concurrency=2)
+        inflight = {"now": 0, "peak": 0}
+        original = adapter._call
+
+        async def tracking_call(prompt):
+            inflight["now"] += 1
+            inflight["peak"] = max(inflight["peak"], inflight["now"])
+            try:
+                return await original(prompt)
+            finally:
+                inflight["now"] -= 1
+
+        adapter._call = tracking_call
+        prompts = [
+            render_prompt(PromptStrategy.BP1, f"int main() {{ int y{i}; }}")
+            for i in range(6)
+        ]
+        run_async(adapter.generate_batch_async(prompts))
+        assert inflight["peak"] <= 2
+
+    def test_remote_adapter_rejects_bad_parameters(self):
+        inner = create_model("gpt-4")
+        with pytest.raises(ValueError):
+            AsyncRemoteAdapter(inner, latency_s=-1)
+        with pytest.raises(ValueError):
+            AsyncRemoteAdapter(inner, max_concurrency=0)
+
+
+class TestEngineAsyncNative:
+    def test_inflight_bounded_by_max_inflight_not_jobs(self, records):
+        """With jobs=1 but max_inflight=8, chunk coroutines still overlap."""
+        model = create_model("gpt-4", latency_s=0.02)
+        requests = build_requests(model, PromptStrategy.BP1, records)
+        with ExecutionEngine(
+            jobs=1, executor_kind="async", max_inflight=8, batch_size=2
+        ) as engine:
+            start = time.perf_counter()
+            engine.run(requests)
+            elapsed = time.perf_counter() - start
+        peak = engine.telemetry.async_inflight_peak
+        assert peak > 1  # a single thread could never overlap chunks
+        assert peak <= 8
+        assert elapsed < len(records) * 0.02  # latencies overlapped
+
+    def test_inflight_peak_is_per_run(self, records):
+        """A small run after a wide one must not inherit the earlier peak."""
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", max_inflight=16, batch_size=1
+        ) as engine:
+            engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+            wide_peak = engine._inflight_peak
+            engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records[:1]))
+            assert engine._inflight_peak == 1  # reset, not carried over
+        assert engine.telemetry.async_inflight_peak == wide_peak  # telemetry keeps max
+
+    def test_coalesce_telemetry_counts_saved_calls(self, records):
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", max_inflight=16, batch_size=2
+        ) as engine:
+            engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        snap = engine.telemetry.snapshot()
+        assert snap["coalesce_flushes"] >= 1
+        assert snap["coalesce_prompts"] == len(records)
+        assert snap["coalesce_merged"] >= 1  # at least two chunks merged once
+        stats = engine.telemetry.format_stats(executor_name="async")
+        assert "coalesced" in stats and "inflight_peak" in stats
+
+    def test_sync_only_model_bypasses_coalescer(self, records):
+        """Merging many chunks into one sync-offloaded generate_batch would
+        serialise them in one worker thread; the engine must call per chunk."""
+        from repro.llm.base import LanguageModel
+
+        class SyncOnly(LanguageModel):
+            name = "sync-only"
+
+            def __init__(self):
+                self.batch_sizes = []
+
+            def generate(self, prompt):
+                return "yes"
+
+            def generate_batch(self, prompts):
+                self.batch_sizes.append(len(prompts))
+                return ["yes"] * len(prompts)
+
+        model = SyncOnly()
+        assert not model.has_native_async
+        requests = build_requests(model, PromptStrategy.BP1, records)
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", max_inflight=16, batch_size=4
+        ) as engine:
+            engine.run(requests)
+        assert engine.telemetry.snapshot()["coalesce_flushes"] == 0
+        assert max(model.batch_sizes) <= 4  # one wire call per chunk, not merged
+
+    def test_zoo_models_report_native_async(self):
+        assert create_model("gpt-4").has_native_async
+        assert AsyncRemoteAdapter(create_model("gpt-4")).has_native_async
+
+    def test_no_coalesce_issues_one_call_per_chunk(self, records):
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", batch_size=4, coalesce=False
+        ) as engine:
+            engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        snap = engine.telemetry.snapshot()
+        assert snap["coalesce_flushes"] == 0
+        assert engine.coalescer is None
+
+    def test_async_beats_thread_backend_at_equal_jobs(self, records):
+        """The tentpole's speedup claim, at smoke-test scale (full version:
+        benchmarks/bench_async.py with the committed CI floor)."""
+
+        def measure(kind):
+            model = create_model("gpt-4", latency_s=0.03)
+            with ExecutionEngine(jobs=2, executor_kind=kind, batch_size=8) as engine:
+                start = time.perf_counter()
+                store = engine.run(build_requests(model, PromptStrategy.BP1, records))
+                return [(r.record_name, r.response) for r in store], (
+                    time.perf_counter() - start
+                )
+
+        thread_fp, thread_s = measure("thread")
+        async_fp, async_s = measure("async")
+        assert async_fp == thread_fp
+        assert thread_s / async_s > 1.5  # conservative smoke floor
+
+    def test_engine_rejects_max_inflight_with_explicit_executor(self):
+        from repro.engine import AsyncExecutor
+
+        with pytest.raises(ValueError):
+            ExecutionEngine(executor=AsyncExecutor(jobs=2), max_inflight=4)
+
+    def test_cached_async_rerun_hits_without_model_calls(self, records):
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", max_inflight=8, cache=ResponseCache()
+        ) as engine:
+            first = engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+            second = engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        assert first.responses() == second.responses()
+        assert engine.telemetry.cache_hits == len(records)
+        assert engine.telemetry.model_calls == len(records)

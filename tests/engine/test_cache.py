@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.engine import ResponseCache, cache_key
+from repro.engine import CostModel, ResponseCache, cache_key
 
 
 class TestCacheAccounting:
@@ -34,6 +34,162 @@ class TestCacheAccounting:
         assert cache.get("m", "p1") == "r1"
         assert cache.get("m", "p3") == "r3"
         assert cache.stats.evictions == 1
+
+
+class TestCostAwareEviction:
+    """With ``cost_aware_eviction`` the LRU weighs entries by how expensive
+    their model is to call again: among the oldest entries, the cheapest to
+    regenerate goes first, so slow models' responses survive longest."""
+
+    @staticmethod
+    def _cost_model(**seconds_per_model):
+        cost_model = CostModel()
+        for identity, seconds in seconds_per_model.items():
+            cost_model.observe(identity, "BP1", seconds)
+        return cost_model
+
+    def test_cheap_model_evicted_before_slow_model(self):
+        cost_model = self._cost_model(fast=0.001, slow=0.5)
+        cache = ResponseCache(
+            max_entries=2, cost_aware_eviction=True, cost_model=cost_model
+        )
+        cache.put("slow", "p-slow", "r-slow")  # oldest, but expensive
+        cache.put("fast", "p-fast", "r-fast")
+        cache.put("fast", "p-fast2", "r-fast2")  # overflow
+        assert cache.get("slow", "p-slow") == "r-slow"  # survived despite age
+        assert cache.get("fast", "p-fast") is None  # cheap entry went first
+        assert cache.stats.evictions == 1
+
+    def test_equal_costs_degrade_to_plain_lru(self):
+        cost_model = self._cost_model(a=0.01, b=0.01)
+        cache = ResponseCache(
+            max_entries=2, cost_aware_eviction=True, cost_model=cost_model
+        )
+        cache.put("a", "p1", "r1")
+        cache.put("b", "p2", "r2")
+        cache.put("a", "p3", "r3")
+        assert cache.get("a", "p1") is None  # oldest of the equal-cost pair
+        assert cache.get("b", "p2") == "r2"
+
+    def test_unknown_identity_counts_as_free(self):
+        """Entries the cost model never saw (or loaded from disk, where the
+        identity is unrecoverable from the hashed key) evict first."""
+        cost_model = self._cost_model(known=0.2)
+        cache = ResponseCache(
+            max_entries=2, cost_aware_eviction=True, cost_model=cost_model
+        )
+        cache.put("known", "p1", "r1")
+        cache.put("mystery", "p2", "r2")
+        cache.put("known", "p3", "r3")
+        assert cache.get("mystery", "p2") is None
+        assert cache.get("known", "p1") == "r1"
+
+    def test_flag_off_keeps_plain_lru(self):
+        cost_model = self._cost_model(slow=10.0)
+        cache = ResponseCache(max_entries=2, cost_model=cost_model)
+        cache.put("slow", "p1", "r1")
+        cache.put("fast", "p2", "r2")
+        cache.put("fast", "p3", "r3")
+        assert cache.get("slow", "p1") is None  # pure LRU: oldest out
+
+    def test_no_cost_model_degrades_to_plain_lru(self):
+        cache = ResponseCache(max_entries=2, cost_aware_eviction=True)
+        cache.put("m", "p1", "r1")
+        cache.put("m", "p2", "r2")
+        cache.put("m", "p3", "r3")
+        assert cache.get("m", "p1") is None
+
+    def test_eviction_sample_bounds_the_scan(self):
+        """Only the oldest ``eviction_sample`` entries compete: a cheap entry
+        younger than the sample window is not considered."""
+        cost_model = self._cost_model(cheap=0.001, slow=1.0)
+        cache = ResponseCache(
+            max_entries=3,
+            cost_aware_eviction=True,
+            cost_model=cost_model,
+            eviction_sample=2,
+        )
+        cache.put("slow", "p1", "r1")
+        cache.put("slow", "p2", "r2")
+        cache.put("cheap", "p3", "r3")  # cheapest, but outside the window
+        cache.put("slow", "p4", "r4")
+        # Sample = {p1, p2}, both slow: LRU order decides, p1 goes.
+        assert cache.get("slow", "p1") is None
+        assert cache.get("cheap", "p3") == "r3"
+
+    def test_put_key_with_identity_participates_in_costing(self):
+        """The engine's distributed merge path attaches identities too."""
+        cost_model = self._cost_model(fast=0.001, slow=0.5)
+        cache = ResponseCache(
+            max_entries=2, cost_aware_eviction=True, cost_model=cost_model
+        )
+        cache.put_key(cache_key("slow", "p1"), "r1", identity="slow")
+        cache.put_key(cache_key("fast", "p2"), "r2", identity="fast")
+        cache.put_key(cache_key("slow", "p3"), "r3", identity="slow")
+        assert cache.get("fast", "p2") is None
+        assert cache.get("slow", "p1") == "r1"
+
+    def test_identity_estimate_uses_worst_strategy(self):
+        cost_model = CostModel()
+        cost_model.observe("m", "BP1", 0.01)
+        cost_model.observe("m", "ADVANCED", 0.2)
+        assert cost_model.identity_estimate("m") == pytest.approx(0.2)
+        assert cost_model.identity_estimate("never-seen") is None
+        assert cost_model.identity_estimate("never-seen", default=0.0) == 0.0
+
+    def test_rejects_bad_eviction_sample(self):
+        with pytest.raises(ValueError):
+            ResponseCache(eviction_sample=0)
+
+    def test_identities_survive_save_and_reload(self, tmp_path):
+        """Identities persist with the segments, so a reloaded cache keeps
+        protecting the slow model's entries — the persistent-cache case the
+        feature exists for."""
+        path = tmp_path / "cache"
+        writer = ResponseCache(path=path)
+        writer.put("slow", "p-slow", "r-slow")
+        writer.put("fast", "p-fast", "r-fast")
+        writer.save()
+
+        cost_model = self._cost_model(fast=0.001, slow=0.5)
+        reloaded = ResponseCache(
+            max_entries=2, path=path, cost_aware_eviction=True, cost_model=cost_model
+        )
+        reloaded.put("fast", "p-fast2", "r-fast2")  # overflow after reload
+        assert reloaded.get("slow", "p-slow") == "r-slow"  # cost weight kept
+        assert reloaded.get("fast", "p-fast") is None
+
+    def test_identities_survive_compaction(self, tmp_path):
+        path = tmp_path / "cache"
+        cache = ResponseCache(path=path)
+        cache.put("slow", "p1", "r1")
+        cache.save()
+        cache.put("slow", "p2", "r2")
+        cache.save()
+        cache.compact()
+
+        cost_model = self._cost_model(cheap=0.001, slow=0.5)
+        reloaded = ResponseCache(
+            max_entries=2, path=path, cost_aware_eviction=True, cost_model=cost_model
+        )
+        reloaded.put("cheap", "p3", "r3")
+        assert reloaded.get("slow", "p1") == "r1"
+        assert reloaded.get("cheap", "p3") is None
+
+    def test_pre_identity_segments_still_load(self, tmp_path):
+        """Stores written before the identity field existed load fine; their
+        entries simply carry no cost weight."""
+        import json as json_module
+
+        path = tmp_path / "cache"
+        path.mkdir()
+        lines = [
+            json_module.dumps({"format": "repro-response-cache", "version": 2}),
+            json_module.dumps({"k": cache_key("m", "p"), "r": "r-old"}),
+        ]
+        (path / "segment-000001.jsonl").write_text("\n".join(lines), encoding="utf-8")
+        cache = ResponseCache(path=path)
+        assert cache.get("m", "p") == "r-old"
 
 
 class TestCachePersistence:

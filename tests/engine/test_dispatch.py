@@ -162,6 +162,159 @@ class TestSubmit:
             assert pool.submit(acc, 41).result(timeout=10) == 42
 
 
+def _pending_loop_tasks(pool) -> int:
+    """How many tasks (besides the probe itself) are alive on the pool's loop."""
+    import asyncio
+
+    async def probe(_item):
+        return len([t for t in asyncio.all_tasks() if t is not asyncio.current_task()])
+
+    return pool.submit(probe, None).result(timeout=10)
+
+
+def _assert_no_leaked_tasks(pool, timeout_s: float = 2.0) -> None:
+    """Cancelled tasks need a few loop iterations to unwind; poll briefly."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        pending = _pending_loop_tasks(pool)
+        if pending == 0:
+            return
+        if time.monotonic() > deadline:
+            raise AssertionError(f"{pending} tasks leaked on the executor loop")
+        time.sleep(0.02)
+
+
+class TestAsyncCancellation:
+    """The async-native contract: abandoning a stream or a raising coroutine
+    cancels queued *and* in-flight coroutines — no tasks leak onto the loop,
+    and the loop stays reusable for the next run."""
+
+    def test_abandoned_iterator_cancels_queued_and_inflight(self):
+        import asyncio
+
+        started = []
+
+        async def item(x):
+            if x == 0:
+                return x  # the one fast item the consumer waits for
+            started.append(x)
+            await asyncio.sleep(30)  # would hang the test if not cancelled
+            return x
+
+        with AsyncExecutor(jobs=2, max_inflight=2) as pool:
+            stream = pool.map_unordered(item, list(range(10)))
+            index, result = next(stream)
+            assert (index, result) == (0, 0)
+            stream.close()  # consumer walks away
+            _assert_no_leaked_tasks(pool)
+            # Queued coroutines beyond max_inflight never ran at all.
+            assert len(started) < 10
+
+    def test_raising_coroutine_cancels_rest_and_loop_stays_usable(self):
+        import asyncio
+
+        async def boom(x):
+            if x == 0:
+                raise RuntimeError("boom")
+            await asyncio.sleep(30)
+            return x
+
+        with AsyncExecutor(jobs=2, max_inflight=4) as pool:
+            with pytest.raises(RuntimeError, match="boom"):
+                list(pool.map_unordered(boom, list(range(8))))
+            _assert_no_leaked_tasks(pool)
+
+            # The loop is reusable: a fresh stream on the same executor
+            # completes normally after the failed one.
+            async def fine(x):
+                await asyncio.sleep(0)
+                return x * 2
+
+            pairs = sorted(pool.map_unordered(fine, [1, 2, 3]))
+            assert pairs == [(0, 2), (1, 4), (2, 6)]
+
+    def test_ordered_map_cancels_siblings_on_error(self):
+        """Blocking map: one raising coroutine must cancel the rest — an
+        aborted ordered-dispatch run cannot keep calling models behind it."""
+        import asyncio
+
+        completed = []
+
+        async def item(x):
+            if x == 0:
+                raise RuntimeError("boom")
+            await asyncio.sleep(0.2)
+            completed.append(x)
+            return x
+
+        with AsyncExecutor(jobs=4, max_inflight=8) as pool:
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.map(item, list(range(8)))
+            _assert_no_leaked_tasks(pool)
+        assert completed == []  # siblings were cancelled, not run to completion
+
+    def test_cancelled_semaphore_waiters_release_their_slot(self):
+        """Coroutines cancelled while waiting for an inflight slot must not
+        poison the semaphore for later submissions."""
+        import asyncio
+
+        async def slow(x):
+            await asyncio.sleep(30)
+            return x
+
+        with AsyncExecutor(jobs=2, max_inflight=1) as pool:
+            stream = pool.map_unordered(slow, list(range(5)))
+            stream.close()  # nothing consumed: everything cancels
+            _assert_no_leaked_tasks(pool)
+
+            async def quick(x):
+                return x + 1
+
+            # max_inflight=1: if a cancelled waiter leaked the slot this
+            # submission would never acquire the semaphore.
+            assert pool.submit(quick, 1).result(timeout=10) == 2
+
+    def test_engine_async_run_after_failed_run_is_clean(self, records):
+        """A raising model aborts the run; the same engine then completes a
+        healthy run with bit-identical results to a fresh serial engine."""
+
+        class FlakyModel:
+            name = "flaky"
+            cache_identity = "flaky"
+
+            def generate(self, prompt):
+                raise RuntimeError("model down")
+
+            def generate_batch(self, prompts):
+                raise RuntimeError("model down")
+
+            async def generate_batch_async(self, prompts):
+                raise RuntimeError("model down")
+
+        from repro.engine.requests import DetectionRequest
+
+        flaky = FlakyModel()
+        flaky_requests = [
+            DetectionRequest(model=flaky, strategy=PromptStrategy.BP1, record=r)
+            for r in records[:6]
+        ]
+        reference = ExecutionEngine().run(
+            build_requests(create_model("gpt-4"), PromptStrategy.BP1, records)
+        )
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", max_inflight=8, batch_size=2
+        ) as engine:
+            with pytest.raises(RuntimeError, match="model down"):
+                engine.run(flaky_requests)
+            _assert_no_leaked_tasks(engine.executor)
+            store = engine.run(
+                build_requests(create_model("gpt-4"), PromptStrategy.BP1, records)
+            )
+        assert [(r.record_name, r.response) for r in store] == [
+            (r.record_name, r.response) for r in reference
+        ]
+
+
 class _MapOnlyExecutor:
     """An executor predating the completion-order contract (map only)."""
 

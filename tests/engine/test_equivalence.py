@@ -69,8 +69,34 @@ ENGINE_CONFIGS = [
         dict(jobs=3, executor_kind="process", cache=ResponseCache(), batch_size=8),
         id="process-pool-cached",
     ),
+    # The async configs all take the async-native path: chunk coroutines
+    # awaiting generate_batch_async on the executor's event loop, with the
+    # micro-batch coalescer merging concurrent same-model calls by default.
     pytest.param(dict(jobs=8, executor_kind="async", batch_size=7), id="async"),
     pytest.param(dict(jobs=8, executor_kind="async", cache=ResponseCache()), id="async-cached"),
+    pytest.param(
+        dict(jobs=4, executor_kind="async", max_inflight=32, batch_size=3),
+        id="async-native-high-inflight",
+    ),
+    pytest.param(
+        dict(jobs=4, executor_kind="async", batch_size=5, coalesce=False),
+        id="async-native-no-coalesce",
+    ),
+    pytest.param(
+        dict(
+            jobs=4,
+            executor_kind="async",
+            max_inflight=16,
+            batch_size=4,
+            coalesce_window_s=0.0,
+            coalesce_max_batch=8,
+        ),
+        id="async-native-zero-window-small-flush",
+    ),
+    pytest.param(
+        dict(jobs=4, executor_kind="async", max_inflight=12, cache=ResponseCache(), batch_size=3),
+        id="async-native-cached-coalesced",
+    ),
     # The default configs above all run dispatch="dynamic"; pin the ordered
     # reference path and the no-LPT/no-adaptive combinations explicitly so
     # a default change can never silently drop coverage of either mode.
@@ -221,6 +247,10 @@ class TestSchedulerEquivalence:
             pytest.param(dict(jobs=6, cache=ResponseCache(), batch_size=5), id="thread-cached"),
             pytest.param(dict(jobs=3, executor_kind="process", batch_size=8), id="process-pool"),
             pytest.param(dict(jobs=8, executor_kind="async", batch_size=8), id="async"),
+            pytest.param(
+                dict(jobs=4, executor_kind="async", max_inflight=24, batch_size=5),
+                id="async-native-high-inflight",
+            ),
             pytest.param(
                 dict(jobs=6, batch_size=5, dispatch="ordered", lpt=False),
                 id="thread-ordered-no-lpt",
