@@ -1,9 +1,10 @@
 """Benchmark regression gate: compare fresh results to the committed floors.
 
 Run after ``bench_engine_throughput.py``, ``bench_scheduler.py``,
-``bench_dispatch.py`` and ``bench_async.py`` have written
-``BENCH_engine.json`` / ``BENCH_scheduler.json`` / ``BENCH_dispatch.json``
-/ ``BENCH_async.json`` to the repo root::
+``bench_dispatch.py``, ``bench_async.py`` and ``bench_speculation.py``
+have written ``BENCH_engine.json`` / ``BENCH_scheduler.json`` /
+``BENCH_dispatch.json`` / ``BENCH_async.json`` / ``BENCH_speculation.json``
+to the repo root::
 
     python benchmarks/check_bench_regression.py
 
@@ -36,6 +37,7 @@ def main() -> int:
     scheduler = _load(REPO_ROOT / "BENCH_scheduler.json")
     dispatch = _load(REPO_ROOT / "BENCH_dispatch.json")
     async_io = _load(REPO_ROOT / "BENCH_async.json")
+    speculation = _load(REPO_ROOT / "BENCH_speculation.json")
 
     checks = [
         (
@@ -62,6 +64,11 @@ def main() -> int:
             "async-native backend speedup vs thread backend",
             async_io["speedup_async_vs_thread"],
             baseline["async"]["min_speedup_async_vs_thread"],
+        ),
+        (
+            "speculative p95 speedup vs non-speculative (tail-heavy adapter)",
+            speculation["speedup_speculative_vs_off_p95"],
+            baseline["speculation"]["min_speedup_speculative_vs_off_p95"],
         ),
     ]
 

@@ -182,6 +182,9 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
         coalesce=args.coalesce,
         coalesce_window_s=args.coalesce_window_ms / 1000.0,
         coalesce_max_batch=args.coalesce_max_batch,
+        speculate=args.speculate,
+        speculate_after=args.speculate_after,
+        deadline=args.deadline,
     )
 
 
@@ -295,6 +298,41 @@ def main(argv: List[str] | None = None) -> int:
         help="coalescer flushes early at this many accumulated prompts (default: 128)",
     )
     parser.add_argument(
+        "--speculate",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "tail-latency control: race a duplicate of any chunk running "
+            "past the cost model's p95 estimate into idle executor "
+            "capacity — first completion wins, results are identical "
+            "(default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--speculate-after",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help=(
+            "launch a duplicate once a chunk's elapsed time exceeds X times "
+            "its p95 cost-model estimate (default: 1.5; smaller races "
+            "sooner, larger duplicates less work)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-run latency budget: when the cost model predicts the "
+            "makespan exceeds it, shed the lowest-value chunks (highest "
+            "seconds-per-request) — shed requests come back as explicit "
+            "skipped results, and telemetry reports predicted vs actual "
+            "makespan (default: no budget)"
+        ),
+    )
+    parser.add_argument(
         "--sequential",
         action="store_true",
         help="with 'all': run one engine run per table instead of the interleaved scheduler",
@@ -350,6 +388,10 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--coalesce-window-ms must be >= 0")
     if args.coalesce_max_batch < 1:
         parser.error("--coalesce-max-batch must be >= 1")
+    if args.speculate_after <= 0:
+        parser.error("--speculate-after must be > 0")
+    if args.deadline is not None and args.deadline <= 0:
+        parser.error("--deadline must be > 0 seconds")
     if args.cache is not None and args.cache_entries == 0:
         parser.error("--cache has no effect with --cache-entries 0 (caching disabled)")
     if args.cost_aware_eviction and args.cache_entries == 0:

@@ -65,6 +65,18 @@ class PipelineConfig:
     coalesce_window_s, coalesce_max_batch:
         The coalescer's collection window (seconds) and early-flush
         prompt limit.
+    speculate:
+        Tail-latency control: race a duplicate of any chunk that
+        overshoots the cost model's p95 estimate into idle executor
+        capacity; the first completion wins.  Results are identical
+        either way — speculation only caps straggler wall time.
+    speculate_after:
+        Straggler threshold multiplier over the p95 per-chunk estimate
+        before a duplicate is launched.
+    deadline:
+        Optional per-run latency budget in seconds: when the predicted
+        makespan exceeds it, the engine sheds the lowest-value chunks and
+        returns explicit skipped results for them.  ``None`` disables.
     cache_entries:
         In-memory response-cache capacity; 0 disables caching entirely.
     cost_aware_eviction:
@@ -94,6 +106,9 @@ class PipelineConfig:
     coalesce: bool = True
     coalesce_window_s: float = 0.002
     coalesce_max_batch: int = 128
+    speculate: bool = False
+    speculate_after: float = 1.5
+    deadline: Optional[float] = None
     cache_entries: int = 65536
     cache_path: Optional[str] = None
     cost_aware_eviction: bool = False

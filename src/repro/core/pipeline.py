@@ -128,6 +128,9 @@ class DataRacePipeline:
                 coalesce=self.config.coalesce,
                 coalesce_window_s=self.config.coalesce_window_s,
                 coalesce_max_batch=self.config.coalesce_max_batch,
+                speculate=self.config.speculate,
+                speculate_after=self.config.speculate_after,
+                deadline=self.config.deadline,
             )
         return self._engine
 

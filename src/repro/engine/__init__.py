@@ -81,11 +81,13 @@ from repro.engine.executors import (
 )
 from repro.engine.requests import (
     SCORING_MODES,
+    SHED_RESPONSE,
     DetectionRequest,
     RunResult,
     RunResultStore,
     build_requests,
     score_response,
+    shed_result,
 )
 from repro.engine.scheduler import (
     DEFAULT_TABLES,
@@ -116,11 +118,13 @@ __all__ = [
     "create_executor",
     "register_executor",
     "SCORING_MODES",
+    "SHED_RESPONSE",
     "DetectionRequest",
     "RunResult",
     "RunResultStore",
     "build_requests",
     "score_response",
+    "shed_result",
     "DEFAULT_TABLES",
     "TablePlan",
     "collect_default_plans",

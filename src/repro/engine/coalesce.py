@@ -124,9 +124,13 @@ class MicroBatchCoalescer:
         batch.total += len(prompts)
         if batch.total >= self.max_batch:
             # This waiter tipped the batch over the limit: flush inline in
-            # its own coroutine (no orphan task) and then collect its slice.
+            # its own coroutine and then collect its slice.  The flush is
+            # *shielded*: the tipping coroutine may itself be cancelled
+            # mid-call (a losing speculative copy), and its CancelledError
+            # must finish off only this waiter — not poison every other
+            # chunk's future sharing the merged wire call.
             self._close(key, batch)
-            await self._execute(batch)
+            await asyncio.shield(self._execute(batch))
         return await future
 
     # -- internals ------------------------------------------------------------------

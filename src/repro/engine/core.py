@@ -33,6 +33,17 @@ Every chunk's elapsed time is fed back into the engine's
 telemetry groups, so a long-lived engine schedules its *next* run with
 measured latencies.
 
+**Tail-latency control** builds on dynamic dispatch and the cost model:
+with ``speculate=True`` the dispatcher (:meth:`_dispatch_speculative`)
+watches in-flight chunks against the cost model's p95 per-chunk estimate
+and races a duplicate of any straggler into idle capacity — first
+completion wins, the loser is cancelled or its result dropped, and only
+the winner feeds results, cache and telemetry, so output stays
+bit-identical.  With ``deadline=SECONDS`` the planner
+(:meth:`_plan_deadline`) sheds the lowest-value chunks when the predicted
+makespan exceeds the budget; shed requests surface as explicit ``skipped``
+results, never silently.
+
 For *distributed* executors (``executor.distributed`` is true, e.g. the
 process pool) the work item crossing the boundary must be picklable, so the
 engine ships self-contained chunk payloads to the module-level
@@ -54,20 +65,37 @@ first response per prompt.)
 
 from __future__ import annotations
 
+import concurrent.futures
 import itertools
 import os
 import pickle
 import statistics
 import tempfile
 import time
-from collections import OrderedDict
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from collections import OrderedDict, deque
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.engine.cache import ResponseCache, cache_key
 from repro.engine.coalesce import MicroBatchCoalescer
 from repro.engine.costmodel import CostModel
 from repro.engine.executors import SerialExecutor, create_executor
-from repro.engine.requests import DetectionRequest, RunResult, RunResultStore, score_response
+from repro.engine.requests import (
+    DetectionRequest,
+    RunResult,
+    RunResultStore,
+    score_response,
+    shed_result,
+)
 from repro.engine.telemetry import EngineTelemetry
 from repro.prompting.chains import run_strategy_batch, run_strategy_batch_async
 
@@ -78,6 +106,17 @@ R = TypeVar("R")
 
 #: Valid values for ``ExecutionEngine(dispatch=...)`` / the CLI's ``--dispatch``.
 DISPATCH_MODES = ("ordered", "dynamic")
+
+#: The quantile of a group's per-request latency distribution that a chunk
+#: must overshoot (scaled by ``speculate_after``) before a duplicate copy is
+#: launched — speculation keys on the *tail* of the distribution, so a
+#: naturally noisy group needs a larger excursion than a steady one.
+SPECULATION_QUANTILE = 0.95
+
+#: How often the speculative dispatcher re-checks in-flight chunks against
+#: their thresholds (seconds).  Engine attribute ``speculation_poll_s``
+#: overrides it per instance (benchmarks/tests tighten it).
+DEFAULT_SPECULATION_POLL_S = 0.01
 
 _IndexedRequest = Tuple[int, DetectionRequest]
 
@@ -125,6 +164,25 @@ def _partition_cached(
     return responses, miss_positions
 
 
+def _require_batch_length(
+    responses: List[str], n_prompts: int, method: str = "generate_batch"
+) -> List[str]:
+    """Reject a wrong-length model batch before it is consumed.
+
+    Zipping a short response list against miss positions silently
+    truncates: the unfilled positions keep their ``None`` placeholder and
+    score garbage downstream.  Every site that consumes a
+    ``generate_batch``/``generate_batch_async`` result funnels through this
+    guard (the coalescer's ``_call`` applies the same contract), so a
+    misbehaving adapter fails loudly at the wire instead.
+    """
+    if len(responses) != n_prompts:
+        raise RuntimeError(
+            f"{method} returned {len(responses)} responses for {n_prompts} prompts"
+        )
+    return responses
+
+
 def _generate_with_cache(
     model,
     prompts: Sequence[str],
@@ -143,7 +201,10 @@ def _generate_with_cache(
     prompts = list(prompts)
     responses, miss_positions = _partition_cached(prompts, get_response)
     if miss_positions:
-        generated = model.generate_batch([prompts[i] for i in miss_positions])
+        generated = _require_batch_length(
+            list(model.generate_batch([prompts[i] for i in miss_positions])),
+            len(miss_positions),
+        )
         for position, response in zip(miss_positions, generated):
             responses[position] = response
             put_response(prompts[position], response)
@@ -232,7 +293,7 @@ def _score_chunk_payload(
     strategy = chunk[0][1].strategy
     identity = getattr(model, "cache_identity", model.name)
     new_entries: Dict[str, str] = {}
-    counters = {"hits": 0, "misses": 0, "calls": 0}
+    counters = {"hits": 0, "misses": 0, "calls": 0, "wire": 0}
 
     def get_response(prompt: str) -> Optional[str]:
         key = cache_key(identity, prompt)
@@ -244,13 +305,18 @@ def _score_chunk_payload(
     def generate_many(prompts: Sequence[str]) -> List[str]:
         if cache_entries is None:
             counters["calls"] += len(prompts)
-            return list(model.generate_batch(prompts))
+            counters["wire"] += 1
+            return _require_batch_length(
+                list(model.generate_batch(prompts)), len(prompts)
+            )
         responses, hits, misses = _generate_with_cache(
             model, prompts, get_response, put_response
         )
         counters["hits"] += hits
         counters["misses"] += misses
         counters["calls"] += misses
+        if misses:
+            counters["wire"] += 1
         return responses
 
     responses = run_strategy_batch(generate_many, strategy, [r.code for _, r in chunk])
@@ -316,6 +382,29 @@ class ExecutionEngine:
         wire calls carry them.
     coalesce_window_s / coalesce_max_batch:
         The coalescer's collection window and early-flush prompt limit.
+    speculate:
+        Tail-latency control: during dynamic dispatch, watch in-flight
+        chunks against the cost model's per-chunk quantile estimate and,
+        when one overshoots its threshold while idle capacity exists,
+        launch a duplicate copy — the first completion wins, the loser is
+        cancelled (or its result dropped), and only the winner feeds the
+        result store, cache, telemetry counters and cost model, so results
+        stay bit-identical with speculation on or off.
+    speculate_after:
+        Straggler threshold multiplier: a chunk becomes a speculation
+        candidate once its elapsed time exceeds ``speculate_after`` times
+        the cost model's ``SPECULATION_QUANTILE`` (p95) estimate for the
+        whole chunk.  Larger values speculate later (less duplicated
+        work); smaller values race sooner.
+    deadline:
+        Per-run latency budget in seconds.  When the cost model predicts
+        the run's makespan exceeds it, the planner sheds the
+        lowest-value chunks (highest seconds-per-request — the fewest
+        scored requests per second of budget) until the prediction fits.
+        Shed requests surface as explicit ``RunResult`` skips
+        (``skipped=True``), never silently dropped, and telemetry records
+        predicted vs. actual makespan.  ``None`` (default) disables the
+        budget entirely.
     """
 
     def __init__(
@@ -335,6 +424,9 @@ class ExecutionEngine:
         coalesce: bool = True,
         coalesce_window_s: float = 0.002,
         coalesce_max_batch: int = 128,
+        speculate: bool = False,
+        speculate_after: float = 1.5,
+        deadline: Optional[float] = None,
     ) -> None:
         if executor is not None and (
             jobs is not None or executor_kind is not None or max_inflight is not None
@@ -350,6 +442,10 @@ class ExecutionEngine:
             raise ValueError(
                 f"unknown dispatch mode {dispatch!r}; expected one of {DISPATCH_MODES}"
             )
+        if speculate_after <= 0:
+            raise ValueError("speculate_after must be > 0")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds or None")
         self.executor = (
             executor
             if executor is not None
@@ -371,6 +467,15 @@ class ExecutionEngine:
             if coalesce
             else None
         )
+        self.speculate = speculate
+        self.speculate_after = speculate_after
+        self.deadline = deadline
+        #: Poll interval of the speculative dispatcher; tests and
+        #: benchmarks tighten it to race short synthetic chunks.
+        self.speculation_poll_s = DEFAULT_SPECULATION_POLL_S
+        #: The deadline planner's post-shedding makespan prediction for the
+        #: most recent run (0.0 when no deadline is set).
+        self._predicted_makespan_s = 0.0
         #: Live/peak chunk coroutines; touched only on the executor's loop
         #: thread, so no lock is needed.
         self._inflight = 0
@@ -379,17 +484,32 @@ class ExecutionEngine:
     # -- the main entry point -------------------------------------------------------
 
     def run(self, requests: Iterable[DetectionRequest]) -> RunResultStore:
-        """Execute every request; results come back in request order."""
+        """Execute every request; results come back in request order.
+
+        With a ``deadline``, requests the planner shed to fit the budget
+        come back as explicit ``skipped`` results in their original
+        positions — the store always holds exactly one result per request.
+        """
         indexed: List[_IndexedRequest] = list(enumerate(requests))
         start = time.perf_counter()
         results: List[Optional[RunResult]] = [None] * len(indexed)
-        chunks = self._chunk(indexed)
+        chunks, shed = self._chunk(indexed)
+        for index, request in shed:
+            results[index] = shed_result(request)
         if getattr(self.executor, "distributed", False):
             self._run_distributed(chunks, results)
         else:
             self._run_local(chunks, results)
         self.telemetry.record_requests(len(indexed))
-        self.telemetry.record_run(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self.telemetry.record_run(elapsed)
+        if self.deadline is not None:
+            self.telemetry.record_deadline(
+                budget_s=self.deadline,
+                predicted_s=self._predicted_makespan_s,
+                actual_s=elapsed,
+                shed=len(shed),
+            )
         return RunResultStore(results)
 
     def run_counts(self, requests: Iterable[DetectionRequest]):
@@ -440,16 +560,38 @@ class ExecutionEngine:
         """Chunk work should run as coroutines awaiting model I/O natively."""
         return bool(getattr(self.executor, "native_async", False))
 
-    def _chunk(self, indexed: Sequence[_IndexedRequest]) -> List[List[_IndexedRequest]]:
-        """Group, size and order the work items for this run.
+    def _capacity(self) -> int:
+        """How many chunks the executor genuinely runs at once."""
+        return max(
+            1, int(getattr(self.executor, "capacity", getattr(self.executor, "jobs", 1)))
+        )
+
+    def _speculative(self) -> bool:
+        """Speculative re-execution applies: dynamic dispatch, real parallelism."""
+        return (
+            self.speculate
+            and self.dispatch == "dynamic"
+            and hasattr(self.executor, "submit")
+            and self._capacity() > 1
+        )
+
+    def _chunk(
+        self, indexed: Sequence[_IndexedRequest]
+    ) -> Tuple[List[List[_IndexedRequest]], List[_IndexedRequest]]:
+        """Group, size, budget and order the work items for this run.
 
         1. group requests by (model, strategy, scoring) in plan order;
         2. size each group's chunks — ``batch_size``, or scaled by the cost
            model's per-request estimate relative to the median group so
            slow groups split finer and fast groups batch coarser;
-        3. order the chunks LPT (estimated chunk seconds, descending).
+        3. with a ``deadline``, shed the lowest-value chunks until the
+           predicted makespan fits the budget (shed requests are returned,
+           not dropped);
+        4. order the chunks LPT (estimated chunk seconds, descending).
            Stable sort: without estimates the run keeps plan order exactly,
            so a cold engine behaves like the pre-cost-model engine.
+
+        Returns ``(chunks, shed_requests)``.
         """
         groups: "OrderedDict[Tuple[int, str, str], List[_IndexedRequest]]" = OrderedDict()
         for index, request in indexed:
@@ -482,10 +624,73 @@ class ExecutionEngine:
                 chunk = group[start : start + size]
                 chunks.append(chunk)
                 chunk_costs.append(per_request * len(chunk))
+        shed: List[_IndexedRequest] = []
+        if self.deadline is not None:
+            chunks, chunk_costs, shed = self._plan_deadline(chunks, chunk_costs)
         if self.lpt and known:
             order = sorted(range(len(chunks)), key=lambda i: -chunk_costs[i])
             chunks = [chunks[i] for i in order]
-        return chunks
+        return chunks, shed
+
+    def _plan_deadline(
+        self,
+        chunks: List[List[_IndexedRequest]],
+        chunk_costs: List[float],
+    ) -> Tuple[List[List[_IndexedRequest]], List[float], List[_IndexedRequest]]:
+        """Shed the lowest-value chunks until the predicted makespan fits.
+
+        The makespan prediction is the list-scheduling lower bound
+        ``max(total_cost / capacity, longest_chunk)``.  While it exceeds
+        the budget, chunks are shed highest seconds-per-request first —
+        the *cheapest-value* work: a slow group delivers the fewest scored
+        requests per second of budget, so shedding it buys the most time
+        per lost answer.  Chunks with no cost estimate are never shed
+        (there is no evidence against them, and a cold engine must behave
+        exactly like one without a deadline).
+        """
+        capacity = self._capacity()
+
+        def predicted(keep: Sequence[bool]) -> float:
+            costs = [cost for cost, kept in zip(chunk_costs, keep) if kept and cost > 0]
+            if not costs:
+                return 0.0
+            return max(sum(costs) / capacity, max(costs))
+
+        keep = [True] * len(chunks)
+        prediction = predicted(keep)
+        if prediction > self.deadline:
+            shed_order = sorted(
+                (i for i in range(len(chunks)) if chunk_costs[i] > 0),
+                key=lambda i: -(chunk_costs[i] / len(chunks[i])),
+            )
+            # A shed only sticks if it lowers the prediction: when the
+            # longest chunk dominates the bound, shedding anything else
+            # discards answers for zero makespan gain.  Multiple passes,
+            # because removing the dominant chunk can flip the binding
+            # bound to total/capacity, making earlier-skipped sheds
+            # worthwhile after all.
+            progressed = True
+            while prediction > self.deadline and progressed:
+                progressed = False
+                for i in shed_order:
+                    if not keep[i]:
+                        continue
+                    keep[i] = False
+                    candidate = predicted(keep)
+                    if candidate < prediction:
+                        prediction = candidate
+                        progressed = True
+                        if prediction <= self.deadline:
+                            break
+                    else:
+                        keep[i] = True
+        self._predicted_makespan_s = prediction
+        if all(keep):
+            return chunks, chunk_costs, []
+        shed = [request for i, chunk in enumerate(chunks) if not keep[i] for request in chunk]
+        kept_chunks = [chunk for i, chunk in enumerate(chunks) if keep[i]]
+        kept_costs = [cost for i, cost in enumerate(chunk_costs) if keep[i]]
+        return kept_chunks, kept_costs, shed
 
     def _run_local(
         self,
@@ -505,7 +710,9 @@ class ExecutionEngine:
         if self._async_native():
             run_chunk = self._run_chunk_async
             self._inflight_peak = 0  # peak is per run; telemetry keeps the max
-        if self._dynamic():
+        if self._speculative():
+            outcomes = self._dispatch_speculative(run_chunk, chunks, chunks)
+        elif self._dynamic():
             outcomes = self.executor.map_unordered(run_chunk, chunks)
         else:
             outcomes = enumerate(self.executor.map(run_chunk, chunks))
@@ -536,7 +743,11 @@ class ExecutionEngine:
         )
         try:
             payloads = [(chunk, snapshot_ref) for chunk in chunks]
-            if self._dynamic():
+            if self._speculative():
+                outcomes = self._dispatch_speculative(
+                    _score_chunk_payload, payloads, chunks
+                )
+            elif self._dynamic():
                 outcomes = self.executor.map_unordered(_score_chunk_payload, payloads)
             else:
                 outcomes = enumerate(self.executor.map(_score_chunk_payload, payloads))
@@ -552,6 +763,148 @@ class ExecutionEngine:
         finally:
             _retire_snapshot(snapshot_ref)
 
+    # -- speculative re-execution (tail-latency control) ------------------------------
+
+    def _chunk_threshold_s(self, chunk: Sequence[_IndexedRequest]) -> Optional[float]:
+        """Elapsed seconds after which ``chunk`` counts as a straggler.
+
+        ``speculate_after`` times the cost model's p95 per-request estimate
+        for the chunk's group, scaled by the chunk length.  ``None`` when
+        the group has never been observed — with no evidence of what
+        "normal" looks like, a chunk can never be declared overdue.
+        """
+        request = chunk[0][1]
+        identity = getattr(request.model, "cache_identity", request.model.name)
+        quantile = self.cost_model.quantile_estimate(
+            identity, request.strategy.value, SPECULATION_QUANTILE
+        )
+        if quantile is None or quantile <= 0:
+            return None
+        return self.speculate_after * quantile * len(chunk)
+
+    def _dispatch_speculative(
+        self,
+        fn: Callable,
+        items: Sequence,
+        chunks: Sequence[Sequence[_IndexedRequest]],
+    ) -> Iterator[Tuple[int, object]]:
+        """Completion-order dispatch that races duplicates of stragglers.
+
+        Like ``map_unordered``, yields ``(chunk_index, outcome)`` pairs as
+        work finishes — but submission is *bounded*: at most ``capacity``
+        futures are in flight at once, so every in-flight future is
+        genuinely running and its elapsed wall clock is attributable.  The
+        dispatcher polls the in-flight set; when a chunk overshoots its
+        cost-model threshold (:meth:`_chunk_threshold_s`) and idle capacity
+        exists (pending work always fills slots first), it submits a
+        duplicate of the same item.  The first copy to complete wins and
+        is merged exactly once; the losing copy is cancelled (queued /
+        async) or its eventual result dropped (already running on a
+        thread/process worker), so the cache, telemetry counters and
+        cost-model observations are never double-fed — results are
+        bit-identical with speculation on or off.
+
+        ``items`` is what gets submitted (chunks in-process, payloads for
+        distributed executors); ``chunks`` supplies the per-chunk cost
+        estimates.  A work-item exception propagates to the caller after
+        every outstanding future is cancelled, matching the
+        ``map_unordered`` contract.
+        """
+        executor = self.executor
+        capacity = self._capacity()
+        thresholds = [self._chunk_threshold_s(chunk) for chunk in chunks]
+        if all(threshold is None for threshold in thresholds):
+            # Nothing can ever be declared overdue (cold cost model):
+            # don't pay the polling loop — plain completion-order dispatch
+            # is exactly equivalent.  yield from delegates close(), so the
+            # abandonment contract is preserved.
+            yield from executor.map_unordered(fn, items)
+            return
+        pending = deque(range(len(items)))
+        #: future -> (chunk index, is_duplicate)
+        inflight: Dict["concurrent.futures.Future", Tuple[int, bool]] = {}
+        started: Dict[int, float] = {}
+        speculated: set = set()
+        merged: set = set()
+        try:
+            # Stop as soon as every chunk has merged a winner: waiting for
+            # losing copies to unwind would re-grow the very tail
+            # speculation just cut off (a hung thread-pool loser cannot be
+            # cancelled, only abandoned — the finally below drops it).
+            while (pending or inflight) and len(merged) < len(items):
+                while pending and len(inflight) < capacity:
+                    index = pending.popleft()
+                    inflight[executor.submit(fn, items[index])] = (index, False)
+                    started[index] = time.perf_counter()
+                done, _ = concurrent.futures.wait(
+                    list(inflight),
+                    timeout=self.speculation_poll_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    index, is_duplicate = inflight.pop(future)
+                    if index in merged:
+                        # The losing copy of a race that already resolved.
+                        if is_duplicate:
+                            self.telemetry.record_speculation(wasted=1)
+                        continue
+                    try:
+                        outcome = future.result()
+                    except BaseException:
+                        # One copy of a racing pair failed while its
+                        # sibling is still running: let the sibling decide
+                        # the chunk — aborting here would make speculation
+                        # *add* a failure mode on exactly the flaky
+                        # backends it exists for.  With no sibling left,
+                        # the error is the chunk's real outcome: re-raise
+                        # (the finally cancels everything outstanding),
+                        # matching the map_unordered contract.
+                        if any(other == index for other, _ in inflight.values()):
+                            if is_duplicate:
+                                self.telemetry.record_speculation(wasted=1)
+                            continue
+                        raise
+                    merged.add(index)
+                    if is_duplicate:
+                        self.telemetry.record_speculation(won=1)
+                    for other, (other_index, _) in list(inflight.items()):
+                        if other_index == index:
+                            other.cancel()
+                    yield index, outcome
+                if pending:
+                    # Freed slots belong to queued originals first; the
+                    # top-of-loop refill takes them.  A duplicate jumping
+                    # the queue would push first-copy work *behind*
+                    # re-executed work and lengthen the makespan.
+                    continue
+                idle = capacity - len(inflight)
+                if idle <= 0:
+                    continue
+                now = time.perf_counter()
+                overdue: List[Tuple[float, int]] = []
+                for index, is_duplicate in inflight.values():
+                    if is_duplicate or index in speculated or index in merged:
+                        continue
+                    threshold = thresholds[index]
+                    if threshold is None:
+                        continue
+                    elapsed = now - started[index]
+                    if elapsed > threshold:
+                        overdue.append((elapsed / threshold, index))
+                # Most overdue first: the worst straggler gets the first
+                # idle slot.  One duplicate per chunk, ever.
+                overdue.sort(reverse=True)
+                for _, index in overdue[:idle]:
+                    inflight[executor.submit(fn, items[index])] = (index, True)
+                    speculated.add(index)
+                    self.telemetry.record_speculation(launched=1)
+        finally:
+            for future, (index, is_duplicate) in inflight.items():
+                future.cancel()
+                if is_duplicate and index in merged:
+                    # A duplicate abandoned because its original won.
+                    self.telemetry.record_speculation(wasted=1)
+
     def _record_chunk(
         self,
         chunk: Sequence[_IndexedRequest],
@@ -562,6 +915,10 @@ class ExecutionEngine:
         request = chunk[0][1]
         model = request.model
         self.telemetry.record_model_calls(counters["calls"])
+        # Coalesced wire calls are recorded by the coalescer's flush hook,
+        # not per chunk — a flush spans chunks, so charging it here would
+        # double count.
+        self.telemetry.record_wire_calls(counters.get("wire", 0))
         self.telemetry.record_cache(counters["hits"], counters["misses"])
         self.telemetry.record_group(
             model.name,
@@ -585,7 +942,7 @@ class ExecutionEngine:
         start = time.perf_counter()
         model = chunk[0][1].model
         strategy = chunk[0][1].strategy
-        counters = {"hits": 0, "misses": 0, "calls": 0}
+        counters = {"hits": 0, "misses": 0, "calls": 0, "wire": 0}
         codes = [request.code for _, request in chunk]
         responses = run_strategy_batch(
             lambda prompts: self._generate_many(model, prompts, counters), strategy, codes
@@ -603,7 +960,10 @@ class ExecutionEngine:
         prompts = list(prompts)
         if self.cache is None:
             counters["calls"] += len(prompts)
-            return list(model.generate_batch(prompts))
+            counters["wire"] += 1
+            return _require_batch_length(
+                list(model.generate_batch(prompts)), len(prompts)
+            )
         identity = getattr(model, "cache_identity", model.name)
         responses, hits, misses = _generate_with_cache(
             model,
@@ -614,6 +974,8 @@ class ExecutionEngine:
         counters["hits"] += hits
         counters["misses"] += misses
         counters["calls"] += misses
+        if misses:
+            counters["wire"] += 1
         return responses
 
     # -- the async-native chunk path -------------------------------------------------
@@ -634,7 +996,7 @@ class ExecutionEngine:
             start = time.perf_counter()
             model = chunk[0][1].model
             strategy = chunk[0][1].strategy
-            counters = {"hits": 0, "misses": 0, "calls": 0}
+            counters = {"hits": 0, "misses": 0, "calls": 0, "wire": 0}
             codes = [request.code for _, request in chunk]
 
             async def generate_many(prompts: Sequence[str]) -> List[str]:
@@ -669,12 +1031,19 @@ class ExecutionEngine:
 
         async def call_model(miss_prompts: List[str]) -> List[str]:
             if coalesce:
+                # The coalescer's _call enforces the length contract and
+                # its flush hook feeds the wire-call counter.
                 return await self.coalescer.generate(
                     (id(model), strategy.value),
                     model.generate_batch_async,
                     miss_prompts,
                 )
-            return list(await model.generate_batch_async(miss_prompts))
+            counters["wire"] += 1
+            return _require_batch_length(
+                list(await model.generate_batch_async(miss_prompts)),
+                len(miss_prompts),
+                "generate_batch_async",
+            )
 
         if self.cache is None:
             counters["calls"] += len(prompts)

@@ -34,13 +34,19 @@ and the scheduler falls back to plan order and uniform chunk sizes.
 from __future__ import annotations
 
 import json
+import math
 import os
+import statistics
 import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = ["CostModel"]
+
+#: Mean absolute deviation of a normal distribution is sqrt(2/pi) * sigma;
+#: this converts the EWMA of absolute residuals back to a sigma estimate.
+_MAD_TO_SIGMA = math.sqrt(math.pi / 2.0)
 
 #: Bump when the on-disk layout changes.
 _FORMAT = "repro-cost-model"
@@ -71,6 +77,10 @@ class CostModel:
         self.path = Path(path) if path is not None else None
         self._lock = threading.Lock()
         self._ewma: Dict[Tuple[str, str], float] = {}
+        #: EWMA of the *absolute residual* |observation - mean| per group —
+        #: a robust dispersion estimate feeding :meth:`quantile_estimate`,
+        #: so the scheduler can reason about tails, not just means.
+        self._deviation: Dict[Tuple[str, str], float] = {}
         self._observations: Dict[Tuple[str, str], int] = {}
         #: identity -> strategies observed for it, so per-identity queries
         #: (:meth:`identity_estimate`, called on the cache's eviction hot
@@ -91,17 +101,32 @@ class CostModel:
     # -- recording / querying -------------------------------------------------------
 
     def observe(self, identity: str, strategy: str, seconds_per_request: float) -> None:
-        """Fold one chunk's measured per-request latency into the EWMA."""
-        if seconds_per_request < 0:
+        """Fold one chunk's measured per-request latency into the EWMA.
+
+        Non-finite observations are rejected outright: ``nan`` compares
+        false against every bound, so a single NaN would silently poison
+        the EWMA, ``identity_estimate``'s ``max()``, ``snapshot()``'s sort
+        and the LPT ordering — and then persist via ``costmodel.json``.
+        """
+        if not math.isfinite(seconds_per_request) or seconds_per_request < 0:
             return
         key = (identity, strategy)
         with self._lock:
             previous = self._ewma.get(key)
             if previous is None:
                 self._ewma[key] = seconds_per_request
+                self._deviation[key] = 0.0
             else:
+                # Residual against the *pre-update* mean: measuring against
+                # the already-blended mean would shrink every residual by
+                # (1 - alpha) and systematically understate the spread.
+                residual = abs(seconds_per_request - previous)
                 self._ewma[key] = (
                     self.alpha * seconds_per_request + (1.0 - self.alpha) * previous
+                )
+                self._deviation[key] = (
+                    self.alpha * residual
+                    + (1.0 - self.alpha) * self._deviation.get(key, 0.0)
                 )
             self._observations[key] = self._observations.get(key, 0) + 1
             self._identity_strategies.setdefault(identity, set()).add(strategy)
@@ -112,6 +137,37 @@ class CostModel:
         """Estimated seconds per request, or ``default`` when never observed."""
         with self._lock:
             return self._ewma.get((identity, strategy), default)
+
+    def quantile_estimate(
+        self,
+        identity: str,
+        strategy: str,
+        quantile: float = 0.95,
+        default: Optional[float] = None,
+    ) -> Optional[float]:
+        """Estimated per-request seconds at ``quantile``, or ``default``.
+
+        Approximates the observation distribution as normal around the
+        EWMA mean, with sigma recovered from the EWMA of absolute
+        residuals.  This is what tail-latency decisions (speculative
+        re-execution) key on: a chunk is only a straggler relative to the
+        *spread* of its group, not its mean — a noisy group should need a
+        larger overshoot before a duplicate is launched.  With a single
+        observation (deviation 0) this degrades to the mean, exactly like
+        :meth:`estimate`.
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        with self._lock:
+            key = (identity, strategy)
+            mean = self._ewma.get(key)
+            if mean is None:
+                return default
+            sigma = self._deviation.get(key, 0.0) * _MAD_TO_SIGMA
+        if sigma <= 0.0:
+            return mean
+        z = statistics.NormalDist().inv_cdf(quantile)
+        return max(mean, mean + z * sigma)
 
     def identity_estimate(
         self, identity: str, default: Optional[float] = None
@@ -138,6 +194,7 @@ class CostModel:
                     "model": identity,
                     "strategy": strategy,
                     "seconds_per_request": value,
+                    "seconds_dev": self._deviation.get((identity, strategy), 0.0),
                     "observations": self._observations.get((identity, strategy), 0),
                 }
                 for (identity, strategy), value in self._ewma.items()
@@ -148,6 +205,7 @@ class CostModel:
     def clear(self) -> None:
         with self._lock:
             self._ewma.clear()
+            self._deviation.clear()
             self._observations.clear()
             self._identity_strategies.clear()
 
@@ -211,11 +269,23 @@ class CostModel:
                     not isinstance(identity, str)
                     or not isinstance(strategy, str)
                     or not isinstance(seconds, (int, float))
+                    # json.loads happily parses the NaN/Infinity literals
+                    # json.dump emits, so a poisoned store would round-trip
+                    # forever without this guard.
+                    or not math.isfinite(seconds)
                     or seconds < 0
                 ):
                     continue
                 key = (identity, strategy)
                 self._ewma[key] = float(seconds)
+                deviation = group.get("seconds_dev")
+                self._deviation[key] = (
+                    float(deviation)
+                    if isinstance(deviation, (int, float))
+                    and math.isfinite(deviation)
+                    and deviation >= 0
+                    else 0.0
+                )
                 self._identity_strategies.setdefault(identity, set()).add(strategy)
                 observations = group.get("observations")
                 self._observations[key] = (

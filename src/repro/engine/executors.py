@@ -127,6 +127,20 @@ class _BaseExecutor:
     def __init__(self) -> None:
         self._closed = False
 
+    @property
+    def capacity(self) -> int:
+        """How many work items this backend genuinely runs at once.
+
+        The engine's tail-latency control reads this: speculative
+        re-execution only duplicates a straggler when fewer than
+        ``capacity`` work items are in flight (a duplicate that queues
+        behind the straggler helps nobody), and the deadline planner
+        divides the predicted total work by it to estimate the makespan.
+        Pool backends run ``jobs`` items; the async backend overrides this
+        with its coroutine semaphore width.
+        """
+        return getattr(self, "jobs", 1)
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
@@ -340,6 +354,11 @@ class AsyncExecutor(_BaseExecutor):
     name = "async"
     #: The engine dispatches coroutine chunk functions to this backend.
     native_async = True
+
+    @property
+    def capacity(self) -> int:
+        """Coroutine concurrency is bounded by the semaphore, not threads."""
+        return self.max_inflight
 
     def __init__(self, jobs: int = 8, max_inflight: Optional[int] = None) -> None:
         super().__init__()

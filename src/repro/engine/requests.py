@@ -37,11 +37,13 @@ from repro.prompting.strategy import PromptStrategy
 
 __all__ = [
     "SCORING_MODES",
+    "SHED_RESPONSE",
     "DetectionRequest",
     "RunResult",
     "RunResultStore",
     "build_requests",
     "score_response",
+    "shed_result",
 ]
 
 SCORING_MODES = ("detection", "pairs", "pairs-strict")
@@ -83,6 +85,31 @@ class RunResult:
     prediction: bool
     correct_positive: bool = True
     pairs: Optional[ParsedPairs] = None
+    #: True when the engine's deadline planner shed this request instead of
+    #: evaluating it: the model was never called, ``prediction`` is the
+    #: no-race fallback (the same default an unparseable response gets) and
+    #: ``response`` carries a sentinel.  Shed work is always explicit —
+    #: a request never silently vanishes from the result store.
+    skipped: bool = False
+
+
+#: Response sentinel carried by deadline-shed results.
+SHED_RESPONSE = "[shed: deadline budget exceeded]"
+
+
+def shed_result(request: DetectionRequest) -> RunResult:
+    """An explicit skip for a request the deadline planner shed."""
+    return RunResult(
+        model=request.model.name,
+        strategy=request.strategy.value,
+        record_name=request.record.name,
+        truth=request.record.has_race,
+        response=SHED_RESPONSE,
+        prediction=False,
+        correct_positive=True,
+        pairs=None,
+        skipped=True,
+    )
 
 
 class RunResultStore:
@@ -104,9 +131,17 @@ class RunResultStore:
         self.results.append(result)
 
     def confusion(self) -> ConfusionCounts:
-        """Fold every result into TP/FP/TN/FN counts (the table layout)."""
+        """Fold every result into TP/FP/TN/FN counts (the table layout).
+
+        Deadline-shed results are excluded: the model was never asked, so
+        counting their fallback "no race" as a genuine negative would let
+        the scheduling budget silently skew reported detection metrics.
+        Shed work stays visible on the results themselves (``skipped``).
+        """
         counts = ConfusionCounts()
         for result in self.results:
+            if result.skipped:
+                continue
             counts.add(
                 result.truth,
                 result.prediction,

@@ -30,10 +30,33 @@ class EngineTelemetry:
         self._lock = threading.Lock()
         self.requests = 0
         self.model_calls = 0
+        #: Actual wire calls: one per ``generate_batch``/
+        #: ``generate_batch_async`` invocation (one per coalescer flush on
+        #: the coalesced path).  ``model_calls`` counts the *prompts* that
+        #: missed the cache, so with coalescing or batching the two differ
+        #: — this is the number an API rate limiter would see.  One caveat
+        #: under ``--speculate``: a losing copy's calls on the
+        #: thread/process path are dropped with its outcome (they may
+        #: still be in flight when the run returns, so their count is
+        #: unknowable), while coalesced flushes are always counted at the
+        #: wire — so with speculation active this is a lower bound there
+        #: and exact on the async path.
+        self.wire_calls = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.runs = 0
         self.wall_time_s = 0.0
+        #: Speculative re-execution: duplicates launched, races the
+        #: duplicate won, and duplicate results that were dropped.
+        self.speculation_launched = 0
+        self.speculation_won = 0
+        self.speculation_wasted = 0
+        #: Deadline-aware scheduling: requests shed to fit the budget,
+        #: plus the last run's predicted/actual makespan and budget.
+        self.deadline_shed = 0
+        self.deadline_budget_s = 0.0
+        self.deadline_predicted_s = 0.0
+        self.deadline_actual_s = 0.0
         #: Peak concurrently-in-flight chunk coroutines (async-native path).
         self.async_inflight_peak = 0
         #: Batched model calls issued by the micro-batch coalescer.
@@ -56,6 +79,29 @@ class EngineTelemetry:
         with self._lock:
             self.model_calls += n
 
+    def record_wire_calls(self, n: int) -> None:
+        with self._lock:
+            self.wire_calls += n
+
+    def record_speculation(
+        self, *, launched: int = 0, won: int = 0, wasted: int = 0
+    ) -> None:
+        """Fold speculative re-execution events (all counters cumulative)."""
+        with self._lock:
+            self.speculation_launched += launched
+            self.speculation_won += won
+            self.speculation_wasted += wasted
+
+    def record_deadline(
+        self, *, budget_s: float, predicted_s: float, actual_s: float, shed: int
+    ) -> None:
+        """One deadline-scheduled run: budget, predicted vs actual, sheds."""
+        with self._lock:
+            self.deadline_budget_s = budget_s
+            self.deadline_predicted_s = predicted_s
+            self.deadline_actual_s = actual_s
+            self.deadline_shed += shed
+
     def record_cache(self, hits: int, misses: int) -> None:
         with self._lock:
             self.cache_hits += hits
@@ -72,11 +118,18 @@ class EngineTelemetry:
             self.async_inflight_peak = max(self.async_inflight_peak, peak)
 
     def record_coalesce_flush(self, waiters: int, prompts: int) -> None:
-        """One coalescer flush: ``waiters`` chunk calls merged into one."""
+        """One coalescer flush: ``waiters`` chunk calls merged into one.
+
+        A flush is exactly one ``generate_batch_async`` invocation, so it
+        is also the coalesced path's wire-call feed — per-chunk miss
+        counting would overstate API calls precisely when coalescing
+        reduced them.
+        """
         with self._lock:
             self.coalesce_flushes += 1
             self.coalesce_merged += max(0, waiters - 1)
             self.coalesce_prompts += prompts
+            self.wire_calls += 1
 
     def record_group(
         self,
@@ -122,6 +175,7 @@ class EngineTelemetry:
             return {
                 "requests": self.requests,
                 "model_calls": self.model_calls,
+                "wire_calls": self.wire_calls,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_hit_rate": round(self.cache_hit_rate, 4),
@@ -132,6 +186,13 @@ class EngineTelemetry:
                 "coalesce_flushes": self.coalesce_flushes,
                 "coalesce_merged": self.coalesce_merged,
                 "coalesce_prompts": self.coalesce_prompts,
+                "speculation_launched": self.speculation_launched,
+                "speculation_won": self.speculation_won,
+                "speculation_wasted": self.speculation_wasted,
+                "deadline_shed": self.deadline_shed,
+                "deadline_budget_s": round(self.deadline_budget_s, 4),
+                "deadline_predicted_s": round(self.deadline_predicted_s, 4),
+                "deadline_actual_s": round(self.deadline_actual_s, 4),
             }
 
     def group_snapshot(self) -> List[Dict[str, object]]:
@@ -206,12 +267,17 @@ class EngineTelemetry:
             for key in (
                 "requests",
                 "model_calls",
+                "wire_calls",
                 "cache_hits",
                 "cache_misses",
                 "runs",
                 "coalesce_flushes",
                 "coalesce_merged",
                 "coalesce_prompts",
+                "speculation_launched",
+                "speculation_won",
+                "speculation_wasted",
+                "deadline_shed",
             ):
                 snap[key] -= since.get(key, 0)
             snap["wall_time_s"] = round(snap["wall_time_s"] - since.get("wall_time_s", 0.0), 4)
@@ -227,6 +293,7 @@ class EngineTelemetry:
             parts.append(f"executor={executor_name}")
         parts.append(f"requests={snap['requests']}")
         parts.append(f"model_calls={snap['model_calls']}")
+        parts.append(f"wire_calls={snap['wire_calls']}")
         parts.append(f"cache_hit_rate={snap['cache_hit_rate'] * 100:.1f}%")
         parts.append(f"wall={snap['wall_time_s']:.2f}s")
         if snap["requests_per_second"]:
@@ -237,6 +304,18 @@ class EngineTelemetry:
             parts.append(
                 f"coalesced={snap['coalesce_merged']} calls into "
                 f"{snap['coalesce_flushes']} flushes"
+            )
+        if snap["speculation_launched"]:
+            parts.append(
+                f"speculation={snap['speculation_launched']} launched/"
+                f"{snap['speculation_won']} won/{snap['speculation_wasted']} wasted"
+            )
+        if snap["deadline_budget_s"]:
+            parts.append(
+                f"deadline={snap['deadline_budget_s']:.2f}s "
+                f"predicted={snap['deadline_predicted_s']:.2f}s "
+                f"actual={snap['deadline_actual_s']:.2f}s "
+                f"shed={snap['deadline_shed']}"
             )
         return "[engine] " + " ".join(parts)
 

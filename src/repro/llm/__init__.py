@@ -34,7 +34,7 @@ from repro.llm.zoo import (
     available_models,
     create_model,
 )
-from repro.llm.adapters import LowRankAdapter
+from repro.llm.adapters import AsyncRemoteAdapter, FlakyTailAdapter, LowRankAdapter
 from repro.llm.finetune import FineTuneConfig, FineTunedModel, FineTuner
 
 __all__ = [
@@ -53,6 +53,8 @@ __all__ = [
     "StarChatBetaSim",
     "available_models",
     "create_model",
+    "AsyncRemoteAdapter",
+    "FlakyTailAdapter",
     "LowRankAdapter",
     "FineTuneConfig",
     "FineTuner",

@@ -17,21 +17,30 @@ Two kinds of adapter live here:
   client, so an event loop can keep thousands of calls in flight at once.
   This is the shape a real ``AsyncAnthropic``/``AsyncOpenAI`` adapter
   takes — swap the ``asyncio.sleep`` for the real awaited HTTP call.
+* :class:`FlakyTailAdapter` — a transport adapter simulating a *heavy-tail*
+  remote API: a deterministic subset of prompts hangs for ``tail_latency_s``
+  on its **first** attempt (a flaky connection, a stuck provider queue) and
+  answers at base latency on retries.  Response *content* is always the
+  wrapped model's and never changes — only timing is flaky — which is
+  exactly the regime the engine's speculative re-execution targets: a
+  duplicate of the straggling chunk completes at base speed while the
+  original is still hanging.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.llm.base import LanguageModel
-from repro.llm.behavior import simulated_latency
+from repro.llm.behavior import deterministic_uniform, simulated_latency
 
-__all__ = ["AsyncRemoteAdapter", "LowRankAdapter"]
+__all__ = ["AsyncRemoteAdapter", "FlakyTailAdapter", "LowRankAdapter"]
 
 
 def _sigmoid(z: np.ndarray | float) -> np.ndarray | float:
@@ -133,6 +142,113 @@ class AsyncRemoteAdapter(LanguageModel):
         return (
             f"<AsyncRemoteAdapter inner={self.inner!r} latency_s={self.latency_s}"
             f" jitter_s={self.latency_jitter_s}>"
+        )
+
+
+class FlakyTailAdapter(LanguageModel):
+    """A simulated remote API with deterministic heavy-tail first-call latency.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped model; it supplies the response content (and the cache
+        identity — timing never changes what a prompt answers).
+    latency_s:
+        Base per-call latency in seconds, paid by every call.
+    tail_latency_s:
+        What a *tail* call costs instead: the first attempt at a tail
+        prompt hangs this long, modelling a flaky wire call.  Later
+        attempts at the same prompt (a speculative duplicate, a retry)
+        pay only ``latency_s`` — the hang is per *call*, not per prompt.
+    tail_ratio:
+        Fraction of prompts that are tail prompts, selected
+        deterministically from the prompt text (same prompts hang in
+        every run, so benchmarks comparing schedules stay
+        apples-to-apples).
+
+    Determinism: *which* prompts hang and *what* every prompt answers are
+    both pure functions of the inputs.  Only the per-prompt attempt
+    counter is stateful, and it only ever shortens latency — so confusion
+    counts are bit-identical across executors, speculation on/off and
+    repeated runs.
+    """
+
+    def __init__(
+        self,
+        inner: LanguageModel,
+        *,
+        latency_s: float = 0.01,
+        tail_latency_s: float = 0.5,
+        tail_ratio: float = 0.1,
+    ) -> None:
+        if latency_s < 0 or tail_latency_s < 0:
+            raise ValueError("latencies must be >= 0")
+        if not 0.0 <= tail_ratio <= 1.0:
+            raise ValueError("tail_ratio must be in [0, 1]")
+        self.inner = inner
+        self.name = inner.name
+        self.context_window = inner.context_window
+        self.latency_s = latency_s
+        self.tail_latency_s = tail_latency_s
+        self.tail_ratio = tail_ratio
+        self._attempts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def cache_identity(self) -> str:
+        # Transport flakiness never changes response content, so the
+        # adapter shares cached responses with its inner model.
+        return self.inner.cache_identity
+
+    def is_tail_prompt(self, prompt: str) -> bool:
+        """Whether ``prompt`` is one of the deterministically flaky ones."""
+        return (
+            deterministic_uniform(self.name, "flaky-tail", prompt) < self.tail_ratio
+        )
+
+    def _call_delay(self, prompt: str) -> float:
+        with self._lock:
+            attempt = self._attempts.get(prompt, 0)
+            self._attempts[prompt] = attempt + 1
+        if attempt == 0 and self.is_tail_prompt(prompt):
+            return self.tail_latency_s
+        return self.latency_s
+
+    def generate(self, prompt: str) -> str:
+        delay = self._call_delay(prompt)
+        if delay > 0:
+            time.sleep(delay)
+        return self.inner.generate(prompt)
+
+    async def generate_async(self, prompt: str) -> str:
+        """Await the (possibly tail) latency on the loop, never a thread."""
+        delay = self._call_delay(prompt)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return self.inner.generate(prompt)
+
+    # generate_batch / generate_batch_async come from the LanguageModel
+    # defaults: the sync batch walks prompts serially (one hung call stalls
+    # the whole chunk — the straggler regime), while the async batch
+    # gathers generate_async so only the tail call itself hangs.
+
+    def __getstate__(self):
+        # Process-pool payloads pickle the model: drop the lock and the
+        # attempt history — a worker's copy starts its own attempt count,
+        # which only affects timing, never content.
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_attempts"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FlakyTailAdapter inner={self.inner!r} latency_s={self.latency_s}"
+            f" tail_latency_s={self.tail_latency_s} tail_ratio={self.tail_ratio}>"
         )
 
 

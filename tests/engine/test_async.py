@@ -193,6 +193,33 @@ class TestMicroBatchCoalescer:
         run_async(scenario())
         assert calls == []  # every waiter was gone: no wire call at all
 
+    def test_cancelled_flush_leader_does_not_poison_co_waiters(self):
+        """The waiter that tips max_batch leads the shared wire call; if it
+        is cancelled mid-call (a losing speculative copy), the other
+        waiters' futures must still resolve with their slices."""
+
+        async def generate_batch(prompts):
+            await asyncio.sleep(0.1)
+            return [f"r:{p}" for p in prompts]
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(window_s=5.0, max_batch=4)
+            loop = asyncio.get_running_loop()
+            bystander = loop.create_task(
+                coalescer.generate("k", generate_batch, ["a", "b"])
+            )
+            await asyncio.sleep(0.01)  # bystander opens the window
+            leader = loop.create_task(
+                coalescer.generate("k", generate_batch, ["c", "d"])  # tips max_batch
+            )
+            await asyncio.sleep(0.02)  # leader is now awaiting the wire call
+            leader.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            return await bystander
+
+        assert run_async(scenario()) == ["r:a", "r:b"]
+
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
             MicroBatchCoalescer(window_s=-0.001)
@@ -312,6 +339,32 @@ class TestEngineAsyncNative:
         assert snap["coalesce_merged"] >= 1  # at least two chunks merged once
         stats = engine.telemetry.format_stats(executor_name="async")
         assert "coalesced" in stats and "inflight_peak" in stats
+
+    def test_wire_calls_count_flushes_not_per_chunk_misses(self, records):
+        """model_calls counts miss prompts; wire_calls must count actual
+        generate_batch_async invocations — with coalescing on, one per
+        flush, strictly fewer than the chunk count it merged."""
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", max_inflight=16, batch_size=2
+        ) as engine:
+            engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        snap = engine.telemetry.snapshot()
+        assert snap["model_calls"] == len(records)
+        assert snap["wire_calls"] == snap["coalesce_flushes"]
+        # Coalescing merged at least two chunks, so the wire saw fewer
+        # calls than there were chunks — exactly what the old per-chunk
+        # model_calls counter overstated.
+        n_chunks = len(records) // 2
+        assert snap["wire_calls"] < n_chunks
+
+    def test_wire_calls_without_coalescing_count_per_chunk_calls(self, records):
+        with ExecutionEngine(
+            jobs=4, executor_kind="async", batch_size=4, coalesce=False
+        ) as engine:
+            engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        snap = engine.telemetry.snapshot()
+        assert snap["wire_calls"] == len(records) // 4  # one per chunk
+        assert snap["model_calls"] == len(records)
 
     def test_sync_only_model_bypasses_coalescer(self, records):
         """Merging many chunks into one sync-offloaded generate_batch would

@@ -115,3 +115,102 @@ class TestPersistence:
         model.observe("gpt-4", "BP1", 0.04)
         model.save()
         assert [f.name for f in tmp_path.iterdir()] == ["costmodel.json"]
+
+
+class TestNonFiniteRejection:
+    """NaN/inf observations must never poison the EWMA or the store.
+
+    ``nan < 0`` is False, so before the isfinite guard a single NaN
+    observation slid straight into the EWMA, broke identity_estimate's
+    max(), snapshot()'s sort and LPT ordering — and persisted forever via
+    costmodel.json.
+    """
+
+    def test_observe_rejects_nan_and_inf(self):
+        model = CostModel()
+        model.observe("gpt-4", "BP1", 0.05)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            model.observe("gpt-4", "BP1", bad)
+        assert model.estimate("gpt-4", "BP1") == pytest.approx(0.05)
+        assert model.identity_estimate("gpt-4") == pytest.approx(0.05)
+
+    def test_nan_never_becomes_first_observation(self):
+        model = CostModel()
+        model.observe("gpt-4", "BP1", float("nan"))
+        assert model.estimate("gpt-4", "BP1") is None
+        assert len(model) == 0
+
+    def test_load_rejects_poisoned_store(self, tmp_path):
+        """Round-trip a store containing NaN: the bad group must not load."""
+        path = tmp_path / "costmodel.json"
+        model = CostModel()
+        model.observe("gpt-4", "BP1", 0.05)
+        model.observe("llama2-7b", "BP1", 0.2)
+        model.save(path)
+        # Poison the store the way a pre-guard writer would have: json
+        # emits NaN/Infinity literals that json.loads happily reads back.
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["groups"][0]["seconds_per_request"] = float("nan")
+        payload["groups"].append(
+            {"model": "starchat-beta", "strategy": "BP1", "seconds_per_request": float("inf")}
+        )
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert "NaN" in path.read_text(encoding="utf-8")
+
+        loaded = CostModel(path=path)
+        assert len(loaded) == 1  # only the finite group survives
+        assert loaded.estimate("gpt-4", "BP1") == pytest.approx(0.05)
+        assert loaded.estimate("llama2-7b", "BP1") is None
+        assert loaded.estimate("starchat-beta", "BP1") is None
+        # And the sanitised model saves a clean store.
+        loaded.save(path)
+        assert "NaN" not in path.read_text(encoding="utf-8")
+
+    def test_load_rejects_non_finite_deviation(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        model = CostModel()
+        model.observe("gpt-4", "BP1", 0.05)
+        model.save(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["groups"][0]["seconds_dev"] = float("nan")
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = CostModel(path=path)
+        assert loaded.estimate("gpt-4", "BP1") == pytest.approx(0.05)
+        assert loaded.quantile_estimate("gpt-4", "BP1", 0.95) == pytest.approx(0.05)
+
+
+class TestQuantileEstimate:
+    def test_degrades_to_mean_with_no_spread(self):
+        model = CostModel()
+        model.observe("gpt-4", "BP1", 0.05)
+        assert model.quantile_estimate("gpt-4", "BP1", 0.95) == pytest.approx(0.05)
+
+    def test_spread_pushes_quantile_above_mean(self):
+        model = CostModel(alpha=0.5)
+        for value in (0.01, 0.09, 0.01, 0.09, 0.01, 0.09):
+            model.observe("gpt-4", "BP1", value)
+        mean = model.estimate("gpt-4", "BP1")
+        p95 = model.quantile_estimate("gpt-4", "BP1", 0.95)
+        assert p95 > mean
+        assert model.quantile_estimate("gpt-4", "BP1", 0.5) >= mean * 0.99
+
+    def test_unobserved_returns_default(self):
+        model = CostModel()
+        assert model.quantile_estimate("gpt-4", "BP1") is None
+        assert model.quantile_estimate("gpt-4", "BP1", default=1.0) == 1.0
+
+    def test_rejects_bad_quantile(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.quantile_estimate("gpt-4", "BP1", quantile=1.0)
+
+    def test_deviation_round_trips_through_store(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        model = CostModel(alpha=0.5)
+        for value in (0.01, 0.09, 0.01, 0.09):
+            model.observe("gpt-4", "BP1", value)
+        model.save(path)
+        loaded = CostModel(path=path)
+        assert loaded.quantile_estimate("gpt-4", "BP1", 0.95) == pytest.approx(
+            model.quantile_estimate("gpt-4", "BP1", 0.95)
+        )

@@ -235,3 +235,87 @@ class TestCacheIdentity:
         assert tuned_a.name == tuned_b.name
         assert tuned_a.cache_identity != tuned_b.cache_identity
         assert tuned_a.cache_identity != tuned_a.base.cache_identity
+
+
+class _WrongLengthModel:
+    """A misbehaving adapter whose batch call drops the last response.
+
+    Module-level and stateless so the process pool can pickle it — the
+    wrong-length guard must fire identically in worker processes.
+    """
+
+    name = "wrong-length"
+    context_window = 4096
+    cache_identity = "wrong-length"
+    has_native_async = True
+
+    def generate(self, prompt):
+        return "yes"
+
+    def generate_batch(self, prompts):
+        return ["yes"] * (len(prompts) - 1)  # silently short
+
+    async def generate_async(self, prompt):
+        return "yes"
+
+    async def generate_batch_async(self, prompts):
+        return ["yes"] * (len(prompts) - 1)
+
+
+class TestWrongLengthBatchGuard:
+    """A wrong-count generate_batch must raise, never zip-truncate.
+
+    Before the guard, the short response list zipped against the miss
+    positions and the unfilled slots kept ``None`` — scored as garbage
+    downstream instead of failing at the wire.
+    """
+
+    def _requests(self, records):
+        return build_requests(_WrongLengthModel(), PromptStrategy.BP1, records[:8])
+
+    def test_cached_serial_path_raises(self, records):
+        engine = ExecutionEngine(batch_size=4, cache=ResponseCache(64))
+        with pytest.raises(RuntimeError, match="returned 3 responses for 4 prompts"):
+            engine.run(self._requests(records))
+
+    def test_uncached_serial_path_raises(self, records):
+        engine = ExecutionEngine(batch_size=4, cache=None)
+        with pytest.raises(RuntimeError, match="generate_batch returned"):
+            engine.run(self._requests(records))
+
+    def test_process_worker_path_raises(self, records):
+        with ExecutionEngine(
+            jobs=2, executor_kind="process", batch_size=4, cache=ResponseCache(64)
+        ) as engine:
+            with pytest.raises(RuntimeError, match="generate_batch returned"):
+                engine.run(self._requests(records))
+
+    def test_async_native_path_raises(self, records):
+        # --no-coalesce exercises the direct generate_batch_async site (the
+        # coalesced site is guarded by the coalescer's own _call).
+        with ExecutionEngine(
+            jobs=2, executor_kind="async", batch_size=4, coalesce=False
+        ) as engine:
+            with pytest.raises(RuntimeError, match="generate_batch_async returned"):
+                engine.run(self._requests(records))
+
+    def test_async_coalesced_path_raises(self, records):
+        with ExecutionEngine(jobs=2, executor_kind="async", batch_size=4) as engine:
+            with pytest.raises(RuntimeError, match="generate_batch_async returned"):
+                engine.run(self._requests(records))
+
+
+class TestWireCallCounter:
+    def test_serial_wire_calls_count_batch_invocations(self, records):
+        """One wire call per chunk's generate_batch, not one per prompt."""
+        model = create_model("gpt-4")
+        engine = ExecutionEngine(batch_size=4, cache=ResponseCache(1024))
+        engine.run(build_requests(model, PromptStrategy.BP1, records))
+        snap = engine.telemetry.snapshot()
+        assert snap["model_calls"] == len(records)
+        assert snap["wire_calls"] == len(records) // 4  # one per chunk
+        # A warm rerun touches the wire zero times.
+        engine.run(build_requests(model, PromptStrategy.BP1, records))
+        snap = engine.telemetry.snapshot()
+        assert snap["wire_calls"] == len(records) // 4
+        assert "wire_calls=" in engine.telemetry.format_stats()
