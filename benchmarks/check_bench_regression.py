@@ -1,10 +1,11 @@
 """Benchmark regression gate: compare fresh results to the committed floors.
 
 Run after ``bench_engine_throughput.py``, ``bench_scheduler.py``,
-``bench_dispatch.py``, ``bench_async.py`` and ``bench_speculation.py``
-have written ``BENCH_engine.json`` / ``BENCH_scheduler.json`` /
-``BENCH_dispatch.json`` / ``BENCH_async.json`` / ``BENCH_speculation.json``
-to the repo root::
+``bench_dispatch.py``, ``bench_async.py``, ``bench_speculation.py`` and
+``bench_cache_plane.py`` have written ``BENCH_engine.json`` /
+``BENCH_scheduler.json`` / ``BENCH_dispatch.json`` / ``BENCH_async.json``
+/ ``BENCH_speculation.json`` / ``BENCH_cache_plane.json`` to the repo
+root::
 
     python benchmarks/check_bench_regression.py
 
@@ -13,16 +14,23 @@ its floor in ``benchmarks/baselines/BENCH_baseline.json``.  The floors are
 deliberately conservative — CI machines are slower and noisier than dev
 boxes — so a failure here means a real scheduling/executor regression, not
 jitter.
+
+Every invocation also appends one JSON line per run to
+``benchmarks/BENCH_history.jsonl`` — the measured numbers, the floors they
+were held to, and the verdict — so performance over time can be read
+straight out of the repo checkout (CI uploads the file as an artifact).
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "BENCH_baseline.json"
+HISTORY_PATH = Path(__file__).resolve().parent / "BENCH_history.jsonl"
 
 
 def _load(path: Path) -> dict:
@@ -38,6 +46,7 @@ def main() -> int:
     dispatch = _load(REPO_ROOT / "BENCH_dispatch.json")
     async_io = _load(REPO_ROOT / "BENCH_async.json")
     speculation = _load(REPO_ROOT / "BENCH_speculation.json")
+    cache_plane = _load(REPO_ROOT / "BENCH_cache_plane.json")
 
     checks = [
         (
@@ -70,6 +79,11 @@ def main() -> int:
             speculation["speedup_speculative_vs_off_p95"],
             baseline["speculation"]["min_speedup_speculative_vs_off_p95"],
         ),
+        (
+            "cache-plane shm broadcast speedup vs temp-file pickle",
+            cache_plane["speedup_shm_vs_file"],
+            baseline["cache_plane"]["min_speedup_shm_vs_file"],
+        ),
     ]
 
     failed = False
@@ -78,6 +92,16 @@ def main() -> int:
         print(f"[bench-gate] {label}: {measured:g} (floor {floor:g}) {status}")
         if measured < floor:
             failed = True
+
+    record = {
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "status": "regression" if failed else "ok",
+        "results": {label: measured for label, measured, _ in checks},
+        "floors": {label: floor for label, _, floor in checks},
+    }
+    with HISTORY_PATH.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"[bench-gate] appended run to {HISTORY_PATH.relative_to(REPO_ROOT)}")
     return 1 if failed else 0
 
 

@@ -26,6 +26,16 @@ Usage::
                                       # single-file JSON caches still load
     python -m repro all --dispatch ordered      # reference blocking-map path
     python -m repro all --no-lpt                # keep plan-order chunk dispatch
+    python -m repro all --cache ./cache-dir --shared-cache
+                                      # serve disk hits through the host-wide
+                                      # mmap-backed shared segment store
+    python -m repro all --cache ./c --cache-max-bytes 50000000 --cache-ttl 3600
+                                      # size/TTL-tiered in-memory eviction
+    python -m repro table3 --executor process --snapshot-transport file
+                                      # pin the temp-file broadcast fallback
+    python -m repro cache stats --cache ./cache-dir     # segments, dead
+                                      # ratio, bytes — no evaluation run
+    python -m repro cache compact --cache ./cache-dir
 
 ``repro all`` plans every table first (requests + reducer), then feeds all
 of them to :func:`repro.engine.scheduler.run_all_tables`, which interleaves
@@ -163,6 +173,9 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
             path=args.cache,
             cost_aware_eviction=args.cost_aware_eviction,
             cost_model=cost_model,
+            max_bytes=args.cache_max_bytes,
+            ttl_s=args.cache_ttl,
+            shared_read=args.shared_cache,
         )
     jobs = args.jobs
     if jobs is None:
@@ -185,7 +198,43 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
         speculate=args.speculate,
         speculate_after=args.speculate_after,
         deadline=args.deadline,
+        snapshot_transport=args.snapshot_transport,
     )
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    """``repro cache stats|compact``: inspect or fold a store, no evaluation."""
+    from repro.engine import SharedSegmentStore
+
+    path = Path(args.cache)
+    if args.subcommand == "stats":
+        if path.is_file():
+            print(f"[cache] {path}: legacy single-file cache (format v1); "
+                  "run any cached command to migrate it to segments")
+            return 0
+        stats = SharedSegmentStore(path).stats()
+        print(f"[cache] {path}")
+        print(f"[cache]   segments={stats['segments']}")
+        print(f"[cache]   live_entries={stats['live_entries']}")
+        print(f"[cache]   entry_lines={stats['entry_lines']} (dead={stats['dead_entries']})")
+        print(f"[cache]   dead_ratio={stats['dead_ratio'] * 100:.1f}%")
+        print(f"[cache]   total_bytes={stats['total_bytes']}")
+        return 0
+    # compact: fold every live entry into a minimal set of fresh segments.
+    before = SharedSegmentStore(path).stats() if path.is_dir() else None
+    cache = ResponseCache(path=args.cache)
+    if cache.compact() is None:
+        print(f"[cache] {path}: nothing on disk to compact")
+        return 0
+    after = SharedSegmentStore(path).stats()
+    if before is not None:
+        print(
+            f"[cache] compacted {path}: segments {before['segments']} -> "
+            f"{after['segments']}, entry_lines {before['entry_lines']} -> "
+            f"{after['entry_lines']}, bytes {before['total_bytes']} -> "
+            f"{after['total_bytes']}"
+        )
+    return 0
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -206,8 +255,21 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["table2", "table3", "table4", "table5", "table6", "summary", "all"],
-        help="which experiment to regenerate ('all' interleaves every table into one engine run)",
+        choices=["table2", "table3", "table4", "table5", "table6", "summary", "all", "cache"],
+        help=(
+            "which experiment to regenerate ('all' interleaves every table "
+            "into one engine run); 'cache' inspects/maintains a --cache "
+            "store without running an evaluation"
+        ),
+    )
+    parser.add_argument(
+        "subcommand",
+        nargs="?",
+        default=None,
+        help=(
+            "for 'cache': stats (segment count, dead-entry ratio, bytes) "
+            "or compact (fold the store into minimal fresh segments)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -364,6 +426,52 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "byte budget for the in-memory cache tier: eviction runs until "
+            "entries fit, preferring the most bytes reclaimed per cost-model "
+            "second-to-regenerate (composes with --cost-aware-eviction; "
+            "default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "maximum in-memory age of a cache entry; expired entries are "
+            "dropped lazily on lookup and evicted first under pressure "
+            "(the on-disk store is unaffected; default: no expiry)"
+        ),
+    )
+    parser.add_argument(
+        "--shared-cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "serve --cache disk entries through the host-wide mmap-backed "
+            "shared segment store instead of loading a private in-memory "
+            "copy — concurrent runs on one host share one physical copy "
+            "(results identical; default: private load)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-transport",
+        choices=["shm", "file"],
+        default="shm",
+        help=(
+            "how the warm cache reaches process-executor workers: shm "
+            "(default) broadcasts one shared-memory block workers attach "
+            "in place, falling back to a temp file where unavailable; "
+            "file pins the pickle-temp-file path (one private "
+            "deserialisation per worker)"
+        ),
+    )
+    parser.add_argument(
         "--batch-size",
         type=int,
         default=32,
@@ -397,6 +505,34 @@ def main(argv: List[str] | None = None) -> int:
     if args.cost_aware_eviction and args.cache_entries == 0:
         parser.error(
             "--cost-aware-eviction has no effect with --cache-entries 0 (caching disabled)"
+        )
+    if args.cache_max_bytes is not None:
+        if args.cache_max_bytes <= 0:
+            parser.error("--cache-max-bytes must be > 0")
+        if args.cache_entries == 0:
+            parser.error(
+                "--cache-max-bytes has no effect with --cache-entries 0 (caching disabled)"
+            )
+    if args.cache_ttl is not None:
+        if args.cache_ttl <= 0:
+            parser.error("--cache-ttl must be > 0 seconds")
+        if args.cache_entries == 0:
+            parser.error(
+                "--cache-ttl has no effect with --cache-entries 0 (caching disabled)"
+            )
+    if args.shared_cache and args.cache is None:
+        parser.error("--shared-cache requires --cache PATH (the store to share)")
+    if args.command == "cache":
+        if args.subcommand not in ("stats", "compact"):
+            parser.error(
+                "the 'cache' command takes a subcommand: stats or compact"
+            )
+        if args.cache is None:
+            parser.error("'repro cache' requires --cache PATH (the store to inspect)")
+        return _run_cache_command(args)
+    if args.subcommand is not None:
+        parser.error(
+            f"unexpected argument {args.subcommand!r}: only the 'cache' command takes a subcommand"
         )
     if args.sequential and args.command != "all":
         parser.error("--sequential only applies to the 'all' command")

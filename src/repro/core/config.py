@@ -88,6 +88,24 @@ class PipelineConfig:
         segments; legacy single-file JSON caches still load): loaded
         automatically on first engine use, written by
         :meth:`DataRacePipeline.save_cache`.
+    cache_max_bytes:
+        Optional byte budget for the in-memory cache tier; eviction runs
+        until entries fit, preferring the most bytes reclaimed per
+        cost-model second-to-regenerate.  ``None`` leaves only the entry
+        count bound.
+    cache_ttl_s:
+        Optional maximum in-memory age of a cache entry in seconds
+        (dropped lazily on lookup, evicted first under pressure); the
+        on-disk store is unaffected.  ``None`` disables expiry.
+    cache_shared_read:
+        Serve on-disk cache entries through the host-wide mmap-backed
+        :class:`~repro.engine.sharedstore.SharedSegmentStore` instead of
+        loading a private in-memory copy of the segments.  Requires
+        ``cache_path``.  Results are identical either way.
+    snapshot_transport:
+        How the warm cache reaches process-executor workers: ``"shm"``
+        (default, shared-memory broadcast with temp-file fallback) or
+        ``"file"`` (pickle temp file).  Results are identical either way.
     """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
@@ -112,3 +130,7 @@ class PipelineConfig:
     cache_entries: int = 65536
     cache_path: Optional[str] = None
     cost_aware_eviction: bool = False
+    cache_max_bytes: Optional[int] = None
+    cache_ttl_s: Optional[float] = None
+    cache_shared_read: bool = False
+    snapshot_transport: str = "shm"

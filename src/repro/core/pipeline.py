@@ -114,6 +114,9 @@ class DataRacePipeline:
                     path=self.config.cache_path,
                     cost_aware_eviction=self.config.cost_aware_eviction,
                     cost_model=cost_model,
+                    max_bytes=self.config.cache_max_bytes,
+                    ttl_s=self.config.cache_ttl_s,
+                    shared_read=self.config.cache_shared_read,
                 )
             self._engine = ExecutionEngine(
                 jobs=self.config.jobs,
@@ -131,6 +134,7 @@ class DataRacePipeline:
                 speculate=self.config.speculate,
                 speculate_after=self.config.speculate_after,
                 deadline=self.config.deadline,
+                snapshot_transport=self.config.snapshot_transport,
             )
         return self._engine
 

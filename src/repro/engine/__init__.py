@@ -53,6 +53,20 @@ Module map
     ``(model.cache_identity, prompt)``, persisted as a directory of
     size-bounded append-only JSONL segments written atomically
     (``--cache`` on the CLI; legacy single-file caches still load).
+    Eviction is tiered: entry-count *and* byte budgets (``max_bytes``),
+    lazy TTL expiry (``ttl_s``) and cost-model-weighted victim selection
+    compose (see :meth:`ResponseCache._select_victim_locked`).
+``snapshot``
+    The zero-copy broadcast plane for distributed runs:
+    :func:`publish_snapshot` encodes the warm cache once into a
+    shared-memory block (length-prefixed binary layout; pickle-temp-file
+    fallback), workers attach a :class:`SharedSnapshotView` and
+    binary-search it in place instead of deserialising private copies.
+``sharedstore``
+    :class:`SharedSegmentStore` — a lock-free, mmap-backed, multi-reader
+    view over a segment directory, opened once per host
+    (``SharedSegmentStore.open``); ``ResponseCache(shared_read=True)``
+    serves misses through it instead of loading segments privately.
 ``telemetry``
     :class:`EngineTelemetry` — thread-safe counters (requests, model
     calls, cache hits/misses, wall time) with a one-line ``format_stats``
@@ -88,6 +102,16 @@ from repro.engine.requests import (
     build_requests,
     score_response,
     shed_result,
+)
+from repro.engine.sharedstore import SharedSegmentStore
+from repro.engine.snapshot import (
+    SNAPSHOT_TRANSPORTS,
+    PublishedSnapshot,
+    SharedSnapshotView,
+    encode_snapshot,
+    load_snapshot,
+    publish_snapshot,
+    retire_snapshot,
 )
 from repro.engine.scheduler import (
     DEFAULT_TABLES,
@@ -125,6 +149,14 @@ __all__ = [
     "build_requests",
     "score_response",
     "shed_result",
+    "SharedSegmentStore",
+    "SNAPSHOT_TRANSPORTS",
+    "PublishedSnapshot",
+    "SharedSnapshotView",
+    "encode_snapshot",
+    "load_snapshot",
+    "publish_snapshot",
+    "retire_snapshot",
     "DEFAULT_TABLES",
     "TablePlan",
     "collect_default_plans",

@@ -8,13 +8,18 @@ long as their :attr:`~repro.llm.base.LanguageModel.cache_identity` differs.
 
 Two storage layers compose:
 
-* an in-memory LRU bounded by ``max_entries`` (oldest entries evicted —
-  or, with ``cost_aware_eviction`` and a cost model, the *cheapest to
-  regenerate* among the oldest, so slow models' responses survive
-  longest);
+* an in-memory LRU bounded by ``max_entries`` — and optionally by a byte
+  budget (``max_bytes``) and an age limit (``ttl_s``).  Victim selection
+  is tiered: expired entries go first, then — depending on which knobs
+  are on — the entry with the most bytes-reclaimed per cost-model
+  second-to-regenerate, the largest, the cheapest to regenerate
+  (``cost_aware_eviction``), or plainly the oldest;
 * an optional on-disk store — a *directory* of append-only JSONL segments
   (``segment-000001.jsonl``, …), loaded on construction and grown by
-  :meth:`ResponseCache.save`.
+  :meth:`ResponseCache.save`.  With ``shared_read=True`` the segments are
+  *not* loaded into memory at all: misses are served through the
+  host-wide mmap-backed :class:`~repro.engine.sharedstore.SharedSegmentStore`,
+  so any number of concurrent runs share one physical copy of the store.
 
 The segmented format exists so long runs persist **incrementally**: each
 ``save`` writes only the entries added since the previous one, as one or
@@ -48,6 +53,7 @@ import os
 import shutil
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -74,6 +80,9 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     compactions: int = 0
+    #: Entries dropped because they outlived ``ttl_s`` (counted separately
+    #: from capacity evictions; an expired lookup also counts as a miss).
+    expirations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -89,6 +98,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "compactions": self.compactions,
+            "expirations": self.expirations,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -116,6 +126,10 @@ class ResponseCache:
         cost_aware_eviction: bool = False,
         cost_model=None,
         eviction_sample: int = 8,
+        max_bytes: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        shared_read: bool = False,
+        clock=None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -125,6 +139,12 @@ class ResponseCache:
             raise ValueError("auto_compact_ratio must be in (0, 1] or None")
         if eviction_sample < 1:
             raise ValueError("eviction_sample must be >= 1")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive or None")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive or None")
+        if shared_read and path is None:
+            raise ValueError("shared_read requires a cache path")
         self.max_entries = max_entries
         self.segment_max_entries = segment_max_entries
         #: Fold the on-disk store when its dead-entry ratio exceeds this
@@ -143,10 +163,31 @@ class ResponseCache:
         self.cost_aware_eviction = cost_aware_eviction
         self.cost_model = cost_model
         self.eviction_sample = eviction_sample
+        #: Byte budget for the in-memory tier (``None`` = unbounded).  When
+        #: set, eviction runs until the total entry bytes fit, and victim
+        #: selection weighs bytes-reclaimed against each entry's
+        #: seconds-to-regenerate (see :meth:`_select_victim_locked`).
+        self.max_bytes = max_bytes
+        #: Maximum in-memory age in seconds (``None`` = immortal).  Expiry
+        #: is lazy — checked on lookup and during eviction scans — and
+        #: governs only the in-memory tier; the on-disk store stays the
+        #: durable source of truth.
+        self.ttl_s = ttl_s
+        #: Serve disk entries through the host-wide mmap-backed
+        #: :class:`~repro.engine.sharedstore.SharedSegmentStore` instead of
+        #: loading a private in-memory copy of the segments.
+        self.shared_read = shared_read
+        self._clock = clock if clock is not None else time.monotonic
         self.path = Path(path) if path is not None else None
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, str]" = OrderedDict()
+        #: key -> approximate entry bytes (key length + utf-8 response
+        #: length); the sum is ``_total_bytes``, compared to ``max_bytes``.
+        self._sizes: Dict[str, int] = {}
+        self._total_bytes = 0
+        #: key -> insertion epoch (``clock()`` at insert/replace time).
+        self._epochs: Dict[str, float] = {}
         #: key -> model identity, recorded on insert when known and
         #: persisted alongside each segment entry, so reloaded caches keep
         #: their cost weights.  Entries from stores written before the
@@ -161,7 +202,17 @@ class ResponseCache:
         #: Entry *lines* on disk at ``self.path``, counting duplicates a
         #: re-insert appended — the denominator of the dead-entry ratio.
         self._disk_entry_lines = 0
-        if self.path is not None and self.path.exists():
+        self._store = None
+        if self.shared_read:
+            if self.path is not None and self.path.is_file():
+                raise ValueError(
+                    "shared_read requires a segment directory; "
+                    "legacy single-file caches must be migrated first"
+                )
+            from repro.engine.sharedstore import SharedSegmentStore
+
+            self._store = SharedSegmentStore.open(self.path)
+        elif self.path is not None and self.path.exists():
             self.load(self.path)
 
     def __len__(self) -> int:
@@ -171,13 +222,29 @@ class ResponseCache:
     # -- lookup / insert ------------------------------------------------------------
 
     def get(self, identity: str, prompt: str) -> Optional[str]:
-        """The cached response, or ``None`` on a miss (recorded in stats)."""
+        """The cached response, or ``None`` on a miss (recorded in stats).
+
+        Lookups consult the in-memory tier first (expired entries are
+        dropped lazily here), then — in ``shared_read`` mode — the
+        host-wide mmap-backed segment store.  Shared-store hits are served
+        straight off the mapped pages, not promoted into memory, so N
+        readers of one store never build N private copies.
+        """
         key = cache_key(identity, prompt)
         with self._lock:
             if key in self._entries:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return self._entries[key]
+                if self._expired_locked(key):
+                    self._drop_entry_locked(key)
+                    self.stats.expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return self._entries[key]
+            if self._store is not None:
+                response = self._store.get(key)
+                if response is not None:
+                    self.stats.hits += 1
+                    return response
             self.stats.misses += 1
             return None
 
@@ -196,12 +263,22 @@ class ResponseCache:
             existing = self._entries.get(key)
             self._entries[key] = response
             self._entries.move_to_end(key)
+            self._note_entry_locked(key, response)
             if identity is not None:
                 self._identities[key] = identity
+            store_holds_it = False
+            if self._store is not None and existing is None and key not in self._persisted:
+                # Shared-read mode never loaded the segments into memory,
+                # so `_persisted` starts empty; a merge of a warm result
+                # the store already holds must not re-append a dead line.
+                if self._store.get(key) == response:
+                    self._persisted.add(key)
+                    store_holds_it = True
             # New keys are pending by definition; a persisted key whose
-            # value changed must be re-appended or the disk copy goes
-            # stale (later segments win at load time).
-            if key not in self._persisted or existing != response:
+            # value changed — including one evicted from memory since, where
+            # ``existing`` is ``None`` — must be re-appended or the disk
+            # copy goes stale (later segments win at load time).
+            if not store_holds_it and (key not in self._persisted or existing != response):
                 self._pending[key] = None
             self._evict_overflow_locked()
 
@@ -210,11 +287,33 @@ class ResponseCache:
             self._entries.clear()
             self._identities.clear()
             self._pending.clear()
+            self._sizes.clear()
+            self._epochs.clear()
+            self._total_bytes = 0
 
     def snapshot_entries(self) -> Dict[str, str]:
         """A plain key→response copy (read-only view for worker processes)."""
         with self._lock:
             return dict(self._entries)
+
+    def snapshot_records(self) -> List[Tuple[str, str, Optional[str]]]:
+        """``(key, response, identity)`` triples for the broadcast encoder."""
+        with self._lock:
+            return [
+                (key, response, self._identities.get(key))
+                for key, response in self._entries.items()
+            ]
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate bytes held by the in-memory tier."""
+        with self._lock:
+            return self._total_bytes
+
+    @property
+    def shared_store(self):
+        """The :class:`SharedSegmentStore` backing ``shared_read`` (or ``None``)."""
+        return self._store
 
     @property
     def pending_count(self) -> int:
@@ -234,40 +333,94 @@ class ResponseCache:
             return self._dead_ratio_locked()
 
     def _dead_ratio_locked(self) -> float:
+        if self._store is not None:
+            # Shared-read caches never load the segments, so the private
+            # persisted/line bookkeeping is blind; the store's scan knows.
+            return self._store.dead_ratio()
         if self._disk_entry_lines <= 0:
             return 0.0
         return max(0.0, 1.0 - len(self._persisted) / self._disk_entry_lines)
 
+    def _note_entry_locked(self, key: str, response: str) -> None:
+        """Record size and insertion epoch for one inserted/replaced entry."""
+        size = len(key) + len(response.encode("utf-8"))
+        self._total_bytes += size - self._sizes.get(key, 0)
+        self._sizes[key] = size
+        self._epochs[key] = self._clock()
+
+    def _drop_entry_locked(self, key: str) -> None:
+        del self._entries[key]
+        self._identities.pop(key, None)
+        self._pending.pop(key, None)
+        self._total_bytes -= self._sizes.pop(key, 0)
+        self._epochs.pop(key, None)
+
+    def _expired_locked(self, key: str, now: Optional[float] = None) -> bool:
+        if self.ttl_s is None:
+            return False
+        if now is None:
+            now = self._clock()
+        return now - self._epochs.get(key, now) > self.ttl_s
+
+    def _over_budget_locked(self) -> bool:
+        if len(self._entries) > self.max_entries:
+            return True
+        return self.max_bytes is not None and self._total_bytes > self.max_bytes
+
     def _evict_overflow_locked(self) -> None:
-        while len(self._entries) > self.max_entries:
+        while self._entries and self._over_budget_locked():
             evicted = self._select_victim_locked()
-            del self._entries[evicted]
-            self._identities.pop(evicted, None)
-            self._pending.pop(evicted, None)
+            self._drop_entry_locked(evicted)
             self.stats.evictions += 1
 
     def _select_victim_locked(self) -> str:
-        """The key to evict next: LRU, optionally weighted by recompute cost.
+        """The key to evict next — a tiered policy over an LRU sample.
 
-        Cost-aware mode looks at the ``eviction_sample`` least recently
-        used entries and evicts the one whose model identity the cost
-        model estimates cheapest to regenerate (ties and unknown
-        identities fall back to oldest-first, so the policy degrades to
-        plain LRU when estimates are missing).  The bounded sample keeps
-        eviction O(sample), not O(entries).
+        Tier 0 (free): an already-expired entry in the sample goes first —
+        dropping it loses nothing.  Then, among the ``eviction_sample``
+        least recently used entries:
+
+        * with a byte budget *and* cost-aware eviction, the entry with the
+          highest bytes-reclaimed per second-to-regenerate goes — a huge
+          cheap response no longer outlives a hundred tiny expensive ones;
+        * with only a byte budget, the largest entry goes;
+        * with only cost-aware eviction, the cheapest-to-regenerate goes
+          (the pre-existing policy, unchanged);
+        * with neither, plain LRU: the oldest goes.
+
+        Ties and unknown identities fall back to oldest-first (``min``/
+        ``max`` are stable over the LRU-ordered sample), so every tier
+        degrades to LRU when its signal is missing.  The bounded sample
+        keeps eviction O(sample), not O(entries).
         """
         iterator = iter(self._entries)
-        if not self.cost_aware_eviction or self.cost_model is None:
+        size_tiered = self.max_bytes is not None
+        cost_aware = self.cost_aware_eviction and self.cost_model is not None
+        if not size_tiered and not cost_aware and self.ttl_s is None:
             return next(iterator)
         sample = [key for key, _ in zip(iterator, range(self.eviction_sample))]
+        if self.ttl_s is not None:
+            now = self._clock()
+            for key in sample:
+                if self._expired_locked(key, now):
+                    return key
+        if not size_tiered and not cost_aware:
+            return sample[0]
 
         def recompute_cost(key: str) -> float:
             identity = self._identities.get(key)
-            if identity is None:
+            if identity is None or self.cost_model is None:
                 return 0.0
             estimate = self.cost_model.identity_estimate(identity)
             return estimate if estimate is not None else 0.0
 
+        if size_tiered and cost_aware:
+            return max(
+                sample,
+                key=lambda key: self._sizes.get(key, 0) / (recompute_cost(key) + 1e-9),
+            )
+        if size_tiered:
+            return max(sample, key=lambda key: self._sizes.get(key, 0))
         # min() is stable: among equal costs the least recently used wins.
         return min(sample, key=recompute_cost)
 
@@ -323,6 +476,7 @@ class ResponseCache:
                 self._persisted.update(key for key, _, _ in items)
                 self._pending.clear()
                 self._disk_entry_lines += len(items)
+                self._refresh_store_locked()
                 self._maybe_auto_compact_locked(target)
             else:
                 # Full snapshot to a foreign path: fold any segments
@@ -352,7 +506,13 @@ class ResponseCache:
             self._persisted = set(merged)
             self._pending.clear()
             self._disk_entry_lines = len(merged)
+            self._refresh_store_locked()
         self.stats.compactions += 1
+
+    def _refresh_store_locked(self) -> None:
+        """Let the shared read tier pick up segments this cache just wrote."""
+        if self._store is not None:
+            self._store.refresh()
 
     def _as_records_locked(
         self, entries: Dict[str, str]
@@ -390,6 +550,8 @@ class ResponseCache:
                 segment.unlink()
             except OSError:
                 pass
+        if old_segments:
+            self._fsync_dir(target)
         return merged
 
     def _migrate_legacy_locked(
@@ -455,6 +617,23 @@ class ResponseCache:
                 except OSError:
                     pass
                 raise
+        # The renames above live in the directory's own metadata: without
+        # syncing it too, a power loss can forget a fully-fsynced segment
+        # ever existed — a committed save() must not silently vanish.
+        self._fsync_dir(target)
+
+    @staticmethod
+    def _fsync_dir(target: Path) -> None:
+        try:
+            fd = os.open(str(target), os.O_RDONLY)
+        except OSError:  # platforms/filesystems without directory fds
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - defensive
+            pass
+        finally:
+            os.close(fd)
 
     @staticmethod
     def _next_segment_index(target: Path) -> int:
@@ -536,6 +715,7 @@ class ResponseCache:
         with self._lock:
             for key, (response, identity) in entries.items():
                 self._entries[key] = response
+                self._note_entry_locked(key, response)
                 if identity is not None:
                     self._identities[key] = identity
                 if mark_persisted:
@@ -571,6 +751,7 @@ class ResponseCache:
         with self._lock:
             for key, response in entries.items():
                 self._entries[key] = response
+                self._note_entry_locked(key, response)
                 # A legacy file is rewritten as segments on the next
                 # save, so its entries count as pending, not persisted.
                 if key not in self._persisted:

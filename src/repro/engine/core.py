@@ -49,11 +49,13 @@ process pool) the work item crossing the boundary must be picklable, so the
 engine ships self-contained chunk payloads to the module-level
 :func:`_score_chunk_payload` worker, then merges the returned entry deltas
 and telemetry back in the parent.  The cache snapshot is **broadcast once
-per run**: the parent serialises it to a temp file
-(:func:`_publish_snapshot`), every payload carries only the ``(path,
-token)`` reference, and each worker process deserialises it at most once
-per run (:func:`_load_published_snapshot` memoises by token).  Parent-side
-serialisation is therefore O(entries) per run, not O(chunks × entries).
+per run** through :mod:`repro.engine.snapshot`: the parent encodes it once
+— by default into a shared-memory block workers attach read-only and
+binary-search in place (zero per-worker deserialisation, one physical copy
+per host), with a pickle-temp-file fallback — and every payload carries
+only the small ``(kind, locator, token)`` reference, memoised per worker
+per run.  Parent-side cost is therefore O(entries) per run, not
+O(chunks × entries), and worker-side cost is an attach, not a copy.
 
 Because scoring preserves request order and the simulated models are
 deterministic functions of (model, strategy, code), the engine's output is
@@ -66,11 +68,7 @@ first response per prompt.)
 from __future__ import annotations
 
 import concurrent.futures
-import itertools
-import os
-import pickle
 import statistics
-import tempfile
 import time
 from collections import OrderedDict, deque
 from typing import (
@@ -95,6 +93,14 @@ from repro.engine.requests import (
     RunResultStore,
     score_response,
     shed_result,
+)
+from repro.engine.snapshot import (
+    SNAPSHOT_TRANSPORTS,
+    SnapshotPayloadRef,
+    _WORKER_SNAPSHOTS as _worker_snapshot_memo,
+    load_snapshot,
+    publish_snapshot,
+    retire_snapshot,
 )
 from repro.engine.telemetry import EngineTelemetry
 from repro.prompting.chains import run_strategy_batch, run_strategy_batch_async
@@ -128,8 +134,9 @@ _ChunkOutcome = Tuple[List[Tuple[int, RunResult]], Dict[str, int], float]
 #: cache entry delta the parent must merge.
 _DistributedOutcome = Tuple[List[Tuple[int, RunResult]], Dict[str, str], Dict[str, int], float]
 
-#: A published cache snapshot: (temp-file path, unique broadcast token).
-_SnapshotRef = Tuple[str, Tuple[int, int]]
+#: A published cache snapshot reference crossing the process boundary:
+#: ``(kind, shm-name-or-path, unique broadcast token)``.
+_SnapshotRef = SnapshotPayloadRef
 
 
 def resolve_engine(engine: Optional["ExecutionEngine"]) -> "ExecutionEngine":
@@ -214,59 +221,20 @@ def _generate_with_cache(
 # ---------------------------------------------------------------------------
 # broadcast-once cache shipping (the process-backend hot path)
 # ---------------------------------------------------------------------------
+#
+# The mechanics live in :mod:`repro.engine.snapshot`: the parent publishes
+# the warm cache once per run — by default into a shared-memory block whose
+# compact binary layout workers attach and binary-search *in place*, with
+# the pickle-temp-file transport as explicit choice or automatic fallback.
+# These module-level aliases are the engine's seam (tests monkeypatch
+# ``_publish_snapshot`` here) and keep ``_score_chunk_payload`` self-contained
+# for pickling.
 
-#: Monotonic per-process counter; combined with the pid it makes broadcast
-#: tokens unique even if a temp path is recycled by the OS.
-_snapshot_counter = itertools.count(1)
-
-#: Worker-side memo: the most recently loaded snapshot, keyed by token.  A
-#: worker process keeps at most one snapshot alive — the engine publishes a
-#: fresh one per run, so older epochs can never be referenced again.
-_WORKER_SNAPSHOTS: Dict[Tuple[int, int], Dict[str, str]] = {}
-
-
-def _publish_snapshot(entries: Dict[str, str]) -> _SnapshotRef:
-    """Serialise the cache snapshot to a temp file, once per run.
-
-    Returns a small picklable ``(path, token)`` reference that every chunk
-    payload carries instead of the entries themselves.
-    """
-    token = (os.getpid(), next(_snapshot_counter))
-    fd, path = tempfile.mkstemp(prefix="repro-cache-snapshot-", suffix=".pkl")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(entries, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    except BaseException:
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
-        raise
-    return path, token
-
-
-def _retire_snapshot(ref: Optional[_SnapshotRef]) -> None:
-    """Delete a published snapshot file (after every chunk has completed)."""
-    if ref is None:
-        return
-    try:
-        os.unlink(ref[0])
-    except OSError:
-        pass
-
-
-def _load_published_snapshot(ref: Optional[_SnapshotRef]) -> Optional[Dict[str, str]]:
-    """Worker side: the published entries, deserialised at most once per run."""
-    if ref is None:
-        return None
-    path, token = ref
-    entries = _WORKER_SNAPSHOTS.get(token)
-    if entries is None:
-        with open(path, "rb") as handle:
-            entries = pickle.load(handle)
-        _WORKER_SNAPSHOTS.clear()
-        _WORKER_SNAPSHOTS[token] = entries
-    return entries
+_publish_snapshot = publish_snapshot
+_retire_snapshot = retire_snapshot
+_load_published_snapshot = load_snapshot
+#: Worker-side memo (same object as :data:`repro.engine.snapshot._WORKER_SNAPSHOTS`).
+_WORKER_SNAPSHOTS = _worker_snapshot_memo
 
 
 def _score_chunk_payload(
@@ -284,8 +252,8 @@ def _score_chunk_payload(
     response.
     """
     chunk, snapshot_ref = payload
-    cache_entries = _load_published_snapshot(snapshot_ref)
-    # Time only the chunk's own work: the one-time snapshot deserialisation
+    cache_entries, loaded_kind = _load_published_snapshot(snapshot_ref)
+    # Time only the chunk's own work: the one-time snapshot attach/load
     # above must not be charged to this (model, strategy) group's cost
     # estimate, or the first chunk per worker would skew the EWMA.
     start = time.perf_counter()
@@ -293,7 +261,15 @@ def _score_chunk_payload(
     strategy = chunk[0][1].strategy
     identity = getattr(model, "cache_identity", model.name)
     new_entries: Dict[str, str] = {}
-    counters = {"hits": 0, "misses": 0, "calls": 0, "wire": 0}
+    counters = {
+        "hits": 0,
+        "misses": 0,
+        "calls": 0,
+        "wire": 0,
+        # First genuine shm attach in this worker for this run's token;
+        # the parent folds it into telemetry's `shm_attach`.
+        "attach": 1 if loaded_kind == "shm" else 0,
+    }
 
     def get_response(prompt: str) -> Optional[str]:
         key = cache_key(identity, prompt)
@@ -405,6 +381,13 @@ class ExecutionEngine:
         (``skipped=True``), never silently dropped, and telemetry records
         predicted vs. actual makespan.  ``None`` (default) disables the
         budget entirely.
+    snapshot_transport:
+        How the warm-cache snapshot reaches distributed (process) workers:
+        ``"shm"`` (default) broadcasts one shared-memory block every
+        worker attaches and searches in place, falling back to the temp
+        file where shared memory is unavailable; ``"file"`` pins the
+        pickle-temp-file path explicitly (each worker deserialises a
+        private copy).  Responses are bit-identical either way.
     """
 
     def __init__(
@@ -427,6 +410,7 @@ class ExecutionEngine:
         speculate: bool = False,
         speculate_after: float = 1.5,
         deadline: Optional[float] = None,
+        snapshot_transport: str = "shm",
     ) -> None:
         if executor is not None and (
             jobs is not None or executor_kind is not None or max_inflight is not None
@@ -446,6 +430,11 @@ class ExecutionEngine:
             raise ValueError("speculate_after must be > 0")
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be > 0 seconds or None")
+        if snapshot_transport not in SNAPSHOT_TRANSPORTS:
+            raise ValueError(
+                f"unknown snapshot transport {snapshot_transport!r}; "
+                f"expected one of {SNAPSHOT_TRANSPORTS}"
+            )
         self.executor = (
             executor
             if executor is not None
@@ -470,6 +459,7 @@ class ExecutionEngine:
         self.speculate = speculate
         self.speculate_after = speculate_after
         self.deadline = deadline
+        self.snapshot_transport = snapshot_transport
         #: Poll interval of the speculative dispatcher; tests and
         #: benchmarks tighten it to race short synthetic chunks.
         self.speculation_poll_s = DEFAULT_SPECULATION_POLL_S
@@ -730,17 +720,26 @@ class ExecutionEngine:
     ) -> None:
         """Dispatch chunks over a process-boundary executor, merge the deltas.
 
-        The cache snapshot is published exactly once per run; payloads
-        carry only its reference, so parent-side serialisation is
-        O(entries) regardless of chunk count.  The snapshot file outlives
-        every chunk (workers may load it lazily) and is removed when the
-        run finishes — including on error.
+        The cache snapshot is published exactly once per run — into a
+        shared-memory block workers attach in place (or the temp-file
+        fallback; see :mod:`repro.engine.snapshot`).  Payloads carry only
+        its reference, so parent-side cost is O(entries) regardless of
+        chunk count and worker-side cost is one attach, not a
+        deserialisation.  The published block/file outlives every chunk
+        (workers may load it lazily) and is retired when the run finishes
+        — including on error; workers already attached keep their mapping
+        alive, so retirement never races a merge.
         """
-        snapshot_ref = (
-            _publish_snapshot(self.cache.snapshot_entries())
+        published = (
+            _publish_snapshot(
+                self.cache.snapshot_records(), transport=self.snapshot_transport
+            )
             if self.cache is not None
             else None
         )
+        snapshot_ref = published.payload if published is not None else None
+        if published is not None:
+            self.telemetry.record_broadcast(published.nbytes)
         try:
             payloads = [(chunk, snapshot_ref) for chunk in chunks]
             if self._speculative():
@@ -761,7 +760,7 @@ class ExecutionEngine:
                         self.cache.put_key(key, response, identity=identity)
                 self._record_chunk(chunks[chunk_index], counters, elapsed)
         finally:
-            _retire_snapshot(snapshot_ref)
+            _retire_snapshot(published)
 
     # -- speculative re-execution (tail-latency control) ------------------------------
 
@@ -919,6 +918,9 @@ class ExecutionEngine:
         # not per chunk — a flush spans chunks, so charging it here would
         # double count.
         self.telemetry.record_wire_calls(counters.get("wire", 0))
+        # Distributed chunks report their worker's first shm attach; local
+        # chunks never set the key.
+        self.telemetry.record_shm_attach(counters.get("attach", 0))
         self.telemetry.record_cache(counters["hits"], counters["misses"])
         self.telemetry.record_group(
             model.name,

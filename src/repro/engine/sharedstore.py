@@ -1,0 +1,288 @@
+"""Lock-free multi-reader view over a segmented cache directory.
+
+Every :class:`~repro.engine.cache.ResponseCache` used to load its own
+private dict of the on-disk JSONL segments — N concurrent runs on one
+host meant N redundant copies of the same store in RAM.
+:class:`SharedSegmentStore` replaces those private loads with one
+**mmap-backed read tier per host**: the segment files are mapped once,
+an index of ``key -> (segment, line offset, line length)`` is built from
+a single scan, and any number of cache instances (engine runs, future
+``repro serve`` tenants) serve ``get`` misses straight off the shared
+pages.  Responses are decoded per lookup from the mapped line — the
+store never materialises a key→response dict.
+
+Readers are lock-free: lookups touch an immutable view object
+(``index`` + ``mmap`` list) resolved once per call, and :meth:`refresh`
+swaps in a freshly built view atomically instead of mutating the old
+one.  That makes the store safe against the cache's own writers —
+incremental saves only add segments, and
+:meth:`~repro.engine.cache.ResponseCache.compact` writes the merged
+replacement segments *before* unlinking the old ones, so any scan
+observes a complete entry set, and a reader still holding a
+pre-compaction view keeps serving correct values because POSIX keeps an
+unlinked file's pages alive for as long as something has them mapped.
+Writes do not go through the store at all; the segment directory stays
+the durable source of truth and grows through the existing
+append/compact path.
+
+``SharedSegmentStore.open(path)`` is the sharing entry point: it
+memoises instances per real path, so every cache on the host that opens
+the same directory gets the same mappings.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["SharedSegmentStore"]
+
+_SEGMENT_FORMAT = "repro-response-cache"
+_CACHE_FORMAT_VERSION = 2
+_SEGMENT_GLOB = "segment-*.jsonl"
+#: ``_entry_line`` writes the key first — ``{"k": "<64 hex chars>", ...`` —
+#: so the scan can slice keys out without a full JSON decode per line.
+_KEY_PREFIX = b'{"k": "'
+_HEX_KEY_LEN = 64
+
+
+class _StoreView:
+    """One immutable snapshot of the directory: swapped, never mutated."""
+
+    __slots__ = ("signature", "index", "maps", "entry_lines", "total_bytes")
+
+    def __init__(
+        self,
+        signature: Tuple,
+        index: Dict[str, Tuple[int, int, int]],
+        maps: List[mmap.mmap],
+        entry_lines: int,
+        total_bytes: int,
+    ) -> None:
+        self.signature = signature
+        self.index = index
+        self.maps = maps
+        self.entry_lines = entry_lines
+        self.total_bytes = total_bytes
+
+
+def _fast_key(line: bytes) -> Optional[str]:
+    """Slice the key out of a standard entry line without decoding it."""
+    end = len(_KEY_PREFIX) + _HEX_KEY_LEN
+    if line.startswith(_KEY_PREFIX) and line[end : end + 1] == b'"':
+        key = line[len(_KEY_PREFIX) : end]
+        if key.isalnum():
+            return key.decode("ascii")
+    return None
+
+
+class SharedSegmentStore:
+    """mmap the JSONL segments at ``path`` once; serve ``get`` to many readers."""
+
+    _registry: Dict[str, "SharedSegmentStore"] = {}
+    _registry_lock = threading.Lock()
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "SharedSegmentStore":
+        """The host-wide store for ``path`` — one instance per real path."""
+        key = os.path.realpath(str(path))
+        with cls._registry_lock:
+            store = cls._registry.get(key)
+            if store is None:
+                store = cls(key)
+                cls._registry[key] = store
+            return store
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._refresh_lock = threading.Lock()
+        self._view = self._build_view()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._view.index)
+
+    # -- lookups --------------------------------------------------------------------
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """The response stored under ``key``, or ``default``.
+
+        A miss re-checks the directory (cheap stat sweep) before giving
+        up, so entries another process just saved become visible without
+        an explicit :meth:`refresh`.
+        """
+        view = self._view
+        location = view.index.get(key)
+        if location is None:
+            view = self._refreshed_view(view)
+            location = view.index.get(key)
+            if location is None:
+                return default
+        map_index, offset, length = location
+        try:
+            entry = json.loads(view.maps[map_index][offset : offset + length])
+        except (ValueError, IndexError):  # pragma: no cover - defensive
+            return default
+        response = entry.get("r") if isinstance(entry, dict) else None
+        return response if isinstance(response, str) else default
+
+    def identity(self, key: str) -> Optional[str]:
+        """The model identity recorded for ``key``, if any."""
+        view = self._view
+        location = view.index.get(key)
+        if location is None:
+            return None
+        map_index, offset, length = location
+        try:
+            entry = json.loads(view.maps[map_index][offset : offset + length])
+        except (ValueError, IndexError):  # pragma: no cover - defensive
+            return None
+        identity = entry.get("i") if isinstance(entry, dict) else None
+        return identity if isinstance(identity, str) else None
+
+    # -- view management ------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-scan the directory if it changed since the current view."""
+        with self._refresh_lock:
+            if self._dir_signature() != self._view.signature:
+                self._view = self._build_view()
+
+    def _refreshed_view(self, seen: _StoreView) -> _StoreView:
+        with self._refresh_lock:
+            if self._view is seen and self._dir_signature() != seen.signature:
+                self._view = self._build_view()
+            return self._view
+
+    def _segment_paths(self) -> List[Path]:
+        try:
+            return sorted(self._path.glob(_SEGMENT_GLOB))
+        except OSError:  # pragma: no cover - defensive
+            return []
+
+    def _dir_signature(self) -> Tuple:
+        parts = []
+        for segment in self._segment_paths():
+            try:
+                stat = segment.stat()
+            except OSError:
+                continue
+            parts.append((segment.name, stat.st_size, stat.st_mtime_ns))
+        return tuple(parts)
+
+    def _build_view(self) -> _StoreView:
+        index: Dict[str, Tuple[int, int, int]] = {}
+        maps: List[mmap.mmap] = []
+        signature = []
+        entry_lines = 0
+        total_bytes = 0
+        for segment in self._segment_paths():
+            mapped, stat = self._map_segment(segment)
+            if mapped is None:
+                continue
+            signature.append((segment.name, stat.st_size, stat.st_mtime_ns))
+            if not self._valid_header(mapped):
+                mapped.close()
+                continue
+            map_index = len(maps)
+            maps.append(mapped)
+            total_bytes += len(mapped)
+            entry_lines += self._index_segment(mapped, map_index, index)
+        return _StoreView(tuple(signature), index, maps, entry_lines, total_bytes)
+
+    @staticmethod
+    def _map_segment(segment: Path):
+        try:
+            with open(segment, "rb") as handle:
+                stat = os.fstat(handle.fileno())
+                if stat.st_size == 0:
+                    return None, None
+                return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ), stat
+        except (OSError, ValueError):
+            return None, None
+
+    @staticmethod
+    def _valid_header(mapped: mmap.mmap) -> bool:
+        end = mapped.find(b"\n")
+        if end < 0:
+            return False
+        try:
+            header = json.loads(mapped[:end])
+        except ValueError:
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("format") == _SEGMENT_FORMAT
+            and header.get("version") == _CACHE_FORMAT_VERSION
+        )
+
+    @staticmethod
+    def _index_segment(
+        mapped: mmap.mmap, map_index: int, index: Dict[str, Tuple[int, int, int]]
+    ) -> int:
+        """Add one segment's entry lines to ``index``; returns lines seen.
+
+        Later segments are indexed after earlier ones, so re-inserted keys
+        resolve to their newest line — the same precedence the in-memory
+        loader applies.  A truncated tail line (interrupted write) fails
+        the key slice/decode and is skipped, like everywhere else.
+        """
+        lines = 0
+        offset = mapped.find(b"\n") + 1  # skip the header line
+        size = len(mapped)
+        while offset < size:
+            newline = mapped.find(b"\n", offset)
+            end = newline if newline >= 0 else size
+            length = end - offset
+            if length > 0:
+                line = mapped[offset:end]
+                key = _fast_key(line)
+                if key is None:
+                    key = SharedSegmentStore._slow_key(line)
+                if key is not None:
+                    index[key] = (map_index, offset, length)
+                    lines += 1
+            if newline < 0:
+                break
+            offset = newline + 1
+        return lines
+
+    @staticmethod
+    def _slow_key(line: bytes) -> Optional[str]:
+        """Full-decode fallback for entry lines with non-standard keys."""
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(entry, dict):
+            return None
+        key = entry.get("k")
+        return key if isinstance(key, str) and "r" in entry else None
+
+    # -- introspection --------------------------------------------------------------
+
+    def dead_ratio(self) -> float:
+        """Fraction of on-disk entry lines superseded by later re-inserts."""
+        view = self._view
+        if view.entry_lines <= 0:
+            return 0.0
+        return max(0.0, 1.0 - len(view.index) / view.entry_lines)
+
+    def stats(self) -> Dict[str, float]:
+        """Segment count, live/total entry lines, bytes, dead ratio."""
+        view = self._view
+        return {
+            "segments": len(view.maps),
+            "live_entries": len(view.index),
+            "entry_lines": view.entry_lines,
+            "dead_entries": max(0, view.entry_lines - len(view.index)),
+            "dead_ratio": round(self.dead_ratio(), 4),
+            "total_bytes": view.total_bytes,
+        }

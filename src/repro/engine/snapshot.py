@@ -1,0 +1,434 @@
+"""Zero-copy cache-snapshot broadcast for distributed executors.
+
+The process backend must show every worker the parent's warm response
+cache.  Pickling the whole entry dict per run and letting each worker
+deserialise its own private copy costs O(entries) in the parent *plus*
+O(entries) per worker — and N private dicts of RAM on one host.  This
+module replaces that with a **shared-memory broadcast**:
+
+* the parent encodes the snapshot once into a compact length-prefixed
+  binary layout (:func:`encode_snapshot`) inside a
+  ``multiprocessing.shared_memory`` block;
+* chunk payloads carry only a tiny picklable ``(kind, name, token)``
+  reference;
+* each worker *attaches* the block read-only and serves ``get`` by binary
+  search directly over the shared buffer (:class:`SharedSnapshotView`) —
+  no per-worker deserialisation, no private copy, one physical mapping per
+  host;
+* the parent unlinks the block when the run finishes
+  (:func:`retire_snapshot`); workers already attached keep their mapping
+  alive until they drop it (POSIX semantics), so retirement can never race
+  a late-loading chunk into a crash — a late *attach* simply fails, which
+  cannot happen while payloads referencing the block are still in flight.
+
+Platforms or contexts where shared memory is unavailable (no
+``/dev/shm``, exotic spawn configurations) fall back transparently to the
+previous temp-file pickle transport — same reference shape, same worker
+memoisation — and ``transport="file"`` selects it explicitly (the CLI's
+``--snapshot-transport file``), which is also what the equivalence tests
+and the cache-plane benchmark use to compare the two paths.
+
+Binary layout (all integers little-endian)::
+
+    header:  magic ``b"RPROSNP2"`` | u64 count | u64 heap_off
+    index:   count records of (u64 key_end, u64 resp_end, u64 id_end) —
+             *cumulative* per-column end offsets, sorted by key bytes
+    heap:    three columns — every key concatenated, then every response,
+             then every identity — utf-8, in index order
+
+Record ``i``'s key spans ``key_end[i-1]..key_end[i]`` of the key column
+(``0..`` for the first record), and likewise per column; the last index
+record therefore doubles as the column sizes, which is how the reader
+locates the response and identity column bases.  Keys are content hashes
+(:func:`repro.engine.cache.cache_key`), so sorted fixed-ish-length byte
+strings make binary search cheap.  The columnar cumulative layout exists
+so the encoder is vectorisable: column byte lengths become one
+``numpy.cumsum`` each instead of a per-record ``pack_into`` loop, and the
+(fixed-width hash) key column sorts via ``numpy.argsort`` — without numpy
+the encoder falls back to ``itertools.accumulate`` over the same columns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import struct
+import tempfile
+from array import array
+from operator import itemgetter
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+try:  # vectorised encode fast path; the stdlib fallback is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+__all__ = [
+    "SNAPSHOT_TRANSPORTS",
+    "PublishedSnapshot",
+    "SharedSnapshotView",
+    "encode_snapshot",
+    "load_snapshot",
+    "publish_snapshot",
+    "retire_snapshot",
+]
+
+#: Valid values for ``ExecutionEngine(snapshot_transport=...)`` / the CLI's
+#: ``--snapshot-transport``.  ``"shm"`` falls back to ``"file"`` when shared
+#: memory cannot be allocated, so it is safe as the default everywhere.
+SNAPSHOT_TRANSPORTS = ("shm", "file")
+
+_MAGIC = b"RPROSNP2"
+_HEADER = struct.Struct("<8sQQ")
+_INDEX = struct.Struct("<QQQ")
+#: Only fixed-width key columns this large take the numpy argsort path —
+#: below it, Timsort on small inputs wins and the vectorisation overhead
+#: isn't worth paying.
+_VECTOR_SORT_MIN = 2048
+
+#: One snapshot record: ``(key, response, identity-or-None)``.
+SnapshotRecord = Tuple[str, str, Optional[str]]
+
+#: What a chunk payload carries across the process boundary:
+#: ``(kind, locator, token)`` — the shm block name or temp-file path plus a
+#: unique broadcast token workers memoise by.
+SnapshotPayloadRef = Tuple[str, str, Tuple[int, int]]
+
+#: Monotonic per-process counter; combined with the pid it makes broadcast
+#: tokens unique even if a shm name or temp path is recycled by the OS.
+_snapshot_counter = itertools.count(1)
+
+
+def _next_token() -> Tuple[int, int]:
+    return (os.getpid(), next(_snapshot_counter))
+
+
+def _sort_by_key(records: List[SnapshotRecord]) -> Tuple[List[str], List[SnapshotRecord]]:
+    """``(keys, records)`` in key order — utf-8 byte order == code-point order.
+
+    Content-hash keys are fixed-width ASCII, so large snapshots sort via a
+    single ``numpy.argsort`` over the packed key bytes instead of Timsort
+    over Python strings; anything else falls back to ``sorted``.
+    """
+    keys = list(map(itemgetter(0), records))
+    if _np is not None and len(keys) >= _VECTOR_SORT_MIN:
+        joined = "".join(keys)
+        width, remainder = divmod(len(joined), len(keys))
+        if not remainder and width and joined.isascii():
+            packed = _np.frombuffer(joined.encode("utf-8"), dtype=f"S{width}")
+            order = _np.argsort(packed, kind="stable").tolist()
+            getter = itemgetter(*order)
+            return list(getter(keys)), list(getter(records))
+    paired = sorted(records, key=itemgetter(0))
+    return list(map(itemgetter(0), paired)), paired
+
+
+def _column_ends(texts: List[str], joined: str, blob: bytes):
+    """Cumulative utf-8 end offset of each item in a concatenated column."""
+    if len(blob) == len(joined):  # pure-ASCII column: char lengths are byte lengths
+        lengths = map(len, texts)
+    else:
+        lengths = (len(text.encode("utf-8")) for text in texts)
+    if _np is not None:
+        return _np.fromiter(lengths, dtype=_np.uint64, count=len(texts)).cumsum()
+    return array("Q", itertools.accumulate(lengths))
+
+
+def encode_snapshot(records: Iterable[SnapshotRecord]) -> bytes:
+    """Serialise ``records`` into the columnar broadcast layout."""
+    records = records if isinstance(records, list) else list(records)
+    count = len(records)
+    heap_off = _HEADER.size + count * _INDEX.size
+    if not count:
+        return _HEADER.pack(_MAGIC, 0, heap_off)
+    keys, records = _sort_by_key(records)
+    responses = list(map(itemgetter(1), records))
+    identities = ["" if record[2] is None else record[2] for record in records]
+    columns: List[bytes] = []
+    ends = []
+    for texts in (keys, responses, identities):
+        joined = "".join(texts)
+        blob = joined.encode("utf-8")
+        columns.append(blob)
+        ends.append(_column_ends(texts, joined, blob))
+    if _np is not None:
+        index = _np.column_stack(ends).astype("<u8", copy=False).tobytes()
+    else:
+        flat = array("Q", [0]) * (3 * count)
+        for column, cumulative in enumerate(ends):
+            flat[column::3] = cumulative
+        if struct.pack("=Q", 1) != struct.pack("<Q", 1):  # pragma: no cover
+            flat.byteswap()  # the layout is little-endian everywhere
+        index = flat.tobytes()
+    return b"".join([_HEADER.pack(_MAGIC, count, heap_off), index, *columns])
+
+
+class SharedSnapshotView:
+    """Read-only ``get`` over an encoded snapshot buffer — no dict built.
+
+    Lookup is a binary search over the sorted index directly against the
+    (possibly shared) buffer; only the handful of bytes each comparison
+    touches are ever copied, so attaching a 50k-entry snapshot costs a few
+    header reads, not a full deserialisation.  The optional ``shm`` handle
+    is owned by the view: :meth:`close` releases the buffer and closes the
+    mapping (the worker memo closes a superseded view before replacing it).
+    """
+
+    def __init__(self, buffer, *, shm=None) -> None:
+        self._shm = shm
+        self._view = memoryview(buffer)
+        magic, count, heap_off = _HEADER.unpack_from(self._view, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a snapshot buffer (bad magic)")
+        self._count = count
+        # The last index record holds each column's total byte size, which
+        # fixes where the response and identity columns start.
+        key_total = resp_total = 0
+        if count:
+            key_total, resp_total, _ = _INDEX.unpack_from(
+                self._view, _HEADER.size + (count - 1) * _INDEX.size
+            )
+        self._key_base = heap_off
+        self._resp_base = heap_off + key_total
+        self._id_base = self._resp_base + resp_total
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _bounds(self, position: int) -> Tuple[int, int, int, int, int, int]:
+        """Per-column (start, end) offsets of one record, column-relative."""
+        offset = _HEADER.size + position * _INDEX.size
+        key_end, resp_end, id_end = _INDEX.unpack_from(self._view, offset)
+        if position:
+            key_start, resp_start, id_start = _INDEX.unpack_from(
+                self._view, offset - _INDEX.size
+            )
+        else:
+            key_start = resp_start = id_start = 0
+        return key_start, key_end, resp_start, resp_end, id_start, id_end
+
+    def _key_bytes(self, position: int) -> bytes:
+        key_start, key_end, _, _, _, _ = self._bounds(position)
+        return bytes(self._view[self._key_base + key_start : self._key_base + key_end])
+
+    def _search(self, key: str) -> Optional[Tuple[int, int, int, int, int, int]]:
+        needle = key.encode("utf-8")
+        lo, hi = 0, self._count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            bounds = self._bounds(mid)
+            candidate = bytes(
+                self._view[self._key_base + bounds[0] : self._key_base + bounds[1]]
+            )
+            if candidate == needle:
+                return bounds
+            if candidate < needle:
+                lo = mid + 1
+            else:
+                hi = mid
+        return None
+
+    def get(self, key: str, default=None):
+        """The response stored under ``key``, or ``default``."""
+        bounds = self._search(key)
+        if bounds is None:
+            return default
+        _, _, resp_start, resp_end, _, _ = bounds
+        return str(self._view[self._resp_base + resp_start : self._resp_base + resp_end], "utf-8")
+
+    def identity(self, key: str) -> Optional[str]:
+        """The model identity recorded for ``key`` (``None`` when absent)."""
+        bounds = self._search(key)
+        if bounds is None:
+            return None
+        _, _, _, _, id_start, id_end = bounds
+        if id_start == id_end:
+            return None
+        return str(self._view[self._id_base + id_start : self._id_base + id_end], "utf-8")
+
+    def close(self) -> None:
+        """Release the buffer and, when shm-backed, close the mapping."""
+        try:
+            self._view.release()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
+            self._shm = None
+
+
+class PublishedSnapshot:
+    """Parent-side handle of one broadcast: owns the shm block or temp file.
+
+    ``payload`` is the only part that crosses the process boundary; the
+    handle itself stays in the parent so :func:`retire_snapshot` can unlink
+    the resource when the run completes.
+    """
+
+    __slots__ = ("kind", "payload", "nbytes", "_shm", "_path")
+
+    def __init__(self, kind: str, payload: SnapshotPayloadRef, nbytes: int, *, shm=None, path=None) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.nbytes = nbytes
+        self._shm = shm
+        self._path = path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PublishedSnapshot kind={self.kind} nbytes={self.nbytes}>"
+
+
+def _publish_shm(records: List[SnapshotRecord]) -> PublishedSnapshot:
+    from multiprocessing import shared_memory
+
+    encoded = encode_snapshot(records)
+    shm = shared_memory.SharedMemory(create=True, size=max(len(encoded), 1))
+    try:
+        shm.buf[: len(encoded)] = encoded
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    token = _next_token()
+    return PublishedSnapshot(
+        "shm", ("shm", shm.name, token), len(encoded), shm=shm
+    )
+
+
+def _publish_file(records: List[SnapshotRecord]) -> PublishedSnapshot:
+    entries = {key: response for key, response, _ in records}
+    fd, path = tempfile.mkstemp(prefix="repro-cache-snapshot-", suffix=".pkl")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(entries, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        nbytes = os.path.getsize(path)
+    except BaseException:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        raise
+    token = _next_token()
+    return PublishedSnapshot("file", ("file", path, token), nbytes, path=path)
+
+
+def publish_snapshot(
+    records: Iterable[SnapshotRecord], *, transport: str = "shm"
+) -> PublishedSnapshot:
+    """Publish one cache snapshot for a run's worth of chunk payloads.
+
+    ``transport="shm"`` (default) tries a shared-memory block and falls
+    back to the temp-file pickle when shared memory is unavailable;
+    ``transport="file"`` selects the temp file directly.
+    """
+    if transport not in SNAPSHOT_TRANSPORTS:
+        raise ValueError(
+            f"unknown snapshot transport {transport!r}; expected one of {SNAPSHOT_TRANSPORTS}"
+        )
+    records = list(records)
+    if transport == "shm":
+        try:
+            return _publish_shm(records)
+        except (ImportError, OSError, ValueError):
+            pass  # no /dev/shm, permissions, size limits: degrade gracefully
+    return _publish_file(records)
+
+
+def retire_snapshot(published: Optional[PublishedSnapshot]) -> None:
+    """Release a published snapshot after every chunk has completed.
+
+    For shm the block is closed and unlinked — workers still attached keep
+    their mapping alive until they drop it, so in-flight views never tear.
+    For the file transport the temp file is deleted.  Idempotent.
+    """
+    if published is None:
+        return
+    if published._shm is not None:
+        shm, published._shm = published._shm, None
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+        try:
+            shm.unlink()
+        except OSError:
+            pass
+    if published._path is not None:
+        path, published._path = published._path, None
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: Worker-side memo: the most recently loaded snapshot, keyed by token.  A
+#: worker process keeps at most one snapshot alive — the engine publishes a
+#: fresh one per run, so older epochs can never be referenced again.
+_WORKER_SNAPSHOTS: Dict[Tuple[int, int], Union[Dict[str, str], SharedSnapshotView]] = {}
+
+
+def _attach_shm(name: str):
+    """Attach an existing shm block; the parent owns the block's lifetime.
+
+    On Python >= 3.13 ``track=False`` keeps the attach out of the resource
+    tracker entirely.  Older versions re-register every attach — harmless
+    under the fork start method, where workers share the parent's tracker
+    process and registration is an idempotent set-add, so the parent's
+    ``unlink`` still deregisters the name exactly once.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _discard_memo() -> None:
+    for stale in _WORKER_SNAPSHOTS.values():
+        if isinstance(stale, SharedSnapshotView):
+            stale.close()
+    _WORKER_SNAPSHOTS.clear()
+
+
+# A memoised view pins its shm mapping through a memoryview; interpreter
+# shutdown must release that view before SharedMemory.__del__ runs or the
+# close raises "cannot close exported pointers exist" into stderr.
+atexit.register(_discard_memo)
+
+
+def load_snapshot(ref: Optional[SnapshotPayloadRef]):
+    """Worker side: resolve a payload reference to a ``get``-able snapshot.
+
+    Returns ``(snapshot, loaded_kind)`` where ``snapshot`` supports
+    ``get(key, default)`` (a :class:`SharedSnapshotView` or a plain dict)
+    and ``loaded_kind`` is ``"shm"``/``"file"`` when this call actually
+    attached/deserialised, or ``None`` for a memo hit (at most one genuine
+    load per worker per run) or a ``None`` reference.
+    """
+    if ref is None:
+        return None, None
+    kind, locator, token = ref
+    snapshot = _WORKER_SNAPSHOTS.get(token)
+    if snapshot is not None:
+        return snapshot, None
+    if kind == "shm":
+        shm = _attach_shm(locator)
+        snapshot = SharedSnapshotView(shm.buf, shm=shm)
+    elif kind == "file":
+        with open(locator, "rb") as handle:
+            snapshot = pickle.load(handle)
+    else:
+        raise ValueError(f"unknown snapshot payload kind {kind!r}")
+    _discard_memo()
+    _WORKER_SNAPSHOTS[token] = snapshot
+    return snapshot, kind

@@ -59,6 +59,16 @@ class EngineTelemetry:
         self.deadline_actual_s = 0.0
         #: Peak concurrently-in-flight chunk coroutines (async-native path).
         self.async_inflight_peak = 0
+        #: Snapshot broadcasts published for distributed runs, and the
+        #: encoded bytes they carried (one shared mapping or temp file per
+        #: run — *not* bytes-per-worker).
+        self.broadcast_publishes = 0
+        self.broadcast_bytes = 0
+        #: Genuine worker-side shared-memory attaches (at most one per
+        #: worker per run; the per-token memo absorbs the rest).  Stays 0
+        #: on the temp-file path, so `publishes` vs `attaches` shows which
+        #: transport a run actually used.
+        self.shm_attach = 0
         #: Batched model calls issued by the micro-batch coalescer.
         self.coalesce_flushes = 0
         #: Requests that shared a flush with at least one other chunk —
@@ -101,6 +111,19 @@ class EngineTelemetry:
             self.deadline_predicted_s = predicted_s
             self.deadline_actual_s = actual_s
             self.deadline_shed += shed
+
+    def record_broadcast(self, nbytes: int) -> None:
+        """One published cache snapshot (shm block or temp file) of ``nbytes``."""
+        with self._lock:
+            self.broadcast_publishes += 1
+            self.broadcast_bytes += nbytes
+
+    def record_shm_attach(self, n: int) -> None:
+        """Fold worker-reported first-time shared-memory attaches."""
+        if not n:
+            return
+        with self._lock:
+            self.shm_attach += n
 
     def record_cache(self, hits: int, misses: int) -> None:
         with self._lock:
@@ -183,6 +206,9 @@ class EngineTelemetry:
                 "wall_time_s": round(self.wall_time_s, 4),
                 "requests_per_second": round(self.requests_per_second, 2),
                 "async_inflight_peak": self.async_inflight_peak,
+                "broadcast_publishes": self.broadcast_publishes,
+                "broadcast_bytes": self.broadcast_bytes,
+                "shm_attach": self.shm_attach,
                 "coalesce_flushes": self.coalesce_flushes,
                 "coalesce_merged": self.coalesce_merged,
                 "coalesce_prompts": self.coalesce_prompts,
@@ -271,6 +297,9 @@ class EngineTelemetry:
                 "cache_hits",
                 "cache_misses",
                 "runs",
+                "broadcast_publishes",
+                "broadcast_bytes",
+                "shm_attach",
                 "coalesce_flushes",
                 "coalesce_merged",
                 "coalesce_prompts",
@@ -300,6 +329,11 @@ class EngineTelemetry:
             parts.append(f"throughput={snap['requests_per_second']:.1f} req/s")
         if snap["async_inflight_peak"]:
             parts.append(f"inflight_peak={snap['async_inflight_peak']}")
+        if snap["broadcast_publishes"]:
+            parts.append(
+                f"broadcast={snap['broadcast_publishes']} publishes/"
+                f"{snap['broadcast_bytes']}B shm_attach={snap['shm_attach']}"
+            )
         if snap["coalesce_flushes"]:
             parts.append(
                 f"coalesced={snap['coalesce_merged']} calls into "

@@ -1,0 +1,416 @@
+"""The zero-copy cache plane: snapshot broadcast, tiered eviction, shared store.
+
+Three layers under test, matching :mod:`repro.engine`'s cache plane:
+
+* :mod:`repro.engine.snapshot` — the columnar broadcast encoding, the
+  shared-memory publish/attach/retire lifecycle and its temp-file
+  fallback;
+* :class:`repro.engine.cache.ResponseCache` — the size- and TTL-tiered
+  eviction policy layered over the existing LRU/cost-aware tiers, and
+  ``shared_read`` mode;
+* :class:`repro.engine.sharedstore.SharedSegmentStore` — the mmap-backed
+  multi-reader segment view, including the compaction race it must never
+  lose, and the ``repro cache`` CLI over it.
+"""
+
+import threading
+
+import pytest
+
+import repro.engine.snapshot as engine_snapshot
+from repro.__main__ import main
+from repro.engine import CostModel, ResponseCache, cache_key
+from repro.engine.sharedstore import SharedSegmentStore
+from repro.engine.snapshot import (
+    SharedSnapshotView,
+    encode_snapshot,
+    load_snapshot,
+    publish_snapshot,
+    retire_snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_worker_memo():
+    yield
+    engine_snapshot._discard_memo()
+
+
+class TestSnapshotEncoding:
+    def test_empty_snapshot(self):
+        view = SharedSnapshotView(encode_snapshot([]))
+        assert len(view) == 0
+        assert view.get("anything", "default") == "default"
+        assert view.identity("anything") is None
+
+    def test_roundtrip_values_and_identities(self):
+        records = [
+            ("kb", "resp-β with ünïcode", None),
+            ("ka", "first", "model-α"),
+            ("kc", "", "m"),
+        ]
+        view = SharedSnapshotView(encode_snapshot(records))
+        assert len(view) == 3
+        assert view.get("ka") == "first"
+        assert view.identity("ka") == "model-α"
+        assert view.get("kb") == "resp-β with ünïcode"
+        assert view.identity("kb") is None  # None identity round-trips as absent
+        assert view.get("kc") == ""
+        assert view.identity("kc") == "m"
+        assert view.get("missing") is None
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            SharedSnapshotView(b"not-a-snapshot-buffer-at-all")
+
+    @staticmethod
+    def _hash_records(count):
+        return [
+            (cache_key("m", f"prompt {i}"), f"response {i}", "m") for i in range(count)
+        ]
+
+    def test_vectorised_and_fallback_encoders_agree(self, monkeypatch):
+        """The numpy argsort/cumsum path and the stdlib path must produce
+        byte-identical buffers — the layout is the contract, not the code."""
+        records = self._hash_records(engine_snapshot._VECTOR_SORT_MIN + 100)
+        vectorised = encode_snapshot(records)
+        monkeypatch.setattr(engine_snapshot, "_np", None)
+        assert encode_snapshot(records) == vectorised
+        view = SharedSnapshotView(vectorised)
+        assert all(view.get(key) == response for key, response, _ in records[:200])
+
+    def test_variable_width_keys_fall_back_to_sorted(self):
+        """Mixed-length keys can't take the fixed-width argsort; the sorted
+        fallback must still produce a searchable buffer at any size."""
+        records = self._hash_records(engine_snapshot._VECTOR_SORT_MIN + 10)
+        records.append(("short-key", "short response", None))
+        view = SharedSnapshotView(encode_snapshot(records))
+        assert view.get("short-key") == "short response"
+        assert view.get(records[0][0]) == records[0][1]
+
+    def test_non_ascii_columns_use_byte_lengths(self):
+        records = [(f"k{i}", "ω" * (i + 1), "idé") for i in range(10)]
+        view = SharedSnapshotView(encode_snapshot(records))
+        for key, response, identity in records:
+            assert view.get(key) == response
+            assert view.identity(key) == identity
+
+
+class TestShmBroadcastLifecycle:
+    def test_publish_attach_memo_retire(self):
+        records = [(cache_key("m", f"p{i}"), f"r{i}", "m") for i in range(64)]
+        published = publish_snapshot(records, transport="shm")
+        if published.kind != "shm":
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            view, loaded_kind = load_snapshot(published.payload)
+            assert loaded_kind == "shm"
+            assert view.get(records[3][0]) == "r3"
+            # Second resolve of the same token is a memo hit, not a load.
+            again, memo_kind = load_snapshot(published.payload)
+            assert again is view and memo_kind is None
+        finally:
+            retire_snapshot(published)
+        # The block is unlinked: late attaches fail, but the view already
+        # attached keeps working (POSIX keeps the mapping alive).
+        with pytest.raises((FileNotFoundError, OSError)):
+            engine_snapshot._attach_shm(published.payload[1])
+        assert view.get(records[3][0]) == "r3"
+        assert retire_snapshot(published) is None  # idempotent
+
+    def test_shm_failure_falls_back_to_file(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr("multiprocessing.shared_memory.SharedMemory", refuse)
+        records = [(cache_key("m", "p"), "r", "m")]
+        published = publish_snapshot(records, transport="shm")
+        try:
+            assert published.kind == "file"
+            view, loaded_kind = load_snapshot(published.payload)
+            assert loaded_kind == "file"
+            assert view.get(cache_key("m", "p")) == "r"
+        finally:
+            retire_snapshot(published)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            publish_snapshot([], transport="carrier-pigeon")
+
+
+class TestTieredEviction:
+    @staticmethod
+    def _fill(cache, identity, prompt, size):
+        cache.put(identity, prompt, "x" * size)
+
+    def test_byte_budget_evicts_until_fit(self):
+        cache = ResponseCache(max_entries=100, max_bytes=300)
+        self._fill(cache, "m", "p1", 80)  # 64-byte key + 80 = 144
+        self._fill(cache, "m", "p2", 80)
+        assert cache.total_bytes == 288
+        self._fill(cache, "m", "p3", 80)  # 432 > 300: evict down to budget
+        assert cache.total_bytes <= 300
+        assert cache.stats.evictions == 1
+        assert cache.get("m", "p1") is None  # equal sizes degrade to LRU
+
+    def test_largest_entry_goes_first_under_byte_budget(self):
+        cache = ResponseCache(max_entries=100, max_bytes=400)
+        self._fill(cache, "m", "small-1", 10)  # 74 bytes
+        self._fill(cache, "m", "huge", 200)  # 264 bytes
+        self._fill(cache, "m", "small-2", 10)  # 412 > 400
+        assert cache.get("m", "huge") is None  # not the LRU-oldest, but biggest
+        assert cache.get("m", "small-1") == "x" * 10
+        assert cache.get("m", "small-2") == "x" * 10
+
+    def test_size_cost_tier_weighs_bytes_per_second(self):
+        """A huge cheap response must not outlive tiny expensive ones."""
+        cost_model = CostModel()
+        cost_model.observe("cheap", "BP1", 0.001)
+        cost_model.observe("slow", "BP1", 0.5)
+        cache = ResponseCache(
+            max_entries=100,
+            max_bytes=400,
+            cost_aware_eviction=True,
+            cost_model=cost_model,
+        )
+        self._fill(cache, "slow", "tiny-expensive", 10)  # 74 bytes, 0.5 s
+        self._fill(cache, "cheap", "huge-cheap", 200)  # 264 bytes, 1 ms
+        self._fill(cache, "slow", "tiny-2", 10)  # over budget
+        assert cache.get("cheap", "huge-cheap") is None
+        assert cache.get("slow", "tiny-expensive") == "x" * 10
+
+    def test_ttl_expires_on_lookup(self):
+        now = [100.0]
+        cache = ResponseCache(max_entries=10, ttl_s=5.0, clock=lambda: now[0])
+        cache.put("m", "p", "r")
+        assert cache.get("m", "p") == "r"
+        now[0] += 5.1
+        assert cache.get("m", "p") is None
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 0
+
+    def test_expired_entries_evict_before_live_ones(self):
+        now = [0.0]
+        cache = ResponseCache(max_entries=2, ttl_s=5.0, clock=lambda: now[0])
+        cache.put("m", "old", "r-old")  # inserted at t=0
+        now[0] = 4.0
+        cache.put("m", "fresh", "r-fresh")  # inserted at t=4
+        assert cache.get("m", "old") == "r-old"  # touch: old is now MRU
+        now[0] = 5.5  # old (age 5.5) expired, fresh (age 1.5) live
+        cache.put("m", "new", "r-new")
+        # Plain LRU would evict "fresh" (the LRU slot); the expiry tier
+        # reclaims the expired "old" instead even though it was just used.
+        assert cache.get("m", "fresh") == "r-fresh"
+        assert cache.get("m", "new") == "r-new"
+        assert cache.stats.evictions == 1
+
+    def test_snapshot_records_carry_identities(self):
+        cache = ResponseCache()
+        cache.put("model-a", "p", "r")
+        cache.put_key("bare-key", "r2")
+        records = dict(
+            (key, (response, identity))
+            for key, response, identity in cache.snapshot_records()
+        )
+        assert records[cache_key("model-a", "p")] == ("r", "model-a")
+        assert records["bare-key"] == ("r2", None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResponseCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            ResponseCache(ttl_s=0)
+        with pytest.raises(ValueError):
+            ResponseCache(shared_read=True)  # no path to share
+
+
+class TestSharedSegmentStore:
+    @staticmethod
+    def _write_store(path, entries, **kwargs):
+        cache = ResponseCache(path=path, auto_compact_ratio=None, **kwargs)
+        for identity, prompt, response in entries:
+            cache.put(identity, prompt, response)
+        cache.save()
+        return cache
+
+    def test_get_and_default(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "the response")])
+        store = SharedSegmentStore(target)
+        assert store.get(cache_key("m", "p")) == "the response"
+        assert store.get("0" * 64, "fallback") == "fallback"
+        assert len(store) == 1
+
+    def test_identity_round_trips(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("model-x", "p", "r")])
+        store = SharedSegmentStore(target)
+        assert store.identity(cache_key("model-x", "p")) == "model-x"
+
+    def test_open_returns_one_store_per_directory(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+        first = SharedSegmentStore.open(target)
+        second = SharedSegmentStore.open(tmp_path / "." / "store")
+        assert first is second
+
+    def test_later_segments_win_after_refresh(self, tmp_path):
+        target = tmp_path / "store"
+        cache = self._write_store(target, [("m", "p", "version 1")])
+        store = SharedSegmentStore(target)
+        key = cache_key("m", "p")
+        assert store.get(key) == "version 1"
+        cache.put("m", "p", "version 2")
+        cache.save()  # appends a later segment superseding the first line
+        store.refresh()
+        assert store.get(key) == "version 2"
+
+    def test_auto_refresh_on_miss_picks_up_new_segments(self, tmp_path):
+        target = tmp_path / "store"
+        store = SharedSegmentStore(target)  # opened before anything exists
+        assert len(store) == 0
+        self._write_store(target, [("m", "p", "r")])
+        # No explicit refresh: the miss re-checks the directory signature.
+        assert store.get(cache_key("m", "p")) == "r"
+
+    def test_stats_shape(self, tmp_path):
+        target = tmp_path / "store"
+        cache = self._write_store(target, [("m", "p", "r")])
+        cache.put("m", "p", "r2")
+        cache.save()
+        store = SharedSegmentStore(target)
+        stats = store.stats()
+        assert stats["segments"] == 2
+        assert stats["live_entries"] == 1
+        assert stats["entry_lines"] == 2
+        assert stats["dead_entries"] == 1
+        assert 0.0 < stats["dead_ratio"] <= 0.5
+        assert stats["total_bytes"] > 0
+
+    def test_compaction_never_starves_a_concurrent_reader(self, tmp_path):
+        """The satellite guarantee: ``compact()`` racing an open reader must
+        never serve a torn or missing entry.  New segments are written
+        before old ones are unlinked, and unlinked mmaps stay valid, so
+        every ``get`` sees complete data no matter when it lands."""
+        target = tmp_path / "store"
+        stable = [("m", f"stable {i}", f"response {i}") for i in range(24)]
+        cache = self._write_store(target, stable)
+        expected = {cache_key("m", f"stable {i}"): f"response {i}" for i in range(24)}
+        store = SharedSegmentStore(target)
+        stop = threading.Event()
+        writer_errors = []
+
+        def churn():
+            try:
+                for round_no in range(30):
+                    cache.put("m", f"churn {round_no}", "x" * 64)
+                    cache.save()
+                    cache.compact()
+            except Exception as exc:  # pragma: no cover - the assertion
+                writer_errors.append(exc)
+            finally:
+                stop.set()
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        reads = 0
+        try:
+            while not stop.is_set():
+                for key, response in expected.items():
+                    got = store.get(key)
+                    assert got == response, f"torn/missing read after {reads} reads"
+                    reads += 1
+                store.refresh()  # pick up post-compaction views mid-race too
+        finally:
+            writer.join()
+        assert not writer_errors
+        assert reads > 0
+        store.refresh()
+        assert all(store.get(key) == response for key, response in expected.items())
+
+
+class TestSharedReadCache:
+    def test_serves_store_hits_without_loading_segments(self, tmp_path):
+        target = tmp_path / "store"
+        writer = ResponseCache(path=target)
+        writer.put("m", "p", "warm response")
+        writer.save()
+        reader = ResponseCache(path=target, shared_read=True)
+        assert len(reader) == 0  # nothing loaded into the private tier
+        assert reader.shared_store is not None
+        assert reader.get("m", "p") == "warm response"
+        assert len(reader) == 0  # hits are not promoted into memory
+        assert reader.stats.hits == 1
+        assert reader.get("m", "cold prompt") is None
+        assert reader.stats.misses == 1
+
+    def test_merge_of_store_held_response_is_not_repersisted(self, tmp_path):
+        target = tmp_path / "store"
+        writer = ResponseCache(path=target)
+        writer.put("m", "p", "same response")
+        writer.save()
+        reader = ResponseCache(path=target, shared_read=True)
+        reader.put("m", "p", "same response")
+        assert reader.pending_count == 0  # identical to the store: no dead line
+        reader.put("m", "p2", "genuinely new")
+        assert reader.pending_count == 1
+
+    def test_rejects_legacy_single_file_store(self, tmp_path):
+        legacy = tmp_path / "cache.json"
+        legacy.write_text('{"version": 1, "entries": {}}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            ResponseCache(path=legacy, shared_read=True)
+
+
+class TestCacheCLI:
+    @staticmethod
+    def _build_store(target, rounds=3):
+        cache = ResponseCache(path=target, auto_compact_ratio=None)
+        for round_no in range(rounds):
+            cache.put("m", "shared prompt", f"version {round_no}")
+            cache.put("m", f"prompt {round_no}", f"response {round_no}")
+            cache.save()
+        return cache
+
+    def test_cache_stats_command(self, tmp_path, capsys):
+        target = tmp_path / "store"
+        self._build_store(target)
+        assert main(["cache", "stats", "--cache", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "[cache]" in out
+        assert "segments=3" in out
+        assert "live_entries=4" in out
+
+    def test_cache_compact_command_folds_segments(self, tmp_path, capsys):
+        target = tmp_path / "store"
+        self._build_store(target)
+        assert len(list(target.glob("segment-*.jsonl"))) == 3
+        assert main(["cache", "compact", "--cache", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "[cache]" in out
+        assert len(list(target.glob("segment-*.jsonl"))) == 1
+        store = SharedSegmentStore(target)
+        assert store.get(cache_key("m", "shared prompt")) == "version 2"
+
+    def test_cache_command_validations(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache"])  # missing subcommand
+        with pytest.raises(SystemExit):
+            main(["cache", "stats"])  # missing --cache
+        with pytest.raises(SystemExit):
+            main(["cache", "defragment", "--cache", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["table2", "stats"])  # subcommands belong to 'cache' only
+
+    def test_eviction_flags_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["table2", "--cache-max-bytes", "0"])
+        with pytest.raises(SystemExit):
+            main(["table2", "--cache-ttl", "0"])
+        with pytest.raises(SystemExit):
+            main(["table2", "--cache-entries", "0", "--cache-max-bytes", "1000"])
+        with pytest.raises(SystemExit):
+            main(["table2", "--shared-cache"])  # needs --cache PATH
+        with pytest.raises(SystemExit):
+            main(["table2", "--snapshot-transport", "fax"])

@@ -17,6 +17,7 @@ import time
 import pytest
 
 import repro.engine.core as engine_core
+import repro.engine.snapshot as engine_snapshot
 from repro.engine import (
     AsyncExecutor,
     CostModel,
@@ -470,14 +471,14 @@ class _RecordingDistributedExecutor(SerialExecutor):
 class TestBroadcastOnceSnapshot:
     @pytest.fixture()
     def publish_counter(self, monkeypatch):
-        """Count parent-side snapshot serialisations."""
+        """Record parent-side snapshot publications (the PublishedSnapshot handles)."""
         published = []
         original = engine_core._publish_snapshot
 
-        def counting_publish(entries):
-            ref = original(entries)
-            published.append(ref)
-            return ref
+        def counting_publish(records, **kwargs):
+            handle = original(records, **kwargs)
+            published.append(handle)
+            return handle
 
         monkeypatch.setattr(engine_core, "_publish_snapshot", counting_publish)
         return published
@@ -494,7 +495,7 @@ class TestBroadcastOnceSnapshot:
 
         assert len(executor.payloads) == len(records)  # batch_size=1 -> chunk per record
         assert len(publish_counter) == 1, "snapshot must be published once per run"
-        ref = publish_counter[0]
+        ref = publish_counter[0].payload
         for _, payload_ref in executor.payloads:
             assert payload_ref == ref  # payloads carry only the tiny reference
             assert not isinstance(payload_ref, dict)
@@ -503,17 +504,28 @@ class TestBroadcastOnceSnapshot:
         engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
         assert len(publish_counter) == 2
 
-    def test_snapshot_file_removed_after_run(self, records, publish_counter):
+    @pytest.mark.parametrize("transport", ["shm", "file"])
+    def test_snapshot_resource_released_after_run(
+        self, records, publish_counter, transport
+    ):
         import os
 
         cache = ResponseCache()
         cache.put("gpt-4", "warm", "yes")
         engine = ExecutionEngine(
-            executor=_RecordingDistributedExecutor(), cache=cache, batch_size=4
+            executor=_RecordingDistributedExecutor(),
+            cache=cache,
+            batch_size=4,
+            snapshot_transport=transport,
         )
         engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
-        path, _ = publish_counter[0]
-        assert not os.path.exists(path)
+        kind, locator, _token = publish_counter[0].payload
+        if kind == "file":
+            assert not os.path.exists(locator)
+        else:
+            assert kind == "shm"
+            with pytest.raises((FileNotFoundError, OSError)):
+                engine_snapshot._attach_shm(locator)
 
     def test_worker_memo_keeps_only_latest_token(self, records, publish_counter):
         cache = ResponseCache()
@@ -525,7 +537,23 @@ class TestBroadcastOnceSnapshot:
         engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records[:4]))
         assert len(engine_core._WORKER_SNAPSHOTS) == 1
         (token,) = engine_core._WORKER_SNAPSHOTS
-        assert token == publish_counter[-1][1]
+        assert token == publish_counter[-1].payload[2]
+
+    def test_telemetry_counts_publishes_and_attaches(self, records, publish_counter):
+        cache = ResponseCache()
+        cache.put("gpt-4", "warm", "yes")
+        engine = ExecutionEngine(
+            executor=_RecordingDistributedExecutor(), cache=cache, batch_size=4
+        )
+        engine.run(build_requests(create_model("gpt-4"), PromptStrategy.BP1, records))
+        snap = engine.telemetry.snapshot()
+        assert snap["broadcast_publishes"] == 1
+        assert snap["broadcast_bytes"] == publish_counter[0].nbytes > 0
+        if publish_counter[0].kind == "shm":
+            # One genuine attach (the in-process recording executor is a
+            # single "worker"); the memo absorbs the other chunks.
+            assert snap["shm_attach"] == 1
+        assert "broadcast=1 publishes" in engine.telemetry.format_stats()
 
     def test_uncached_run_publishes_nothing(self, records, publish_counter):
         engine = ExecutionEngine(executor=_RecordingDistributedExecutor(), batch_size=4)

@@ -69,6 +69,30 @@ ENGINE_CONFIGS = [
         dict(jobs=3, executor_kind="process", cache=ResponseCache(), batch_size=8),
         id="process-pool-cached",
     ),
+    # The two snapshot transports must be interchangeable: the default shm
+    # broadcast (process-pool-cached above) and the temp-file pickle path
+    # pinned here both reproduce the seed loop exactly.
+    pytest.param(
+        dict(
+            jobs=3,
+            executor_kind="process",
+            cache=ResponseCache(),
+            batch_size=8,
+            snapshot_transport="file",
+        ),
+        id="process-pool-file-snapshot",
+    ),
+    # A byte budget tight enough to evict constantly mid-run, plus a TTL:
+    # the size/TTL eviction tiers may only ever cost extra model calls,
+    # never change a response.
+    pytest.param(
+        dict(
+            jobs=4,
+            cache=ResponseCache(max_entries=16, max_bytes=4096, ttl_s=60.0),
+            batch_size=5,
+        ),
+        id="thread-pool-tiered-eviction",
+    ),
     # The async configs all take the async-native path: chunk coroutines
     # awaiting generate_batch_async on the executor's event loop, with the
     # micro-batch coalescer merging concurrent same-model calls by default.
@@ -156,6 +180,40 @@ class TestEngineMatchesSeedLoop:
         second = engine.run(build_requests(model, PromptStrategy.BP1, records))
         assert first.responses() == second.responses()
         assert engine.telemetry.cache_hits == len(records)
+
+
+class TestCachePlaneEquivalence:
+    """The cache plane is invisible to scoring: serving responses out of
+    the host-wide mmap store must equal a private in-memory load of the
+    same segment directory, which must equal the seed loop."""
+
+    def test_shared_store_matches_private_load(self, subset, tmp_path):
+        records = subset.records[:30]
+        target = tmp_path / "segments"
+
+        def requests():
+            return build_requests(
+                create_model("gpt-4"), PromptStrategy.BP1, records, scoring="detection"
+            )
+
+        warm = ResponseCache(path=target)
+        with ExecutionEngine(cache=warm) as engine:
+            reference = engine.run_counts(requests())
+        warm.save()
+
+        private = ResponseCache(path=target)
+        with ExecutionEngine(jobs=4, cache=private, batch_size=6) as engine:
+            private_counts = engine.run_counts(requests())
+
+        shared = ResponseCache(path=target, shared_read=True)
+        with ExecutionEngine(jobs=4, cache=shared, batch_size=6) as engine:
+            shared_counts = engine.run_counts(requests())
+
+        assert private_counts.as_row() == reference.as_row()
+        assert shared_counts.as_row() == reference.as_row()
+        # Shared-read served every hit straight off the mmap; nothing was
+        # promoted into the in-memory tier.
+        assert len(shared) == 0
 
 
 class TestDriverEquivalence:
