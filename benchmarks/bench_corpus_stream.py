@@ -1,0 +1,195 @@
+"""Corpus scale-out — streamed vs materialised end-to-end evaluation.
+
+The paper's corpus is 201 microbenchmarks; the streaming path exists so
+the same pipeline can score corpora three orders of magnitude larger
+without holding them in memory.  This benchmark drives both paths over a
+100k-record corpus (``CorpusConfig(repeats=498)`` — 498 shuffled blocks
+of the 201 patterns, every record name unique) end to end: generate →
+featurise → build requests → score through the execution engine → fold
+into confusion counts.
+
+* **materialised** — the historical shape: ``list()`` every record,
+  build the full request list, ``engine.run_counts``.  Peak RSS grows
+  with the corpus (records + requests + result store all resident).
+* **stream** — the ``--stream`` shape: ``iter_default_records`` →
+  ``iter_requests`` → ``engine.run_streaming_counts``, everything lazy,
+  the engine dispatching windows of ``STREAM_WINDOW`` requests and
+  folding results as they complete.  Peak RSS is O(window).
+
+Methodology: each mode runs in a **fresh subprocess** so its peak RSS
+(``VmHWM``) is its own — a shared interpreter would let the first mode's
+high-water mark mask the second's.  The deterministic instant model
+keeps model simulation out of the measurement (the subject is the
+pipeline, and both modes use the same model), and featurisation — the
+dominant per-record cost — is sharded across ``FEATURISE_JOBS`` worker
+processes in *both* modes, so the comparison stays apples-to-apples.
+Both modes must produce identical confusion counts: streaming is a pure
+execution-shape change.
+
+Writes ``BENCH_corpus_stream.json`` (repo root); CI's
+``check_bench_regression.py`` holds the throughput ratio and the
+peak-RSS reduction to the committed floors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+import zlib
+from pathlib import Path
+
+#: The acceptance floor: at least this many records end to end.
+N_RECORDS_MIN = 100_000
+#: 498 blocks x 201 benchmarks/block = 100,098 records.
+REPEATS = 498
+#: Requests resident at once on the streaming path (the engine default).
+STREAM_WINDOW = 2048
+#: Featurisation shards in flight; capped so a laptop is not overwhelmed,
+#: floored at 1 so single-CPU runners take the serial path without
+#: process-pool overhead.
+FEATURISE_JOBS = max(1, min(4, (os.cpu_count() or 1) - 1))
+#: Committed floors (see benchmarks/baselines/BENCH_baseline.json):
+#: streaming must hold >= 0.9x the materialised throughput while peaking
+#: at <= 0.5x its RSS (expressed as a >= 2x reduction ratio).
+MIN_THROUGHPUT_RATIO = 0.9
+MIN_RSS_REDUCTION = 2.0
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_corpus_stream.json"
+
+
+def _peak_rss_kb() -> int:
+    """Lifetime peak resident set size in kB (0 where /proc is unavailable)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def _measure(mode):
+    """One end-to-end evaluation of the 100k-record corpus in ``mode``."""
+    from repro.corpus.generator import CorpusConfig, corpus_size
+    from repro.dataset.drbml import iter_default_records
+    from repro.engine import ExecutionEngine, build_requests, iter_requests
+    from repro.llm.base import LanguageModel
+    from repro.prompting.strategy import PromptStrategy
+
+    class InstantModel(LanguageModel):
+        """Deterministic, latency-free verdicts keyed on the prompt bytes."""
+
+        name = "bench-instant"
+
+        def generate(self, prompt: str) -> str:
+            return "yes" if zlib.crc32(prompt.encode("utf-8")) & 1 else "no"
+
+    config = CorpusConfig(repeats=REPEATS)
+    expected = corpus_size(config)
+    model = InstantModel()
+    strategy = PromptStrategy.BP1
+    engine = ExecutionEngine(cache=None, stream_window=STREAM_WINDOW)
+    start = time.perf_counter()
+    if mode == "materialised":
+        records = list(iter_default_records(config, jobs=FEATURISE_JOBS))
+        requests = build_requests(model, strategy, records)
+        counts = engine.run_counts(requests)
+    else:
+        requests = iter_requests(
+            model, strategy, iter_default_records(config, jobs=FEATURISE_JOBS)
+        )
+        counts = engine.run_streaming_counts(requests)
+    elapsed = time.perf_counter() - start
+    resident_peak = engine.telemetry.snapshot()["resident_requests_peak"]
+    engine.close()
+    if counts.total != expected:
+        raise AssertionError(f"{mode}: scored {counts.total} of {expected} records")
+    return {
+        "mode": mode,
+        "records": counts.total,
+        "elapsed_s": round(elapsed, 2),
+        "records_per_second": round(counts.total / elapsed, 1),
+        "peak_rss_kb": _peak_rss_kb(),
+        "resident_requests_peak": resident_peak,
+        "stream_window": STREAM_WINDOW,
+        "featurise_jobs": FEATURISE_JOBS,
+        "counts": {"tp": counts.tp, "fp": counts.fp, "tn": counts.tn, "fn": counts.fn},
+    }
+
+
+def _run_in_fresh_process(mode):
+    """Measure ``mode`` in its own interpreter so VmHWM is its own."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")])
+    )
+    completed = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--mode", mode],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=1800,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(f"{mode} measurement subprocess failed:\n{completed.stderr}")
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def test_streamed_vs_materialised(benchmark):
+    from conftest import run_once
+
+    materialised = run_once(
+        benchmark, lambda: _run_in_fresh_process("materialised")
+    )
+    stream = _run_in_fresh_process("stream")
+
+    throughput_ratio = (
+        stream["records_per_second"] / materialised["records_per_second"]
+    )
+    rss_reduction = materialised["peak_rss_kb"] / max(1, stream["peak_rss_kb"])
+    payload = {
+        "records": materialised["records"],
+        "stream_window": STREAM_WINDOW,
+        "featurise_jobs": FEATURISE_JOBS,
+        "materialised": materialised,
+        "stream": stream,
+        "throughput_ratio_stream_vs_materialised": round(throughput_ratio, 3),
+        "rss_reduction_materialised_vs_stream": round(rss_reduction, 2),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print()
+    print(
+        f"corpus stream: materialised {materialised['records_per_second']:g} rec/s "
+        f"@ {materialised['peak_rss_kb'] / 1024:.0f}MB peak, "
+        f"stream {stream['records_per_second']:g} rec/s "
+        f"@ {stream['peak_rss_kb'] / 1024:.0f}MB peak -> "
+        f"{throughput_ratio:.2f}x throughput, {rss_reduction:.1f}x less RSS"
+    )
+
+    # A pure execution-shape change: both modes scored the same corpus to
+    # the same verdicts.
+    assert stream["counts"] == materialised["counts"]
+    assert materialised["records"] >= N_RECORDS_MIN
+    # The engine's own gauge agrees with the O(window) claim: the streamed
+    # run never held more than one window of requests, the materialised
+    # run held the whole corpus.
+    assert stream["resident_requests_peak"] <= STREAM_WINDOW
+    assert materialised["resident_requests_peak"] == materialised["records"]
+    assert throughput_ratio >= MIN_THROUGHPUT_RATIO, (
+        f"streaming must hold >= {MIN_THROUGHPUT_RATIO}x the materialised "
+        f"throughput, got {throughput_ratio:.2f}x"
+    )
+    assert rss_reduction >= MIN_RSS_REDUCTION, (
+        f"streaming must peak at <= 1/{MIN_RSS_REDUCTION}x the materialised "
+        f"RSS, got 1/{rss_reduction:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=("materialised", "stream"), required=True)
+    print(json.dumps(_measure(parser.parse_args().mode)))

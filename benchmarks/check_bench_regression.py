@@ -1,10 +1,11 @@
-"""Benchmark regression gate: compare fresh results to the committed floors.
+"""Benchmark regression gate: floors from the baseline, trends from history.
 
 Run after ``bench_engine_throughput.py``, ``bench_scheduler.py``,
-``bench_dispatch.py``, ``bench_async.py``, ``bench_speculation.py`` and
-``bench_cache_plane.py`` have written ``BENCH_engine.json`` /
-``BENCH_scheduler.json`` / ``BENCH_dispatch.json`` / ``BENCH_async.json``
-/ ``BENCH_speculation.json`` / ``BENCH_cache_plane.json`` to the repo
+``bench_dispatch.py``, ``bench_async.py``, ``bench_speculation.py``,
+``bench_cache_plane.py`` and ``bench_corpus_stream.py`` have written
+``BENCH_engine.json`` / ``BENCH_scheduler.json`` / ``BENCH_dispatch.json``
+/ ``BENCH_async.json`` / ``BENCH_speculation.json`` /
+``BENCH_cache_plane.json`` / ``BENCH_corpus_stream.json`` to the repo
 root::
 
     python benchmarks/check_bench_regression.py
@@ -19,24 +20,130 @@ Every invocation also appends one JSON line per run to
 ``benchmarks/BENCH_history.jsonl`` — the measured numbers, the floors they
 were held to, and the verdict — so performance over time can be read
 straight out of the repo checkout (CI uploads the file as an artifact).
+
+On top of the static floors, the gate holds each metric to its own
+**trailing trend**: a fresh measurement below ``p50_fraction`` (0.7×) of
+the trailing-window median of previously *passing* runs fails the gate
+even when it clears the static floor — catching slow driftic regressions
+the conservative floors would let through.  The trailing p95 is printed
+alongside for context.  With fewer than ``min_points`` (3) historical
+points the trend check is warn-only, so fresh clones and newly added
+benchmarks never fail on an empty history.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
 from pathlib import Path
+from typing import Dict, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "BENCH_baseline.json"
 HISTORY_PATH = Path(__file__).resolve().parent / "BENCH_history.jsonl"
+
+#: Trend gate tuning: how far below the trailing median a passing run may
+#: fall, how many history points arm the gate, and how far back it looks.
+TREND_P50_FRACTION = 0.7
+TREND_MIN_POINTS = 3
+TREND_WINDOW = 20
 
 
 def _load(path: Path) -> dict:
     if not path.exists():
         sys.exit(f"missing {path.name}: run the benchmarks first")
     return json.loads(path.read_text(encoding="utf-8"))
+
+
+def load_history(path: Path) -> List[dict]:
+    """Parsed ``BENCH_history.jsonl`` records, oldest first.
+
+    Corrupt lines (interrupted appends, merge damage) are skipped — the
+    trend gate degrades to warn-only rather than crashing the CI job over
+    a damaged history artifact.
+    """
+    if not path.exists():
+        return []
+    records: List[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample."""
+    position = (len(ordered) - 1) * q
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def evaluate_trends(
+    measured: Dict[str, float],
+    history: List[dict],
+    *,
+    min_points: int = TREND_MIN_POINTS,
+    window: int = TREND_WINDOW,
+    p50_fraction: float = TREND_P50_FRACTION,
+) -> Tuple[List[str], bool]:
+    """Hold each fresh measurement to its trailing-window history.
+
+    For every metric label, collects that metric from the last ``window``
+    *passing* history records (failed runs would drag the reference down
+    and mask a real regression).  With at least ``min_points`` points the
+    check is enforcing: a fresh value below ``p50_fraction`` × trailing
+    p50 is a trend regression.  Below that many points it only reports.
+    Returns the report lines and whether any metric failed.
+    """
+    lines: List[str] = []
+    failed = False
+    for label, value in measured.items():
+        series: List[float] = []
+        for record in history:
+            if record.get("status") != "ok":
+                continue
+            results = record.get("results")
+            if not isinstance(results, dict):
+                continue
+            point = results.get(label)
+            if isinstance(point, (int, float)) and not isinstance(point, bool):
+                series.append(float(point))
+        series = series[-window:]
+        if len(series) < min_points:
+            lines.append(
+                f"[bench-trend] {label}: {len(series)} historical point(s),"
+                f" need {min_points} — warn-only"
+            )
+            continue
+        ordered = sorted(series)
+        p50 = _quantile(ordered, 0.50)
+        p95 = _quantile(ordered, 0.95)
+        threshold = p50 * p50_fraction
+        if value < threshold:
+            failed = True
+            lines.append(
+                f"[bench-trend] {label}: {value:g} < {p50_fraction:g}× trailing"
+                f" p50 {p50:g} (n={len(series)}, p95 {p95:g}) TREND-REGRESSION"
+            )
+        else:
+            lines.append(
+                f"[bench-trend] {label}: {value:g} vs trailing p50 {p50:g}"
+                f" / p95 {p95:g} (n={len(series)}) ok"
+            )
+    return lines, failed
 
 
 def main() -> int:
@@ -47,6 +154,7 @@ def main() -> int:
     async_io = _load(REPO_ROOT / "BENCH_async.json")
     speculation = _load(REPO_ROOT / "BENCH_speculation.json")
     cache_plane = _load(REPO_ROOT / "BENCH_cache_plane.json")
+    corpus_stream = _load(REPO_ROOT / "BENCH_corpus_stream.json")
 
     checks = [
         (
@@ -84,6 +192,16 @@ def main() -> int:
             cache_plane["speedup_shm_vs_file"],
             baseline["cache_plane"]["min_speedup_shm_vs_file"],
         ),
+        (
+            "corpus-stream throughput ratio (stream vs materialised)",
+            corpus_stream["throughput_ratio_stream_vs_materialised"],
+            baseline["corpus_stream"]["min_throughput_ratio_stream_vs_materialised"],
+        ),
+        (
+            "corpus-stream peak-RSS reduction (materialised vs stream)",
+            corpus_stream["rss_reduction_materialised_vs_stream"],
+            baseline["corpus_stream"]["min_rss_reduction_materialised_vs_stream"],
+        ),
     ]
 
     failed = False
@@ -93,10 +211,20 @@ def main() -> int:
         if measured < floor:
             failed = True
 
+    # Trend gate: reference history is read before this run is appended,
+    # so a run never competes against itself.
+    history = load_history(HISTORY_PATH)
+    measured_by_label = {label: measured for label, measured, _ in checks}
+    trend_lines, trend_failed = evaluate_trends(measured_by_label, history)
+    for line in trend_lines:
+        print(line)
+    failed = failed or trend_failed
+
     record = {
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "status": "regression" if failed else "ok",
-        "results": {label: measured for label, measured, _ in checks},
+        "trend_failed": trend_failed,
+        "results": measured_by_label,
         "floors": {label: floor for label, _, floor in checks},
     }
     with HISTORY_PATH.open("a", encoding="utf-8") as handle:

@@ -33,6 +33,11 @@ Usage::
                                       # size/TTL-tiered in-memory eviction
     python -m repro table3 --executor process --snapshot-transport file
                                       # pin the temp-file broadcast fallback
+    python -m repro all --stream                 # bounded-memory streaming:
+                                      # requests are planned and dispatched
+                                      # in windows (peak RSS O(window), not
+                                      # O(corpus)); identical results
+    python -m repro all --stream --stream-window 512   # window size
     python -m repro cache stats --cache ./cache-dir     # segments, dead
                                       # ratio, bytes — no evaluation run
     python -m repro cache compact --cache ./cache-dir
@@ -61,6 +66,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.engine import (
+    DEFAULT_STREAM_WINDOW,
     DISPATCH_MODES,
     CostModel,
     ExecutionEngine,
@@ -108,7 +114,13 @@ def _print_result(table: str, result) -> None:
         print(format_confusion_table(result, title=_TABLE_TITLES[table]))
 
 
-def _run(table: str, engine: ExecutionEngine) -> None:
+def _run(
+    table: str,
+    engine: ExecutionEngine,
+    *,
+    stream: bool = False,
+    stream_window: Optional[int] = None,
+) -> None:
     subset = default_subset()
     drivers = {
         "table2": run_table2,
@@ -120,7 +132,16 @@ def _run(table: str, engine: ExecutionEngine) -> None:
     if table == "summary":
         _print_summary()
     elif table in drivers:
-        _print_result(table, drivers[table](subset, engine=engine))
+        if stream:
+            # Route the single table through its plan builder and the
+            # streaming plan runner — same rows, O(window) residency.
+            from repro.engine import collect_default_plans, run_plans_streaming
+
+            plans = collect_default_plans(subset, tables=(table,))
+            results = run_plans_streaming(plans, engine=engine, window=stream_window)
+            _print_result(table, results[table])
+        else:
+            _print_result(table, drivers[table](subset, engine=engine))
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(f"unknown command {table!r}")
 
@@ -132,14 +153,21 @@ def _print_group_stats(engine: ExecutionEngine, top_k: int = 3) -> None:
         print(breakdown)
 
 
-def _run_all(engine: ExecutionEngine, *, sequential: bool, stats: bool) -> None:
+def _run_all(
+    engine: ExecutionEngine,
+    *,
+    sequential: bool,
+    stats: bool,
+    stream: bool = False,
+    stream_window: Optional[int] = None,
+) -> None:
     """``repro all``: summary, then every table through the scheduler."""
     _print_summary()
     print()
     if sequential:
         for table in ("table2", "table3", "table4", "table5", "table6"):
             before = engine.telemetry.snapshot()
-            _run(table, engine)
+            _run(table, engine, stream=stream, stream_window=stream_window)
             if stats:
                 print(engine.telemetry.format_stats(executor_name=engine.executor.name, since=before))
             print()
@@ -147,7 +175,9 @@ def _run_all(engine: ExecutionEngine, *, sequential: bool, stats: bool) -> None:
             _print_group_stats(engine)
         return
     before = engine.telemetry.snapshot()
-    results = run_all_tables(default_subset(), engine=engine)
+    results = run_all_tables(
+        default_subset(), engine=engine, stream=stream, stream_window=stream_window
+    )
     for table, result in results.items():
         _print_result(table, result)
         print()
@@ -199,6 +229,7 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
         speculate_after=args.speculate_after,
         deadline=args.deadline,
         snapshot_transport=args.snapshot_transport,
+        stream_window=args.stream_window,
     )
 
 
@@ -219,6 +250,10 @@ def _run_cache_command(args: argparse.Namespace) -> int:
         print(f"[cache]   entry_lines={stats['entry_lines']} (dead={stats['dead_entries']})")
         print(f"[cache]   dead_ratio={stats['dead_ratio'] * 100:.1f}%")
         print(f"[cache]   total_bytes={stats['total_bytes']}")
+        print(
+            f"[cache]   scan: rescanned={stats['segments_rescanned']}"
+            f" reused={stats['segments_reused']}"
+        )
         return 0
     # compact: fold every live entry into a minimal set of fresh segments.
     before = SharedSegmentStore(path).stats() if path.is_dir() else None
@@ -400,6 +435,27 @@ def main(argv: List[str] | None = None) -> int:
         help="with 'all': run one engine run per table instead of the interleaved scheduler",
     )
     parser.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "bounded-memory streaming: build, plan and dispatch requests in "
+            "windows of --stream-window instead of materialising the whole "
+            "workload — peak RSS is O(window), results are identical "
+            "(default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--stream-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "requests resident at once under --stream (default: "
+            f"{DEFAULT_STREAM_WINDOW})"
+        ),
+    )
+    parser.add_argument(
         "--cache",
         default=None,
         metavar="PATH",
@@ -536,13 +592,26 @@ def main(argv: List[str] | None = None) -> int:
         )
     if args.sequential and args.command != "all":
         parser.error("--sequential only applies to the 'all' command")
+    if args.stream_window is not None:
+        if args.stream_window < 1:
+            parser.error("--stream-window must be >= 1")
+        if not args.stream:
+            parser.error("--stream-window requires --stream")
+    if args.stream and args.command == "summary":
+        parser.error("--stream has no effect on the 'summary' command")
     engine = _build_engine(args)
     try:
         if args.command == "all":
-            _run_all(engine, sequential=args.sequential, stats=not args.no_stats)
+            _run_all(
+                engine,
+                sequential=args.sequential,
+                stats=not args.no_stats,
+                stream=args.stream,
+                stream_window=args.stream_window,
+            )
         else:
             before = engine.telemetry.snapshot()
-            _run(args.command, engine)
+            _run(args.command, engine, stream=args.stream, stream_window=args.stream_window)
             if args.command != "summary" and not args.no_stats:
                 print(
                     engine.telemetry.format_stats(

@@ -106,6 +106,16 @@ class PipelineConfig:
         How the warm cache reaches process-executor workers: ``"shm"``
         (default, shared-memory broadcast with temp-file fallback) or
         ``"file"`` (pickle temp file).  Results are identical either way.
+    stream:
+        Evaluate through the bounded-memory streaming path: corpus
+        generation, featurisation and request construction stay lazy and
+        the engine plans/dispatches in windows of ``stream_window``
+        requests (``ExecutionEngine.run_streaming``), so peak RSS is
+        O(window) instead of O(corpus).  Results are identical either way.
+    stream_window:
+        Requests resident at once on the streaming path.  ``None`` keeps
+        the engine default
+        (:data:`repro.engine.core.DEFAULT_STREAM_WINDOW`).
     """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
@@ -134,3 +144,5 @@ class PipelineConfig:
     cache_ttl_s: Optional[float] = None
     cache_shared_read: bool = False
     snapshot_transport: str = "shm"
+    stream: bool = False
+    stream_window: Optional[int] = None

@@ -24,7 +24,13 @@ from repro.corpus.registry import CorpusRegistry
 from repro.dataset.drbml import DRBMLDataset
 from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
 from repro.dynamic.inspector import InspectorLikeDetector
-from repro.engine import CostModel, ExecutionEngine, ResponseCache, build_requests
+from repro.engine import (
+    CostModel,
+    ExecutionEngine,
+    ResponseCache,
+    build_requests,
+    iter_requests,
+)
 from repro.eval.metrics import ConfusionCounts
 from repro.llm.base import LanguageModel
 from repro.llm.finetune import FineTuneConfig, FineTunedModel, FineTuner
@@ -135,6 +141,7 @@ class DataRacePipeline:
                 speculate_after=self.config.speculate_after,
                 deadline=self.config.deadline,
                 snapshot_transport=self.config.snapshot_transport,
+                stream_window=self.config.stream_window,
             )
         return self._engine
 
@@ -243,11 +250,16 @@ class DataRacePipeline:
         Runs through the execution engine (batched, cached, parallel per
         the pipeline config); scoring matches :meth:`detect` exactly — for
         pair-requesting strategies a missing verdict counts as "no race"
-        (the ``"pairs-strict"`` mode).
+        (the ``"pairs-strict"`` mode).  With ``config.stream`` the requests
+        flow through :meth:`ExecutionEngine.run_streaming` in bounded
+        windows and fold incrementally — identical counts, O(window) memory.
         """
         strategy = strategy or self.config.default_strategy
         records = records if records is not None else self.evaluation_subset().records
         scoring = "pairs-strict" if strategy.requests_pairs else "detection"
+        if self.config.stream:
+            requests = iter_requests(self.model(model), strategy, records, scoring=scoring)
+            return self.engine.run_streaming_counts(requests)
         requests = build_requests(self.model(model), strategy, records, scoring=scoring)
         return self.engine.run_counts(requests)
 

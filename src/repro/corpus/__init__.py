@@ -19,13 +19,24 @@ Public entry points
 ``build_corpus(config)``
     Deterministically build the full suite as a list of
     :class:`~repro.corpus.microbenchmark.Microbenchmark`.
+``iter_corpus(config)`` / ``iter_corpus_sharded(config, jobs=...)``
+    The same suite as a lazy stream (optionally generated span-by-span in
+    worker processes) — ``CorpusConfig(repeats=N)`` replicates the suite
+    with re-interleaved repeat blocks for scale-out workloads.
 ``CorpusRegistry``
     Indexed access by id, name and category.
 """
 
 from repro.corpus.microbenchmark import AccessSpec, Microbenchmark, RaceLabel, RacePair
 from repro.corpus.builder import CodeBuilder
-from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.corpus.generator import (
+    CorpusConfig,
+    build_corpus,
+    corpus_size,
+    iter_corpus,
+    iter_corpus_sharded,
+    iter_corpus_span,
+)
 from repro.corpus.registry import CorpusRegistry
 
 __all__ = [
@@ -36,5 +47,9 @@ __all__ = [
     "CodeBuilder",
     "CorpusConfig",
     "build_corpus",
+    "corpus_size",
+    "iter_corpus",
+    "iter_corpus_sharded",
+    "iter_corpus_span",
     "CorpusRegistry",
 ]

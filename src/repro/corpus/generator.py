@@ -13,22 +13,48 @@ The generator instantiates every (pattern, variant) combination from
 :data:`repro.corpus.patterns.ALL_PATTERNS` in a deterministic, seed-shuffled
 order so that race-yes and race-free kernels interleave the way a curated
 benchmark suite would, rather than being grouped by family.
+
+Streaming and scale-out
+-----------------------
+
+The corpus is also available as a *lazy producer*: :func:`iter_corpus`
+yields benchmarks one at a time without ever materialising the list, and
+:func:`iter_corpus_sharded` generates position spans in worker processes
+(bounded look-ahead, results re-assembled in position order) so corpus
+construction scales across cores.  ``CorpusConfig.repeats`` replicates the
+201-program suite ``N`` times — every repeat block is re-interleaved with a
+block-derived seed and benchmark indices stay contiguous and 1-based across
+blocks, so a 10⁵+-record workload is just ``CorpusConfig(repeats=500)``.
+``build_corpus`` is now a thin ``list(iter_corpus(...))`` wrapper: for
+``repeats=1`` the streamed and materialised corpora are byte-identical.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.corpus.microbenchmark import Microbenchmark
 from repro.corpus.patterns import ALL_PATTERNS, PatternSpec
 
-__all__ = ["CorpusConfig", "build_corpus", "EXPECTED_TOTAL", "EXPECTED_RACE_YES"]
+__all__ = [
+    "CorpusConfig",
+    "build_corpus",
+    "corpus_size",
+    "iter_corpus",
+    "iter_corpus_span",
+    "iter_corpus_sharded",
+    "EXPECTED_TOTAL",
+    "EXPECTED_RACE_YES",
+]
 
-#: Corpus-level invariants checked by :func:`build_corpus`.
+#: Corpus-level invariants checked by :func:`build_corpus` (per repeat block).
 EXPECTED_TOTAL = 201
 EXPECTED_RACE_YES = 102  # two of which are oversized and filtered from the subset
+
+#: Odd multiplier (2**32 / golden ratio) deriving per-block shuffle seeds.
+_BLOCK_SEED_STRIDE = 0x9E3779B1
 
 
 @dataclass(frozen=True)
@@ -44,11 +70,27 @@ class CorpusConfig:
     validate:
         When ``True`` (default) the builder asserts the corpus-level counts
         that the rest of the pipeline depends on.
+    repeats:
+        Number of 201-program repeat blocks (scale-out knob).  Block 0 uses
+        ``seed`` directly — identical to the historical single-block corpus —
+        and block ``b`` shuffles with a seed derived from ``(seed, b)``, so
+        blocks interleave differently while staying fully deterministic.
+        Benchmark indices (and therefore names) stay unique across blocks.
     """
 
     seed: int = 20231112  # SC-W 2023 started on November 12, 2023
     shuffle: bool = True
     validate: bool = True
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+
+def _block_seed(seed: int, block: int) -> int:
+    """Shuffle seed for repeat block ``block`` (block 0 == ``seed``)."""
+    return seed + _BLOCK_SEED_STRIDE * block
 
 
 def _enumerate_instances() -> List[Tuple[PatternSpec, int]]:
@@ -60,42 +102,133 @@ def _enumerate_instances() -> List[Tuple[PatternSpec, int]]:
     return out
 
 
+def corpus_size(config: CorpusConfig | None = None) -> int:
+    """Total number of benchmarks the configuration generates."""
+    config = config or CorpusConfig()
+    return len(_enumerate_instances()) * config.repeats
+
+
+def iter_corpus(config: CorpusConfig | None = None) -> Iterator[Microbenchmark]:
+    """Lazily yield the corpus in benchmark-index order.
+
+    Peak residency is one repeat block of (pattern, variant) references plus
+    the single benchmark being yielded — O(1) in corpus size.  For
+    ``repeats=1`` the stream equals ``build_corpus`` element for element.
+    """
+    config = config or CorpusConfig()
+    return iter_corpus_span(config, 1, corpus_size(config) + 1)
+
+
+def iter_corpus_span(
+    config: CorpusConfig, start: int, stop: int
+) -> Iterator[Microbenchmark]:
+    """Lazily yield benchmarks with 1-based index in ``[start, stop)``.
+
+    Any span can be generated independently (only the repeat blocks it
+    overlaps are shuffled), which is what lets :func:`iter_corpus_sharded`
+    hand disjoint spans to worker processes and still produce a stream
+    identical to :func:`iter_corpus`.
+    """
+    instances = _enumerate_instances()
+    block_len = len(instances)
+    total = block_len * config.repeats
+    start = max(start, 1)
+    stop = min(stop, total + 1)
+    if start >= stop:
+        return
+    first_block = (start - 1) // block_len
+    last_block = (stop - 2) // block_len
+    for block in range(first_block, last_block + 1):
+        ordered = list(instances)
+        if config.shuffle:
+            random.Random(_block_seed(config.seed, block)).shuffle(ordered)
+        base = block * block_len  # positions base+1 .. base+block_len
+        lo = max(start, base + 1)
+        hi = min(stop, base + block_len + 1)
+        for offset in range(lo - base - 1, hi - base - 1):
+            spec, variant_idx = ordered[offset]
+            yield spec.instantiate(base + offset + 1, variant_idx)
+
+
+def _instantiate_span(payload: Tuple[CorpusConfig, int, int]) -> List[Microbenchmark]:
+    """Worker for :func:`iter_corpus_sharded` (module level: picklable)."""
+    config, start, stop = payload
+    return list(iter_corpus_span(config, start, stop))
+
+
+def iter_corpus_sharded(
+    config: CorpusConfig | None = None,
+    *,
+    jobs: int = 2,
+    shard_size: int | None = None,
+) -> Iterator[Microbenchmark]:
+    """Yield the corpus in index order, generating shards in worker processes.
+
+    The producer keeps at most ``jobs + 1`` shards in flight (bounded
+    look-ahead), so peak residency is O(``jobs × shard_size``) benchmarks
+    regardless of corpus size.  The resulting stream is element-identical to
+    :func:`iter_corpus` for the same configuration.
+    """
+    config = config or CorpusConfig()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    total = corpus_size(config)
+    if shard_size is None:
+        shard_size = len(_enumerate_instances())  # one repeat block per shard
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if jobs == 1 or total <= shard_size:
+        yield from iter_corpus(config)
+        return
+
+    import concurrent.futures
+    from collections import deque
+
+    spans = iter(
+        (config, lo, min(lo + shard_size, total + 1))
+        for lo in range(1, total + 1, shard_size)
+    )
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending: "deque" = deque()
+        for payload in spans:
+            pending.append(pool.submit(_instantiate_span, payload))
+            if len(pending) > jobs:
+                break
+        while pending:
+            yield from pending.popleft().result()
+            payload = next(spans, None)
+            if payload is not None:
+                pending.append(pool.submit(_instantiate_span, payload))
+
+
 def build_corpus(config: CorpusConfig | None = None) -> List[Microbenchmark]:
-    """Build the full 201-program corpus.
+    """Build the full corpus as a list (201 programs per repeat block).
 
     The returned list is ordered by benchmark index (1-based, contiguous).
     The mapping from (pattern, variant) to index is fully determined by
     ``config.seed``, so two builds with the same configuration are identical.
     """
     config = config or CorpusConfig()
-    instances = _enumerate_instances()
-    if config.shuffle:
-        rng = random.Random(config.seed)
-        rng.shuffle(instances)
-
-    corpus: List[Microbenchmark] = []
-    for position, (spec, variant_idx) in enumerate(instances, start=1):
-        corpus.append(spec.instantiate(position, variant_idx))
-
+    corpus = list(iter_corpus(config))
     if config.validate:
-        _validate_corpus(corpus)
+        _validate_corpus(corpus, repeats=config.repeats)
     return corpus
 
 
-def _validate_corpus(corpus: Sequence[Microbenchmark]) -> None:
+def _validate_corpus(corpus: Sequence[Microbenchmark], repeats: int = 1) -> None:
     """Check the corpus-level invariants the experiments rely on."""
-    if len(corpus) != EXPECTED_TOTAL:
+    if len(corpus) != EXPECTED_TOTAL * repeats:
         raise AssertionError(
-            f"corpus has {len(corpus)} programs, expected {EXPECTED_TOTAL}; "
+            f"corpus has {len(corpus)} programs, expected {EXPECTED_TOTAL * repeats}; "
             "a pattern module's variant counts are out of sync"
         )
     yes = sum(1 for bench in corpus if bench.has_race)
-    if yes != EXPECTED_RACE_YES:
+    if yes != EXPECTED_RACE_YES * repeats:
         raise AssertionError(
-            f"corpus has {yes} race-yes programs, expected {EXPECTED_RACE_YES}"
+            f"corpus has {yes} race-yes programs, expected {EXPECTED_RACE_YES * repeats}"
         )
     indices = [bench.index for bench in corpus]
-    if indices != list(range(1, EXPECTED_TOTAL + 1)):
+    if indices != list(range(1, EXPECTED_TOTAL * repeats + 1)):
         raise AssertionError("benchmark indices must be contiguous and 1-based")
     names = {bench.name for bench in corpus}
     if len(names) != len(corpus):

@@ -20,7 +20,13 @@ from repro.dataset.templates import (
 )
 from repro.dataset.pairs import PromptResponsePair, build_advanced_pairs, build_basic_pairs
 from repro.dataset.splits import StratifiedKFold, FoldAssignment
-from repro.dataset.drbml import DRBMLDataset
+from repro.dataset.drbml import (
+    DRBMLDataset,
+    iter_default_records,
+    iter_records,
+    iter_token_subset,
+    record_from_benchmark,
+)
 
 __all__ = [
     "CodeTokenizer",
@@ -40,4 +46,8 @@ __all__ = [
     "StratifiedKFold",
     "FoldAssignment",
     "DRBMLDataset",
+    "record_from_benchmark",
+    "iter_records",
+    "iter_token_subset",
+    "iter_default_records",
 ]

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.corpus.generator import CorpusConfig, build_corpus, iter_corpus_span
 from repro.corpus.microbenchmark import Microbenchmark, RacePair
 from repro.dataset.labels import scrape_race_flag, scrape_var_pairs
 from repro.dataset.pairs import PromptResponsePair, build_advanced_pairs, build_basic_pairs
@@ -26,7 +26,13 @@ from repro.dataset.splits import FoldAssignment, StratifiedKFold
 from repro.dataset.tokenizer import DEFAULT_TOKEN_LIMIT, count_tokens
 from repro.dataset.trim import trim_comments
 
-__all__ = ["DRBMLDataset", "record_from_benchmark"]
+__all__ = [
+    "DRBMLDataset",
+    "record_from_benchmark",
+    "iter_records",
+    "iter_token_subset",
+    "iter_default_records",
+]
 
 
 def _pair_to_record(pair: RacePair, line_map: Dict[int, int]) -> Optional[VarPairRecord]:
@@ -70,6 +76,94 @@ def record_from_benchmark(bench: Microbenchmark) -> DRBMLRecord:
         token_count=count_tokens(trim.trimmed_code),
         category=bench.category,
     )
+
+
+def iter_records(benchmarks: Iterable[Microbenchmark]) -> Iterator[DRBMLRecord]:
+    """Lazily featurise a benchmark stream into DRB-ML records.
+
+    The streaming counterpart of :meth:`DRBMLDataset.from_benchmarks` — one
+    record is resident at a time, so a lazy corpus producer composed with
+    this stays O(1) in corpus size.
+    """
+    for bench in benchmarks:
+        yield record_from_benchmark(bench)
+
+
+def iter_token_subset(
+    records: Iterable[DRBMLRecord], limit: int = DEFAULT_TOKEN_LIMIT
+) -> Iterator[DRBMLRecord]:
+    """Streaming counterpart of :meth:`DRBMLDataset.token_subset`."""
+    for record in records:
+        if record.token_count <= limit:
+            yield record
+
+
+def _featurise_span(
+    payload: Tuple[CorpusConfig, int, int, Optional[int]]
+) -> List[DRBMLRecord]:
+    """Worker for :func:`iter_default_records` (module level: picklable).
+
+    Instantiates *and* featurises a corpus index span in the worker, and
+    applies the token filter there too, so oversized records never cross the
+    process boundary.
+    """
+    config, start, stop, token_limit = payload
+    records = iter_records(iter_corpus_span(config, start, stop))
+    if token_limit is not None:
+        records = iter_token_subset(records, token_limit)
+    return list(records)
+
+
+def iter_default_records(
+    config: Optional[CorpusConfig] = None,
+    *,
+    token_limit: Optional[int] = None,
+    jobs: int = 1,
+    shard_size: Optional[int] = None,
+) -> Iterator[DRBMLRecord]:
+    """Lazily generate + featurise the default corpus, optionally sharded.
+
+    With ``jobs > 1`` corpus spans are instantiated *and* featurised in
+    worker processes with bounded look-ahead (at most ``jobs + 1`` shards in
+    flight), and records are yielded in benchmark-index order — the stream
+    equals the serial ``iter_records(iter_corpus(config))`` path element for
+    element.  ``token_limit`` filters in the worker, before pickling.
+    """
+    from repro.corpus.generator import corpus_size
+
+    config = config or CorpusConfig()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    total = corpus_size(config)
+    if shard_size is None:
+        shard_size = max(1, total // max(1, config.repeats))  # one block per shard
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if jobs == 1 or total <= shard_size:
+        records = iter_records(iter_corpus_span(config, 1, total + 1))
+        if token_limit is not None:
+            records = iter_token_subset(records, token_limit)
+        yield from records
+        return
+
+    import concurrent.futures
+    from collections import deque
+
+    spans = iter(
+        (config, lo, min(lo + shard_size, total + 1), token_limit)
+        for lo in range(1, total + 1, shard_size)
+    )
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending: "deque" = deque()
+        for payload in spans:
+            pending.append(pool.submit(_featurise_span, payload))
+            if len(pending) > jobs:
+                break
+        while pending:
+            yield from pending.popleft().result()
+            payload = next(spans, None)
+            if payload is not None:
+                pending.append(pool.submit(_featurise_span, payload))
 
 
 @dataclass

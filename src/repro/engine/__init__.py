@@ -81,7 +81,12 @@ enforced by ``tests/engine/test_equivalence`` and
 
 from repro.engine.cache import CacheStats, ResponseCache, cache_key
 from repro.engine.coalesce import MicroBatchCoalescer
-from repro.engine.core import DISPATCH_MODES, ExecutionEngine, resolve_engine
+from repro.engine.core import (
+    DEFAULT_STREAM_WINDOW,
+    DISPATCH_MODES,
+    ExecutionEngine,
+    resolve_engine,
+)
 from repro.engine.costmodel import CostModel
 from repro.engine.executors import (
     EXECUTOR_KINDS,
@@ -100,6 +105,8 @@ from repro.engine.requests import (
     RunResult,
     RunResultStore,
     build_requests,
+    confusion_from_results,
+    iter_requests,
     score_response,
     shed_result,
 )
@@ -121,6 +128,7 @@ from repro.engine.scheduler import (
     run_all_tables,
     run_plans,
     run_plans_sequential,
+    run_plans_streaming,
 )
 from repro.engine.telemetry import EngineTelemetry
 
@@ -128,6 +136,7 @@ __all__ = [
     "CacheStats",
     "ResponseCache",
     "cache_key",
+    "DEFAULT_STREAM_WINDOW",
     "DISPATCH_MODES",
     "ExecutionEngine",
     "resolve_engine",
@@ -147,6 +156,8 @@ __all__ = [
     "RunResult",
     "RunResultStore",
     "build_requests",
+    "confusion_from_results",
+    "iter_requests",
     "score_response",
     "shed_result",
     "SharedSegmentStore",
@@ -164,5 +175,6 @@ __all__ = [
     "run_all_tables",
     "run_plans",
     "run_plans_sequential",
+    "run_plans_streaming",
     "EngineTelemetry",
 ]

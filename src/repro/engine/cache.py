@@ -70,6 +70,16 @@ _LEGACY_FORMAT_VERSION = 1
 _SEGMENT_FORMAT = "repro-response-cache"
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".jsonl"
+#: Writer-side attestation of the committed segment set.  Rewritten (atomic
+#: replace) after every save/compact/migration commit point, it lets the
+#: shared read tier answer "did anything change?" with one stat of this file
+#: instead of a stat sweep over every segment.  Purely advisory: a missing,
+#: stale or corrupt manifest only disables that fast-path, never correctness
+#: — readers fall back to the sweep, and foreign writers that don't update
+#: it are detected because the manifest then disagrees with the directory.
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = "repro-response-cache-manifest"
+_MANIFEST_VERSION = 1
 
 
 @dataclass
@@ -473,6 +483,8 @@ class ResponseCache:
                 ]
                 target.mkdir(parents=True, exist_ok=True)
                 self._write_segments_locked(target, items)
+                if items:
+                    self._write_manifest_locked(target)
                 self._persisted.update(key for key, _, _ in items)
                 self._pending.clear()
                 self._disk_entry_lines += len(items)
@@ -552,6 +564,7 @@ class ResponseCache:
                 pass
         if old_segments:
             self._fsync_dir(target)
+        self._write_manifest_locked(target)
         return merged
 
     def _migrate_legacy_locked(
@@ -570,6 +583,7 @@ class ResponseCache:
         )
         try:
             self._write_segments_locked(tmp_dir, items)
+            self._write_manifest_locked(tmp_dir)
             target.unlink()
             os.rename(str(tmp_dir), str(target))
         except BaseException:
@@ -621,6 +635,57 @@ class ResponseCache:
         # syncing it too, a power loss can forget a fully-fsynced segment
         # ever existed — a committed save() must not silently vanish.
         self._fsync_dir(target)
+
+    def _write_manifest_locked(self, target: Path) -> None:
+        """Attest the current segment set in ``manifest.json``, atomically.
+
+        Records each segment's ``(size, mtime_ns)`` plus a monotonically
+        increasing generation counter.  Best-effort by design: the segments
+        are already durable when this runs, so a failure here (or a crash
+        between segment commit and manifest replace) merely leaves a stale
+        manifest that readers detect and ignore.
+        """
+        segments: Dict[str, Dict[str, int]] = {}
+        for segment in sorted(target.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")):
+            try:
+                stat = segment.stat()
+            except OSError:
+                continue
+            segments[segment.name] = {
+                "size": stat.st_size,
+                "mtime_ns": stat.st_mtime_ns,
+            }
+        manifest_path = target / _MANIFEST_NAME
+        generation = 0
+        try:
+            previous = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if isinstance(previous, dict) and isinstance(previous.get("generation"), int):
+                generation = previous["generation"]
+        except (OSError, ValueError):
+            pass
+        payload = json.dumps(
+            {
+                "format": _MANIFEST_FORMAT,
+                "version": _MANIFEST_VERSION,
+                "generation": generation + 1,
+                "segments": segments,
+            },
+            sort_keys=True,
+        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-manifest-", suffix=".json", dir=target
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, manifest_path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except (OSError, UnboundLocalError):
+                pass
 
     @staticmethod
     def _fsync_dir(target: Path) -> None:

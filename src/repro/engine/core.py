@@ -68,6 +68,7 @@ first response per prompt.)
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import statistics
 import time
 from collections import OrderedDict, deque
@@ -105,7 +106,12 @@ from repro.engine.snapshot import (
 from repro.engine.telemetry import EngineTelemetry
 from repro.prompting.chains import run_strategy_batch, run_strategy_batch_async
 
-__all__ = ["DISPATCH_MODES", "ExecutionEngine", "resolve_engine"]
+__all__ = [
+    "DEFAULT_STREAM_WINDOW",
+    "DISPATCH_MODES",
+    "ExecutionEngine",
+    "resolve_engine",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -123,6 +129,12 @@ SPECULATION_QUANTILE = 0.95
 #: their thresholds (seconds).  Engine attribute ``speculation_poll_s``
 #: overrides it per instance (benchmarks/tests tighten it).
 DEFAULT_SPECULATION_POLL_S = 0.01
+
+#: Default window size (requests resident at once) for
+#: :meth:`ExecutionEngine.run_streaming` — large enough that chunking, LPT
+#: ordering and adaptive sizing see a representative population, small
+#: enough that peak RSS stays O(window) on million-record corpora.
+DEFAULT_STREAM_WINDOW = 2048
 
 _IndexedRequest = Tuple[int, DetectionRequest]
 
@@ -388,6 +400,10 @@ class ExecutionEngine:
         file where shared memory is unavailable; ``"file"`` pins the
         pickle-temp-file path explicitly (each worker deserialises a
         private copy).  Responses are bit-identical either way.
+    stream_window:
+        Default window size for :meth:`run_streaming`: at most this many
+        requests are materialised, planned and in flight at once.  ``None``
+        keeps :data:`DEFAULT_STREAM_WINDOW`.  Has no effect on :meth:`run`.
     """
 
     def __init__(
@@ -411,6 +427,7 @@ class ExecutionEngine:
         speculate_after: float = 1.5,
         deadline: Optional[float] = None,
         snapshot_transport: str = "shm",
+        stream_window: Optional[int] = None,
     ) -> None:
         if executor is not None and (
             jobs is not None or executor_kind is not None or max_inflight is not None
@@ -435,6 +452,8 @@ class ExecutionEngine:
                 f"unknown snapshot transport {snapshot_transport!r}; "
                 f"expected one of {SNAPSHOT_TRANSPORTS}"
             )
+        if stream_window is not None and stream_window < 1:
+            raise ValueError("stream_window must be >= 1 or None")
         self.executor = (
             executor
             if executor is not None
@@ -460,6 +479,7 @@ class ExecutionEngine:
         self.speculate_after = speculate_after
         self.deadline = deadline
         self.snapshot_transport = snapshot_transport
+        self.stream_window = stream_window if stream_window is not None else DEFAULT_STREAM_WINDOW
         #: Poll interval of the speculative dispatcher; tests and
         #: benchmarks tighten it to race short synthetic chunks.
         self.speculation_poll_s = DEFAULT_SPECULATION_POLL_S
@@ -482,6 +502,103 @@ class ExecutionEngine:
         """
         indexed: List[_IndexedRequest] = list(enumerate(requests))
         start = time.perf_counter()
+        results, shed = self._execute_indexed(indexed)
+        elapsed = time.perf_counter() - start
+        self.telemetry.record_run(elapsed)
+        if self.deadline is not None:
+            self.telemetry.record_deadline(
+                budget_s=self.deadline,
+                predicted_s=self._predicted_makespan_s,
+                actual_s=elapsed,
+                shed=shed,
+            )
+        return RunResultStore(results)
+
+    def run_counts(self, requests: Iterable[DetectionRequest]):
+        """Shorthand: execute and fold straight into confusion counts."""
+        return self.run(requests).confusion()
+
+    def run_streaming(
+        self,
+        requests: Iterable[DetectionRequest],
+        *,
+        window: Optional[int] = None,
+    ) -> Iterator[RunResult]:
+        """Execute a request *stream* in bounded windows, yielding results.
+
+        At most ``window`` requests (default: the engine's
+        ``stream_window``) are pulled from the iterator, planned and
+        dispatched at a time, so peak residency is O(window) no matter how
+        large the stream — the producer is never run ahead of consumption by
+        more than one window.  Within each window the full machinery of
+        :meth:`run` applies unchanged: (model, strategy) grouping,
+        cost-model adaptive chunk sizing, LPT ordering, dynamic
+        completion-order merge, speculation and the response cache — and a
+        ``deadline`` budgets each window independently.  Results are yielded
+        in request order as each window drains; for the same requests the
+        result sequence is element-identical to ``run(list(requests))``
+        (modulo per-window deadline shedding, which a whole-run budget
+        cannot match window for window).
+
+        Distributed executors re-broadcast the cache snapshot per window, so
+        later windows see entries earlier windows populated.
+        """
+        size = self.stream_window if window is None else window
+        if size < 1:
+            raise ValueError("stream window must be >= 1")
+        return self._stream_windows(iter(requests), size)
+
+    def _stream_windows(
+        self, iterator: Iterator[DetectionRequest], size: int
+    ) -> Iterator[RunResult]:
+        start = time.perf_counter()
+        try:
+            while True:
+                batch: List[_IndexedRequest] = list(
+                    enumerate(itertools.islice(iterator, size))
+                )
+                if not batch:
+                    break
+                window_start = time.perf_counter()
+                results, shed = self._execute_indexed(batch)
+                if self.deadline is not None:
+                    self.telemetry.record_deadline(
+                        budget_s=self.deadline,
+                        predicted_s=self._predicted_makespan_s,
+                        actual_s=time.perf_counter() - window_start,
+                        shed=shed,
+                    )
+                yield from results
+        finally:
+            # One wall-clock observation per streamed run, recorded even if
+            # the consumer abandons the stream early.
+            self.telemetry.record_run(time.perf_counter() - start)
+
+    def run_streaming_counts(
+        self,
+        requests: Iterable[DetectionRequest],
+        *,
+        window: Optional[int] = None,
+    ):
+        """Shorthand: stream-execute and fold into confusion counts.
+
+        Nothing is buffered: each result is folded the moment its window
+        drains, so this is the O(window)-memory counterpart of
+        :meth:`run_counts`.
+        """
+        from repro.engine.requests import confusion_from_results
+
+        return confusion_from_results(self.run_streaming(requests, window=window))
+
+    def _execute_indexed(
+        self, indexed: List[_IndexedRequest]
+    ) -> Tuple[List[Optional[RunResult]], int]:
+        """Plan and dispatch one materialised batch (a whole run or a window).
+
+        Returns the results in request order plus the number of requests the
+        deadline planner shed.  Shared by :meth:`run` (one batch = the whole
+        run) and :meth:`run_streaming` (one batch per window).
+        """
         results: List[Optional[RunResult]] = [None] * len(indexed)
         chunks, shed = self._chunk(indexed)
         for index, request in shed:
@@ -491,20 +608,8 @@ class ExecutionEngine:
         else:
             self._run_local(chunks, results)
         self.telemetry.record_requests(len(indexed))
-        elapsed = time.perf_counter() - start
-        self.telemetry.record_run(elapsed)
-        if self.deadline is not None:
-            self.telemetry.record_deadline(
-                budget_s=self.deadline,
-                predicted_s=self._predicted_makespan_s,
-                actual_s=elapsed,
-                shed=len(shed),
-            )
-        return RunResultStore(results)
-
-    def run_counts(self, requests: Iterable[DetectionRequest]):
-        """Shorthand: execute and fold straight into confusion counts."""
-        return self.run(requests).confusion()
+        self.telemetry.record_resident(len(indexed))
+        return results, len(shed)
 
     # -- generic parallel map (non-LLM work, e.g. the Inspector baseline) ----------
 

@@ -42,6 +42,8 @@ __all__ = [
     "RunResult",
     "RunResultStore",
     "build_requests",
+    "confusion_from_results",
+    "iter_requests",
     "score_response",
     "shed_result",
 ]
@@ -138,19 +140,49 @@ class RunResultStore:
         the scheduling budget silently skew reported detection metrics.
         Shed work stays visible on the results themselves (``skipped``).
         """
-        counts = ConfusionCounts()
-        for result in self.results:
-            if result.skipped:
-                continue
-            counts.add(
-                result.truth,
-                result.prediction,
-                correct_positive=result.correct_positive,
-            )
-        return counts
+        return confusion_from_results(self.results)
 
     def responses(self) -> List[str]:
         return [result.response for result in self.results]
+
+
+def confusion_from_results(results: Iterable[RunResult]) -> ConfusionCounts:
+    """Fold a result stream into confusion counts, one result at a time.
+
+    The single implementation behind :meth:`RunResultStore.confusion`, usable
+    directly on a streaming run (``engine.run_streaming``) without buffering
+    the results — deadline-shed results are excluded for the reasons
+    documented there.
+    """
+    counts = ConfusionCounts()
+    for result in results:
+        if result.skipped:
+            continue
+        counts.add(
+            result.truth,
+            result.prediction,
+            correct_positive=result.correct_positive,
+        )
+    return counts
+
+
+def iter_requests(
+    model: LanguageModel,
+    strategy: PromptStrategy,
+    records: Iterable,
+    *,
+    scoring: Optional[str] = None,
+) -> Iterator[DetectionRequest]:
+    """Lazily build requests for one model/strategy over a record stream.
+
+    The streaming counterpart of :func:`build_requests`: requests are
+    constructed one at a time as the consumer pulls, so composing this with
+    a lazy record producer keeps residency O(1) in corpus size.
+    """
+    if scoring is None:
+        scoring = "pairs" if strategy.requests_pairs else "detection"
+    for record in records:
+        yield DetectionRequest(model=model, strategy=strategy, record=record, scoring=scoring)
 
 
 def build_requests(
@@ -165,12 +197,7 @@ def build_requests(
     When ``scoring`` is omitted it follows the strategy: pair-requesting
     strategies score as ``"pairs"``, everything else as ``"detection"``.
     """
-    if scoring is None:
-        scoring = "pairs" if strategy.requests_pairs else "detection"
-    return [
-        DetectionRequest(model=model, strategy=strategy, record=record, scoring=scoring)
-        for record in records
-    ]
+    return list(iter_requests(model, strategy, records, scoring=scoring))
 
 
 def score_response(request: DetectionRequest, response: str) -> RunResult:

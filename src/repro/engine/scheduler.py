@@ -21,6 +21,12 @@ collections of plans:
   plan, in order, exactly like calling the five drivers one after another.
   Both paths produce bit-identical table rows
   (``tests/engine/test_scheduler.py``); only wall time differs.
+* :func:`run_plans_streaming` — the bounded-memory path: every plan's
+  requests are fed to :meth:`ExecutionEngine.run_streaming` as **one lazy
+  stream** and each plan is reduced the moment its last result arrives, so
+  peak residency is O(stream window + largest single plan's results), not
+  O(all plans' requests).  Same interleaving benefits as :func:`run_plans`
+  within each window; bit-identical rows.
 * :func:`run_all_tables` — the user-facing driver behind ``repro all``:
   collects the default plans for Tables 2–6 and runs them interleaved.
 
@@ -48,6 +54,7 @@ __all__ = [
     "run_all_tables",
     "run_plans",
     "run_plans_sequential",
+    "run_plans_streaming",
 ]
 
 #: The paper's evaluation tables, in presentation order.
@@ -195,6 +202,61 @@ def run_plans_sequential(
     return {plan.table: plan.execute(engine) for plan in plans}
 
 
+def run_plans_streaming(
+    plans: Sequence[TablePlan],
+    *,
+    engine: Optional[ExecutionEngine] = None,
+    window: Optional[int] = None,
+) -> Dict[str, object]:
+    """Execute every plan through one **streaming** engine run.
+
+    The plans' requests are chained into a single lazy iterator feeding
+    :meth:`ExecutionEngine.run_streaming`, so at most one window of requests
+    is ever materialised — a plan whose ``requests`` attribute is itself a
+    lazy iterable is consumed without listing it.  Because the engine pulls
+    requests strictly ahead of delivering their results, each plan's request
+    count is known by the time its last result arrives; results are buffered
+    only until their plan completes, then reduced and released.  Rows are
+    bit-identical to :func:`run_plans` (pinned by the equivalence tests).
+    """
+    engine = resolve_engine(engine)
+    plans = list(plans)
+    _prepare_all(plans, engine)
+    counts: List[int] = []  # request count per plan, appended at plan exhaustion
+
+    def requests_iter():
+        for plan in plans:
+            n = 0
+            for request in plan.requests:
+                n += 1
+                yield request
+            counts.append(n)
+
+    out: Dict[str, object] = {}
+    buffered: List = []
+    reduced = 0
+
+    def flush_completed() -> None:
+        nonlocal reduced
+        while reduced < len(counts) and len(buffered) >= counts[reduced]:
+            n = counts[reduced]
+            plan = plans[reduced]
+            out[plan.table] = plan.reduce(RunResultStore(buffered[:n]))
+            del buffered[:n]
+            reduced += 1
+
+    for result in engine.run_streaming(requests_iter(), window=window):
+        buffered.append(result)
+        flush_completed()
+    flush_completed()  # trailing plans, including zero-request ones
+    if reduced != len(plans):
+        raise RuntimeError(
+            f"streaming run delivered results for {reduced} of {len(plans)} plans; "
+            f"{len(buffered)} results left unclaimed"
+        )
+    return out
+
+
 def run_all_tables(
     dataset=None,
     *,
@@ -204,6 +266,8 @@ def run_all_tables(
     model_factory=None,
     plans: Optional[Sequence[TablePlan]] = None,
     interleave: bool = True,
+    stream: bool = False,
+    stream_window: Optional[int] = None,
 ) -> Dict[str, object]:
     """Regenerate every evaluation table through one interleaved engine run.
 
@@ -212,11 +276,16 @@ def run_all_tables(
     per-model cross-validation results for Tables 4/6).  Pass prebuilt
     ``plans`` to skip plan construction (the benchmark harness does, to
     time execution in isolation), or ``interleave=False`` for the
-    sequential reference path.
+    sequential reference path.  ``stream=True`` routes through
+    :func:`run_plans_streaming` (inherently interleaved — it takes
+    precedence over ``interleave``) with ``stream_window`` requests
+    resident at once (``None``: the engine's ``stream_window``).
     """
     if plans is None:
         plans = collect_default_plans(
             dataset, corpus_config=corpus_config, tables=tables, model_factory=model_factory
         )
+    if stream:
+        return run_plans_streaming(plans, engine=engine, window=stream_window)
     runner = run_plans if interleave else run_plans_sequential
     return runner(plans, engine=engine)

@@ -25,6 +25,18 @@ Writes do not go through the store at all; the segment directory stays
 the durable source of truth and grows through the existing
 append/compact path.
 
+Refreshes are **incremental**: each view keeps its per-segment mmaps and
+sub-indexes, and a rebuild re-maps and re-scans only segments whose
+``(size, mtime_ns)`` changed — an appended segment costs one scan of the
+new file, never a rescan of the folded ones (``segments_reused`` vs
+``segments_rescanned`` in :meth:`stats` make the skip observable).  On
+top of that, the cache writer attests every committed write in a
+``manifest.json`` beside the segments; when the manifest is present and
+matches the current view, the miss-path staleness check collapses to a
+single stat of the manifest instead of a stat sweep of every segment.
+Both are pure fast-paths: a store without a manifest (foreign or
+pre-manifest writer) behaves exactly as before.
+
 ``SharedSegmentStore.open(path)`` is the sharing entry point: it
 memoises instances per real path, so every cache on the host that opens
 the same directory gets the same mappings.
@@ -44,16 +56,53 @@ __all__ = ["SharedSegmentStore"]
 _SEGMENT_FORMAT = "repro-response-cache"
 _CACHE_FORMAT_VERSION = 2
 _SEGMENT_GLOB = "segment-*.jsonl"
+#: Writer-side attestation of the segment set (see repro.engine.cache).
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = "repro-response-cache-manifest"
 #: ``_entry_line`` writes the key first — ``{"k": "<64 hex chars>", ...`` —
 #: so the scan can slice keys out without a full JSON decode per line.
 _KEY_PREFIX = b'{"k": "'
 _HEX_KEY_LEN = 64
 
 
+class _SegmentView:
+    """One mapped-and-indexed segment, reusable across directory rebuilds."""
+
+    __slots__ = ("name", "size", "mtime_ns", "mapped", "subindex", "lines")
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        mtime_ns: int,
+        mapped: Optional[mmap.mmap],
+        subindex: Dict[str, Tuple[int, int]],
+        lines: int,
+    ) -> None:
+        self.name = name
+        self.size = size
+        self.mtime_ns = mtime_ns
+        #: ``None`` for a segment with an invalid/foreign header — it stays
+        #: in the signature (so its changes are noticed) but serves nothing.
+        self.mapped = mapped
+        #: key -> (line offset, line length) within ``mapped``; holds each
+        #: key's *last* occurrence in the segment.
+        self.subindex = subindex
+        self.lines = lines
+
+
 class _StoreView:
     """One immutable snapshot of the directory: swapped, never mutated."""
 
-    __slots__ = ("signature", "index", "maps", "entry_lines", "total_bytes")
+    __slots__ = (
+        "signature",
+        "index",
+        "maps",
+        "entry_lines",
+        "total_bytes",
+        "segments",
+        "manifest_sig",
+    )
 
     def __init__(
         self,
@@ -62,12 +111,21 @@ class _StoreView:
         maps: List[mmap.mmap],
         entry_lines: int,
         total_bytes: int,
+        segments: Dict[str, _SegmentView],
+        manifest_sig: Optional[Tuple[int, int]],
     ) -> None:
         self.signature = signature
         self.index = index
         self.maps = maps
         self.entry_lines = entry_lines
         self.total_bytes = total_bytes
+        #: name -> per-segment view, carried forward so the next rebuild
+        #: reuses unchanged segments' mmaps and sub-indexes.
+        self.segments = segments
+        #: ``(size, mtime_ns)`` of the writer manifest *iff* it matched the
+        #: directory when this view was built; ``None`` disables the
+        #: manifest fast-path (absent, unparsable or stale manifest).
+        self.manifest_sig = manifest_sig
 
 
 def _fast_key(line: bytes) -> Optional[str]:
@@ -100,7 +158,12 @@ class SharedSegmentStore:
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
         self._refresh_lock = threading.Lock()
-        self._view = self._build_view()
+        #: Cumulative rebuild counters: segments whose mmap + sub-index were
+        #: carried over unchanged vs segments that were (re)mapped and
+        #: line-scanned.  Pinned by the manifest/refresh tests.
+        self.segments_reused = 0
+        self.segments_rescanned = 0
+        self._view = self._build_view(None)
 
     @property
     def path(self) -> Path:
@@ -114,9 +177,10 @@ class SharedSegmentStore:
     def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
         """The response stored under ``key``, or ``default``.
 
-        A miss re-checks the directory (cheap stat sweep) before giving
-        up, so entries another process just saved become visible without
-        an explicit :meth:`refresh`.
+        A miss re-checks the directory before giving up, so entries
+        another process just saved become visible without an explicit
+        :meth:`refresh` — one stat of the writer manifest when it is
+        current, a stat sweep of the segments otherwise.
         """
         view = self._view
         location = view.index.get(key)
@@ -150,15 +214,30 @@ class SharedSegmentStore:
     # -- view management ------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Re-scan the directory if it changed since the current view."""
+        """Re-scan the directory if it changed since the current view.
+
+        Always performs the full stat sweep (never the manifest shortcut):
+        a cache that just wrote segments calls this to make its own write
+        visible, and that must work even mid-crash with a stale manifest.
+        Unchanged segments are still *reused*, not rescanned.
+        """
         with self._refresh_lock:
             if self._dir_signature() != self._view.signature:
-                self._view = self._build_view()
+                self._view = self._build_view(self._view)
 
     def _refreshed_view(self, seen: _StoreView) -> _StoreView:
         with self._refresh_lock:
-            if self._view is seen and self._dir_signature() != seen.signature:
-                self._view = self._build_view()
+            if self._view is seen:
+                if (
+                    seen.manifest_sig is not None
+                    and self._manifest_stat() == seen.manifest_sig
+                ):
+                    # The writer updates the manifest on every committed
+                    # write; an unchanged, previously-validated manifest
+                    # attests an unchanged segment set — skip the sweep.
+                    return self._view
+                if self._dir_signature() != seen.signature:
+                    self._view = self._build_view(seen)
             return self._view
 
     def _segment_paths(self) -> List[Path]:
@@ -177,25 +256,109 @@ class SharedSegmentStore:
             parts.append((segment.name, stat.st_size, stat.st_mtime_ns))
         return tuple(parts)
 
-    def _build_view(self) -> _StoreView:
+    def _manifest_stat(self) -> Optional[Tuple[int, int]]:
+        try:
+            stat = (self._path / _MANIFEST_NAME).stat()
+        except OSError:
+            return None
+        return (stat.st_size, stat.st_mtime_ns)
+
+    def _read_manifest(self) -> Optional[Dict[str, Tuple[int, int]]]:
+        """The manifest's ``name -> (size, mtime_ns)`` map, or ``None``."""
+        try:
+            payload = json.loads(
+                (self._path / _MANIFEST_NAME).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != _MANIFEST_FORMAT:
+            return None
+        segments = payload.get("segments")
+        if not isinstance(segments, dict):
+            return None
+        out: Dict[str, Tuple[int, int]] = {}
+        for name, record in segments.items():
+            if not isinstance(record, dict):
+                return None
+            size = record.get("size")
+            mtime_ns = record.get("mtime_ns")
+            if not isinstance(size, int) or not isinstance(mtime_ns, int):
+                return None
+            out[name] = (size, mtime_ns)
+        return out
+
+    def _build_view(self, previous: Optional[_StoreView]) -> _StoreView:
+        """Scan the directory, reusing unchanged segments from ``previous``.
+
+        A segment whose ``(size, mtime_ns)`` matches the previous view is
+        carried over — mmap, sub-index and line count — without touching
+        its pages; only new or changed segments are mapped and scanned.
+        Reuse keys on exactly the stats the store's change detection
+        already trusts, so it is as safe as not rebuilding at all.
+        """
         index: Dict[str, Tuple[int, int, int]] = {}
         maps: List[mmap.mmap] = []
         signature = []
+        segments: Dict[str, _SegmentView] = {}
         entry_lines = 0
         total_bytes = 0
+        manifest_before = self._manifest_stat()
         for segment in self._segment_paths():
-            mapped, stat = self._map_segment(segment)
-            if mapped is None:
+            name = segment.name
+            prior = previous.segments.get(name) if previous is not None else None
+            if prior is not None:
+                try:
+                    stat = segment.stat()
+                except OSError:
+                    continue
+                if stat.st_size == 0:
+                    continue
+                if prior.size == stat.st_size and prior.mtime_ns == stat.st_mtime_ns:
+                    self.segments_reused += 1
+                    segview = prior
+                else:
+                    segview = self._scan_segment(segment)
+            else:
+                segview = self._scan_segment(segment)
+            if segview is None:
                 continue
-            signature.append((segment.name, stat.st_size, stat.st_mtime_ns))
-            if not self._valid_header(mapped):
-                mapped.close()
+            signature.append((segview.name, segview.size, segview.mtime_ns))
+            segments[name] = segview
+            if segview.mapped is None:
                 continue
             map_index = len(maps)
-            maps.append(mapped)
-            total_bytes += len(mapped)
-            entry_lines += self._index_segment(mapped, map_index, index)
-        return _StoreView(tuple(signature), index, maps, entry_lines, total_bytes)
+            maps.append(segview.mapped)
+            total_bytes += len(segview.mapped)
+            entry_lines += segview.lines
+            for key, (offset, length) in segview.subindex.items():
+                index[key] = (map_index, offset, length)
+        manifest = self._read_manifest()
+        manifest_sig: Optional[Tuple[int, int]] = None
+        if manifest is not None and manifest_before is not None:
+            observed = {name: (view.size, view.mtime_ns) for name, view in segments.items()}
+            # Only a manifest that exactly matches what we just scanned can
+            # vouch for future "nothing changed" checks; and it must not
+            # have been replaced mid-scan.
+            if manifest == observed and self._manifest_stat() == manifest_before:
+                manifest_sig = manifest_before
+        return _StoreView(
+            tuple(signature), index, maps, entry_lines, total_bytes, segments, manifest_sig
+        )
+
+    def _scan_segment(self, segment: Path) -> Optional[_SegmentView]:
+        """Map one segment and index its entry lines (the expensive path)."""
+        mapped, stat = self._map_segment(segment)
+        if mapped is None:
+            return None
+        self.segments_rescanned += 1
+        if not self._valid_header(mapped):
+            mapped.close()
+            return _SegmentView(segment.name, stat.st_size, stat.st_mtime_ns, None, {}, 0)
+        subindex: Dict[str, Tuple[int, int]] = {}
+        lines = self._index_segment(mapped, subindex)
+        return _SegmentView(
+            segment.name, stat.st_size, stat.st_mtime_ns, mapped, subindex, lines
+        )
 
     @staticmethod
     def _map_segment(segment: Path):
@@ -225,14 +388,15 @@ class SharedSegmentStore:
 
     @staticmethod
     def _index_segment(
-        mapped: mmap.mmap, map_index: int, index: Dict[str, Tuple[int, int, int]]
+        mapped: mmap.mmap, subindex: Dict[str, Tuple[int, int]]
     ) -> int:
-        """Add one segment's entry lines to ``index``; returns lines seen.
+        """Add one segment's entry lines to ``subindex``; returns lines seen.
 
-        Later segments are indexed after earlier ones, so re-inserted keys
-        resolve to their newest line — the same precedence the in-memory
-        loader applies.  A truncated tail line (interrupted write) fails
-        the key slice/decode and is skipped, like everywhere else.
+        Within a segment later lines win, so a re-inserted key resolves to
+        its newest line — the same precedence the in-memory loader applies.
+        (Across segments, the view merge applies later-segment-wins.)  A
+        truncated tail line (interrupted write) fails the key slice/decode
+        and is skipped, like everywhere else.
         """
         lines = 0
         offset = mapped.find(b"\n") + 1  # skip the header line
@@ -247,7 +411,7 @@ class SharedSegmentStore:
                 if key is None:
                     key = SharedSegmentStore._slow_key(line)
                 if key is not None:
-                    index[key] = (map_index, offset, length)
+                    subindex[key] = (offset, length)
                     lines += 1
             if newline < 0:
                 break
@@ -285,4 +449,6 @@ class SharedSegmentStore:
             "dead_entries": max(0, view.entry_lines - len(view.index)),
             "dead_ratio": round(self.dead_ratio(), 4),
             "total_bytes": view.total_bytes,
+            "segments_reused": self.segments_reused,
+            "segments_rescanned": self.segments_rescanned,
         }

@@ -23,6 +23,22 @@ from typing import Dict, List, Optional, Tuple
 __all__ = ["EngineTelemetry"]
 
 
+def _process_rss_kb() -> int:
+    """Current resident set size of this process in kB (0 when unreadable).
+
+    Reads ``/proc/self/status`` directly — no psutil dependency — so the
+    gauge degrades to 0 on platforms without procfs instead of failing.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
 class EngineTelemetry:
     """Thread-safe counters for one engine instance (cumulative across runs)."""
 
@@ -59,6 +75,13 @@ class EngineTelemetry:
         self.deadline_actual_s = 0.0
         #: Peak concurrently-in-flight chunk coroutines (async-native path).
         self.async_inflight_peak = 0
+        #: Peak requests resident in one planned batch — a whole run for
+        #: ``engine.run``, one window for ``engine.run_streaming`` — so a
+        #: streamed run's bounded footprint is observable, not assumed.
+        self.resident_requests_peak = 0
+        #: Peak process RSS in kB sampled at each batch boundary (0 where
+        #: procfs is unavailable).  A gauge, not a delta: it never resets.
+        self.peak_rss_kb = 0
         #: Snapshot broadcasts published for distributed runs, and the
         #: encoded bytes they carried (one shared mapping or temp file per
         #: run — *not* bytes-per-worker).
@@ -135,6 +158,18 @@ class EngineTelemetry:
             self.runs += 1
             self.wall_time_s += wall_time_s
 
+    def record_resident(self, n: int) -> None:
+        """One planned batch of ``n`` resident requests (keeps the max).
+
+        Also samples process RSS, so the two peaks land in the same
+        ``[engine]`` line: how many requests were held at once, and how much
+        memory the process actually touched while holding them.
+        """
+        rss_kb = _process_rss_kb()
+        with self._lock:
+            self.resident_requests_peak = max(self.resident_requests_peak, n)
+            self.peak_rss_kb = max(self.peak_rss_kb, rss_kb)
+
     def record_inflight_peak(self, peak: int) -> None:
         """Fold one async run's peak concurrent chunk coroutines (keeps max)."""
         with self._lock:
@@ -206,6 +241,8 @@ class EngineTelemetry:
                 "wall_time_s": round(self.wall_time_s, 4),
                 "requests_per_second": round(self.requests_per_second, 2),
                 "async_inflight_peak": self.async_inflight_peak,
+                "resident_requests_peak": self.resident_requests_peak,
+                "peak_rss_kb": self.peak_rss_kb,
                 "broadcast_publishes": self.broadcast_publishes,
                 "broadcast_bytes": self.broadcast_bytes,
                 "shm_attach": self.shm_attach,
@@ -329,6 +366,10 @@ class EngineTelemetry:
             parts.append(f"throughput={snap['requests_per_second']:.1f} req/s")
         if snap["async_inflight_peak"]:
             parts.append(f"inflight_peak={snap['async_inflight_peak']}")
+        if snap["resident_requests_peak"]:
+            parts.append(f"resident_peak={snap['resident_requests_peak']}")
+        if snap["peak_rss_kb"]:
+            parts.append(f"rss_peak={snap['peak_rss_kb'] / 1024:.1f}MB")
         if snap["broadcast_publishes"]:
             parts.append(
                 f"broadcast={snap['broadcast_publishes']} publishes/"

@@ -40,6 +40,7 @@ from repro.prompting.strategy import PromptStrategy
 
 __all__ = [
     "PromptEvaluationRow",
+    "iter_detection_requests",
     "evaluate_model_prompt",
     "evaluate_inspector",
     "evaluate_variable_identification",
@@ -86,6 +87,34 @@ class PromptEvaluationRow:
 def default_subset(config: Optional[CorpusConfig] = None) -> DRBMLDataset:
     """The ≤4k-token evaluation subset used by every experiment (§3.2)."""
     return DRBMLDataset.build_default(config).token_subset()
+
+
+def iter_detection_requests(
+    model: LanguageModel,
+    strategy: PromptStrategy,
+    *,
+    corpus_config: Optional[CorpusConfig] = None,
+    token_limit: Optional[int] = None,
+    scoring: Optional[str] = None,
+    jobs: int = 1,
+):
+    """Fully lazy corpus → featurise → request chain for one model/strategy.
+
+    Nothing is materialised: benchmarks are instantiated, featurised into
+    records (optionally sharded across ``jobs`` worker processes with
+    bounded look-ahead) and wrapped into requests one element at a time as
+    the consumer — typically ``ExecutionEngine.run_streaming`` — pulls.
+    ``token_limit`` defaults to the §3.2 evaluation budget; pass a different
+    limit or ``None``-equivalent large value to keep every record.
+    """
+    # Lazy imports: same circularity constraint as _resolve_engine.
+    from repro.dataset.drbml import iter_default_records
+    from repro.dataset.tokenizer import DEFAULT_TOKEN_LIMIT
+    from repro.engine import iter_requests
+
+    limit = DEFAULT_TOKEN_LIMIT if token_limit is None else token_limit
+    records = iter_default_records(corpus_config, token_limit=limit, jobs=jobs)
+    return iter_requests(model, strategy, records, scoring=scoring)
 
 
 def _resolve_engine(engine):

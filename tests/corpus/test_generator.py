@@ -185,3 +185,85 @@ class TestRegistry:
     def test_summary_mentions_counts(self, registry):
         text = registry.summary()
         assert "201 microbenchmarks" in text
+
+
+class TestStreamingCorpus:
+    """The lazy producer: ``iter_corpus`` / spans / repeats / sharding all
+    reproduce ``build_corpus`` element for element while generating one
+    block at a time."""
+
+    def test_iter_corpus_equals_build_corpus(self, corpus):
+        from repro.corpus import iter_corpus
+
+        streamed = list(iter_corpus(CorpusConfig()))
+        assert [b.name for b in streamed] == [b.name for b in corpus]
+        assert [b.code for b in streamed] == [b.code for b in corpus]
+
+    def test_corpus_size_matches_build(self, corpus):
+        from repro.corpus import corpus_size
+
+        assert corpus_size(CorpusConfig()) == len(corpus)
+        assert corpus_size(CorpusConfig(repeats=7)) == 7 * len(corpus)
+
+    def test_iter_corpus_span_slices_the_stream(self, corpus):
+        from repro.corpus.generator import iter_corpus_span
+
+        span = list(iter_corpus_span(CorpusConfig(), 50, 60))
+        assert [b.name for b in span] == [b.name for b in corpus[49:59]]
+
+    def test_span_crossing_block_boundary(self):
+        from repro.corpus import iter_corpus
+        from repro.corpus.generator import iter_corpus_span
+
+        config = CorpusConfig(repeats=3)
+        full = list(iter_corpus(config))
+        span = list(iter_corpus_span(config, 195, 215))  # straddles block 0/1
+        assert [b.name for b in span] == [b.name for b in full[194:214]]
+
+    def test_repeats_scale_count_with_unique_names(self):
+        from repro.corpus import iter_corpus
+
+        config = CorpusConfig(repeats=3)
+        corpus3 = list(iter_corpus(config))
+        assert len(corpus3) == 3 * 201
+        assert len({b.name for b in corpus3}) == len(corpus3)
+
+    def test_first_block_is_the_historical_corpus(self, corpus):
+        """repeats > 1 only appends blocks: block 0 stays byte-identical to
+        the repeats=1 corpus, so existing results remain reproducible."""
+        import itertools
+
+        from repro.corpus import iter_corpus
+
+        first_block = list(itertools.islice(iter_corpus(CorpusConfig(repeats=4)), 201))
+        assert [b.code for b in first_block] == [b.code for b in corpus]
+
+    def test_build_corpus_validates_repeated_blocks(self):
+        corpus2 = build_corpus(CorpusConfig(repeats=2))
+        assert len(corpus2) == 402
+        assert sum(1 for b in corpus2 if b.has_race) == 204
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(repeats=0)
+
+    def test_iteration_is_lazy(self):
+        """Pulling a handful of benchmarks from a million-record corpus
+        must not generate the rest (bounded memory, bounded time)."""
+        import itertools
+
+        from repro.corpus import corpus_size, iter_corpus
+
+        config = CorpusConfig(repeats=5000)
+        assert corpus_size(config) == 1_005_000
+        head = list(itertools.islice(iter_corpus(config), 3))
+        assert len(head) == 3  # returned without generating 1M benchmarks
+
+    def test_sharded_equals_serial(self):
+        from repro.corpus import iter_corpus, iter_corpus_sharded
+
+        config = CorpusConfig(repeats=2)
+        serial = list(iter_corpus(config))
+        sharded = list(iter_corpus_sharded(config, jobs=2))
+        assert [b.name for b in sharded] == [b.name for b in serial]
+        assert [b.code for b in sharded] == [b.code for b in serial]

@@ -270,7 +270,12 @@ class TestSegmentedPersistence:
         cache = ResponseCache(path=path)
         cache.put("m", "p", "r")
         cache.save()
-        leftovers = [f for f in path.iterdir() if not f.name.startswith("segment-")]
+        expected = {"manifest.json"}  # the writer's segment-set attestation
+        leftovers = [
+            f
+            for f in path.iterdir()
+            if not f.name.startswith("segment-") and f.name not in expected
+        ]
         assert leftovers == []
 
     def test_truncated_segment_loads_partially(self, tmp_path):

@@ -13,6 +13,7 @@ Three layers under test, matching :mod:`repro.engine`'s cache plane:
   lose, and the ``repro cache`` CLI over it.
 """
 
+import json
 import threading
 
 import pytest
@@ -328,6 +329,145 @@ class TestSharedSegmentStore:
         assert reads > 0
         store.refresh()
         assert all(store.get(key) == response for key, response in expected.items())
+
+
+class TestSegmentManifest:
+    """The writer-side segment manifest and the incremental reader rebuild.
+
+    Every committed cache write (incremental save, compaction, legacy
+    migration) rewrites ``manifest.json`` attesting the segment set, so
+    :class:`SharedSegmentStore` can (a) answer the miss-path "did anything
+    change?" probe with one stat of the manifest instead of a sweep of
+    every segment, and (b) on an actual change, re-scan only the new or
+    changed segments, reusing the folded ones' mmaps and sub-indexes.
+    The manifest is advisory: corrupt, stale or missing manifests only
+    disable the fast-path, never correctness.
+    """
+
+    @staticmethod
+    def _write_store(path, entries):
+        cache = ResponseCache(path=path, auto_compact_ratio=None)
+        for identity, prompt, response in entries:
+            cache.put(identity, prompt, response)
+        cache.save()
+        return cache
+
+    @staticmethod
+    def _manifest(path):
+        return json.loads((path / "manifest.json").read_text(encoding="utf-8"))
+
+    def test_save_writes_manifest_matching_segments(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+        manifest = self._manifest(target)
+        assert manifest["format"] == "repro-response-cache-manifest"
+        assert manifest["generation"] == 1
+        names = sorted(p.name for p in target.glob("segment-*.jsonl"))
+        assert sorted(manifest["segments"]) == names
+        for name, record in manifest["segments"].items():
+            stat = (target / name).stat()
+            assert record["size"] == stat.st_size
+            assert record["mtime_ns"] == stat.st_mtime_ns
+
+    def test_generation_increments_per_commit(self, tmp_path):
+        target = tmp_path / "store"
+        cache = self._write_store(target, [("m", "p1", "r1")])
+        cache.put("m", "p2", "r2")
+        cache.save()
+        assert self._manifest(target)["generation"] == 2
+        cache.compact()
+        assert self._manifest(target)["generation"] == 3
+        names = sorted(p.name for p in target.glob("segment-*.jsonl"))
+        assert sorted(self._manifest(target)["segments"]) == names
+
+    def test_legacy_migration_writes_manifest(self, tmp_path):
+        target = tmp_path / "cache"
+        legacy = {
+            "format": "repro-response-cache",
+            "version": 1,
+            "entries": {"a" * 64: "legacy response"},
+        }
+        target.write_text(json.dumps(legacy), encoding="utf-8")
+        cache = ResponseCache(path=target)
+        cache.put("m", "p", "r")
+        cache.save()
+        assert target.is_dir()
+        names = sorted(p.name for p in target.glob("segment-*.jsonl"))
+        assert sorted(self._manifest(target)["segments"]) == names
+
+    def test_refresh_reuses_unchanged_segments(self, tmp_path):
+        target = tmp_path / "store"
+        cache = self._write_store(target, [("m", f"p{i}", f"r{i}") for i in range(8)])
+        store = SharedSegmentStore(target)
+        assert store.stats()["segments_rescanned"] == 1
+        assert store.stats()["segments_reused"] == 0
+        cache.put("m", "extra", "extra response")
+        cache.save()  # appends a second segment; the first is untouched
+        store.refresh()
+        stats = store.stats()
+        assert stats["segments"] == 2
+        assert stats["segments_reused"] == 1  # folded segment: no rescan
+        assert stats["segments_rescanned"] == 2  # only the new one scanned
+        assert store.get(cache_key("m", "extra")) == "extra response"
+        assert store.get(cache_key("m", "p3")) == "r3"
+
+    def test_miss_with_current_manifest_skips_the_sweep(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+        store = SharedSegmentStore(target)
+        assert store._view.manifest_sig is not None
+        view_before = store._view
+        assert store.get("0" * 64) is None  # miss probes for external writes
+        assert store._view is view_before  # manifest unchanged: view kept
+
+    def test_miss_sees_new_segment_after_manifest_update(self, tmp_path):
+        target = tmp_path / "store"
+        cache = self._write_store(target, [("m", "p", "r")])
+        store = SharedSegmentStore(target)
+        cache.put("m", "late", "late response")
+        cache.save()  # bumps the manifest along with the new segment
+        # No explicit refresh: the miss path must notice the manifest moved.
+        assert store.get(cache_key("m", "late")) == "late response"
+
+    def test_corrupt_manifest_disables_fast_path_only(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+        (target / "manifest.json").write_text("{not json", encoding="utf-8")
+        store = SharedSegmentStore(target)
+        assert store._view.manifest_sig is None
+        assert store.get(cache_key("m", "p")) == "r"
+
+    def test_stale_manifest_from_foreign_writer_is_ignored(self, tmp_path):
+        """A writer that appends segments without updating the manifest
+        (pre-manifest version, foreign tool) must not be masked by the
+        fast-path: at view build the manifest's segment list disagrees
+        with the directory, so the fast-path never arms."""
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+        foreign = target / "segment-000099.jsonl"
+        foreign.write_text(
+            '{"format": "repro-response-cache", "version": 2}\n'
+            + json.dumps({"k": "f" * 64, "r": "foreign"})
+            + "\n",
+            encoding="utf-8",
+        )
+        store = SharedSegmentStore(target)
+        assert store._view.manifest_sig is None  # manifest != directory
+        assert store.get("f" * 64) == "foreign"
+
+    def test_explicit_refresh_never_uses_the_manifest_shortcut(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+        store = SharedSegmentStore(target)
+        foreign = target / "segment-000099.jsonl"
+        foreign.write_text(
+            '{"format": "repro-response-cache", "version": 2}\n'
+            + json.dumps({"k": "e" * 64, "r": "external"})
+            + "\n",
+            encoding="utf-8",
+        )
+        store.refresh()  # full sweep despite the now-stale (valid) manifest
+        assert store.get("e" * 64) == "external"
 
 
 class TestSharedReadCache:

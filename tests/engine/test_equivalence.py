@@ -11,9 +11,12 @@ from repro.engine import (
     ExecutionEngine,
     ResponseCache,
     build_requests,
+    confusion_from_results,
+    iter_requests,
     results_fingerprint,
     run_plans,
     run_plans_sequential,
+    run_plans_streaming,
 )
 from repro.eval.experiments import (
     default_subset,
@@ -325,6 +328,30 @@ class TestSchedulerEquivalence:
             interleaved = run_plans(plans, engine=engine)
         assert results_fingerprint(interleaved) == sequential_reference
 
+    @pytest.mark.parametrize(
+        "config",
+        [
+            pytest.param(dict(jobs=1), id="serial"),
+            pytest.param(dict(jobs=6, batch_size=5), id="thread-pool"),
+            pytest.param(
+                dict(jobs=3, executor_kind="process", batch_size=8), id="process-pool"
+            ),
+            pytest.param(dict(jobs=8, executor_kind="async", batch_size=8), id="async"),
+        ],
+    )
+    def test_streaming_scheduler_matches_sequential(
+        self, mini_records, sequential_reference, config
+    ):
+        """run_plans_streaming — all five tables through one windowed
+        streaming run, results reduced per plan as each completes — is
+        bit-identical to the sequential reference on every backend.  The
+        small window forces many windows per plan and windows straddling
+        plan boundaries."""
+        plans = _mini_all_table_plans(mini_records)
+        with ExecutionEngine(**config) as engine:
+            streamed = run_plans_streaming(plans, engine=engine, window=17)
+        assert results_fingerprint(streamed) == sequential_reference
+
     def test_interleaved_matches_sequential_warm_cache(self, mini_records, sequential_reference):
         """Runs 2+ reuse the cache AND a warmed cost model: dynamic dispatch
         with live LPT ordering and adaptive chunk sizes must still be exact."""
@@ -336,3 +363,94 @@ class TestSchedulerEquivalence:
         assert len(engine.cost_model) > 0  # LPT had estimates for run two
         assert results_fingerprint(first) == sequential_reference
         assert results_fingerprint(second) == sequential_reference
+
+
+STREAMING_BACKENDS = [
+    pytest.param(lambda: dict(jobs=1), id="serial"),
+    pytest.param(lambda: dict(jobs=1, batch_size=5), id="serial-small-batches"),
+    pytest.param(lambda: dict(jobs=6, batch_size=7), id="thread-pool"),
+    pytest.param(lambda: dict(jobs=4, cache=ResponseCache()), id="thread-pool-cached"),
+    pytest.param(
+        lambda: dict(jobs=3, executor_kind="process", batch_size=8), id="process-pool"
+    ),
+    pytest.param(
+        lambda: dict(jobs=3, executor_kind="process", cache=ResponseCache(), batch_size=8),
+        id="process-pool-cached",
+    ),
+    pytest.param(lambda: dict(jobs=8, executor_kind="async", batch_size=7), id="async"),
+    pytest.param(
+        lambda: dict(jobs=8, executor_kind="async", cache=ResponseCache()),
+        id="async-cached",
+    ),
+]
+
+
+class TestStreamingEquivalence:
+    """run_streaming is a pure execution-shape change: the windowed lazy
+    path must reproduce ``run()`` — responses *and* scores, bit for bit —
+    on every executor backend, with and without a cache, and through the
+    pipeline's ``stream`` flag.  Configs are factories so the cached
+    variants get a fresh cache per engine (no cross-contamination)."""
+
+    @pytest.mark.parametrize("make_config", STREAMING_BACKENDS)
+    def test_streamed_matches_materialised(self, subset, make_config):
+        records = subset.records[:40]
+        model = create_model("gpt-4")
+        with ExecutionEngine(**make_config()) as engine:
+            reference = engine.run(
+                build_requests(model, PromptStrategy.BP1, records, scoring="detection")
+            )
+        with ExecutionEngine(**make_config()) as engine:
+            # window=7 does not divide 40: exercises the trailing partial
+            # window as well as full ones.
+            streamed = list(
+                engine.run_streaming(
+                    iter_requests(model, PromptStrategy.BP1, records, scoring="detection"),
+                    window=7,
+                )
+            )
+        assert [result.response for result in streamed] == reference.responses()
+        assert (
+            confusion_from_results(streamed).as_row() == reference.confusion().as_row()
+        )
+
+    def test_pipeline_stream_flag_matches_materialised(self, subset):
+        """PipelineConfig(stream=True) — the CLI's ``--stream`` — scores
+        identically to the eager path."""
+        records = subset.records[:30]
+        eager = DataRacePipeline(PipelineConfig(jobs=4)).score_model(
+            model="gpt-4", records=records
+        )
+        streamed = DataRacePipeline(
+            PipelineConfig(jobs=4, stream=True, stream_window=11)
+        ).score_model(model="gpt-4", records=records)
+        assert streamed.as_row() == eager.as_row()
+
+    def test_streamed_pairs_scoring_matches_seed_loop(self, subset):
+        """The pairs scoring modes stream identically too (Tables 5–6)."""
+        records = subset.records[:30]
+        model = create_model("gpt-3.5-turbo")
+        reference = seed_pairs_loop(model, records)
+        with ExecutionEngine(jobs=4, batch_size=6) as engine:
+            counts = engine.run_streaming_counts(
+                iter_requests(model, PromptStrategy.ADVANCED, records, scoring="pairs"),
+                window=9,
+            )
+        assert counts.as_row() == reference.as_row()
+
+    def test_later_windows_reuse_earlier_windows_cache(self, subset):
+        """One streaming run shares its cache across windows: duplicated
+        requests in a later window hit instead of re-calling the model."""
+        records = subset.records[:12]
+        model = create_model("gpt-4")
+
+        def twice():
+            yield from iter_requests(model, PromptStrategy.BP1, records)
+            yield from iter_requests(model, PromptStrategy.BP1, records)
+
+        with ExecutionEngine(cache=ResponseCache(), batch_size=4) as engine:
+            results = list(engine.run_streaming(twice(), window=6))
+        assert len(results) == 2 * len(records)
+        first, second = results[: len(records)], results[len(records) :]
+        assert [r.response for r in first] == [r.response for r in second]
+        assert engine.telemetry.cache_hits == len(records)

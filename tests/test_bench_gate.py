@@ -1,0 +1,120 @@
+"""The benchmark regression gate's trend logic (benchmarks/ is not a
+package, so the module is loaded straight from its file).
+
+The static floors in BENCH_baseline.json are deliberately loose; the
+trend gate is what catches slow drift — a run below 0.7× the trailing
+median of previously *passing* runs fails even when it clears the floor.
+These tests pin that arithmetic and the warn-only behaviour on thin or
+damaged history.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_bench_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _history(values, label="metric", status="ok"):
+    return [{"status": status, "results": {label: value}} for value in values]
+
+
+class TestEvaluateTrends:
+    def test_warn_only_below_min_points(self, gate):
+        lines, failed = gate.evaluate_trends(
+            {"metric": 0.01}, _history([5.0, 5.0]), min_points=3
+        )
+        assert not failed
+        assert len(lines) == 1
+        assert "warn-only" in lines[0]
+
+    def test_empty_history_never_fails(self, gate):
+        lines, failed = gate.evaluate_trends({"metric": 1.0}, [])
+        assert not failed
+        assert "warn-only" in lines[0]
+
+    def test_value_at_median_passes(self, gate):
+        lines, failed = gate.evaluate_trends(
+            {"metric": 5.0}, _history([4.0, 5.0, 6.0])
+        )
+        assert not failed
+        assert "ok" in lines[0]
+
+    def test_value_below_p50_fraction_fails(self, gate):
+        lines, failed = gate.evaluate_trends(
+            {"metric": 3.0}, _history([5.0, 5.0, 5.0]), p50_fraction=0.7
+        )
+        assert failed
+        assert "TREND-REGRESSION" in lines[0]
+
+    def test_value_just_above_threshold_passes(self, gate):
+        _, failed = gate.evaluate_trends(
+            {"metric": 3.6}, _history([5.0, 5.0, 5.0]), p50_fraction=0.7
+        )
+        assert not failed
+
+    def test_failed_runs_are_excluded_from_the_reference(self, gate):
+        """A string of regressed runs must not drag the median down and
+        mask that the regression persists."""
+        history = _history([5.0, 5.0, 5.0]) + _history(
+            [1.0, 1.0, 1.0], status="regression"
+        )
+        _, failed = gate.evaluate_trends({"metric": 3.0}, history)
+        assert failed  # held to the 5.0 median, not the regressed 1.0s
+
+    def test_window_looks_at_recent_history_only(self, gate):
+        """Old slow runs age out: after 20 fast runs, the trailing window
+        no longer contains the slow era, so a mid value fails."""
+        history = _history([1.0] * 20 + [5.0] * 20)
+        _, failed = gate.evaluate_trends({"metric": 3.0}, history, window=20)
+        assert failed
+        _, failed_wide = gate.evaluate_trends({"metric": 3.0}, history, window=40)
+        assert not failed_wide  # the slow era halves the wide-window median
+
+    def test_malformed_records_are_skipped(self, gate):
+        history = [
+            {"status": "ok"},  # no results
+            {"status": "ok", "results": "not-a-dict"},
+            {"status": "ok", "results": {"metric": "NaN-string"}},
+            {"status": "ok", "results": {"metric": True}},  # bool is not a number
+            {"status": "ok", "results": {"other": 9.0}},
+        ]
+        lines, failed = gate.evaluate_trends({"metric": 0.01}, history)
+        assert not failed
+        assert "warn-only" in lines[0]
+
+    def test_multiple_metrics_fail_independently(self, gate):
+        history = [
+            {"status": "ok", "results": {"good": 2.0, "bad": 10.0}}
+            for _ in range(5)
+        ]
+        lines, failed = gate.evaluate_trends({"good": 2.0, "bad": 1.0}, history)
+        assert failed
+        assert sum("TREND-REGRESSION" in line for line in lines) == 1
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty(self, gate, tmp_path):
+        assert gate.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_corrupt_lines_are_skipped(self, gate, tmp_path):
+        path = tmp_path / "history.jsonl"
+        good = {"status": "ok", "results": {"metric": 1.0}}
+        path.write_text(
+            json.dumps(good) + "\n{truncated\n\n[1,2]\n" + json.dumps(good) + "\n",
+            encoding="utf-8",
+        )
+        records = gate.load_history(path)
+        assert records == [good, good]
