@@ -1,0 +1,147 @@
+"""Tiered detection cascade — the cost/accuracy frontier vs LLM-only.
+
+The paper's strongest detector is also its most expensive: every record
+pays a full LLM round trip even when the static analyzer could have
+answered it in microseconds.  The cascade (``--cascade``) routes each
+record through an ordered ladder of cheap tiers — static analyzer, then a
+fast zoo model — and escalates only low-confidence or disagreeing
+verdicts to the requested model, so the expensive backend sees a fraction
+of the workload.
+
+This benchmark scores the same mixed-difficulty DRB-ML subset two ways
+against a simulated *remote* GPT-4 (fixed per-call transport latency, the
+regime where the cascade pays off):
+
+* **LLM-only** — every record through the remote model;
+* **cascade** — default ladder in front of the same remote model.
+
+Gated on both sides of the frontier: the cascade must be at least
+``MIN_SPEEDUP``× faster end to end *and* lose no more than one accuracy
+point (``accuracy_margin_pts >= MIN_ACCURACY_MARGIN_PTS``, where the
+margin is ``1.0 + (cascade_acc - llm_acc) * 100`` — a floor of 0.0 is
+exactly "≤ 1pt loss"; in practice the ladder *gains* accuracy here
+because the analyzer's clean verdicts are near-ground-truth).  Writes
+``BENCH_cascade.json`` (repo root); CI's ``check_bench_regression.py``
+compares it against the committed floors and the trailing trend.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.engine import CascadePolicy, ExecutionEngine, build_requests
+from repro.llm.adapters import AsyncRemoteAdapter
+from repro.llm.zoo import create_model
+from repro.prompting.strategy import PromptStrategy
+
+#: Simulated remote-API latency of the expensive final model.
+REMOTE_LATENCY_S = 0.06
+N_RECORDS = 64
+#: Deliberately throughput-bound: fewer workers than chunks, small chunks,
+#: so wall time tracks the *amount* of expensive work, which is what the
+#: cascade removes (a latency-bound run with idle capacity would hide it).
+JOBS = 4
+BATCH_SIZE = 2
+TRIALS = 3
+#: Asserted floor — equal to the committed baseline (benchmarks/baselines/),
+#: so the regression gate stays the deciding check on noisy CI runners.
+MIN_SPEEDUP = 2.0
+#: 1pt accuracy-loss budget expressed as a non-negative margin.
+MIN_ACCURACY_MARGIN_PTS = 0.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cascade.json"
+
+
+def _remote_gpt4():
+    return AsyncRemoteAdapter(create_model("gpt-4"), latency_s=REMOTE_LATENCY_S)
+
+
+def _measure(records, *, cascade):
+    """One trial: fresh engine, same requests, cascade on or off."""
+    model = _remote_gpt4()
+    policy = CascadePolicy.from_spec() if cascade else None
+    requests = build_requests(model, PromptStrategy.BP1, records)
+    with ExecutionEngine(
+        jobs=JOBS,
+        executor_kind="thread",
+        batch_size=BATCH_SIZE,
+        cascade=policy,
+        adaptive_batching=False,
+    ) as engine:
+        start = time.perf_counter()
+        store = engine.run(requests)
+        elapsed = time.perf_counter() - start
+        return store.confusion(), elapsed, engine.telemetry.cascade_snapshot()
+
+
+def test_cascade_frontier_beats_llm_only(benchmark, subset):
+    records = subset.records[:N_RECORDS]
+
+    llm_times, cascade_times = [], []
+    llm_counts = cascade_counts = None
+    escalated = 0
+    for _ in range(TRIALS):
+        llm_counts, seconds, _ = _measure(records, cascade=False)
+        llm_times.append(seconds)
+
+    def _cascade_trials():
+        nonlocal cascade_counts, escalated
+        for _ in range(TRIALS):
+            cascade_counts, seconds, tiers = _measure(records, cascade=True)
+            cascade_times.append(seconds)
+            escalated = sum(
+                row["requests"] for row in tiers if row["tier"] == "final"
+            )
+
+    run_once(benchmark, _cascade_trials)
+
+    llm_s = statistics.median(llm_times)
+    cascade_s = statistics.median(cascade_times)
+    speedup = llm_s / cascade_s
+    llm_acc = llm_counts.accuracy
+    cascade_acc = cascade_counts.accuracy
+    accuracy_margin_pts = 1.0 + (cascade_acc - llm_acc) * 100.0
+
+    payload = {
+        "requests": len(records),
+        "trials": TRIALS,
+        "jobs": JOBS,
+        "batch_size": BATCH_SIZE,
+        "remote_latency_s": REMOTE_LATENCY_S,
+        "tiers": "static,gpt-3.5-turbo",
+        "llm_only": {
+            "median_seconds": round(llm_s, 4),
+            "seconds": [round(s, 4) for s in llm_times],
+            "accuracy": round(llm_acc, 4),
+        },
+        "cascade": {
+            "median_seconds": round(cascade_s, 4),
+            "seconds": [round(s, 4) for s in cascade_times],
+            "accuracy": round(cascade_acc, 4),
+            "escalated_to_final": escalated,
+        },
+        "speedup_cascade_vs_llm_only": round(speedup, 2),
+        "accuracy_margin_pts": round(accuracy_margin_pts, 2),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print()
+    print(
+        f"cascade: LLM-only {llm_s * 1000:.0f}ms acc {llm_acc:.3f} vs cascade "
+        f"{cascade_s * 1000:.0f}ms acc {cascade_acc:.3f} ({speedup:.1f}x, margin "
+        f"{accuracy_margin_pts:.1f}pt) over {TRIALS} trials; "
+        f"escalations to final tier: {escalated}"
+    )
+
+    # The cascade is deterministic: identical verdicts across trials.
+    assert cascade_counts.total == llm_counts.total == len(records)
+    assert speedup >= MIN_SPEEDUP, (
+        f"cascade must be >= {MIN_SPEEDUP}x faster than LLM-only against a "
+        f"remote backend, got {speedup:.2f}x"
+    )
+    assert accuracy_margin_pts >= MIN_ACCURACY_MARGIN_PTS, (
+        f"cascade may lose at most 1 accuracy point vs LLM-only, got "
+        f"{cascade_acc:.3f} vs {llm_acc:.3f}"
+    )

@@ -2,9 +2,10 @@
 
 Run after ``bench_engine_throughput.py``, ``bench_scheduler.py``,
 ``bench_dispatch.py``, ``bench_async.py``, ``bench_speculation.py``,
-``bench_cache_plane.py`` and ``bench_corpus_stream.py`` have written
-``BENCH_engine.json`` / ``BENCH_scheduler.json`` / ``BENCH_dispatch.json``
-/ ``BENCH_async.json`` / ``BENCH_speculation.json`` /
+``bench_cascade.py``, ``bench_cache_plane.py`` and
+``bench_corpus_stream.py`` have written ``BENCH_engine.json`` /
+``BENCH_scheduler.json`` / ``BENCH_dispatch.json`` / ``BENCH_async.json``
+/ ``BENCH_speculation.json`` / ``BENCH_cascade.json`` /
 ``BENCH_cache_plane.json`` / ``BENCH_corpus_stream.json`` to the repo
 root::
 
@@ -153,6 +154,7 @@ def main() -> int:
     dispatch = _load(REPO_ROOT / "BENCH_dispatch.json")
     async_io = _load(REPO_ROOT / "BENCH_async.json")
     speculation = _load(REPO_ROOT / "BENCH_speculation.json")
+    cascade = _load(REPO_ROOT / "BENCH_cascade.json")
     cache_plane = _load(REPO_ROOT / "BENCH_cache_plane.json")
     corpus_stream = _load(REPO_ROOT / "BENCH_corpus_stream.json")
 
@@ -186,6 +188,16 @@ def main() -> int:
             "speculative p95 speedup vs non-speculative (tail-heavy adapter)",
             speculation["speedup_speculative_vs_off_p95"],
             baseline["speculation"]["min_speedup_speculative_vs_off_p95"],
+        ),
+        (
+            "cascade end-to-end speedup vs LLM-only (remote backend)",
+            cascade["speedup_cascade_vs_llm_only"],
+            baseline["cascade"]["min_speedup_cascade_vs_llm_only"],
+        ),
+        (
+            "cascade accuracy margin (1pt budget + gain, in points)",
+            cascade["accuracy_margin_pts"],
+            baseline["cascade"]["min_accuracy_margin_pts"],
         ),
         (
             "cache-plane shm broadcast speedup vs temp-file pickle",

@@ -38,8 +38,19 @@ Usage::
                                       # in windows (peak RSS O(window), not
                                       # O(corpus)); identical results
     python -m repro all --stream --stream-window 512   # window size
+    python -m repro table3 --cascade             # tiered detection cascade:
+                                      # static analyzer, then a fast zoo
+                                      # model, answer first; only low-
+                                      # confidence or disagreeing verdicts
+                                      # escalate to the requested LLM
+    python -m repro table3 --cascade --cascade-tiers static,inspector,gpt-3.5-turbo
+    python -m repro table3 --cascade --escalate-below 0.9   # stricter: more
+                                      # records reach the expensive model
+    python -m repro all --cascade --speculate    # cross-backend speculation:
+                                      # straggler chunks race a cheaper
+                                      # tier's model, first verdict wins
     python -m repro cache stats --cache ./cache-dir     # segments, dead
-                                      # ratio, bytes — no evaluation run
+                                      # ratio, promotions — no evaluation run
     python -m repro cache compact --cache ./cache-dir
 
 ``repro all`` plans every table first (requests + reducer), then feeds all
@@ -66,8 +77,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.engine import (
+    DEFAULT_CASCADE_TIERS,
+    DEFAULT_ESCALATE_BELOW,
     DEFAULT_STREAM_WINDOW,
     DISPATCH_MODES,
+    CascadePolicy,
     CostModel,
     ExecutionEngine,
     ResponseCache,
@@ -187,6 +201,8 @@ def _run_all(
 
 
 def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
+    # Built (and validated) in main() before any engine exists.
+    cascade_policy: Optional[CascadePolicy] = getattr(args, "cascade_policy", None)
     # The cost model persists beside the cache segments, so a later
     # invocation schedules its first run with this run's latencies.  It is
     # built before the cache because cost-aware eviction weighs cache
@@ -230,6 +246,12 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
         deadline=args.deadline,
         snapshot_transport=args.snapshot_transport,
         stream_window=args.stream_window,
+        cascade=cascade_policy,
+        speculate_fallback=(
+            cascade_policy.fallback_model
+            if cascade_policy is not None and args.speculate
+            else None
+        ),
     )
 
 
@@ -254,6 +276,7 @@ def _run_cache_command(args: argparse.Namespace) -> int:
             f"[cache]   scan: rescanned={stats['segments_rescanned']}"
             f" reused={stats['segments_reused']}"
         )
+        print(f"[cache]   promotions={stats['promotions']}")
         return 0
     # compact: fold every live entry into a minimal set of fresh segments.
     before = SharedSegmentStore(path).stats() if path.is_dir() else None
@@ -417,6 +440,40 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--cascade",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "tiered detection cascade: cheap tiers (--cascade-tiers) answer "
+            "each record first and only low-confidence or disagreeing "
+            "verdicts escalate to the requested model — with --speculate, "
+            "straggler chunks additionally race a cheaper tier's model "
+            "(cross-backend speculation).  --no-cascade is the reference "
+            "single-model path (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--cascade-tiers",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "comma-separated cheap-tier ladder, cheapest first: 'static', "
+            "'inspector' (alias 'dynamic'), or any zoo model name "
+            f"(default: {DEFAULT_CASCADE_TIERS})"
+        ),
+    )
+    parser.add_argument(
+        "--escalate-below",
+        type=float,
+        default=None,
+        metavar="CONF",
+        help=(
+            "confidence a cheap-tier verdict must reach to resolve a record "
+            "without escalating; 1.0 escalates everything (identical to the "
+            f"requested model alone) (default: {DEFAULT_ESCALATE_BELOW})"
+        ),
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -556,6 +613,26 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--speculate-after must be > 0")
     if args.deadline is not None and args.deadline <= 0:
         parser.error("--deadline must be > 0 seconds")
+    if not args.cascade:
+        if args.cascade_tiers is not None:
+            parser.error("--cascade-tiers requires --cascade")
+        if args.escalate_below is not None:
+            parser.error("--escalate-below requires --cascade")
+    if args.escalate_below is not None and not 0.0 <= args.escalate_below <= 1.0:
+        parser.error("--escalate-below must be between 0 and 1")
+    args.cascade_policy = None
+    if args.cascade:
+        try:
+            args.cascade_policy = CascadePolicy.from_spec(
+                args.cascade_tiers if args.cascade_tiers is not None else DEFAULT_CASCADE_TIERS,
+                escalate_below=(
+                    args.escalate_below
+                    if args.escalate_below is not None
+                    else DEFAULT_ESCALATE_BELOW
+                ),
+            )
+        except (KeyError, ValueError) as exc:
+            parser.error(f"--cascade-tiers: {exc}")
     if args.cache is not None and args.cache_entries == 0:
         parser.error("--cache has no effect with --cache-entries 0 (caching disabled)")
     if args.cost_aware_eviction and args.cache_entries == 0:

@@ -56,6 +56,23 @@ class StaticRaceReport:
                 seen.append(pair.variable())
         return seen
 
+    @property
+    def confidence(self) -> float:
+        """Self-assessed reliability of the verdict, in [0, 1].
+
+        The detector over-approximates: a clean bill of health over real
+        accesses is its strongest signal, while a positive may be a false
+        alarm from the conservative alias/sync model — so positives score
+        below the default cascade escalation threshold and get confirmed
+        by a stronger tier.  No analyzed accesses means the parse saw
+        nothing it understood.
+        """
+        if self.analyzed_accesses <= 0:
+            return 0.5
+        if self.has_race:
+            return 0.7
+        return 0.9
+
 
 def _mutual_exclusion(a: AccessSite, b: AccessSite) -> bool:
     """True when the two accesses can never run concurrently."""

@@ -116,6 +116,21 @@ class PipelineConfig:
         Requests resident at once on the streaming path.  ``None`` keeps
         the engine default
         (:data:`repro.engine.core.DEFAULT_STREAM_WINDOW`).
+    cascade:
+        Route each record through the tiered detection cascade
+        (:mod:`repro.engine.cascade`): cheap tiers answer first and only
+        low-confidence or disagreeing verdicts escalate to the request's
+        own model (the implicit final tier).  Off, scoring is bit-identical
+        to the non-cascaded engine.  With ``speculate`` also on, straggler
+        chunks race against a cheaper tier's model (cross-backend
+        speculation) instead of a same-model duplicate.
+    cascade_tiers:
+        Comma-separated cheap-tier ladder, cheapest first: ``static``,
+        ``inspector``/``dynamic``, or any zoo model name.
+    escalate_below:
+        Confidence a cheap-tier verdict must reach to resolve a record;
+        ``1.0`` escalates everything (≡ LLM-only), ``0.0`` resolves every
+        non-shed answer at the first tier.
     """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
@@ -146,3 +161,8 @@ class PipelineConfig:
     snapshot_transport: str = "shm"
     stream: bool = False
     stream_window: Optional[int] = None
+    # Tier spec mirrors repro.engine.cascade.DEFAULT_CASCADE_TIERS; kept a
+    # literal so importing the config never pulls in the engine package.
+    cascade: bool = False
+    cascade_tiers: str = "static,gpt-3.5-turbo"
+    escalate_below: float = 0.75

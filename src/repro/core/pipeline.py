@@ -25,6 +25,7 @@ from repro.dataset.drbml import DRBMLDataset
 from repro.dataset.pairs import build_advanced_pairs, build_basic_pairs
 from repro.dynamic.inspector import InspectorLikeDetector
 from repro.engine import (
+    CascadePolicy,
     CostModel,
     ExecutionEngine,
     ResponseCache,
@@ -105,11 +106,23 @@ class DataRacePipeline:
 
         Built once from the config: ``jobs``/``executor`` select the
         backend (serial, thread, process or async),
-        ``cache_entries``/``cache_path`` configure the response cache.
+        ``cache_entries``/``cache_path`` configure the response cache,
+        ``cascade`` routes records through the cheap-tier ladder first.
         Results are identical across these settings; they only change how
-        fast the calls run.
+        fast the calls run (the cascade additionally changes *which* model
+        answers each record, so its results differ by design unless every
+        record escalates).
         """
         if self._engine is None:
+            cascade = None
+            speculate_fallback = None
+            if self.config.cascade:
+                cascade = CascadePolicy.from_spec(
+                    self.config.cascade_tiers,
+                    escalate_below=self.config.escalate_below,
+                )
+                if self.config.speculate:
+                    speculate_fallback = cascade.fallback_model
             # One cost model shared by the scheduler and (when cost-aware
             # eviction is on) the cache's eviction policy.
             cost_model = CostModel()
@@ -142,6 +155,8 @@ class DataRacePipeline:
                 deadline=self.config.deadline,
                 snapshot_transport=self.config.snapshot_transport,
                 stream_window=self.config.stream_window,
+                cascade=cascade,
+                speculate_fallback=speculate_fallback,
             )
         return self._engine
 

@@ -38,6 +38,23 @@ class InspectorRunResult:
                 seen.append(pair.variable())
         return seen
 
+    @property
+    def confidence(self) -> float:
+        """Self-assessed reliability of the verdict, in [0, 1].
+
+        The interpreter under-approximates: a witnessed conflict is close to
+        ground truth, while a clean run only covers the schedules actually
+        executed.  Failed runs degrade confidence down to zero when nothing
+        executed at all.
+        """
+        if self.has_race:
+            return 0.95
+        if self.failed:
+            return 0.0 if self.runs <= 0 else 0.4
+        if self.runs > 0:
+            return 0.6
+        return 0.0
+
 
 class InspectorLikeDetector:
     """Dynamic race detector facade over the OpenMP interpreter.

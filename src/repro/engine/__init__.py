@@ -20,11 +20,21 @@ Module map
     picklable chunk payloads to a module-level worker — the cache snapshot
     is broadcast once per run via a temp file, not pickled per chunk — and
     merges cache/telemetry deltas back.
+``cascade``
+    :class:`CascadeRouter` / :class:`CascadePolicy` — the tiered detection
+    cascade (``--cascade``): records are scored through an ordered ladder
+    of cheap tiers (static analyzer, dynamic inspector, fast zoo models)
+    and only low-confidence or disagreeing verdicts escalate to the
+    request's own model, the implicit final tier.  Each tier's batch is
+    re-emitted through the engine's plain executor, so every scheduling
+    feature composes per tier.
 ``costmodel``
     :class:`CostModel` — per-(model ``cache_identity``, strategy) EWMA of
     observed seconds-per-request, fed by chunk telemetry, driving LPT
     ordering and adaptive chunk sizing; optionally persisted as
-    ``costmodel.json`` beside the response cache.
+    ``costmodel.json`` beside the response cache.  Tier adapters publish a
+    ``cost_prior_s`` planning prior (:meth:`CostModel.set_prior`) so
+    unobserved cheap tiers never block LPT ordering.
 ``coalesce``
     :class:`MicroBatchCoalescer` — merges concurrent
     ``generate_batch_async`` calls for the same (model, strategy) into one
@@ -80,6 +90,14 @@ enforced by ``tests/engine/test_equivalence`` and
 """
 
 from repro.engine.cache import CacheStats, ResponseCache, cache_key
+from repro.engine.cascade import (
+    DEFAULT_CASCADE_TIERS,
+    DEFAULT_ESCALATE_BELOW,
+    CascadePolicy,
+    CascadeRouter,
+    CascadeTier,
+    build_tier_model,
+)
 from repro.engine.coalesce import MicroBatchCoalescer
 from repro.engine.core import (
     DEFAULT_STREAM_WINDOW,
@@ -107,6 +125,7 @@ from repro.engine.requests import (
     build_requests,
     confusion_from_results,
     iter_requests,
+    response_confidence,
     score_response,
     shed_result,
 )
@@ -136,6 +155,12 @@ __all__ = [
     "CacheStats",
     "ResponseCache",
     "cache_key",
+    "DEFAULT_CASCADE_TIERS",
+    "DEFAULT_ESCALATE_BELOW",
+    "CascadePolicy",
+    "CascadeRouter",
+    "CascadeTier",
+    "build_tier_model",
     "DEFAULT_STREAM_WINDOW",
     "DISPATCH_MODES",
     "ExecutionEngine",
@@ -158,6 +183,7 @@ __all__ = [
     "build_requests",
     "confusion_from_results",
     "iter_requests",
+    "response_confidence",
     "score_response",
     "shed_result",
     "SharedSegmentStore",

@@ -93,6 +93,9 @@ class CacheStats:
     #: Entries dropped because they outlived ``ttl_s`` (counted separately
     #: from capacity evictions; an expired lookup also counts as a miss).
     expirations: int = 0
+    #: Hot shared-store disk hits promoted into the in-memory tier (see
+    #: :attr:`ResponseCache.shared_promote_after`).
+    promotions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -109,6 +112,7 @@ class CacheStats:
             "evictions": self.evictions,
             "compactions": self.compactions,
             "expirations": self.expirations,
+            "promotions": self.promotions,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -139,6 +143,7 @@ class ResponseCache:
         max_bytes: Optional[int] = None,
         ttl_s: Optional[float] = None,
         shared_read: bool = False,
+        shared_promote_after: int = 2,
         clock=None,
     ) -> None:
         if max_entries <= 0:
@@ -155,6 +160,8 @@ class ResponseCache:
             raise ValueError("ttl_s must be positive or None")
         if shared_read and path is None:
             raise ValueError("shared_read requires a cache path")
+        if shared_promote_after < 1:
+            raise ValueError("shared_promote_after must be >= 1")
         self.max_entries = max_entries
         self.segment_max_entries = segment_max_entries
         #: Fold the on-disk store when its dead-entry ratio exceeds this
@@ -187,6 +194,12 @@ class ResponseCache:
         #: :class:`~repro.engine.sharedstore.SharedSegmentStore` instead of
         #: loading a private in-memory copy of the segments.
         self.shared_read = shared_read
+        #: Promote a shared-store disk hit into the in-memory tier once the
+        #: same key has hit the store this many times — a hot entry then
+        #: serves at dict-lookup speed under the usual ``max_entries``/
+        #: ``max_bytes`` budget, while one-shot keys stay on the mapped
+        #: pages and never build a private copy.
+        self.shared_promote_after = shared_promote_after
         self._clock = clock if clock is not None else time.monotonic
         self.path = Path(path) if path is not None else None
         self.stats = CacheStats()
@@ -209,6 +222,10 @@ class ResponseCache:
         self._persisted: set = set()
         #: Insertion-ordered keys added since the last save (dict-as-set).
         self._pending: "OrderedDict[str, None]" = OrderedDict()
+        #: key -> shared-store hit count, feeding ``shared_promote_after``.
+        #: Bounded by the distinct disk keys this instance actually read —
+        #: the same order as ``_persisted`` — and dropped on promotion.
+        self._store_hits: Dict[str, int] = {}
         #: Entry *lines* on disk at ``self.path``, counting duplicates a
         #: re-insert appended — the denominator of the dead-entry ratio.
         self._disk_entry_lines = 0
@@ -236,9 +253,11 @@ class ResponseCache:
 
         Lookups consult the in-memory tier first (expired entries are
         dropped lazily here), then — in ``shared_read`` mode — the
-        host-wide mmap-backed segment store.  Shared-store hits are served
-        straight off the mapped pages, not promoted into memory, so N
-        readers of one store never build N private copies.
+        host-wide mmap-backed segment store.  A shared-store hit is served
+        straight off the mapped pages; only once a key proves *hot*
+        (``shared_promote_after`` store hits) is it promoted into the
+        in-memory tier under the usual entry/byte budget, so N readers of
+        one store still never build N private copies of the cold majority.
         """
         key = cache_key(identity, prompt)
         with self._lock:
@@ -254,6 +273,12 @@ class ResponseCache:
                 response = self._store.get(key)
                 if response is not None:
                     self.stats.hits += 1
+                    hits = self._store_hits.get(key, 0) + 1
+                    if hits >= self.shared_promote_after:
+                        self._store_hits.pop(key, None)
+                        self._promote_from_store_locked(key, response)
+                    else:
+                        self._store_hits[key] = hits
                     return response
             self.stats.misses += 1
             return None
@@ -277,10 +302,13 @@ class ResponseCache:
             if identity is not None:
                 self._identities[key] = identity
             store_holds_it = False
-            if self._store is not None and existing is None and key not in self._persisted:
+            if self._store is not None and existing is None:
                 # Shared-read mode never loaded the segments into memory,
                 # so `_persisted` starts empty; a merge of a warm result
                 # the store already holds must not re-append a dead line.
+                # Checked even for keys already in `_persisted` — a
+                # promoted-then-evicted entry re-inserted with the same
+                # value is still durable on disk.
                 if self._store.get(key) == response:
                     self._persisted.add(key)
                     store_holds_it = True
@@ -299,7 +327,29 @@ class ResponseCache:
             self._pending.clear()
             self._sizes.clear()
             self._epochs.clear()
+            self._store_hits.clear()
             self._total_bytes = 0
+
+    def _promote_from_store_locked(self, key: str, response: str) -> None:
+        """Lift one hot shared-store entry into the in-memory tier.
+
+        The entry becomes an ordinary LRU citizen — budgeted by
+        ``max_entries``/``max_bytes``, evictable, TTL-tracked from
+        promotion time — but is *not* marked pending: the store already
+        holds it durably, so a later save must not re-append a dead line.
+        The model identity rides along from the store's entry metadata so
+        cost-aware eviction keeps its weight.
+        """
+        self._entries[key] = response
+        self._entries.move_to_end(key)
+        self._note_entry_locked(key, response)
+        identity = self._store.identity(key)
+        if identity is not None:
+            self._identities[key] = identity
+        self._persisted.add(key)
+        self.stats.promotions += 1
+        self._store.note_promotion()
+        self._evict_overflow_locked()
 
     def snapshot_entries(self) -> Dict[str, str]:
         """A plain key→response copy (read-only view for worker processes)."""

@@ -68,6 +68,7 @@ first response per prompt.)
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import itertools
 import statistics
 import time
@@ -85,6 +86,7 @@ from typing import (
 )
 
 from repro.engine.cache import ResponseCache, cache_key
+from repro.engine.cascade import CascadePolicy, CascadeRouter
 from repro.engine.coalesce import MicroBatchCoalescer
 from repro.engine.costmodel import CostModel
 from repro.engine.executors import SerialExecutor, create_executor
@@ -404,6 +406,22 @@ class ExecutionEngine:
         Default window size for :meth:`run_streaming`: at most this many
         requests are materialised, planned and in flight at once.  ``None``
         keeps :data:`DEFAULT_STREAM_WINDOW`.  Has no effect on :meth:`run`.
+    cascade:
+        A :class:`~repro.engine.cascade.CascadePolicy` to route every
+        batch through cheap detector tiers first, escalating only
+        low-confidence or disagreeing verdicts to the request's own model
+        (see :mod:`repro.engine.cascade`).  ``None`` (default) keeps the
+        single-tier behaviour bit-identical to an engine without the
+        parameter.
+    speculate_fallback:
+        Cross-backend speculation: a callable mapping a straggling chunk's
+        model to a *cheaper fallback model* (usually
+        ``CascadePolicy.fallback_model``).  When set and ``speculate`` is
+        on, the duplicate copy of an overdue chunk runs on the fallback
+        model instead of re-running the same backend; whichever verdict
+        lands first is merged under the existing exactly-once rules.
+        ``None`` (default) keeps duplicates same-backend — bit-identical
+        responses, speculation on or off.
     """
 
     def __init__(
@@ -428,6 +446,8 @@ class ExecutionEngine:
         deadline: Optional[float] = None,
         snapshot_transport: str = "shm",
         stream_window: Optional[int] = None,
+        cascade: Optional[CascadePolicy] = None,
+        speculate_fallback: Optional[Callable] = None,
     ) -> None:
         if executor is not None and (
             jobs is not None or executor_kind is not None or max_inflight is not None
@@ -477,6 +497,11 @@ class ExecutionEngine:
         )
         self.speculate = speculate
         self.speculate_after = speculate_after
+        self.speculate_fallback = speculate_fallback
+        self.cascade = cascade
+        self.cascade_router = (
+            CascadeRouter(cascade, telemetry=self.telemetry) if cascade is not None else None
+        )
         self.deadline = deadline
         self.snapshot_transport = snapshot_transport
         self.stream_window = stream_window if stream_window is not None else DEFAULT_STREAM_WINDOW
@@ -597,8 +622,19 @@ class ExecutionEngine:
 
         Returns the results in request order plus the number of requests the
         deadline planner shed.  Shared by :meth:`run` (one batch = the whole
-        run) and :meth:`run_streaming` (one batch per window).
+        run) and :meth:`run_streaming` (one batch per window).  With a
+        cascade policy the batch routes down the tier ladder, each tier's
+        sub-batch executing through :meth:`_execute_plain` — so streaming
+        windows, LPT, speculation and the cache compose per tier unchanged.
         """
+        if self.cascade_router is not None:
+            return self.cascade_router.execute(indexed, self._execute_plain)
+        return self._execute_plain(indexed)
+
+    def _execute_plain(
+        self, indexed: List[_IndexedRequest]
+    ) -> Tuple[List[Optional[RunResult]], int]:
+        """Single-tier plan/dispatch: chunk, shed, run, merge."""
         results: List[Optional[RunResult]] = [None] * len(indexed)
         chunks, shed = self._chunk(indexed)
         for index, request in shed:
@@ -697,7 +733,18 @@ class ExecutionEngine:
         for key, group in groups.items():
             model = group[0][1].model
             identity = getattr(model, "cache_identity", model.name)
-            estimates[key] = self.cost_model.estimate(identity, group[0][1].strategy.value)
+            strategy_name = group[0][1].strategy.value
+            # Cold-start fix for non-LLM tiers: a model advertising
+            # cost_prior_s (the cascade's analyzer/inspector adapters)
+            # prices as cheap-but-unknown instead of returning None and
+            # blocking LPT ordering for the whole plan.  Observations
+            # always shadow the prior (planning_estimate), and the prior
+            # never feeds quantile_estimate — no speculation on groups
+            # whose spread was never measured.
+            prior = getattr(model, "cost_prior_s", None)
+            if prior is not None:
+                self.cost_model.set_prior(identity, strategy_name, prior)
+            estimates[key] = self.cost_model.planning_estimate(identity, strategy_name)
         known = [cost for cost in estimates.values() if cost is not None and cost > 0]
         median_cost = statistics.median(known) if known else None
 
@@ -805,16 +852,20 @@ class ExecutionEngine:
         if self._async_native():
             run_chunk = self._run_chunk_async
             self._inflight_peak = 0  # peak is per run; telemetry keeps the max
+        fallback_chunks = self._fallback_chunks(chunks)
         if self._speculative():
-            outcomes = self._dispatch_speculative(run_chunk, chunks, chunks)
-        elif self._dynamic():
-            outcomes = self.executor.map_unordered(run_chunk, chunks)
+            outcomes = self._dispatch_speculative(
+                run_chunk, chunks, chunks, fallback_items=fallback_chunks
+            )
         else:
-            outcomes = enumerate(self.executor.map(run_chunk, chunks))
-        for chunk_index, (scored, counters, elapsed) in outcomes:
+            outcomes = self._plain_outcomes(run_chunk, chunks)
+        for chunk_index, (scored, counters, elapsed), used_fallback in outcomes:
             for index, result in scored:
                 results[index] = result
-            self._record_chunk(chunks[chunk_index], counters, elapsed)
+            chunk = (
+                fallback_chunks[chunk_index] if used_fallback else chunks[chunk_index]
+            )
+            self._record_chunk(chunk, counters, elapsed)
         if self._async_native():
             self.telemetry.record_inflight_peak(self._inflight_peak)
 
@@ -847,27 +898,86 @@ class ExecutionEngine:
             self.telemetry.record_broadcast(published.nbytes)
         try:
             payloads = [(chunk, snapshot_ref) for chunk in chunks]
+            fallback_chunks = self._fallback_chunks(chunks)
+            fallback_payloads = None
+            if fallback_chunks is not None:
+                fallback_payloads = [
+                    (chunk, snapshot_ref) if chunk is not None else None
+                    for chunk in fallback_chunks
+                ]
             if self._speculative():
                 outcomes = self._dispatch_speculative(
-                    _score_chunk_payload, payloads, chunks
+                    _score_chunk_payload, payloads, chunks, fallback_items=fallback_payloads
                 )
-            elif self._dynamic():
-                outcomes = self.executor.map_unordered(_score_chunk_payload, payloads)
             else:
-                outcomes = enumerate(self.executor.map(_score_chunk_payload, payloads))
-            for chunk_index, (scored, new_entries, counters, elapsed) in outcomes:
+                outcomes = self._plain_outcomes(_score_chunk_payload, payloads)
+            for chunk_index, (scored, new_entries, counters, elapsed), used_fallback in outcomes:
                 for index, result in scored:
                     results[index] = result
+                chunk = (
+                    fallback_chunks[chunk_index] if used_fallback else chunks[chunk_index]
+                )
                 if self.cache is not None:
-                    model = chunks[chunk_index][0][1].model
+                    model = chunk[0][1].model
                     identity = getattr(model, "cache_identity", model.name)
                     for key, response in new_entries.items():
                         self.cache.put_key(key, response, identity=identity)
-                self._record_chunk(chunks[chunk_index], counters, elapsed)
+                self._record_chunk(chunk, counters, elapsed)
         finally:
             _retire_snapshot(published)
 
     # -- speculative re-execution (tail-latency control) ------------------------------
+
+    def _plain_outcomes(self, fn: Callable, items: Sequence) -> Iterator:
+        """Non-speculative dispatch, normalised to the 3-tuple outcome shape.
+
+        ``(chunk_index, outcome, used_fallback)`` with ``used_fallback``
+        always ``False`` — only the speculative dispatcher can merge a
+        fallback-model copy.  The inner generator is closed explicitly so
+        early abandonment (an exception mid-merge) cancels queued work just
+        like consuming ``map_unordered`` directly would.
+        """
+        if self._dynamic():
+            inner = self.executor.map_unordered(fn, items)
+            try:
+                for index, outcome in inner:
+                    yield index, outcome, False
+            finally:
+                close = getattr(inner, "close", None)
+                if callable(close):
+                    close()
+        else:
+            for index, outcome in enumerate(self.executor.map(fn, items)):
+                yield index, outcome, False
+
+    def _fallback_chunks(
+        self, chunks: Sequence[Sequence[_IndexedRequest]]
+    ) -> Optional[List[Optional[List[_IndexedRequest]]]]:
+        """Cross-backend speculation: per-chunk rewrites onto a cheaper model.
+
+        When a ``speculate_fallback`` mapping is configured, each chunk gets
+        a copy of its requests re-pointed at the fallback model (``None``
+        when the chunk's model has nothing cheaper below it).  The copy is
+        what a speculative duplicate submits — racing a different backend
+        against the straggler instead of re-running the same one.
+        """
+        if self.speculate_fallback is None or not self._speculative():
+            return None
+        rewritten: List[Optional[List[_IndexedRequest]]] = []
+        any_fallback = False
+        for chunk in chunks:
+            fallback_model = self.speculate_fallback(chunk[0][1].model)
+            if fallback_model is None:
+                rewritten.append(None)
+                continue
+            any_fallback = True
+            rewritten.append(
+                [
+                    (index, dataclasses.replace(request, model=fallback_model))
+                    for index, request in chunk
+                ]
+            )
+        return rewritten if any_fallback else None
 
     def _chunk_threshold_s(self, chunk: Sequence[_IndexedRequest]) -> Optional[float]:
         """Elapsed seconds after which ``chunk`` counts as a straggler.
@@ -891,28 +1001,36 @@ class ExecutionEngine:
         fn: Callable,
         items: Sequence,
         chunks: Sequence[Sequence[_IndexedRequest]],
-    ) -> Iterator[Tuple[int, object]]:
+        fallback_items: Optional[Sequence] = None,
+    ) -> Iterator[Tuple[int, object, bool]]:
         """Completion-order dispatch that races duplicates of stragglers.
 
-        Like ``map_unordered``, yields ``(chunk_index, outcome)`` pairs as
-        work finishes — but submission is *bounded*: at most ``capacity``
-        futures are in flight at once, so every in-flight future is
-        genuinely running and its elapsed wall clock is attributable.  The
-        dispatcher polls the in-flight set; when a chunk overshoots its
-        cost-model threshold (:meth:`_chunk_threshold_s`) and idle capacity
-        exists (pending work always fills slots first), it submits a
-        duplicate of the same item.  The first copy to complete wins and
-        is merged exactly once; the losing copy is cancelled (queued /
-        async) or its eventual result dropped (already running on a
-        thread/process worker), so the cache, telemetry counters and
-        cost-model observations are never double-fed — results are
-        bit-identical with speculation on or off.
+        Like ``map_unordered``, yields outcomes as work finishes — as
+        ``(chunk_index, outcome, used_fallback)`` triples — but submission
+        is *bounded*: at most ``capacity`` futures are in flight at once,
+        so every in-flight future is genuinely running and its elapsed
+        wall clock is attributable.  The dispatcher polls the in-flight
+        set; when a chunk overshoots its cost-model threshold
+        (:meth:`_chunk_threshold_s`) and idle capacity exists (pending
+        work always fills slots first), it submits a duplicate of the same
+        item.  The first copy to complete wins and is merged exactly once;
+        the losing copy is cancelled (queued / async) or its eventual
+        result dropped (already running on a thread/process worker), so
+        the cache, telemetry counters and cost-model observations are
+        never double-fed — results are bit-identical with speculation on
+        or off.
 
         ``items`` is what gets submitted (chunks in-process, payloads for
         distributed executors); ``chunks`` supplies the per-chunk cost
-        estimates.  A work-item exception propagates to the caller after
-        every outstanding future is cancelled, matching the
-        ``map_unordered`` contract.
+        estimates.  ``fallback_items`` enables *cross-backend* speculation:
+        when entry ``i`` is non-``None``, the duplicate of straggler ``i``
+        submits that item instead — the same requests re-pointed at a
+        cheaper tier's model — and a fallback win is flagged via
+        ``used_fallback`` so the merge attributes cache identity, telemetry
+        and cost observations to the model that actually answered.  A
+        work-item exception propagates to the caller after every
+        outstanding future is cancelled, matching the ``map_unordered``
+        contract.
         """
         executor = self.executor
         capacity = self._capacity()
@@ -920,13 +1038,20 @@ class ExecutionEngine:
         if all(threshold is None for threshold in thresholds):
             # Nothing can ever be declared overdue (cold cost model):
             # don't pay the polling loop — plain completion-order dispatch
-            # is exactly equivalent.  yield from delegates close(), so the
-            # abandonment contract is preserved.
-            yield from executor.map_unordered(fn, items)
+            # is exactly equivalent.  The inner generator is closed
+            # explicitly so the abandonment contract is preserved.
+            inner = executor.map_unordered(fn, items)
+            try:
+                for index, outcome in inner:
+                    yield index, outcome, False
+            finally:
+                close = getattr(inner, "close", None)
+                if callable(close):
+                    close()
             return
         pending = deque(range(len(items)))
-        #: future -> (chunk index, is_duplicate)
-        inflight: Dict["concurrent.futures.Future", Tuple[int, bool]] = {}
+        #: future -> (chunk index, is_duplicate, runs_on_fallback)
+        inflight: Dict["concurrent.futures.Future", Tuple[int, bool, bool]] = {}
         started: Dict[int, float] = {}
         speculated: set = set()
         merged: set = set()
@@ -938,7 +1063,7 @@ class ExecutionEngine:
             while (pending or inflight) and len(merged) < len(items):
                 while pending and len(inflight) < capacity:
                     index = pending.popleft()
-                    inflight[executor.submit(fn, items[index])] = (index, False)
+                    inflight[executor.submit(fn, items[index])] = (index, False, False)
                     started[index] = time.perf_counter()
                 done, _ = concurrent.futures.wait(
                     list(inflight),
@@ -946,7 +1071,7 @@ class ExecutionEngine:
                     return_when=concurrent.futures.FIRST_COMPLETED,
                 )
                 for future in done:
-                    index, is_duplicate = inflight.pop(future)
+                    index, is_duplicate, on_fallback = inflight.pop(future)
                     if index in merged:
                         # The losing copy of a race that already resolved.
                         if is_duplicate:
@@ -963,18 +1088,20 @@ class ExecutionEngine:
                         # the error is the chunk's real outcome: re-raise
                         # (the finally cancels everything outstanding),
                         # matching the map_unordered contract.
-                        if any(other == index for other, _ in inflight.values()):
+                        if any(other == index for other, _, _ in inflight.values()):
                             if is_duplicate:
                                 self.telemetry.record_speculation(wasted=1)
                             continue
                         raise
                     merged.add(index)
                     if is_duplicate:
-                        self.telemetry.record_speculation(won=1)
-                    for other, (other_index, _) in list(inflight.items()):
+                        self.telemetry.record_speculation(
+                            won=1, fallback_won=1 if on_fallback else 0
+                        )
+                    for other, (other_index, _, _) in list(inflight.items()):
                         if other_index == index:
                             other.cancel()
-                    yield index, outcome
+                    yield index, outcome, on_fallback
                 if pending:
                     # Freed slots belong to queued originals first; the
                     # top-of-loop refill takes them.  A duplicate jumping
@@ -986,7 +1113,7 @@ class ExecutionEngine:
                     continue
                 now = time.perf_counter()
                 overdue: List[Tuple[float, int]] = []
-                for index, is_duplicate in inflight.values():
+                for index, is_duplicate, _on_fallback in inflight.values():
                     if is_duplicate or index in speculated or index in merged:
                         continue
                     threshold = thresholds[index]
@@ -999,11 +1126,20 @@ class ExecutionEngine:
                 # idle slot.  One duplicate per chunk, ever.
                 overdue.sort(reverse=True)
                 for _, index in overdue[:idle]:
-                    inflight[executor.submit(fn, items[index])] = (index, True)
+                    item = items[index]
+                    on_fallback = False
+                    if fallback_items is not None and fallback_items[index] is not None:
+                        # Cross-backend: race the straggler against a
+                        # cheaper tier instead of a same-backend twin.
+                        item = fallback_items[index]
+                        on_fallback = True
+                    inflight[executor.submit(fn, item)] = (index, True, on_fallback)
                     speculated.add(index)
-                    self.telemetry.record_speculation(launched=1)
+                    self.telemetry.record_speculation(
+                        launched=1, fallback_launched=1 if on_fallback else 0
+                    )
         finally:
-            for future, (index, is_duplicate) in inflight.items():
+            for future, (index, is_duplicate, _on_fallback) in inflight.items():
                 future.cancel()
                 if is_duplicate and index in merged:
                     # A duplicate abandoned because its original won.

@@ -86,6 +86,11 @@ class CostModel:
         #: (:meth:`identity_estimate`, called on the cache's eviction hot
         #: path) scan a handful of strategies instead of every group.
         self._identity_strategies: Dict[str, set] = {}
+        #: Planning-only priors for never-observed groups (e.g. the cascade's
+        #: analyzer tiers advertising ``cost_prior_s``).  Never persisted and
+        #: never blended into the EWMA: the first real observation simply
+        #: shadows the prior.
+        self._priors: Dict[Tuple[str, str], float] = {}
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -137,6 +142,37 @@ class CostModel:
         """Estimated seconds per request, or ``default`` when never observed."""
         with self._lock:
             return self._ewma.get((identity, strategy), default)
+
+    def set_prior(self, identity: str, strategy: str, seconds_per_request: float) -> None:
+        """Register a planning-only default cost for a never-observed group.
+
+        This is the cold-start fix for non-LLM cascade tiers: an analyzer
+        tier with no observations must price as *cheap-but-unknown* rather
+        than returning ``None`` and blocking LPT ordering for the whole
+        plan.  Priors only affect :meth:`planning_estimate` — they never
+        feed :meth:`quantile_estimate` (no speculation on groups whose
+        spread was never measured), :meth:`identity_estimate`,
+        :meth:`snapshot` or the persisted store.
+        """
+        if not math.isfinite(seconds_per_request) or seconds_per_request < 0:
+            return
+        with self._lock:
+            self._priors[(identity, strategy)] = float(seconds_per_request)
+
+    def planning_estimate(
+        self, identity: str, strategy: str, default: Optional[float] = None
+    ) -> Optional[float]:
+        """Like :meth:`estimate`, but falling back to a registered prior.
+
+        Observations always win; the prior only fills the cold-start gap.
+        For groups with neither an observation nor a prior this behaves
+        exactly like :meth:`estimate`.
+        """
+        with self._lock:
+            value = self._ewma.get((identity, strategy))
+            if value is not None:
+                return value
+            return self._priors.get((identity, strategy), default)
 
     def quantile_estimate(
         self,
@@ -208,6 +244,7 @@ class CostModel:
             self._deviation.clear()
             self._observations.clear()
             self._identity_strategies.clear()
+            self._priors.clear()
 
     # -- persistence ----------------------------------------------------------------
 

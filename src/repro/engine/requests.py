@@ -26,6 +26,7 @@ Scoring modes
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -36,6 +37,7 @@ from repro.prompting.parsing import ParsedPairs, parse_pairs_response, parse_yes
 from repro.prompting.strategy import PromptStrategy
 
 __all__ = [
+    "CONFIDENCE_MARKER_RE",
     "SCORING_MODES",
     "SHED_RESPONSE",
     "DetectionRequest",
@@ -44,6 +46,7 @@ __all__ = [
     "build_requests",
     "confusion_from_results",
     "iter_requests",
+    "response_confidence",
     "score_response",
     "shed_result",
 ]
@@ -93,6 +96,11 @@ class RunResult:
     #: ``response`` carries a sentinel.  Shed work is always explicit —
     #: a request never silently vanishes from the result store.
     skipped: bool = False
+    #: How trustworthy the verdict looks, in ``[0, 1]`` — what the cascade
+    #: router keys escalation on.  An explicit ``[confidence=X]`` marker in
+    #: the response (the tier adapters emit one) wins; otherwise a parse
+    #: heuristic applies.  ``None`` on shed results: never evaluated.
+    confidence: Optional[float] = None
 
 
 #: Response sentinel carried by deadline-shed results.
@@ -200,6 +208,48 @@ def build_requests(
     return list(iter_requests(model, strategy, records, scoring=scoring))
 
 
+#: Explicit confidence marker emitted by the cascade tier adapters; any
+#: model may append one to have the router trust its own calibration.
+CONFIDENCE_MARKER_RE = re.compile(r"\[confidence=([0-9]*\.?[0-9]+)\]")
+
+_YES_WORD_RE = re.compile(r"\byes\b", re.IGNORECASE)
+_NO_WORD_RE = re.compile(r"\bno\b", re.IGNORECASE)
+
+
+def response_confidence(scoring: str, response: str) -> float:
+    """How trustworthy a response's verdict looks, in ``[0, 1]``.
+
+    An explicit ``[confidence=X]`` marker always wins — that is how the
+    cascade's analyzer/inspector tiers report their own calibration.
+    Without a marker the confidence is a parse-quality heuristic: clean
+    verdicts score high, hedged answers (both yes and no present, regex
+    fallback parses) score medium, unparseable responses score zero.
+    Deterministic in the response text, so cached responses re-score
+    identically across runs.
+    """
+    if not response:
+        return 0.0
+    match = CONFIDENCE_MARKER_RE.search(response)
+    if match:
+        try:
+            value = float(match.group(1))
+        except ValueError:  # pragma: no cover - regex precludes this
+            return 0.0
+        return max(0.0, min(1.0, value))
+    if scoring == "detection":
+        if parse_yes_no(response) is None:
+            return 0.0
+        if _YES_WORD_RE.search(response) and _NO_WORD_RE.search(response):
+            return 0.6
+        return 0.8
+    pairs = parse_pairs_response(response)
+    if pairs.race is None and not pairs.has_pairs:
+        return 0.0
+    if pairs.used_fallback:
+        return 0.6
+    return 0.85
+
+
 def score_response(request: DetectionRequest, response: str) -> RunResult:
     """Parse and score one model response under the request's scoring mode."""
     record = request.record
@@ -224,4 +274,5 @@ def score_response(request: DetectionRequest, response: str) -> RunResult:
         prediction=prediction,
         correct_positive=correct,
         pairs=pairs,
+        confidence=response_confidence(request.scoring, response),
     )

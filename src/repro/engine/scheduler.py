@@ -36,6 +36,12 @@ needs before reduction — Table 3's Inspector baseline runs there through
 models at plan-build time, so by the time :func:`run_plans` executes, every
 remaining unit of work is a detection request the engine can interleave
 freely.
+
+The tiered cascade (``--cascade``) composes through this same plan/reduce
+seam: plans only describe requests and reducers, and the cascade router
+lives below :meth:`ExecutionEngine.run`, so interleaved, sequential and
+streaming scheduling all route each materialised batch down the tier
+ladder without any scheduler-level changes.
 """
 
 from __future__ import annotations

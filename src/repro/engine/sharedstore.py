@@ -163,7 +163,19 @@ class SharedSegmentStore:
         #: line-scanned.  Pinned by the manifest/refresh tests.
         self.segments_reused = 0
         self.segments_rescanned = 0
+        #: Hot disk hits promoted into callers' in-memory tiers (fed by
+        #: :meth:`note_promotion`; host-wide because the store instance is
+        #: shared by every cache opened on this path in-process).
+        self.promotions = 0
         self._view = self._build_view(None)
+
+    def note_promotion(self) -> None:
+        """Count one hot entry a reader promoted into its in-memory tier.
+
+        Advisory telemetry (a plain increment under the caller's cache
+        lock); it never affects lookups or the mapped segments.
+        """
+        self.promotions += 1
 
     @property
     def path(self) -> Path:
@@ -451,4 +463,5 @@ class SharedSegmentStore:
             "total_bytes": view.total_bytes,
             "segments_reused": self.segments_reused,
             "segments_rescanned": self.segments_rescanned,
+            "promotions": self.promotions,
         }

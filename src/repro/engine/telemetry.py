@@ -67,6 +67,10 @@ class EngineTelemetry:
         self.speculation_launched = 0
         self.speculation_won = 0
         self.speculation_wasted = 0
+        #: Cross-backend speculation: duplicates that ran on a cheaper
+        #: fallback model (subset of launched) and the races they won.
+        self.speculation_fallback_launched = 0
+        self.speculation_fallback_won = 0
         #: Deadline-aware scheduling: requests shed to fit the budget,
         #: plus the last run's predicted/actual makespan and budget.
         self.deadline_shed = 0
@@ -101,6 +105,9 @@ class EngineTelemetry:
         self.coalesce_prompts = 0
         #: (model, strategy) -> cumulative counters for that group's chunks.
         self._groups: Dict[Tuple[str, str], Dict[str, float]] = {}
+        #: tier name -> cumulative cascade counters, in ladder order of
+        #: first appearance (the router records tiers cheapest-first).
+        self._cascade: Dict[str, Dict[str, int]] = {}
 
     # -- recording ------------------------------------------------------------------
 
@@ -117,13 +124,48 @@ class EngineTelemetry:
             self.wire_calls += n
 
     def record_speculation(
-        self, *, launched: int = 0, won: int = 0, wasted: int = 0
+        self,
+        *,
+        launched: int = 0,
+        won: int = 0,
+        wasted: int = 0,
+        fallback_launched: int = 0,
+        fallback_won: int = 0,
     ) -> None:
         """Fold speculative re-execution events (all counters cumulative)."""
         with self._lock:
             self.speculation_launched += launched
             self.speculation_won += won
             self.speculation_wasted += wasted
+            self.speculation_fallback_launched += fallback_launched
+            self.speculation_fallback_won += fallback_won
+
+    def record_cascade(
+        self,
+        tier: str,
+        *,
+        requests: int = 0,
+        resolved: int = 0,
+        escalated: int = 0,
+        labeled: int = 0,
+        correct: int = 0,
+    ) -> None:
+        """Fold one cascade tier pass: how many records it saw, kept, sent up.
+
+        ``labeled``/``correct`` track tier accuracy over the records it
+        *resolved* whose ground-truth label is known — the number that says
+        whether a cheap tier is answering well or merely confidently.
+        """
+        with self._lock:
+            stats = self._cascade.setdefault(
+                tier,
+                {"requests": 0, "resolved": 0, "escalated": 0, "labeled": 0, "correct": 0},
+            )
+            stats["requests"] += requests
+            stats["resolved"] += resolved
+            stats["escalated"] += escalated
+            stats["labeled"] += labeled
+            stats["correct"] += correct
 
     def record_deadline(
         self, *, budget_s: float, predicted_s: float, actual_s: float, shed: int
@@ -252,6 +294,10 @@ class EngineTelemetry:
                 "speculation_launched": self.speculation_launched,
                 "speculation_won": self.speculation_won,
                 "speculation_wasted": self.speculation_wasted,
+                "speculation_fallback_launched": self.speculation_fallback_launched,
+                "speculation_fallback_won": self.speculation_fallback_won,
+                "cascade_requests": sum(s["requests"] for s in self._cascade.values()),
+                "cascade_escalated": sum(s["escalated"] for s in self._cascade.values()),
                 "deadline_shed": self.deadline_shed,
                 "deadline_budget_s": round(self.deadline_budget_s, 4),
                 "deadline_predicted_s": round(self.deadline_predicted_s, 4),
@@ -291,6 +337,36 @@ class EngineTelemetry:
             ]
         groups.sort(key=lambda g: -g["mean_latency_s"])  # type: ignore[operator]
         return groups
+
+    def cascade_snapshot(self) -> List[Dict[str, object]]:
+        """Per-tier cascade breakdown, in the ladder order tiers recorded.
+
+        ``escalation_rate`` is escalated over requests seen;  ``accuracy``
+        is correct over labeled resolved records (``None`` when the tier
+        resolved nothing labeled), so a cheap tier that answers confidently
+        but wrongly is visible at a glance.
+        """
+        with self._lock:
+            tiers = []
+            for tier, stats in self._cascade.items():
+                requests = stats["requests"]
+                labeled = stats["labeled"]
+                tiers.append(
+                    {
+                        "tier": tier,
+                        "requests": requests,
+                        "resolved": stats["resolved"],
+                        "escalated": stats["escalated"],
+                        "escalation_rate": (
+                            round(stats["escalated"] / requests, 4) if requests else 0.0
+                        ),
+                        "labeled": labeled,
+                        "accuracy": (
+                            round(stats["correct"] / labeled, 4) if labeled else None
+                        ),
+                    }
+                )
+        return tiers
 
     def format_group_stats(self, top_k: int = 3) -> str:
         """The top-k slowest (model, strategy) groups, one line each.
@@ -343,6 +419,10 @@ class EngineTelemetry:
                 "speculation_launched",
                 "speculation_won",
                 "speculation_wasted",
+                "speculation_fallback_launched",
+                "speculation_fallback_won",
+                "cascade_requests",
+                "cascade_escalated",
                 "deadline_shed",
             ):
                 snap[key] -= since.get(key, 0)
@@ -381,10 +461,22 @@ class EngineTelemetry:
                 f"{snap['coalesce_flushes']} flushes"
             )
         if snap["speculation_launched"]:
-            parts.append(
+            segment = (
                 f"speculation={snap['speculation_launched']} launched/"
                 f"{snap['speculation_won']} won/{snap['speculation_wasted']} wasted"
             )
+            if snap["speculation_fallback_launched"]:
+                segment += (
+                    f" (fallback {snap['speculation_fallback_launched']} launched/"
+                    f"{snap['speculation_fallback_won']} won)"
+                )
+            parts.append(segment)
+        if snap["cascade_requests"]:
+            tiers = self.cascade_snapshot()
+            rendered = ",".join(
+                f"{tier['tier']}:{tier['resolved']}/{tier['requests']}" for tier in tiers
+            )
+            parts.append(f"cascade={rendered} escalated={snap['cascade_escalated']}")
         if snap["deadline_budget_s"]:
             parts.append(
                 f"deadline={snap['deadline_budget_s']:.2f}s "

@@ -25,6 +25,16 @@ Two kinds of adapter live here:
   exactly the regime the engine's speculative re-execution targets: a
   duplicate of the straggling chunk completes at base speed while the
   original is still hanging.
+* :class:`StaticAnalyzerModel` / :class:`InspectorTierModel` — *tier*
+  adapters: they present the repo's non-LLM detectors (the static race
+  analyzer from ``repro.analysis`` and the dynamic inspector from
+  ``repro.dynamic``) behind the :class:`LanguageModel` interface so the
+  cascade router in ``repro.engine.cascade`` can schedule, price and cache
+  them exactly like any model.  Responses are rendered in the same shapes
+  the simulated zoo produces (so ``score_response`` parses them unchanged)
+  and carry an explicit ``[confidence=X.XX]`` marker that
+  ``repro.engine.requests.response_confidence`` reads for escalation
+  decisions.
 """
 
 from __future__ import annotations
@@ -33,14 +43,26 @@ import asyncio
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.static_race import StaticRaceDetector, StaticRaceReport
+from repro.dynamic.inspector import InspectorLikeDetector, InspectorRunResult
 from repro.llm.base import LanguageModel
 from repro.llm.behavior import deterministic_uniform, simulated_latency
+from repro.llm.features import extract_code_from_prompt
+from repro.llm.responses import render_pairs_response
+from repro.llm.zoo import _classify_request, _is_analysis_request
+from repro.prompting.strategy import PromptStrategy
 
-__all__ = ["AsyncRemoteAdapter", "FlakyTailAdapter", "LowRankAdapter"]
+__all__ = [
+    "AsyncRemoteAdapter",
+    "FlakyTailAdapter",
+    "InspectorTierModel",
+    "LowRankAdapter",
+    "StaticAnalyzerModel",
+]
 
 
 def _sigmoid(z: np.ndarray | float) -> np.ndarray | float:
@@ -348,3 +370,175 @@ class LowRankAdapter:
                 )
             last_loss = float(np.mean(losses)) if losses else last_loss
         return last_loss
+
+
+def _confidence_marker(value: float) -> str:
+    return f"\n[confidence={max(0.0, min(1.0, value)):.2f}]"
+
+
+def _pair_element(site) -> Tuple[str, int, int, str]:
+    """(expr, line, col, op) element from an AccessSite or AccessEvent."""
+    expr = getattr(site, "expr_text", "") or getattr(site, "variable", "unknown")
+    return (expr, site.line, site.col, "W" if site.is_write else "R")
+
+
+class _DetectorTierModel(LanguageModel):
+    """Common scaffolding for cascade tier adapters over non-LLM detectors.
+
+    Subclasses implement :meth:`_analyze` returning ``(verdict, pairs,
+    confidence)`` where ``verdict`` is ``None`` when the detector could not
+    process the snippet at all, ``pairs`` is a list of 2-tuples of pair
+    elements and ``confidence`` is the detector's self-assessment in
+    ``[0, 1]``.  Responses reuse the zoo's renderer shapes so
+    ``score_response`` parses them unchanged, and end with a
+    ``[confidence=X.XX]`` marker for the cascade's escalation decision.
+    """
+
+    #: Planning-time cost prior in seconds/request; consumed by the engine's
+    #: CostModel cold-start path so an unobserved tier prices as
+    #: cheap-but-unknown instead of blocking LPT ordering.
+    cost_prior_s: float = 0.01
+    #: Human label used in dependence-analysis (AP2 chain 1) responses.
+    analysis_label = "analysis"
+    context_window = 1 << 20
+
+    def _analyze(self, code: str):
+        raise NotImplementedError
+
+    def _verdict_text(self, verdict: Optional[bool], pairs: List) -> str:
+        raise NotImplementedError
+
+    def generate(self, prompt: str) -> str:
+        code = extract_code_from_prompt(prompt)
+        verdict, pairs, confidence = self._analyze(code)
+        if _is_analysis_request(prompt):
+            # AP2 chain 1: intermediate text, never scored — no marker.
+            return self._render_analysis(verdict, pairs)
+        strategy = _classify_request(prompt)
+        if strategy.requests_pairs:
+            if verdict is None:
+                body = "analysis unavailable for this snippet."
+            else:
+                pair = pairs[0] if (verdict and pairs) else None
+                body = render_pairs_response(
+                    bool(verdict),
+                    pair,
+                    well_formed=True,
+                    word_ops=strategy is PromptStrategy.ADVANCED,
+                )
+        else:
+            body = self._verdict_text(verdict, pairs)
+        return body + _confidence_marker(confidence)
+
+    def _render_analysis(self, verdict: Optional[bool], pairs: List) -> str:
+        if verdict is None:
+            return "The code could not be fully analyzed; treating accesses conservatively."
+        lines: List[str] = []
+        if pairs:
+            lines.append(
+                f"The following conflicting accesses were found by {self.analysis_label}:"
+            )
+            for (expr, line, _col, op), _second in pairs[:6]:
+                kind = "write" if op == "W" else "read"
+                lines.append(f"- {kind} of {expr} at line {line}")
+        else:
+            lines.append(
+                "No loop-carried data dependences between concurrent iterations were identified."
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _subject(pairs: List) -> str:
+        if pairs:
+            return pairs[0][0][0]
+        return "a shared variable"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class StaticAnalyzerModel(_DetectorTierModel):
+    """The static race analyzer behind the :class:`LanguageModel` interface.
+
+    Over-approximate and extremely cheap — the canonical tier-0 of the
+    cascade.  Carries its own ``cache_identity`` (``tier:static``) so the
+    :class:`~repro.engine.costmodel.CostModel` prices and the cache stores
+    it independently of any LLM.
+    """
+
+    name = "tier:static"
+    cost_prior_s = 0.002
+    analysis_label = "static data dependence analysis"
+
+    def __init__(self, detector: Optional[StaticRaceDetector] = None) -> None:
+        self.detector = detector or StaticRaceDetector()
+
+    def _analyze(self, code: str):
+        try:
+            report: StaticRaceReport = self.detector.analyze_source(code)
+        except Exception:
+            # Parse failures and interpreter gaps: unusable verdict.
+            return None, [], 0.0
+        pairs = [(_pair_element(p.first), _pair_element(p.second)) for p in report.pairs]
+        return report.has_race, pairs, report.confidence
+
+    def _verdict_text(self, verdict: Optional[bool], pairs: List) -> str:
+        if verdict is None:
+            return "static analysis could not process the snippet."
+        if verdict:
+            return (
+                f"yes. Static analysis flagged {len(pairs)} conflicting access pair(s): "
+                f"concurrent iterations may update {self._subject(pairs)} without "
+                "sufficient synchronization."
+            )
+        return (
+            "no. Static analysis proved every shared access either synchronized "
+            "or iteration-private."
+        )
+
+
+class InspectorTierModel(_DetectorTierModel):
+    """The dynamic inspector behind the :class:`LanguageModel` interface.
+
+    Under-approximate and moderately priced: a witnessed conflict is near
+    ground truth, a clean run only covers the schedules executed.  The
+    natural mid-tier between the static analyzer and a full LLM.
+    """
+
+    name = "tier:inspector"
+    cost_prior_s = 0.01
+    analysis_label = "dynamic execution"
+
+    def __init__(
+        self,
+        detector: Optional[InspectorLikeDetector] = None,
+        *,
+        num_threads: int = 4,
+    ) -> None:
+        self.detector = detector or InspectorLikeDetector()
+        self.num_threads = num_threads
+
+    def _analyze(self, code: str):
+        try:
+            result: InspectorRunResult = self.detector.analyze_source(
+                code, name="cascade-tier", num_threads=self.num_threads
+            )
+        except Exception:
+            return None, [], 0.0
+        if result.failed and result.runs <= 0:
+            return None, [], result.confidence
+        pairs = [(_pair_element(p.first), _pair_element(p.second)) for p in result.pairs]
+        return result.has_race, pairs, result.confidence
+
+    def _verdict_text(self, verdict: Optional[bool], pairs: List) -> str:
+        if verdict is None:
+            return "the interpreter could not execute this snippet."
+        if verdict:
+            return (
+                f"yes. The interpreter witnessed conflicting concurrent accesses to "
+                f"{self._subject(pairs)} during execution."
+            )
+        return (
+            "no. All exercised interleavings executed cleanly with the shared "
+            "accesses properly synchronized."
+        )

@@ -503,6 +503,80 @@ class TestSharedReadCache:
             ResponseCache(path=legacy, shared_read=True)
 
 
+class TestHotHitPromotion:
+    """Hot shared-store entries graduate into the in-memory tier.
+
+    A key served repeatedly off the mmap pays the store lookup every time;
+    after ``shared_promote_after`` hits it is promoted into the private
+    LRU (still under the entry/byte budgets), so the hottest keys become
+    plain memory hits while cold keys keep costing nothing resident."""
+
+    @staticmethod
+    def _store_with(tmp_path, entries):
+        target = tmp_path / "store"
+        writer = ResponseCache(path=target)
+        for prompt, response in entries:
+            writer.put("m", prompt, response)
+        writer.save()
+        return target
+
+    def test_promotes_after_threshold_store_hits(self, tmp_path):
+        target = self._store_with(tmp_path, [("hot", "hot response"), ("cold", "x")])
+        reader = ResponseCache(path=target, shared_read=True)
+        assert reader.get("m", "hot") == "hot response"
+        assert len(reader) == 0 and reader.stats.promotions == 0
+        assert reader.get("m", "hot") == "hot response"
+        assert len(reader) == 1 and reader.stats.promotions == 1
+        assert reader.shared_store.stats()["promotions"] == 1
+        # The third hit is a plain memory hit; cold keys stay on disk only.
+        assert reader.get("m", "hot") == "hot response"
+        assert reader.get("m", "cold") == "x"
+        assert len(reader) == 1 and reader.stats.promotions == 1
+        assert reader.stats.snapshot()["promotions"] == 1
+
+    def test_promotion_threshold_is_configurable_and_validated(self, tmp_path):
+        target = self._store_with(tmp_path, [("p", "r")])
+        eager = ResponseCache(path=target, shared_read=True, shared_promote_after=1)
+        assert eager.get("m", "p") == "r"
+        assert len(eager) == 1 and eager.stats.promotions == 1
+        with pytest.raises(ValueError):
+            ResponseCache(path=target, shared_read=True, shared_promote_after=0)
+
+    def test_promoted_entries_respect_byte_budget(self, tmp_path):
+        big_a, big_b = "a" * 3000, "b" * 3000
+        target = self._store_with(tmp_path, [("pa", big_a), ("pb", big_b)])
+        reader = ResponseCache(
+            path=target, shared_read=True, max_bytes=5000, shared_promote_after=1
+        )
+        assert reader.get("m", "pa") == big_a
+        assert reader.get("m", "pb") == big_b
+        # Both promoted, but the byte budget holds only one resident.
+        assert reader.stats.promotions == 2
+        assert len(reader) == 1
+        # Responses are still served correctly either way.
+        assert reader.get("m", "pa") == big_a
+        assert reader.get("m", "pb") == big_b
+
+    def test_promoted_then_evicted_key_is_not_repersisted(self, tmp_path):
+        big = "a" * 3000
+        target = self._store_with(tmp_path, [("p", big), ("q", "b" * 3000)])
+        reader = ResponseCache(
+            path=target, shared_read=True, max_bytes=5000, shared_promote_after=1
+        )
+        assert reader.get("m", "p") == big
+        assert reader.get("m", "q") == "b" * 3000  # evicts one promoted entry
+        # Re-putting the store-held response must not queue a dead line.
+        reader.put("m", "p", big)
+        reader.put("m", "q", "b" * 3000)
+        assert reader.pending_count == 0
+
+    def test_cache_stats_cli_reports_promotions(self, tmp_path, capsys):
+        target = self._store_with(tmp_path, [("p", "r")])
+        assert main(["cache", "stats", "--cache", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "promotions=0" in out
+
+
 class TestCacheCLI:
     @staticmethod
     def _build_store(target, rounds=3):

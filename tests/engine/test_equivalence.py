@@ -8,6 +8,7 @@ import pytest
 from repro.core import DataRacePipeline, PipelineConfig
 from repro.dataset.drbml import DRBMLDataset
 from repro.engine import (
+    CascadePolicy,
     ExecutionEngine,
     ResponseCache,
     build_requests,
@@ -145,6 +146,17 @@ ENGINE_CONFIGS = [
         dict(jobs=8, executor_kind="async", batch_size=7, dispatch="dynamic", lpt=False),
         id="async-dynamic-no-lpt",
     ),
+    # Full escalation through the detection cascade: no cheap-tier verdict
+    # can reach the 1.0 threshold, so the request's own model answers every
+    # record and the run must reproduce the seed loop bit for bit.
+    pytest.param(
+        dict(
+            jobs=4,
+            batch_size=6,
+            cascade=CascadePolicy.from_spec("static", escalate_below=1.0),
+        ),
+        id="cascade-full-escalation",
+    ),
 ]
 
 
@@ -217,6 +229,38 @@ class TestCachePlaneEquivalence:
         # Shared-read served every hit straight off the mmap; nothing was
         # promoted into the in-memory tier.
         assert len(shared) == 0
+
+
+class TestCascadeEquivalence:
+    """``--no-cascade`` must be the untouched reference path, and a cascade
+    whose threshold no tier can reach must reproduce the LLM-only run byte
+    for byte — the cascade may only ever remove expensive calls, never
+    change what the final tier would have answered."""
+
+    def test_no_cascade_config_builds_no_router(self):
+        with DataRacePipeline(PipelineConfig(cascade=False)) as pipeline:
+            assert pipeline.engine.cascade_router is None
+
+    def test_full_escalation_responses_bit_identical(self, subset):
+        records = subset.records[:25]
+        policy = CascadePolicy.from_spec("static,gpt-3.5-turbo", escalate_below=1.0)
+        model = create_model("gpt-4")
+        with ExecutionEngine(jobs=4, batch_size=6, cascade=policy) as engine:
+            cascaded = engine.run(build_requests(model, PromptStrategy.BP1, records))
+        with ExecutionEngine(jobs=4, batch_size=6) as engine:
+            reference = engine.run(build_requests(model, PromptStrategy.BP1, records))
+        assert cascaded.responses() == reference.responses()
+        assert cascaded.confusion().as_row() == reference.confusion().as_row()
+
+    def test_pipeline_cascade_full_escalation_matches_reference(self, subset):
+        records = subset.records[:30]
+        with DataRacePipeline(PipelineConfig()) as pipeline:
+            reference = pipeline.score_model(records=records)
+        with DataRacePipeline(
+            PipelineConfig(cascade=True, escalate_below=1.0)
+        ) as pipeline:
+            cascaded = pipeline.score_model(records=records)
+        assert cascaded.as_row() == reference.as_row()
 
 
 class TestDriverEquivalence:
