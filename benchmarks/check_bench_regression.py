@@ -2,12 +2,12 @@
 
 Run after ``bench_engine_throughput.py``, ``bench_scheduler.py``,
 ``bench_dispatch.py``, ``bench_async.py``, ``bench_speculation.py``,
-``bench_cascade.py``, ``bench_cache_plane.py`` and
-``bench_corpus_stream.py`` have written ``BENCH_engine.json`` /
+``bench_cascade.py``, ``bench_cache_plane.py``, ``bench_corpus_stream.py``
+and ``bench_chaos.py`` have written ``BENCH_engine.json`` /
 ``BENCH_scheduler.json`` / ``BENCH_dispatch.json`` / ``BENCH_async.json``
 / ``BENCH_speculation.json`` / ``BENCH_cascade.json`` /
-``BENCH_cache_plane.json`` / ``BENCH_corpus_stream.json`` to the repo
-root::
+``BENCH_cache_plane.json`` / ``BENCH_corpus_stream.json`` /
+``BENCH_chaos.json`` to the repo root::
 
     python benchmarks/check_bench_regression.py
 
@@ -157,6 +157,7 @@ def main() -> int:
     cascade = _load(REPO_ROOT / "BENCH_cascade.json")
     cache_plane = _load(REPO_ROOT / "BENCH_cache_plane.json")
     corpus_stream = _load(REPO_ROOT / "BENCH_corpus_stream.json")
+    chaos = _load(REPO_ROOT / "BENCH_chaos.json")
 
     checks = [
         (
@@ -213,6 +214,16 @@ def main() -> int:
             "corpus-stream peak-RSS reduction (materialised vs stream)",
             corpus_stream["rss_reduction_materialised_vs_stream"],
             baseline["corpus_stream"]["min_rss_reduction_materialised_vs_stream"],
+        ),
+        (
+            "chaos goodput ratio under 10% injected transient faults",
+            chaos["goodput_ratio_vs_fault_free"],
+            baseline["chaos"]["min_goodput_ratio_vs_fault_free"],
+        ),
+        (
+            "chaos completed-run fraction (zero aborts)",
+            chaos["completed_run_fraction"],
+            baseline["chaos"]["min_completed_run_fraction"],
         ),
     ]
 

@@ -49,6 +49,15 @@ Usage::
     python -m repro all --cascade --speculate    # cross-backend speculation:
                                       # straggler chunks race a cheaper
                                       # tier's model, first verdict wins
+    python -m repro all --retries 3              # fault tolerance: failing
+                                      # chunks back off and re-enter the
+                                      # dispatcher; models that keep failing
+                                      # trip per-model circuit breakers
+    python -m repro all --retries 3 --journal ./run.journal
+                                      # checkpoint completed chunks; an
+                                      # interrupted run re-invoked with the
+                                      # same journal resumes without new
+                                      # model calls for finished work
     python -m repro cache stats --cache ./cache-dir     # segments, dead
                                       # ratio, promotions — no evaluation run
     python -m repro cache compact --cache ./cache-dir
@@ -77,8 +86,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.engine import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
     DEFAULT_CASCADE_TIERS,
     DEFAULT_ESCALATE_BELOW,
+    DEFAULT_RETRY_BASE_MS,
     DEFAULT_STREAM_WINDOW,
     DISPATCH_MODES,
     CascadePolicy,
@@ -252,6 +264,11 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
             if cascade_policy is not None and args.speculate
             else None
         ),
+        retries=args.retries,
+        retry_base_ms=args.retry_base_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        journal=args.journal,
     )
 
 
@@ -474,6 +491,62 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry each failing chunk up to N times with exponential "
+            "backoff and deterministic jitter before surfacing explicit "
+            "failed results; retried work re-enters the dispatcher instead "
+            "of blocking a worker, and per-model circuit breakers route "
+            "around models that keep failing (default: 0 — fail fast)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-base-ms",
+        type=float,
+        default=DEFAULT_RETRY_BASE_MS,
+        metavar="MS",
+        help=(
+            "base backoff before the first retry; attempt k waits "
+            f"base*2^k ms, jittered (default: {DEFAULT_RETRY_BASE_MS:g})"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=DEFAULT_BREAKER_THRESHOLD,
+        metavar="N",
+        help=(
+            "consecutive failures that open a model's circuit breaker; "
+            "while open, its chunks reroute to the cascade's next-cheaper "
+            "tier (with --cascade) or fail fast (default: "
+            f"{DEFAULT_BREAKER_THRESHOLD})"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=DEFAULT_BREAKER_COOLDOWN_S,
+        metavar="SECONDS",
+        help=(
+            "how long an open breaker waits before letting one half-open "
+            f"probe through (default: {DEFAULT_BREAKER_COOLDOWN_S:g})"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only JSONL run journal of completed chunk outcomes; "
+            "an interrupted run re-invoked with the same journal resumes "
+            "by replaying finished work without new model calls "
+            "(default: no journal)"
+        ),
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -613,6 +686,14 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--speculate-after must be > 0")
     if args.deadline is not None and args.deadline <= 0:
         parser.error("--deadline must be > 0 seconds")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.retry_base_ms <= 0:
+        parser.error("--retry-base-ms must be > 0")
+    if args.breaker_threshold < 1:
+        parser.error("--breaker-threshold must be >= 1")
+    if args.breaker_cooldown_s < 0:
+        parser.error("--breaker-cooldown-s must be >= 0")
     if not args.cascade:
         if args.cascade_tiers is not None:
             parser.error("--cascade-tiers requires --cascade")

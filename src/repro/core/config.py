@@ -131,6 +131,29 @@ class PipelineConfig:
         Confidence a cheap-tier verdict must reach to resolve a record;
         ``1.0`` escalates everything (≡ LLM-only), ``0.0`` resolves every
         non-shed answer at the first tier.
+    retries:
+        Per-chunk retry budget for transient model errors: each failing
+        chunk backs off exponentially (with deterministic jitter) and
+        re-enters the dispatcher instead of blocking a worker; once the
+        budget is exhausted its requests come back as explicit failed
+        results rather than aborting the run.  ``0`` fails fast — the
+        pre-fault-tolerance behaviour, bit-identical results.
+    retry_base_ms:
+        Base backoff before the first retry; attempt *k* waits
+        ``retry_base_ms * 2**k`` milliseconds, jittered.
+    breaker_threshold:
+        Consecutive failures that open a model's circuit breaker (keyed
+        on ``cache_identity``).  While open, the model's chunks reroute
+        to the cascade's next-cheaper tier (with ``cascade``) or fail
+        fast; after a cooldown one half-open probe decides whether to
+        close it again.
+    breaker_cooldown_s:
+        How long an open breaker waits before letting a probe through.
+    journal:
+        Optional path of an append-only JSONL run journal of completed
+        chunk outcomes; a run re-invoked with the same journal resumes
+        by replaying finished work without re-invoking models.  ``None``
+        disables checkpointing.
     """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
@@ -166,3 +189,10 @@ class PipelineConfig:
     cascade: bool = False
     cascade_tiers: str = "static,gpt-3.5-turbo"
     escalate_below: float = 0.75
+    # Fault-tolerance defaults mirror repro.engine.faults; literals for the
+    # same reason as the tier spec above.
+    retries: int = 0
+    retry_base_ms: float = 50.0
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
+    journal: Optional[str] = None

@@ -157,6 +157,11 @@ class DataRacePipeline:
                 stream_window=self.config.stream_window,
                 cascade=cascade,
                 speculate_fallback=speculate_fallback,
+                retries=self.config.retries,
+                retry_base_ms=self.config.retry_base_ms,
+                breaker_threshold=self.config.breaker_threshold,
+                breaker_cooldown_s=self.config.breaker_cooldown_s,
+                journal=self.config.journal,
             )
         return self._engine
 

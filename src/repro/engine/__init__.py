@@ -28,6 +28,17 @@ Module map
     request's own model, the implicit final tier.  Each tier's batch is
     re-emitted through the engine's plain executor, so every scheduling
     feature composes per tier.
+``faults``
+    The fault-tolerance plane: the error taxonomy
+    (:class:`TransientModelError` / :class:`PermanentModelError` /
+    :class:`MalformedResponseError` under :class:`ModelError`, with
+    :func:`classify_error` mapping arbitrary exceptions into it),
+    :class:`RetryPolicy` (exponential backoff with deterministic seeded
+    jitter; ``--retries`` / ``--retry-base-ms``), per-model
+    :class:`CircuitBreaker` s in a :class:`BreakerBoard` keyed on
+    ``cache_identity``, and the :class:`RunJournal` (``--journal``) — an
+    append-only JSONL checkpoint of completed chunk outcomes an
+    interrupted run resumes from without re-invoking models.
 ``costmodel``
     :class:`CostModel` — per-(model ``cache_identity``, strategy) EWMA of
     observed seconds-per-request, fed by chunk telemetry, driving LPT
@@ -106,6 +117,21 @@ from repro.engine.core import (
     resolve_engine,
 )
 from repro.engine.costmodel import CostModel
+from repro.engine.faults import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_RETRY_BASE_MS,
+    BreakerBoard,
+    CircuitBreaker,
+    MalformedResponseError,
+    ModelError,
+    PermanentModelError,
+    RetryPolicy,
+    RunJournal,
+    TransientModelError,
+    classify_error,
+    is_retryable,
+)
 from repro.engine.executors import (
     EXECUTOR_KINDS,
     AsyncExecutor,
@@ -117,6 +143,7 @@ from repro.engine.executors import (
     register_executor,
 )
 from repro.engine.requests import (
+    FAILED_RESPONSE,
     SCORING_MODES,
     SHED_RESPONSE,
     DetectionRequest,
@@ -124,6 +151,7 @@ from repro.engine.requests import (
     RunResultStore,
     build_requests,
     confusion_from_results,
+    failed_result,
     iter_requests,
     response_confidence,
     score_response,
@@ -167,6 +195,19 @@ __all__ = [
     "resolve_engine",
     "MicroBatchCoalescer",
     "CostModel",
+    "DEFAULT_BREAKER_COOLDOWN_S",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_RETRY_BASE_MS",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "MalformedResponseError",
+    "ModelError",
+    "PermanentModelError",
+    "RetryPolicy",
+    "RunJournal",
+    "TransientModelError",
+    "classify_error",
+    "is_retryable",
     "EXECUTOR_KINDS",
     "AsyncExecutor",
     "ProcessPoolExecutor",
@@ -175,6 +216,7 @@ __all__ = [
     "available_executors",
     "create_executor",
     "register_executor",
+    "FAILED_RESPONSE",
     "SCORING_MODES",
     "SHED_RESPONSE",
     "DetectionRequest",
@@ -182,6 +224,7 @@ __all__ = [
     "RunResultStore",
     "build_requests",
     "confusion_from_results",
+    "failed_result",
     "iter_requests",
     "response_confidence",
     "score_response",

@@ -54,6 +54,7 @@ import shutil
 import tempfile
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -230,6 +231,10 @@ class ResponseCache:
         #: re-insert appended — the denominator of the dead-entry ratio.
         self._disk_entry_lines = 0
         self._store = None
+        #: One warning per instance for degraded persistence I/O — the
+        #: condition (full disk, read-only dir, racing foreign writer) is
+        #: usually persistent, and repeating it per save is just noise.
+        self._io_warned = False
         if self.shared_read:
             if self.path is not None and self.path.is_file():
                 raise ValueError(
@@ -238,9 +243,25 @@ class ResponseCache:
                 )
             from repro.engine.sharedstore import SharedSegmentStore
 
-            self._store = SharedSegmentStore.open(self.path)
+            try:
+                self._store = SharedSegmentStore.open(self.path)
+            except OSError as exc:
+                # A foreign writer racing the open (segments or the
+                # directory itself vanishing mid-scan) must not take the
+                # run down: degrade to a private load of whatever is there.
+                self.shared_read = False
+                self._warn_io(f"shared cache store unavailable ({exc}); using a private load")
+                if self.path is not None and self.path.exists():
+                    self.load(self.path)
         elif self.path is not None and self.path.exists():
             self.load(self.path)
+
+    def _warn_io(self, message: str) -> None:
+        """Warn once per instance that persistence is degraded, never raise."""
+        if self._io_warned:
+            return
+        self._io_warned = True
+        warnings.warn(f"[cache] {message}", RuntimeWarning, stacklevel=3)
 
     def __len__(self) -> int:
         with self._lock:
@@ -505,10 +526,24 @@ class ResponseCache:
         to any *other* path writes a deduplicated full snapshot (existing
         segments there are folded in and replaced, compact-style; the
         incremental bookkeeping only applies to the cache's own path).
+
+        Persistence is an optimisation, never a requirement: I/O failure
+        (full disk, read-only directory) is caught here — warned once per
+        instance, never raised — and the unsaved entries stay in memory
+        *and* pending, so a later save retries them.  A completed run's
+        results must not be lost to a failing ``save`` at the finish line.
         """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no cache file path configured")
+        try:
+            return self._save(target)
+        except OSError as exc:
+            self._warn_io(f"save to {target} failed ({exc}); results kept in memory")
+            return target
+
+    def _save(self, target: Path) -> Path:
+        """The fallible save body; :meth:`save` owns the I/O-error policy."""
         incremental = self.path is not None and target == self.path
         with self._lock:
             if target.is_file():
@@ -572,9 +607,18 @@ class ResponseCache:
         self.stats.compactions += 1
 
     def _refresh_store_locked(self) -> None:
-        """Let the shared read tier pick up segments this cache just wrote."""
+        """Let the shared read tier pick up segments this cache just wrote.
+
+        The store's own refresh already tolerates segments vanishing
+        between the manifest stat and the mmap (a foreign compaction); a
+        surprise failure here still only costs the fast path — the store
+        keeps serving its previous view.
+        """
         if self._store is not None:
-            self._store.refresh()
+            try:
+                self._store.refresh()
+            except OSError as exc:
+                self._warn_io(f"shared store refresh failed ({exc}); keeping previous view")
 
     def _as_records_locked(
         self, entries: Dict[str, str]

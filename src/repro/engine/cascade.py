@@ -22,7 +22,7 @@ model, and their ``cost_prior_s`` attribute feeds the cold-start prior
 Escalation rules (per record, per tier)
 ---------------------------------------
 * resolve at a cheap tier only when the tier actually answered
-  (not shed), its confidence clears ``escalate_below``, and its verdict
+  (not shed, not failed), its confidence clears ``escalate_below``, and its verdict
   does not disagree with a confident verdict from an earlier tier;
 * otherwise escalate, remembering the verdict (when non-degenerate) for
   the disagreement check at the next tier;
@@ -214,7 +214,7 @@ class CascadeRouter:
             for position, (slot, request) in enumerate(active):
                 result = final_results[position]
                 results[slot] = result
-                if result is not None and not result.skipped:
+                if result is not None and not result.skipped and not result.failed:
                     labeled += 1
                     if result.prediction == bool(request.record.has_race):
                         correct += 1
@@ -233,7 +233,7 @@ class CascadeRouter:
     def _resolves(
         result: Optional[RunResult], previous: Optional[bool], threshold: float
     ) -> bool:
-        if result is None or result.skipped:
+        if result is None or result.skipped or result.failed:
             return False
         confidence = result.confidence if result.confidence is not None else 0.0
         if confidence < threshold:

@@ -29,6 +29,8 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.engine.faults import MalformedResponseError
+
 __all__ = ["MicroBatchCoalescer"]
 
 #: The model-call side of a flush: prompts in, responses out, same order.
@@ -164,6 +166,12 @@ class MicroBatchCoalescer:
         future it was blocked on, and its prompts must not turn into a
         stray wire call — when *every* waiter is gone, no call is made at
         all, honouring the contract that abandoned work is dropped.
+
+        A failed merged call does not poison every rider: with more than
+        one waiter the batch is split in half and each half retried as
+        its own wire call, recursively, so the error lands only on the
+        caller(s) whose prompts genuinely fail — the price of sharing a
+        flush is never someone else's poison prompt.
         """
         waiters = [(p, f) for p, f in batch.waiters if not f.done()]
         all_prompts = [prompt for prompts, _ in waiters for prompt in prompts]
@@ -172,11 +180,24 @@ class MicroBatchCoalescer:
         try:
             responses = await self._call(batch.generate, all_prompts)
         except BaseException as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                for _, future in waiters:
+                    if not future.done():
+                        future.set_exception(exc)
+                raise
+            if len(waiters) > 1:
+                # Bisect: innocent riders recover on a half without the
+                # failing prompts; the failing half keeps splitting until
+                # the error is pinned on single waiters.
+                middle = len(waiters) // 2
+                for half in (waiters[:middle], waiters[middle:]):
+                    sub = _PendingBatch(batch.generate)
+                    sub.waiters = list(half)
+                    await self._execute(sub)
+                return
             for _, future in waiters:
                 if not future.done():
                     future.set_exception(exc)
-            if isinstance(exc, asyncio.CancelledError):
-                raise
             return
         self._notify(len(waiters), len(all_prompts))
         position = 0
@@ -192,7 +213,7 @@ class MicroBatchCoalescer:
     ) -> List[str]:
         responses = list(await generate_batch_async(prompts))
         if len(responses) != len(prompts):
-            raise RuntimeError(
+            raise MalformedResponseError(
                 f"generate_batch_async returned {len(responses)} responses "
                 f"for {len(prompts)} prompts"
             )

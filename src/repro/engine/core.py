@@ -57,6 +57,19 @@ only the small ``(kind, locator, token)`` reference, memoised per worker
 per run.  Parent-side cost is therefore O(entries) per run, not
 O(chunks × entries), and worker-side cost is an attach, not a copy.
 
+**Fault tolerance** (``retries``, ``journal``, per-model circuit breakers —
+see :mod:`repro.engine.faults`): with ``retries > 0`` chunks dispatch
+through :meth:`_dispatch_retry` on the executor's ``submit_stream`` seam —
+a failed chunk re-enters the dispatcher after a deterministic exponential
+backoff instead of cancelling unrelated work, per-model breakers open
+after consecutive failures and route affected chunks to the cascade's
+next-cheaper tier (when a :class:`~repro.engine.cascade.CascadePolicy` is
+configured) or surface them as explicit ``RunResult(failed=True)`` entries
+in position, and a ``journal`` checkpoint lets an interrupted run resume
+skipping already-completed work.  The run always completes with partial
+results instead of dying; confusion counts exclude failed entries the same
+way they exclude deadline-shed ones.
+
 Because scoring preserves request order and the simulated models are
 deterministic functions of (model, strategy, code), the engine's output is
 bit-identical across executors, dispatch modes, chunk sizings and cache
@@ -69,6 +82,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import heapq
 import itertools
 import statistics
 import time
@@ -90,10 +104,23 @@ from repro.engine.cascade import CascadePolicy, CascadeRouter
 from repro.engine.coalesce import MicroBatchCoalescer
 from repro.engine.costmodel import CostModel
 from repro.engine.executors import SerialExecutor, create_executor
+from repro.engine.faults import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_RETRY_BASE_MS,
+    BreakerBoard,
+    MalformedResponseError,
+    RetryPolicy,
+    RunJournal,
+    chunk_journal_key,
+    is_retryable,
+    request_key,
+)
 from repro.engine.requests import (
     DetectionRequest,
     RunResult,
     RunResultStore,
+    failed_result,
     score_response,
     shed_result,
 )
@@ -198,7 +225,7 @@ def _require_batch_length(
     misbehaving adapter fails loudly at the wire instead.
     """
     if len(responses) != n_prompts:
-        raise RuntimeError(
+        raise MalformedResponseError(
             f"{method} returned {len(responses)} responses for {n_prompts} prompts"
         )
     return responses
@@ -422,6 +449,38 @@ class ExecutionEngine:
         lands first is merged under the existing exactly-once rules.
         ``None`` (default) keeps duplicates same-backend — bit-identical
         responses, speculation on or off.
+    retries:
+        Per-chunk retry budget (default 0 = the historical fail-fast
+        behaviour).  With ``retries > 0`` chunks dispatch through the
+        fault-tolerant :meth:`_dispatch_retry` loop: a retryable failure
+        (see :func:`~repro.engine.faults.is_retryable`) re-enters the
+        dispatcher after an exponential backoff with deterministic
+        jitter instead of blocking a worker or cancelling unrelated
+        chunks; exhausted retries surface as explicit
+        ``RunResult(failed=True)`` entries in position, so the run
+        completes with partial results instead of aborting.  The retry
+        dispatcher always merges in completion order and supersedes
+        speculation — results are bit-identical either way when no
+        faults fire.
+    retry_base_ms:
+        First-retry backoff in milliseconds; doubles per attempt, scaled
+        by a jitter factor seeded from the chunk identity (never the
+        wall clock), so retried runs stay reproducible.
+    breaker_threshold / breaker_cooldown_s:
+        Per-model circuit breakers (active on the retry dispatcher,
+        keyed on ``cache_identity``): after ``breaker_threshold``
+        consecutive chunk failures on one model its breaker opens for
+        ``breaker_cooldown_s`` seconds, then admits a single half-open
+        probe.  While open, affected chunks route to the cascade's
+        next-cheaper tier when a ``cascade`` policy is configured, else
+        they fail explicitly without a model call.
+    journal:
+        Optional run-journal path (or a prebuilt
+        :class:`~repro.engine.faults.RunJournal`): every completed
+        chunk's outcomes are appended durably, and requests whose
+        outcome is already journaled are answered from the journal
+        without re-dispatching — an interrupted ``repro all`` resumes
+        where it died.  ``None`` (default) disables checkpointing.
     """
 
     def __init__(
@@ -448,6 +507,11 @@ class ExecutionEngine:
         stream_window: Optional[int] = None,
         cascade: Optional[CascadePolicy] = None,
         speculate_fallback: Optional[Callable] = None,
+        retries: int = 0,
+        retry_base_ms: float = DEFAULT_RETRY_BASE_MS,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+        journal=None,
     ) -> None:
         if executor is not None and (
             jobs is not None or executor_kind is not None or max_inflight is not None
@@ -474,6 +538,14 @@ class ExecutionEngine:
             )
         if stream_window is not None and stream_window < 1:
             raise ValueError("stream_window must be >= 1 or None")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if retry_base_ms <= 0:
+            raise ValueError("retry_base_ms must be > 0")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be >= 0")
         self.executor = (
             executor
             if executor is not None
@@ -502,6 +574,14 @@ class ExecutionEngine:
         self.cascade_router = (
             CascadeRouter(cascade, telemetry=self.telemetry) if cascade is not None else None
         )
+        self.retry_policy = RetryPolicy(retries=retries, base_ms=retry_base_ms)
+        self.breakers = BreakerBoard(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        if journal is None or isinstance(journal, RunJournal):
+            self.journal = journal
+        else:
+            self.journal = RunJournal(journal)
         self.deadline = deadline
         self.snapshot_transport = snapshot_transport
         self.stream_window = stream_window if stream_window is not None else DEFAULT_STREAM_WINDOW
@@ -634,8 +714,11 @@ class ExecutionEngine:
     def _execute_plain(
         self, indexed: List[_IndexedRequest]
     ) -> Tuple[List[Optional[RunResult]], int]:
-        """Single-tier plan/dispatch: chunk, shed, run, merge."""
-        results: List[Optional[RunResult]] = [None] * len(indexed)
+        """Single-tier plan/dispatch: journal-skip, chunk, shed, run, merge."""
+        total = len(indexed)
+        results: List[Optional[RunResult]] = [None] * total
+        if self.journal is not None:
+            indexed = self._journal_filter(indexed, results)
         chunks, shed = self._chunk(indexed)
         for index, request in shed:
             results[index] = shed_result(request)
@@ -643,8 +726,8 @@ class ExecutionEngine:
             self._run_distributed(chunks, results)
         else:
             self._run_local(chunks, results)
-        self.telemetry.record_requests(len(indexed))
-        self.telemetry.record_resident(len(indexed))
+        self.telemetry.record_requests(total)
+        self.telemetry.record_resident(total)
         return results, len(shed)
 
     # -- generic parallel map (non-LLM work, e.g. the Inspector baseline) ----------
@@ -705,6 +788,16 @@ class ExecutionEngine:
             and hasattr(self.executor, "submit")
             and self._capacity() > 1
         )
+
+    def _retrying(self) -> bool:
+        """Fault-tolerant dispatch applies: a retry budget and a capable executor.
+
+        The retry dispatcher supersedes both dispatch modes and
+        speculation — it always merges in completion order, which is
+        result-identical (positional fill) and the only shape that lets
+        failed chunks re-enter the stream after backoff.
+        """
+        return self.retry_policy.enabled and hasattr(self.executor, "submit_stream")
 
     def _chunk(
         self, indexed: Sequence[_IndexedRequest]
@@ -852,6 +945,13 @@ class ExecutionEngine:
         if self._async_native():
             run_chunk = self._run_chunk_async
             self._inflight_peak = 0  # peak is per run; telemetry keeps the max
+        if self._retrying():
+            self._merge_retry_outcomes(
+                run_chunk, chunks, results, make_item=lambda chunk: chunk
+            )
+            if self._async_native():
+                self.telemetry.record_inflight_peak(self._inflight_peak)
+            return
         fallback_chunks = self._fallback_chunks(chunks)
         if self._speculative():
             outcomes = self._dispatch_speculative(
@@ -866,6 +966,7 @@ class ExecutionEngine:
                 fallback_chunks[chunk_index] if used_fallback else chunks[chunk_index]
             )
             self._record_chunk(chunk, counters, elapsed)
+            self._journal_record(chunks[chunk_index], scored)
         if self._async_native():
             self.telemetry.record_inflight_peak(self._inflight_peak)
 
@@ -897,6 +998,15 @@ class ExecutionEngine:
         if published is not None:
             self.telemetry.record_broadcast(published.nbytes)
         try:
+            if self._retrying():
+                self._merge_retry_outcomes(
+                    _score_chunk_payload,
+                    chunks,
+                    results,
+                    make_item=lambda chunk: (chunk, snapshot_ref),
+                    distributed=True,
+                )
+                return
             payloads = [(chunk, snapshot_ref) for chunk in chunks]
             fallback_chunks = self._fallback_chunks(chunks)
             fallback_payloads = None
@@ -917,12 +1027,9 @@ class ExecutionEngine:
                 chunk = (
                     fallback_chunks[chunk_index] if used_fallback else chunks[chunk_index]
                 )
-                if self.cache is not None:
-                    model = chunk[0][1].model
-                    identity = getattr(model, "cache_identity", model.name)
-                    for key, response in new_entries.items():
-                        self.cache.put_key(key, response, identity=identity)
+                self._merge_worker_entries(chunk, new_entries)
                 self._record_chunk(chunk, counters, elapsed)
+                self._journal_record(chunks[chunk_index], scored)
         finally:
             _retire_snapshot(published)
 
@@ -1144,6 +1251,263 @@ class ExecutionEngine:
                 if is_duplicate and index in merged:
                     # A duplicate abandoned because its original won.
                     self.telemetry.record_speculation(wasted=1)
+
+    # -- fault-tolerant dispatch (retry/backoff, breakers, journal) -------------------
+
+    def _merge_worker_entries(
+        self, chunk: Sequence[_IndexedRequest], new_entries: Dict[str, str]
+    ) -> None:
+        """Fold a distributed worker's fresh cache entries into the parent."""
+        if self.cache is None or not new_entries:
+            return
+        model = chunk[0][1].model
+        identity = getattr(model, "cache_identity", model.name)
+        for key, response in new_entries.items():
+            self.cache.put_key(key, response, identity=identity)
+
+    def _merge_retry_outcomes(
+        self,
+        fn: Callable,
+        chunks: Sequence[Sequence[_IndexedRequest]],
+        results: List[Optional[RunResult]],
+        make_item: Callable,
+        distributed: bool = False,
+    ) -> None:
+        """Drain the retry dispatcher and merge what it yields.
+
+        A ``None`` outcome is a chunk the fault layer gave up on (retries
+        exhausted, or its breaker open with nowhere to degrade to): every
+        request gets an explicit positional ``failed`` result and nothing
+        feeds the cache, telemetry counters, cost model or journal —
+        mirroring how deadline-shed work is handled.
+        """
+        for chunk_index, outcome, executed_chunk in self._dispatch_retry(
+            fn, chunks, make_item
+        ):
+            original = chunks[chunk_index]
+            if outcome is None:
+                for index, request in original:
+                    results[index] = failed_result(request)
+                self.telemetry.record_failed_requests(len(original))
+                continue
+            if distributed:
+                scored, new_entries, counters, elapsed = outcome
+                self._merge_worker_entries(executed_chunk, new_entries)
+            else:
+                scored, counters, elapsed = outcome
+            for index, result in scored:
+                results[index] = result
+            # Telemetry/cost attribution goes to the model that actually
+            # answered (a breaker may have rerouted the chunk); the journal
+            # keys on the *original* requests so a resume finds them.
+            self._record_chunk(executed_chunk, counters, elapsed)
+            self._journal_record(original, scored)
+
+    def _breaker_route(
+        self, chunk: Sequence[_IndexedRequest]
+    ) -> Optional[Sequence[_IndexedRequest]]:
+        """Gate one chunk through its model's circuit breaker.
+
+        Closed (or half-open admitting this probe): the chunk runs as-is.
+        Open: walk down the cascade ladder (when a policy is configured)
+        to the next-cheaper tier whose breaker admits the work and rewrite
+        the requests onto that model.  ``None`` when every candidate is
+        open or there is no ladder — the caller surfaces explicit failed
+        results without a model call.
+        """
+        model = chunk[0][1].model
+        current = model
+        seen = set()
+        while True:
+            identity = getattr(current, "cache_identity", current.name)
+            if identity in seen:  # ladder cycle guard
+                return None
+            seen.add(identity)
+            if self.breakers.breaker(identity).allow():
+                if current is model:
+                    return chunk
+                self.telemetry.record_breaker_reroutes(1)
+                return [
+                    (index, dataclasses.replace(request, model=current))
+                    for index, request in chunk
+                ]
+            if self.cascade is None:
+                return None
+            current = self.cascade.fallback_model(current)
+            if current is None:
+                return None
+
+    def _dispatch_retry(
+        self,
+        fn: Callable,
+        chunks: Sequence[Sequence[_IndexedRequest]],
+        make_item: Callable,
+    ) -> Iterator[Tuple[int, Optional[object], Sequence[_IndexedRequest]]]:
+        """Completion-order dispatch with retry/backoff and circuit breakers.
+
+        Yields ``(chunk_index, outcome, executed_chunk)`` triples:
+        ``outcome`` is the chunk worker's result, or ``None`` when the
+        fault layer gave up; ``executed_chunk`` is the chunk that actually
+        ran (the original, or a breaker-rerouted rewrite onto a cheaper
+        cascade tier).
+
+        Dispatch runs on the executor's ``submit_stream`` seam, so one
+        chunk's failure never cancels unrelated futures.  A retryable
+        failure re-enters the dispatcher after
+        ``RetryPolicy.delay_s(attempt, key)`` — the backoff is held in
+        the dispatcher's delay heap, never slept inside a worker, so a
+        retrying chunk costs zero executor capacity until it is due.
+        Per-model breakers observe successes and *final* failures —
+        exhausted retry budgets and permanent errors, not attempt-level
+        flakes a retry then fixed; an open breaker short-circuits
+        submission (reroute or explicit failure) instead of burning
+        calls against a failing backend.
+        """
+        stream = self.executor.submit_stream(fn)
+        capacity = self._capacity()
+        policy = self.retry_policy
+        pending: deque = deque((index, 0) for index in range(len(chunks)))
+        #: Backoff heap: (ready_at, tiebreak, chunk_index, attempt).
+        delayed: List[Tuple[float, int, int, int]] = []
+        tiebreak = 0
+        outstanding = len(chunks)
+        try:
+            while outstanding > 0:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, index, attempt = heapq.heappop(delayed)
+                    pending.append((index, attempt))
+                while pending and stream.inflight < capacity:
+                    index, attempt = pending.popleft()
+                    routed = self._breaker_route(chunks[index])
+                    if routed is None:
+                        self.telemetry.record_breaker_short_circuits(1)
+                        outstanding -= 1
+                        yield index, None, chunks[index]
+                        continue
+                    stream.submit(make_item(routed), (index, attempt, routed))
+                if stream.inflight == 0:
+                    if not pending and not delayed:
+                        break  # every chunk resolved mid-refill
+                    # Nothing runs until the next backoff matures; sleep
+                    # just long enough instead of spinning the poll.
+                    if delayed:
+                        remaining = delayed[0][0] - time.monotonic()
+                        if remaining > 0:
+                            time.sleep(min(remaining, self.speculation_poll_s))
+                    continue
+                for tag, future in stream.wait(self.speculation_poll_s):
+                    index, attempt, executed_chunk = tag
+                    error = future.exception()
+                    if error is None:
+                        identity = getattr(
+                            executed_chunk[0][1].model,
+                            "cache_identity",
+                            executed_chunk[0][1].model.name,
+                        )
+                        self.breakers.breaker(identity).record_success()
+                        outstanding -= 1
+                        yield index, future.result(), executed_chunk
+                        continue
+                    identity = getattr(
+                        executed_chunk[0][1].model,
+                        "cache_identity",
+                        executed_chunk[0][1].model.name,
+                    )
+                    if policy.allows(attempt) and is_retryable(error):
+                        # A failure the backoff may still fix is *not*
+                        # breaker evidence: tripping on attempt-level
+                        # flakes would make whether a run degrades depend
+                        # on scheduling order, breaking the guarantee
+                        # that chaos-with-enough-retries is bit-identical
+                        # to fault-free.  The breaker watches the retry
+                        # layer's *verdicts* — exhausted budgets and
+                        # permanent errors — i.e. models retries cannot
+                        # save.
+                        self.telemetry.record_retries(1)
+                        delay = policy.delay_s(attempt, key=f"{identity}|{index}")
+                        heapq.heappush(
+                            delayed,
+                            (time.monotonic() + delay, tiebreak, index, attempt + 1),
+                        )
+                        tiebreak += 1
+                    else:
+                        if self.breakers.breaker(identity).record_failure():
+                            self.telemetry.record_breaker_opens(1)
+                        self.telemetry.record_retry_giveups(1)
+                        outstanding -= 1
+                        yield index, None, executed_chunk
+        finally:
+            stream.close()
+
+    def _journal_key(self, request: DetectionRequest) -> str:
+        model = request.model
+        identity = getattr(model, "cache_identity", model.name)
+        return request_key(
+            identity, request.strategy.value, request.scoring, request.record.name
+        )
+
+    def _journal_filter(
+        self,
+        indexed: List[_IndexedRequest],
+        results: List[Optional[RunResult]],
+    ) -> List[_IndexedRequest]:
+        """Answer journaled requests in place; return the remaining work.
+
+        A journaled response is *re-scored* through the same deterministic
+        ``score_response`` path it originally took, so a resumed run's
+        results are bit-identical to an uninterrupted one — without ever
+        touching the model.  Journaled shed entries replay as skips;
+        failures are never journaled, so a resume retries them.
+        """
+        remaining: List[_IndexedRequest] = []
+        hits = 0
+        for index, request in indexed:
+            payload = self.journal.get(self._journal_key(request))
+            result = None
+            if payload is not None:
+                if payload.get("skipped"):
+                    result = shed_result(request)
+                elif isinstance(payload.get("response"), str):
+                    result = score_response(request, payload["response"])
+            if result is not None:
+                results[index] = result
+                hits += 1
+            else:
+                remaining.append((index, request))
+        if hits:
+            self.telemetry.record_journal(hits=hits)
+        return remaining
+
+    def _journal_record(
+        self,
+        chunk: Sequence[_IndexedRequest],
+        scored: Sequence[Tuple[int, RunResult]],
+    ) -> None:
+        """Durably append one completed chunk's outcomes to the journal.
+
+        Keys are per-request content hashes over the *original* requests,
+        so resume hits survive re-drawn chunk boundaries and
+        breaker-rerouted execution alike.  Failed results are excluded —
+        a resume should retry them, not replay the failure.
+        """
+        if self.journal is None or not scored:
+            return
+        by_index = {index: request for index, request in chunk}
+        entries: Dict[str, Dict[str, object]] = {}
+        for index, result in scored:
+            request = by_index.get(index)
+            if request is None or result.failed:
+                continue
+            entries[self._journal_key(request)] = {
+                "record": request.record.name,
+                "response": result.response,
+                "skipped": result.skipped,
+            }
+        if not entries:
+            return
+        self.journal.record(chunk_journal_key(sorted(entries)), entries)
+        self.telemetry.record_journal(appends=1)
 
     def _record_chunk(
         self,

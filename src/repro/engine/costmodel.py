@@ -39,6 +39,7 @@ import os
 import statistics
 import tempfile
 import threading
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -91,6 +92,8 @@ class CostModel:
         #: never blended into the EWMA: the first real observation simply
         #: shadows the prior.
         self._priors: Dict[Tuple[str, str], float] = {}
+        #: One warning per instance when persistence degrades (see save()).
+        self._io_warned = False
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -249,7 +252,13 @@ class CostModel:
     # -- persistence ----------------------------------------------------------------
 
     def save(self, path: Optional[Union[str, Path]] = None) -> Path:
-        """Write the model as one small JSON file (temp file + atomic rename)."""
+        """Write the model as one small JSON file (temp file + atomic rename).
+
+        Like the response cache's save, I/O failure (full disk, read-only
+        directory) is warned once per instance instead of raised — the
+        store is an optimisation, and losing it must not abort the run
+        whose results it would have primed.  The estimates stay in memory.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no cost-model path configured")
@@ -259,19 +268,35 @@ class CostModel:
             "alpha": self.alpha,
             "groups": self.snapshot(),
         }
-        target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{target.name}-", suffix=".tmp", dir=target.parent
-        )
+        tmp_name = None
         try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{target.name}-", suffix=".tmp", dir=target.parent
+            )
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2)
             os.replace(tmp_name, target)
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            if not self._io_warned:
+                self._io_warned = True
+                warnings.warn(
+                    f"[costmodel] save to {target} failed ({exc}); "
+                    "estimates kept in memory",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
             raise
         return target
 

@@ -15,6 +15,11 @@ An executor implements two dispatch contracts:
   is cancelled — the same happens when the consumer abandons (closes) the
   iterator early.  A closed executor raises :class:`RuntimeError` from
   ``submit`` and ``map_unordered`` alike.
+* ``submit_stream(fn) -> SubmitStream`` — the *fault-tolerant* contract:
+  incremental submission with completion-order draining where a work-item
+  failure is delivered in its future and never cancels unrelated futures.
+  The engine's retry dispatcher runs on this seam, so with ``--retries``
+  one chunk's transient failure no longer tears down the whole run.
 
 Four backends ship here, all registered in :data:`EXECUTOR_KINDS` and
 selectable via :func:`create_executor` (the CLI's ``--executor``/``--jobs``
@@ -63,6 +68,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Ty
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "SubmitStream",
     "SerialExecutor",
     "ThreadPoolExecutor",
     "ProcessPoolExecutor",
@@ -117,6 +123,64 @@ class _CompletionStream:
         self.close()
 
 
+class SubmitStream:
+    """Completion-order drain over *dynamically* submitted work items.
+
+    ``map_unordered`` fixes the work list up front and fail-fasts: the
+    first work-item exception ends the stream and cancels every
+    outstanding future.  That is the right contract for an
+    all-or-nothing run, and exactly the wrong one for a retrying run —
+    one chunk's transient failure must not cancel unrelated chunks, and
+    a retried chunk needs to *re-enter* the stream after its backoff.
+
+    ``SubmitStream`` is the retry-friendly seam: work is submitted
+    incrementally (:meth:`submit` tags each item), :meth:`wait` blocks
+    until at least one in-flight future settles and hands back
+    ``(tag, future)`` pairs **without inspecting them** — a failed
+    future is just a completed future whose ``exception()`` is set, and
+    nothing else in flight is touched.  The caller owns the
+    retry/giveup decision.  Not thread-safe: one dispatcher thread
+    drives it, like the engine's other dispatch loops.
+    """
+
+    def __init__(self, executor: "_BaseExecutor", fn: Callable[[T], R]) -> None:
+        self._executor = executor
+        self._fn = fn
+        self._inflight: Dict["concurrent.futures.Future[R]", object] = {}
+
+    def submit(self, item: T, tag: object) -> "concurrent.futures.Future[R]":
+        """Schedule one work item; ``tag`` comes back with its future."""
+        future = self._executor.submit(self._fn, item)
+        self._inflight[future] = tag
+        return future
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def wait(self, timeout: Optional[float] = None) -> List[Tuple[object, "concurrent.futures.Future[R]"]]:
+        """Settled ``(tag, future)`` pairs, blocking up to ``timeout``.
+
+        Returns as soon as any in-flight future completes (empty list on
+        timeout or when nothing is in flight).  Futures are removed from
+        the stream as they are handed back; failed ones cancel nothing.
+        """
+        if not self._inflight:
+            return []
+        done, _ = concurrent.futures.wait(
+            list(self._inflight),
+            timeout=timeout,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        return [(self._inflight.pop(future), future) for future in done]
+
+    def close(self) -> None:
+        """Cancel whatever has not started yet (abandoned dispatch)."""
+        for future in self._inflight:
+            future.cancel()
+        self._inflight.clear()
+
+
 class _BaseExecutor:
     """Shared close/context-manager plumbing for the pooled backends."""
 
@@ -156,6 +220,19 @@ class _BaseExecutor:
     def submit(self, fn: Callable[[T], R], item: T) -> "concurrent.futures.Future[R]":
         """Schedule one work item; returns a future for its result."""
         raise NotImplementedError
+
+    def submit_stream(self, fn: Callable[[T], R]) -> "SubmitStream":
+        """A :class:`SubmitStream` over this backend (see its docstring).
+
+        The fault-tolerant dispatch contract: work items are submitted
+        incrementally, failures are delivered in their futures instead
+        of tearing the stream down, and unrelated futures are never
+        cancelled by one item's failure — which is what lets the
+        engine's retry dispatcher re-enter failed chunks after backoff
+        while the rest of the run keeps flowing.
+        """
+        self._check_open()
+        return SubmitStream(self, fn)
 
     def map_unordered(
         self, fn: Callable[[T], R], items: Sequence[T]

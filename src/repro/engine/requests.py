@@ -38,6 +38,7 @@ from repro.prompting.strategy import PromptStrategy
 
 __all__ = [
     "CONFIDENCE_MARKER_RE",
+    "FAILED_RESPONSE",
     "SCORING_MODES",
     "SHED_RESPONSE",
     "DetectionRequest",
@@ -45,6 +46,7 @@ __all__ = [
     "RunResultStore",
     "build_requests",
     "confusion_from_results",
+    "failed_result",
     "iter_requests",
     "response_confidence",
     "score_response",
@@ -96,6 +98,12 @@ class RunResult:
     #: ``response`` carries a sentinel.  Shed work is always explicit —
     #: a request never silently vanishes from the result store.
     skipped: bool = False
+    #: True when the fault layer gave up on this request: retries were
+    #: exhausted (or its model's circuit breaker was open with no cheaper
+    #: cascade tier to route to), so the run completed without an answer
+    #: for it.  Like shed work, failures are always explicit positional
+    #: entries — a fault never silently drops a request or aborts the run.
+    failed: bool = False
     #: How trustworthy the verdict looks, in ``[0, 1]`` — what the cascade
     #: router keys escalation on.  An explicit ``[confidence=X]`` marker in
     #: the response (the tier adapters emit one) wins; otherwise a parse
@@ -105,6 +113,10 @@ class RunResult:
 
 #: Response sentinel carried by deadline-shed results.
 SHED_RESPONSE = "[shed: deadline budget exceeded]"
+
+#: Response sentinel carried by fault-layer give-ups (retries exhausted or
+#: breaker open with nowhere to degrade to).
+FAILED_RESPONSE = "[failed: model error after retries]"
 
 
 def shed_result(request: DetectionRequest) -> RunResult:
@@ -119,6 +131,28 @@ def shed_result(request: DetectionRequest) -> RunResult:
         correct_positive=True,
         pairs=None,
         skipped=True,
+    )
+
+
+def failed_result(request: DetectionRequest, error: str = "") -> RunResult:
+    """An explicit failure entry for a request the fault layer gave up on.
+
+    Mirrors :func:`shed_result`: the prediction is the no-race fallback,
+    the response carries a sentinel (plus the final error, when known),
+    and :func:`confusion_from_results` excludes the entry so an outage
+    cannot masquerade as a sweep of true negatives.
+    """
+    response = FAILED_RESPONSE if not error else f"{FAILED_RESPONSE[:-1]}: {error}]"
+    return RunResult(
+        model=request.model.name,
+        strategy=request.strategy.value,
+        record_name=request.record.name,
+        truth=request.record.has_race,
+        response=response,
+        prediction=False,
+        correct_positive=True,
+        pairs=None,
+        failed=True,
     )
 
 
@@ -143,10 +177,11 @@ class RunResultStore:
     def confusion(self) -> ConfusionCounts:
         """Fold every result into TP/FP/TN/FN counts (the table layout).
 
-        Deadline-shed results are excluded: the model was never asked, so
-        counting their fallback "no race" as a genuine negative would let
-        the scheduling budget silently skew reported detection metrics.
-        Shed work stays visible on the results themselves (``skipped``).
+        Deadline-shed and fault-failed results are excluded: the model
+        never answered, so counting their fallback "no race" as a genuine
+        negative would let the scheduling budget or a backend outage
+        silently skew reported detection metrics.  Both stay visible on
+        the results themselves (``skipped`` / ``failed``).
         """
         return confusion_from_results(self.results)
 
@@ -164,7 +199,7 @@ def confusion_from_results(results: Iterable[RunResult]) -> ConfusionCounts:
     """
     counts = ConfusionCounts()
     for result in results:
-        if result.skipped:
+        if result.skipped or result.failed:
             continue
         counts.add(
             result.truth,

@@ -42,6 +42,15 @@ seam: plans only describe requests and reducers, and the cascade router
 lives below :meth:`ExecutionEngine.run`, so interleaved, sequential and
 streaming scheduling all route each materialised batch down the tier
 ladder without any scheduler-level changes.
+
+The fault-tolerance plane (``--retries``, circuit breakers, the run
+journal) composes the same way: retries, breaker rerouting and journal
+replay all happen below :meth:`ExecutionEngine.run`, and a request the
+engine gave up on comes back as an explicit ``failed=True``
+:class:`~repro.engine.requests.RunResult` *in position* — result slices
+keep their plan's length and order, reducers see failed entries exactly
+like shed ones (``confusion_from_results`` excludes both), and a partial
+outage degrades one table's counts instead of aborting the evaluation.
 """
 
 from __future__ import annotations

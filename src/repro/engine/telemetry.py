@@ -103,6 +103,23 @@ class EngineTelemetry:
         self.coalesce_merged = 0
         #: Prompts carried by coalesced flushes.
         self.coalesce_prompts = 0
+        #: Fault tolerance: requests surfaced as explicit failed results
+        #: (retries exhausted, breaker short-circuit with no fallback).
+        self.failed_requests = 0
+        #: Chunk re-submissions after a retryable error, and chunks whose
+        #: retry budget ran out.
+        self.retries = 0
+        self.retry_giveups = 0
+        #: Circuit breakers: closed→open transitions, chunks rerouted to a
+        #: cheaper cascade tier while a breaker was open, and chunks failed
+        #: outright because no admissible model remained.
+        self.breaker_opens = 0
+        self.breaker_reroutes = 0
+        self.breaker_short_circuits = 0
+        #: Run journal: requests replayed from the journal instead of
+        #: re-executed, and journal lines appended this process.
+        self.journal_hits = 0
+        self.journal_appends = 0
         #: (model, strategy) -> cumulative counters for that group's chunks.
         self._groups: Dict[Tuple[str, str], Dict[str, float]] = {}
         #: tier name -> cumulative cascade counters, in ladder order of
@@ -231,6 +248,43 @@ class EngineTelemetry:
             self.coalesce_prompts += prompts
             self.wire_calls += 1
 
+    def record_failed_requests(self, n: int) -> None:
+        """Fold requests that completed as explicit failed results."""
+        with self._lock:
+            self.failed_requests += n
+
+    def record_retries(self, n: int) -> None:
+        """Fold chunk re-submissions triggered by retryable errors."""
+        with self._lock:
+            self.retries += n
+
+    def record_retry_giveups(self, n: int) -> None:
+        """Fold chunks whose retry budget was exhausted."""
+        with self._lock:
+            self.retry_giveups += n
+
+    def record_breaker_opens(self, n: int) -> None:
+        """Fold circuit-breaker closed→open transitions."""
+        with self._lock:
+            self.breaker_opens += n
+
+    def record_breaker_reroutes(self, n: int) -> None:
+        """Fold chunks rerouted to a cheaper tier past an open breaker."""
+        with self._lock:
+            self.breaker_reroutes += n
+
+    def record_breaker_short_circuits(self, n: int) -> None:
+        """Fold chunks failed outright because every admissible model's
+        breaker was open."""
+        with self._lock:
+            self.breaker_short_circuits += n
+
+    def record_journal(self, *, hits: int = 0, appends: int = 0) -> None:
+        """Fold run-journal activity: replayed requests and appended lines."""
+        with self._lock:
+            self.journal_hits += hits
+            self.journal_appends += appends
+
     def record_group(
         self,
         model: str,
@@ -296,6 +350,14 @@ class EngineTelemetry:
                 "speculation_wasted": self.speculation_wasted,
                 "speculation_fallback_launched": self.speculation_fallback_launched,
                 "speculation_fallback_won": self.speculation_fallback_won,
+                "failed_requests": self.failed_requests,
+                "retries": self.retries,
+                "retry_giveups": self.retry_giveups,
+                "breaker_opens": self.breaker_opens,
+                "breaker_reroutes": self.breaker_reroutes,
+                "breaker_short_circuits": self.breaker_short_circuits,
+                "journal_hits": self.journal_hits,
+                "journal_appends": self.journal_appends,
                 "cascade_requests": sum(s["requests"] for s in self._cascade.values()),
                 "cascade_escalated": sum(s["escalated"] for s in self._cascade.values()),
                 "deadline_shed": self.deadline_shed,
@@ -421,6 +483,14 @@ class EngineTelemetry:
                 "speculation_wasted",
                 "speculation_fallback_launched",
                 "speculation_fallback_won",
+                "failed_requests",
+                "retries",
+                "retry_giveups",
+                "breaker_opens",
+                "breaker_reroutes",
+                "breaker_short_circuits",
+                "journal_hits",
+                "journal_appends",
                 "cascade_requests",
                 "cascade_escalated",
                 "deadline_shed",
@@ -471,6 +541,27 @@ class EngineTelemetry:
                     f"{snap['speculation_fallback_won']} won)"
                 )
             parts.append(segment)
+        if snap["retries"] or snap["retry_giveups"]:
+            parts.append(
+                f"retries={snap['retries']} giveups={snap['retry_giveups']}"
+            )
+        if snap["failed_requests"]:
+            parts.append(f"failed={snap['failed_requests']}")
+        if (
+            snap["breaker_opens"]
+            or snap["breaker_reroutes"]
+            or snap["breaker_short_circuits"]
+        ):
+            parts.append(
+                f"breaker={snap['breaker_opens']} opened/"
+                f"{snap['breaker_reroutes']} rerouted/"
+                f"{snap['breaker_short_circuits']} short-circuited"
+            )
+        if snap["journal_hits"] or snap["journal_appends"]:
+            parts.append(
+                f"journal={snap['journal_hits']} replayed/"
+                f"{snap['journal_appends']} appended"
+            )
         if snap["cascade_requests"]:
             tiers = self.cascade_snapshot()
             rendered = ",".join(

@@ -25,6 +25,14 @@ Two kinds of adapter live here:
   exactly the regime the engine's speculative re-execution targets: a
   duplicate of the straggling chunk completes at base speed while the
   original is still hanging.
+* :class:`ChaosAdapter` — the fault-injection harness: it wraps any model
+  in *deterministic* schedules of transient exceptions, malformed (wrong
+  length) batch responses and hangs, selected per prompt from the prompt
+  text.  Which prompts misbehave, how many attempts they misbehave for,
+  and what every prompt ultimately answers are all pure functions of the
+  inputs — so a run with chaos on plus enough retries must produce
+  confusion counts bit-identical to a fault-free run, which is exactly
+  the property ``tests/engine/test_faults.py`` pins.
 * :class:`StaticAnalyzerModel` / :class:`InspectorTierModel` — *tier*
   adapters: they present the repo's non-LLM detectors (the static race
   analyzer from ``repro.analysis`` and the dynamic inspector from
@@ -58,11 +66,29 @@ from repro.prompting.strategy import PromptStrategy
 
 __all__ = [
     "AsyncRemoteAdapter",
+    "ChaosAdapter",
     "FlakyTailAdapter",
     "InspectorTierModel",
     "LowRankAdapter",
     "StaticAnalyzerModel",
+    "reset_chaos_attempts",
 ]
+
+#: Process-wide chaos attempt registry: (model name, salt, prompt) ->
+#: calls that have touched the prompt in *this* process.  Module-level on
+#: purpose: process-pool chunk payloads re-pickle their ChaosAdapter per
+#: submission, so instance counters would reset on every retry attempt
+#: and a chaotic prompt could never recover in a pool worker.  The worker
+#: process outlives its payloads; this registry is the state that
+#: persists with it.
+_CHAOS_ATTEMPTS: Dict[Tuple[str, str, str], int] = {}
+_CHAOS_LOCK = threading.Lock()
+
+
+def reset_chaos_attempts() -> None:
+    """Forget all chaos attempt counts (test isolation between runs)."""
+    with _CHAOS_LOCK:
+        _CHAOS_ATTEMPTS.clear()
 
 
 def _sigmoid(z: np.ndarray | float) -> np.ndarray | float:
@@ -271,6 +297,176 @@ class FlakyTailAdapter(LanguageModel):
         return (
             f"<FlakyTailAdapter inner={self.inner!r} latency_s={self.latency_s}"
             f" tail_latency_s={self.tail_latency_s} tail_ratio={self.tail_ratio}>"
+        )
+
+
+class ChaosAdapter(LanguageModel):
+    """Deterministic fault injection around any language model.
+
+    Each prompt is assigned at most one chaos mode by partitioning a
+    single deterministic uniform draw over the prompt text:
+
+    * **transient** — the first ``fail_attempts`` calls touching the
+      prompt raise :class:`~repro.engine.faults.TransientModelError`;
+    * **malformed** — the first ``fail_attempts`` batch calls containing
+      the prompt return a batch of the *wrong length* (and single-prompt
+      calls raise
+      :class:`~repro.engine.faults.MalformedResponseError` directly), so
+      the engine's batch-length guard is what classifies the failure;
+    * **hang** — the first ``fail_attempts`` calls sleep/await
+      ``hang_s`` extra before answering (timing chaos only).
+
+    After its scheduled misbehaviour a prompt answers exactly what the
+    wrapped model answers — content is never perturbed, so with enough
+    retries a chaotic run is bit-identical to a fault-free one.  One
+    failing call consumes the schedule of *every* chaotic prompt it
+    carried, and attempt counters live in a process-wide registry keyed
+    on ``(model name, salt, prompt)`` — process-pool payloads re-pickle
+    the adapter per chunk submission, so instance counters would reset
+    every attempt and a chaotic prompt would never recover there.  Per
+    process, a chunk's calls misbehave at most ``fail_attempts`` times,
+    so ``retries >= jobs * fail_attempts`` guarantees recovery by
+    pigeonhole (some worker process sees the chunk again).  Counters
+    only change *when* a prompt recovers, never *what* it answers; tests
+    sharing a salt should call :func:`reset_chaos_attempts` between
+    runs.
+    """
+
+    def __init__(
+        self,
+        inner: LanguageModel,
+        *,
+        transient_ratio: float = 0.0,
+        malformed_ratio: float = 0.0,
+        hang_ratio: float = 0.0,
+        hang_s: float = 0.05,
+        fail_attempts: int = 1,
+        salt: str = "chaos",
+    ) -> None:
+        for label, ratio in (
+            ("transient_ratio", transient_ratio),
+            ("malformed_ratio", malformed_ratio),
+            ("hang_ratio", hang_ratio),
+        ):
+            if not 0.0 <= ratio <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {ratio}")
+        if transient_ratio + malformed_ratio + hang_ratio > 1.0:
+            raise ValueError("chaos ratios must sum to <= 1.0")
+        if hang_s < 0:
+            raise ValueError("hang_s must be >= 0")
+        if fail_attempts < 0:
+            raise ValueError("fail_attempts must be >= 0")
+        self.inner = inner
+        self.name = inner.name
+        self.context_window = inner.context_window
+        self.transient_ratio = transient_ratio
+        self.malformed_ratio = malformed_ratio
+        self.hang_ratio = hang_ratio
+        self.hang_s = hang_s
+        self.fail_attempts = fail_attempts
+        self.salt = salt
+
+    @property
+    def cache_identity(self) -> str:
+        # Chaos never changes response content, so the adapter shares
+        # cached responses (and its circuit breaker) with its inner model.
+        return self.inner.cache_identity
+
+    def chaos_mode(self, prompt: str) -> Optional[str]:
+        """The prompt's scheduled misbehaviour, or ``None``.
+
+        One uniform draw partitioned into disjoint intervals, so a
+        prompt has exactly one mode and the schedule is a pure function
+        of ``(name, salt, prompt)``.
+        """
+        draw = deterministic_uniform(self.name, f"{self.salt}-mode", prompt)
+        if draw < self.transient_ratio:
+            return "transient"
+        if draw < self.transient_ratio + self.malformed_ratio:
+            return "malformed"
+        if draw < self.transient_ratio + self.malformed_ratio + self.hang_ratio:
+            return "hang"
+        return None
+
+    def _misbehaves(self, prompt: str, mode: Optional[str]) -> bool:
+        if mode is None:
+            return False
+        key = (self.name, self.salt, prompt)
+        with _CHAOS_LOCK:
+            attempt = _CHAOS_ATTEMPTS.get(key, 0)
+            _CHAOS_ATTEMPTS[key] = attempt + 1
+        return attempt < self.fail_attempts
+
+    def _survey(self, prompts: List[str]) -> Tuple[int, int, bool]:
+        """Consume every prompt's schedule for one call, then report.
+
+        Returns ``(transient, drop, hang)``.  Surveying the whole batch
+        before misbehaving matters: raising on the first chaotic prompt
+        would leave later prompts' budgets unconsumed, so a chunk with k
+        chaotic prompts would need k failing attempts to drain — the
+        required retry budget would scale with fault density instead of
+        worker count.
+        """
+        transient = drop = 0
+        hang = False
+        for prompt in prompts:
+            mode = self.chaos_mode(prompt)
+            if self._misbehaves(prompt, mode):
+                if mode == "transient":
+                    transient += 1
+                elif mode == "malformed":
+                    drop += 1
+                else:
+                    hang = True
+        return transient, drop, hang
+
+    def generate(self, prompt: str) -> str:
+        from repro.engine.faults import MalformedResponseError, TransientModelError
+
+        mode = self.chaos_mode(prompt)
+        if self._misbehaves(prompt, mode):
+            if mode == "transient":
+                raise TransientModelError(
+                    f"injected transient fault ({self.name})"
+                )
+            if mode == "malformed":
+                raise MalformedResponseError(
+                    f"injected malformed response ({self.name})"
+                )
+            time.sleep(self.hang_s)
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts) -> List[str]:
+        from repro.engine.faults import TransientModelError
+
+        prompts = list(prompts)
+        transient, drop, hang = self._survey(prompts)
+        if hang:
+            time.sleep(self.hang_s)
+        if transient:
+            raise TransientModelError(f"injected transient fault ({self.name})")
+        responses = self.inner.generate_batch(prompts)
+        # A wrong-length batch: the engine's length guard is what turns
+        # this into MalformedResponseError.
+        return responses[: len(responses) - drop] if drop else responses
+
+    async def generate_batch_async(self, prompts) -> List[str]:
+        from repro.engine.faults import TransientModelError
+
+        prompts = list(prompts)
+        transient, drop, hang = self._survey(prompts)
+        if hang:
+            await asyncio.sleep(self.hang_s)
+        if transient:
+            raise TransientModelError(f"injected transient fault ({self.name})")
+        responses = await self.inner.generate_batch_async(prompts)
+        return responses[: len(responses) - drop] if drop else responses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ChaosAdapter inner={self.inner!r}"
+            f" transient={self.transient_ratio} malformed={self.malformed_ratio}"
+            f" hang={self.hang_ratio} fail_attempts={self.fail_attempts}>"
         )
 
 

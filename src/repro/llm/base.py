@@ -26,7 +26,22 @@ class ChatMessage:
 
 
 class LanguageModel(abc.ABC):
-    """Abstract text-in/text-out model."""
+    """Abstract text-in/text-out model.
+
+    Error contract
+    --------------
+    Adapters wrapping fallible transports should raise the engine's
+    error taxonomy (:mod:`repro.engine.faults`):
+    :class:`~repro.engine.faults.TransientModelError` for failures a
+    retry may fix (rate limits, timeouts, dropped connections),
+    :class:`~repro.engine.faults.PermanentModelError` for failures it
+    cannot (bad credentials, unknown model), and
+    :class:`~repro.engine.faults.MalformedResponseError` when the
+    backend answered with an unusable payload.  Unclassified exceptions
+    are mapped by :func:`~repro.engine.faults.classify_error`, so
+    pre-taxonomy adapters keep working — the taxonomy just routes
+    retries and circuit breakers more precisely.
+    """
 
     #: Human-readable model identifier (e.g. ``"gpt-4"``).
     name: str = "model"
@@ -43,9 +58,25 @@ class LanguageModel(abc.ABC):
         The default implementation simply loops over :meth:`generate`;
         adapters wrapping real APIs or local inference servers should
         override it with a true batched call.  The execution engine only
-        ever talks to models through this method.
+        ever talks to models through this method.  A per-prompt
+        completion that is not text raises
+        :class:`~repro.engine.faults.MalformedResponseError` here rather
+        than corrupting scoring downstream.
         """
-        return [self.generate(prompt) for prompt in prompts]
+        completions = []
+        for prompt in prompts:
+            completion = self.generate(prompt)
+            if not isinstance(completion, str):
+                # Imported lazily: repro.engine.requests imports this
+                # module, so a module-level engine import would cycle.
+                from repro.engine.faults import MalformedResponseError
+
+                raise MalformedResponseError(
+                    f"model {self.name!r} returned a non-text completion "
+                    f"({type(completion).__name__})"
+                )
+            completions.append(completion)
+        return completions
 
     async def generate_async(self, prompt: str) -> str:
         """Produce a completion without blocking the event loop.

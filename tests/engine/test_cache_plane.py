@@ -14,6 +14,7 @@ Three layers under test, matching :mod:`repro.engine`'s cache plane:
 """
 
 import json
+import warnings
 import threading
 
 import pytest
@@ -628,3 +629,86 @@ class TestCacheCLI:
             main(["table2", "--shared-cache"])  # needs --cache PATH
         with pytest.raises(SystemExit):
             main(["table2", "--snapshot-transport", "fax"])
+
+
+class TestPersistenceFaultTolerance:
+    """The cache plane under I/O failure and foreign-writer races (PR 9).
+
+    Persistence is an optimisation: a failing save warns once and keeps
+    the entries in memory (and pending, so a healthy later save retries
+    them); a shared store whose segments vanish mid-open degrades to a
+    private load; a segment deleted between the manifest stat and the
+    mmap is simply skipped.  None of these may abort a run.
+    """
+
+    @staticmethod
+    def _write_store(path, entries):
+        cache = ResponseCache(path=path, auto_compact_ratio=None)
+        for identity, prompt, response in entries:
+            cache.put(identity, prompt, response)
+        cache.save()
+        return cache
+
+    def test_segment_deleted_between_stat_and_mmap_is_skipped(self, tmp_path, monkeypatch):
+        target = tmp_path / "store"
+        cache = self._write_store(target, [("m", "p1", "r1")])
+        cache.put("m", "p2", "r2")
+        cache.save()  # second segment; the manifest lists both
+        segments = sorted(target.glob("segment-*.jsonl"))
+        assert len(segments) == 2
+        victim = segments[0]
+        original = SharedSegmentStore._map_segment
+
+        def racing_map(segment):
+            # A foreign compaction wins the race: the segment the sweep
+            # just listed is gone by the time we come to map it.
+            if segment.name == victim.name and victim.exists():
+                victim.unlink()
+            return original(segment)
+
+        monkeypatch.setattr(SharedSegmentStore, "_map_segment", staticmethod(racing_map))
+        store = SharedSegmentStore(target)  # must not raise
+        assert store.get(cache_key("m", "p2")) == "r2"
+        assert store.get(cache_key("m", "p1"), "miss") == "miss"
+
+    def test_shared_read_open_failure_falls_back_to_private_load(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+
+        def refuse(path):
+            raise OSError("directory vanished mid-scan")
+
+        monkeypatch.setattr(SharedSegmentStore, "open", refuse)
+        with pytest.warns(RuntimeWarning, match="private load"):
+            cache = ResponseCache(path=target, shared_read=True)
+        assert cache.shared_read is False
+        assert cache.get("m", "p") == "r"  # served from the private load
+
+    def test_save_failure_warns_once_and_keeps_entries(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache directory must go")
+        cache = ResponseCache(path=blocker / "store")
+        cache.put("m", "p", "r")
+        with pytest.warns(RuntimeWarning, match="kept in memory"):
+            cache.save()
+        assert cache.get("m", "p") == "r"  # nothing lost
+        # One warning per instance: the second failing save is silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.save()
+        # The unsaved entries stayed pending, so a healthy path gets them.
+        good = tmp_path / "good"
+        cache.save(good)
+        assert ResponseCache(path=good).get("m", "p") == "r"
+
+    def test_truncated_manifest_disables_fast_path_only(self, tmp_path):
+        target = tmp_path / "store"
+        self._write_store(target, [("m", "p", "r")])
+        manifest = target / "manifest.json"
+        raw = manifest.read_bytes()
+        manifest.write_bytes(raw[: len(raw) // 2])  # torn foreign write
+        store = SharedSegmentStore(target)
+        assert store._view.manifest_sig is None
+        assert store.get(cache_key("m", "p")) == "r"

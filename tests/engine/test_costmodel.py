@@ -1,6 +1,7 @@
 """CostModel behaviour: EWMA math, resilient persistence, engine feeding."""
 
 import json
+import warnings
 
 import pytest
 
@@ -214,3 +215,53 @@ class TestQuantileEstimate:
         assert loaded.quantile_estimate("gpt-4", "BP1", 0.95) == pytest.approx(
             model.quantile_estimate("gpt-4", "BP1", 0.95)
         )
+
+
+class TestSaveFaultTolerance:
+    """Persistence I/O failure degrades to in-memory estimates (PR 9).
+
+    The store is an optimisation: a full disk or read-only directory at
+    the finish line warns once per instance and never aborts the run
+    whose estimates it would have primed.
+    """
+
+    def test_truncated_store_loads_as_empty(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        model = CostModel(path=path)
+        model.observe("gpt-4", "BP1", 0.04)
+        model.save()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # crash mid-copy / torn write
+        fresh = CostModel()
+        assert fresh.load(path) == 0
+        assert fresh.estimate("gpt-4", "BP1", default=1.5) == 1.5
+
+    def test_save_failure_warns_once_and_keeps_estimates(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store's parent directory must go")
+        model = CostModel(path=blocker / "costmodel.json")
+        model.observe("gpt-4", "BP1", 0.04)
+        with pytest.warns(RuntimeWarning, match="kept in memory"):
+            assert model.save() == blocker / "costmodel.json"
+        # The estimates survive in memory...
+        assert model.estimate("gpt-4", "BP1") == pytest.approx(0.04)
+        # ...and the second failing save is silent (one warning per instance).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            model.save()
+        # A later save to a healthy path still persists everything.
+        good = tmp_path / "good" / "costmodel.json"
+        model.save(good)
+        assert CostModel(path=good).estimate("gpt-4", "BP1") == pytest.approx(0.04)
+
+    def test_failed_save_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        path = tmp_path / "costmodel.json"
+        model = CostModel(path=path)
+        model.observe("gpt-4", "BP1", 0.04)
+        monkeypatch.setattr(
+            "repro.engine.costmodel.os.replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError(28, "No space left on device")),
+        )
+        with pytest.warns(RuntimeWarning, match="kept in memory"):
+            model.save()
+        assert list(tmp_path.iterdir()) == []  # the temp file was reaped
