@@ -1,0 +1,103 @@
+"""Static-tier quality gate — analyzer accuracy over the full corpus.
+
+The phase-aware static analyzer is the cascade's first tier: its verdict
+quality bounds how much work can be kept away from the expensive models
+without losing accuracy.  This benchmark scores the detector against the
+ground truth of every corpus record and pins the confusion matrix:
+
+* **recall** must stay at 1.0 — a missed race would silently weaken every
+  configuration that trusts the cheap tier;
+* **precision** must not regress below the committed floor — false
+  positives inflate the racy class and erode the cascade's accuracy win;
+* **throughput** is reported (records/s) so a pathological slowdown of the
+  multi-pass pipeline shows up in the trend gate.
+
+Writes ``BENCH_static_tier.json`` (repo root); CI's
+``check_bench_regression.py`` compares it against the committed floors in
+``benchmarks/baselines/BENCH_baseline.json`` and the trailing trend.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.analysis import StaticRaceDetector
+
+#: Asserted floors — equal to the committed baseline so the regression
+#: gate stays the deciding check on noisy CI runners.
+MIN_RECALL = 1.0
+MIN_PRECISION = 1.0
+MIN_ACCURACY = 1.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_static_tier.json"
+
+
+def test_static_tier_scores_the_corpus(benchmark, corpus):
+    detector = StaticRaceDetector()
+    tp = fp = tn = fn = crashes = 0
+    suppressions = 0
+    elapsed = 0.0
+
+    def _score():
+        nonlocal tp, fp, tn, fn, crashes, suppressions, elapsed
+        start = time.perf_counter()
+        for record in corpus:
+            try:
+                report = detector.analyze_source(record.code)
+            except Exception:
+                crashes += 1
+                continue
+            suppressions += sum(report.suppressions.values())
+            if record.has_race:
+                if report.has_race:
+                    tp += 1
+                else:
+                    fn += 1
+            elif report.has_race:
+                fp += 1
+            else:
+                tn += 1
+        elapsed = time.perf_counter() - start
+
+    run_once(benchmark, _score)
+
+    total = tp + fp + tn + fn
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    accuracy = (tp + tn) / total if total else 0.0
+    throughput = total / elapsed if elapsed > 0 else 0.0
+
+    payload = {
+        "records": total,
+        "tp": tp,
+        "fp": fp,
+        "tn": tn,
+        "fn": fn,
+        "crashes": crashes,
+        "suppressed_pairs": suppressions,
+        "recall": round(recall, 4),
+        "precision": round(precision, 4),
+        "accuracy": round(accuracy, 4),
+        "seconds": round(elapsed, 4),
+        "records_per_second": round(throughput, 1),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print()
+    print(
+        f"static tier: n={total} tp={tp} fp={fp} tn={tn} fn={fn} "
+        f"crashes={crashes} acc={accuracy:.3f} prec={precision:.3f} "
+        f"rec={recall:.3f} ({throughput:.0f} records/s)"
+    )
+
+    assert crashes == 0, f"analyzer crashed on {crashes} corpus record(s)"
+    assert recall >= MIN_RECALL, (
+        f"static tier lost recall: {recall:.3f} < {MIN_RECALL} "
+        f"({fn} false negative(s))"
+    )
+    assert precision >= MIN_PRECISION, (
+        f"static tier lost precision: {precision:.3f} < {MIN_PRECISION} "
+        f"({fp} false positive(s))"
+    )
+    assert accuracy >= MIN_ACCURACY

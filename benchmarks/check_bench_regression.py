@@ -2,12 +2,13 @@
 
 Run after ``bench_engine_throughput.py``, ``bench_scheduler.py``,
 ``bench_dispatch.py``, ``bench_async.py``, ``bench_speculation.py``,
-``bench_cascade.py``, ``bench_cache_plane.py``, ``bench_corpus_stream.py``
-and ``bench_chaos.py`` have written ``BENCH_engine.json`` /
-``BENCH_scheduler.json`` / ``BENCH_dispatch.json`` / ``BENCH_async.json``
-/ ``BENCH_speculation.json`` / ``BENCH_cascade.json`` /
-``BENCH_cache_plane.json`` / ``BENCH_corpus_stream.json`` /
-``BENCH_chaos.json`` to the repo root::
+``bench_cascade.py``, ``bench_cache_plane.py``, ``bench_corpus_stream.py``,
+``bench_chaos.py`` and ``bench_static_tier.py`` have written
+``BENCH_engine.json`` / ``BENCH_scheduler.json`` / ``BENCH_dispatch.json``
+/ ``BENCH_async.json`` / ``BENCH_speculation.json`` /
+``BENCH_cascade.json`` / ``BENCH_cache_plane.json`` /
+``BENCH_corpus_stream.json`` / ``BENCH_chaos.json`` /
+``BENCH_static_tier.json`` to the repo root::
 
     python benchmarks/check_bench_regression.py
 
@@ -158,6 +159,7 @@ def main() -> int:
     cache_plane = _load(REPO_ROOT / "BENCH_cache_plane.json")
     corpus_stream = _load(REPO_ROOT / "BENCH_corpus_stream.json")
     chaos = _load(REPO_ROOT / "BENCH_chaos.json")
+    static_tier = _load(REPO_ROOT / "BENCH_static_tier.json")
 
     checks = [
         (
@@ -224,6 +226,21 @@ def main() -> int:
             "chaos completed-run fraction (zero aborts)",
             chaos["completed_run_fraction"],
             baseline["chaos"]["min_completed_run_fraction"],
+        ),
+        (
+            "static-tier recall on the full corpus",
+            static_tier["recall"],
+            baseline["static_tier"]["min_recall"],
+        ),
+        (
+            "static-tier precision on the full corpus",
+            static_tier["precision"],
+            baseline["static_tier"]["min_precision"],
+        ),
+        (
+            "static-tier analyzer throughput (records/s)",
+            static_tier["records_per_second"],
+            baseline["static_tier"]["min_records_per_second"],
         ),
     ]
 

@@ -61,6 +61,13 @@ Usage::
     python -m repro cache stats --cache ./cache-dir     # segments, dead
                                       # ratio, promotions — no evaluation run
     python -m repro cache compact --cache ./cache-dir
+    python -m repro analyze file.c               # static race analyzer:
+                                      # structured DRD-* diagnostics with
+                                      # line/col spans, text or --json
+    python -m repro analyze --corpus --stats     # per-rule fire counts +
+                                      # phase-partition telemetry
+    python -m repro analyze --corpus --self-lint # CI gate: nonzero exit on
+                                      # crashes or malformed diagnostics
 
 ``repro all`` plans every table first (requests + reducer), then feeds all
 of them to :func:`repro.engine.scheduler.run_all_tables`, which interleaves
@@ -314,6 +321,13 @@ def _run_cache_command(args: argparse.Namespace) -> int:
 
 def main(argv: List[str] | None = None) -> int:
     """Entry point used by ``python -m repro``."""
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "analyze":
+        # The static-analyzer CLI has its own flag set (--json, --stats,
+        # --self-lint, --corpus); delegate before the table parser sees it.
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables of 'Data Race Detection Using Large Language Models'.",
@@ -334,7 +348,8 @@ def main(argv: List[str] | None = None) -> int:
         help=(
             "which experiment to regenerate ('all' interleaves every table "
             "into one engine run); 'cache' inspects/maintains a --cache "
-            "store without running an evaluation"
+            "store without running an evaluation; see also 'repro analyze "
+            "FILE...' for the static race analyzer CLI"
         ),
     )
     parser.add_argument(

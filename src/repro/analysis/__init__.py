@@ -15,26 +15,53 @@ code features the simulated language models consume:
   combines the three into predicted race pairs.
 """
 
-from repro.analysis.accesses import AccessSite, ParallelContext, extract_accesses
+from repro.analysis.accesses import (
+    AccessModel,
+    AccessSite,
+    ParallelContext,
+    extract_access_model,
+    extract_accesses,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    RACE_RULES,
+    Span,
+    SUPPRESSION_RULES,
+    rule_confidence,
+)
+from repro.analysis.mhp import Ordering, classify_pair
 from repro.analysis.sharing import SharingAttribute, classify_sharing
 from repro.analysis.dependence import (
     SubscriptForm,
     dependence_distance,
+    intervals_disjoint,
     may_overlap,
     normalize_subscript,
+    value_interval,
 )
 from repro.analysis.static_race import StaticRaceDetector, StaticRaceReport
 
 __all__ = [
+    "AccessModel",
     "AccessSite",
     "ParallelContext",
+    "extract_access_model",
     "extract_accesses",
+    "Diagnostic",
+    "Span",
+    "RACE_RULES",
+    "SUPPRESSION_RULES",
+    "rule_confidence",
+    "Ordering",
+    "classify_pair",
     "SharingAttribute",
     "classify_sharing",
     "SubscriptForm",
     "normalize_subscript",
     "dependence_distance",
     "may_overlap",
+    "value_interval",
+    "intervals_disjoint",
     "StaticRaceDetector",
     "StaticRaceReport",
 ]

@@ -21,7 +21,14 @@ import re
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["SubscriptForm", "normalize_subscript", "dependence_distance", "may_overlap"]
+__all__ = [
+    "SubscriptForm",
+    "normalize_subscript",
+    "dependence_distance",
+    "may_overlap",
+    "value_interval",
+    "intervals_disjoint",
+]
 
 
 @dataclass(frozen=True)
@@ -157,8 +164,6 @@ def may_overlap(
     # Different coefficients over the same variable: check parity-style
     # disjointness for the common 2*i vs 2*i+1 shape, otherwise be
     # conservative.
-    if a.coeff == b.coeff and a.offset != b.offset:
-        return True
     if a.coeff != 0 and b.coeff != 0:
         gcd = _gcd(abs(a.coeff), abs(b.coeff))
         return (a.offset - b.offset) % gcd == 0
@@ -169,3 +174,35 @@ def _gcd(x: int, y: int) -> int:
     while y:
         x, y = y, x % y
     return x if x else 1
+
+
+def value_interval(
+    form: SubscriptForm,
+    var_range: Optional["tuple[int, int]"],
+) -> Optional["tuple[int, int]"]:
+    """Inclusive interval of values ``form`` can take over ``var_range``.
+
+    ``var_range`` is the inclusive ``(lo, hi)`` range of the subscript's loop
+    variable (``None`` when unknown).  Returns ``None`` when the subscript is
+    not affine or the range is unavailable — callers must then fall back to
+    the conservative overlap test.
+    """
+    if not form.is_affine:
+        return None
+    if form.is_constant:
+        return (form.offset, form.offset)
+    if var_range is None:
+        return None
+    lo, hi = var_range
+    a = form.coeff * lo + form.offset
+    b = form.coeff * hi + form.offset
+    return (min(a, b), max(a, b))
+
+
+def intervals_disjoint(
+    a: Optional["tuple[int, int]"], b: Optional["tuple[int, int]"]
+) -> bool:
+    """True when both intervals are known and do not intersect."""
+    if a is None or b is None:
+        return False
+    return a[1] < b[0] or b[1] < a[0]

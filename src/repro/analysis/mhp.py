@@ -1,0 +1,152 @@
+"""May-happen-in-parallel (MHP) classification of access pairs.
+
+Given two access sites of the same parallel region, decide whether their
+dynamic instances can ever execute concurrently.  The decision procedure
+uses the facts the access extractor collects:
+
+* **phases** — barrier-delimited sub-intervals of the region (explicit
+  ``barrier``, implicit barriers at the end of ``for``/``sections``/``single``
+  constructs unless ``nowait``).  Accesses in different phases are ordered:
+  every thread (and every explicit task, which must complete at a barrier)
+  passes the intervening barrier.
+* **single-thread constructs** — two non-task accesses inside the *same*
+  ``single``/``master``/``section`` construct instance are executed by one
+  thread in program order.
+* **task ordering** — ``taskwait`` completes previously spawned sibling
+  tasks; ``taskgroup`` completes the tasks spawned inside it; ``depend``
+  clauses order sibling tasks; accesses sequenced before a task's spawn
+  point happen before the task.  A task construct spawned inside a loop (or
+  by every team thread) has several concurrent instances.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.analysis.accesses import ParallelContext, RegionSummary, TaskInfo
+
+__all__ = ["Ordering", "classify_pair"]
+
+
+class Ordering(enum.Enum):
+    """Concurrency relation between two access sites' dynamic instances."""
+
+    CONCURRENT = "concurrent"
+    ORDERED = "ordered"
+    SAME_THREAD = "same_thread"
+
+    @property
+    def may_race(self) -> bool:
+        return self is Ordering.CONCURRENT
+
+
+def classify_pair(
+    a: ParallelContext,
+    b: ParallelContext,
+    region: Optional[RegionSummary],
+) -> Tuple[Ordering, Optional[str]]:
+    """Classify the concurrency of two contexts from the same program.
+
+    Returns ``(ordering, rule_id)`` where ``rule_id`` names the suppression
+    rule that proved the ordering (``None`` when the pair is concurrent).
+    """
+    if a.region_index != b.region_index:
+        # Different parallel regions are separated by the join of the first
+        # region's team: no concurrency between them.
+        return Ordering.ORDERED, "DRD-REGION-ORDERED"
+    if a.phase != b.phase:
+        return Ordering.ORDERED, "DRD-PHASE-ORDERED"
+
+    tasks = region.tasks if region is not None else {}
+    ta = tasks.get(a.task_id) if a.task_id is not None else None
+    tb = tasks.get(b.task_id) if b.task_id is not None else None
+
+    if ta is not None and tb is not None:
+        return _task_vs_task(ta, tb, region)
+    if ta is not None or tb is not None:
+        task = ta if ta is not None else tb
+        other = b if ta is not None else a
+        assert task is not None
+        return _task_vs_sequential(task, other, region)
+
+    # Neither access is inside an explicit task.
+    if (
+        a.construct_id is not None
+        and a.construct_id == b.construct_id
+        and a.construct_kind in ("single", "master", "section")
+    ):
+        # One construct instance, executed start-to-finish by one thread.
+        return Ordering.SAME_THREAD, "DRD-SEQUENTIAL-CONSTRUCT"
+    if a.in_master and b.in_master:
+        # master regions always execute on the team's thread 0, so even two
+        # distinct master constructs are sequenced on the same thread.
+        return Ordering.SAME_THREAD, "DRD-SEQUENTIAL-CONSTRUCT"
+    return Ordering.CONCURRENT, None
+
+
+def _task_vs_task(
+    ta: TaskInfo, tb: TaskInfo, region: Optional[RegionSummary]
+) -> Tuple[Ordering, Optional[str]]:
+    if ta.task_id == tb.task_id:
+        if ta.multiple:
+            # Several instances of the same task construct may coexist.
+            return Ordering.CONCURRENT, None
+        return Ordering.SAME_THREAD, "DRD-TASK-SEQUENTIAL"
+    if _depend_edge(ta, tb) or _depend_edge(tb, ta):
+        return Ordering.ORDERED, "DRD-DEPEND-ORDERED"
+    if _taskwait_between_spawns(ta, tb, region):
+        return Ordering.ORDERED, "DRD-TASKWAIT-ORDERED"
+    return Ordering.CONCURRENT, None
+
+
+def _depend_edge(first: TaskInfo, second: TaskInfo) -> bool:
+    """True when ``depend`` clauses order the two sibling tasks."""
+    if first.construct_id != second.construct_id:
+        return False
+    out_first = set(first.depend_out)
+    out_second = set(second.depend_out)
+    in_first = set(first.depend_in)
+    in_second = set(second.depend_in)
+    return bool(
+        out_first & (in_second | out_second) or in_first & out_second
+    )
+
+
+def _taskwait_between_spawns(
+    ta: TaskInfo, tb: TaskInfo, region: Optional[RegionSummary]
+) -> bool:
+    """True when a taskwait between the spawn points completes the earlier task."""
+    if region is None or ta.construct_id != tb.construct_id:
+        return False
+    if ta.spawn_seq is None or tb.spawn_seq is None:
+        return False
+    first, second = sorted((ta.spawn_seq, tb.spawn_seq))
+    if first == second:
+        return False
+    waits = region.taskwaits.get(ta.construct_id, [])
+    return any(first < w <= second for w in waits)
+
+
+def _task_vs_sequential(
+    task: TaskInfo, other: ParallelContext, region: Optional[RegionSummary]
+) -> Tuple[Ordering, Optional[str]]:
+    if other.construct_id != task.construct_id:
+        # The non-task access runs on another thread/construct; only a phase
+        # boundary (handled above) could order it against the task.
+        return Ordering.CONCURRENT, None
+    if other.construct_seq is None or task.spawn_seq is None:
+        return Ordering.CONCURRENT, None
+    if other.construct_seq < task.spawn_seq:
+        # Fully sequenced before the statement that spawns the task.
+        return Ordering.ORDERED, "DRD-SEQUENCED-BEFORE-TASK"
+    if task.taskgroup_seq is not None and (
+        other.construct_seq > task.taskgroup_seq
+        and other.taskgroup_seq != task.taskgroup_seq
+    ):
+        # The taskgroup's end completed the task before the access.
+        return Ordering.ORDERED, "DRD-TASKGROUP-ORDERED"
+    waits = region.taskwaits.get(task.construct_id, []) if region is not None else []
+    if any(task.spawn_seq < w <= other.construct_seq for w in waits):
+        return Ordering.ORDERED, "DRD-TASKWAIT-ORDERED"
+    return Ordering.CONCURRENT, None

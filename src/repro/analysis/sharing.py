@@ -72,8 +72,13 @@ def classify_sharing(
         return SharingAttribute.REDUCTION
     if name in ctx.private_vars:
         return SharingAttribute.PRIVATE
-    if ctx.loop_variables and name == ctx.loop_variables[0] and ctx.in_worksharing_loop:
-        # The outermost worksharing loop index is implicitly private.
+    if name in ctx.distributed_vars:
+        # Induction variables the worksharing/simd construct binds (all of
+        # them under ``collapse(n)``, not just the outermost) are implicitly
+        # private to each iteration.
+        return SharingAttribute.LOOP_INDEX
+    if ctx.in_worksharing_loop and ctx.loop_variables and name == ctx.loop_variables[0]:
+        # Fallback when the extractor could not resolve the bound loop nest.
         return SharingAttribute.LOOP_INDEX
     if ctx.in_task and name in ctx.private_vars:
         return SharingAttribute.PRIVATE

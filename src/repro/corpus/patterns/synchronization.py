@@ -3,6 +3,12 @@
 Race-yes kernels update shared state from multiple threads without a
 ``critical``/``atomic``/lock/barrier; the race-free counterparts use the
 corresponding synchronization construct correctly.
+
+Static-analyzer coverage (``repro analyze``): the racy kernels fire
+``DRD-SHARED-SCALAR`` / ``DRD-WRITE-WRITE``; the race-free counterparts
+are proved by ``DRD-MUTEX-CRITICAL`` / ``DRD-MUTEX-ATOMIC`` /
+``DRD-MUTEX-LOCK`` / ``DRD-MUTEX-ORDERED`` and, for the barrier-phased
+kernels, ``DRD-PHASE-ORDERED``.
 """
 
 from __future__ import annotations

@@ -3,6 +3,16 @@
 Race-yes kernels let tasks or sections touch the same storage without
 ordering (no ``taskwait``, overlapping section ranges, shared induction
 variables); race-free counterparts order or separate the accesses.
+
+Static-analyzer coverage (``repro analyze``): the racy kernels exercise
+``DRD-TASK-UNORDERED`` and ``DRD-SECTION-OVERLAP``; the race-free
+counterparts are proved by ``DRD-TASKWAIT-ORDERED``,
+``DRD-DEPEND-ORDERED``, ``DRD-SEQUENTIAL-CONSTRUCT`` and
+``DRD-RANGE-DISJOINT`` (disjoint per-section halves).  The taskgroup and
+sequenced-before-spawn edges (``DRD-TASKGROUP-ORDERED``,
+``DRD-SEQUENCED-BEFORE-TASK``) are pinned by minimal programs in
+``tests/analysis/test_mhp.py`` — adding kernels here changes the pinned
+201-record corpus snapshot, so new-rule coverage lives in the unit suite.
 """
 
 from __future__ import annotations

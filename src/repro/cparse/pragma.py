@@ -49,6 +49,7 @@ DIRECTIVE_KEYWORDS = (
     "atomic",
     "barrier",
     "taskwait",
+    "taskgroup",
     "taskloop",
     "task",
     "simd",

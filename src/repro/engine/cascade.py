@@ -51,6 +51,10 @@ __all__ = [
 DEFAULT_CASCADE_TIERS = "static,gpt-3.5-turbo"
 
 #: Default confidence threshold below which a tier verdict escalates.
+#: Calibrated against the static tier's diagnostic engine: per-rule race
+#: confidences (0.78-0.90) and proof-backed clean confidences (>= 0.80)
+#: clear it, while parse failures (0.0) and degenerate no-access reports
+#: (0.5) escalate.
 DEFAULT_ESCALATE_BELOW = 0.75
 
 #: Telemetry label for the implicit final tier (the request's own model).

@@ -656,8 +656,15 @@ class _DetectorTierModel(LanguageModel):
 class StaticAnalyzerModel(_DetectorTierModel):
     """The static race analyzer behind the :class:`LanguageModel` interface.
 
-    Over-approximate and extremely cheap — the canonical tier-0 of the
-    cascade.  Carries its own ``cache_identity`` (``tier:static``) so the
+    Extremely cheap — the canonical tier-0 of the cascade.  The confidence
+    marker is the report's own self-assessment: for racy verdicts the
+    per-rule calibrated confidence of the strongest fired ``DRD-*``
+    diagnostic, for clean verdicts the MHP/mutex proof certainty minus a
+    deduction per assumption-bearing suppression class (see
+    :class:`repro.analysis.static_race.StaticRaceReport.confidence`) — so
+    well-supported verdicts on either side clear the cascade's default
+    escalation threshold and only genuinely uncertain records pay for a
+    stronger tier.  Carries its own ``cache_identity`` (``tier:static``) so the
     :class:`~repro.engine.costmodel.CostModel` prices and the cache stores
     it independently of any LLM.
     """

@@ -71,6 +71,10 @@ class CodeFeatures:
     has_simd: bool = False
     shared_compound_update: bool = False
     token_count: int = 0
+    # Structured evidence from the static analyzer's diagnostic engine:
+    # which DRD-* rules fired and the report's calibrated self-assessment.
+    static_rule_ids: List[str] = field(default_factory=list)
+    static_confidence: float = 0.5
 
     @property
     def synchronization_score(self) -> int:
@@ -116,6 +120,10 @@ def extract_features(code: str, *, detector: Optional[StaticRaceDetector] = None
         features.parses = False
         return features
     features.heuristic_race = report.has_race
+    features.static_confidence = report.confidence
+    for diagnostic in report.diagnostics:
+        if diagnostic.rule_id not in features.static_rule_ids:
+            features.static_rule_ids.append(diagnostic.rule_id)
     for pair in report.pairs:
         features.predicted_pairs.append(
             (pair.first.expr_text, pair.first.line, pair.first.col, pair.first.operation)

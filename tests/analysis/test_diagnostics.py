@@ -1,0 +1,339 @@
+"""Diagnostic-engine tests: rule registry, per-rule minimal programs,
+and the OpenMP clause matrix.
+
+Each race rule ID is pinned to a minimal program that fires exactly it, and
+the clause matrix covers the sharing model: ``reduction``, ``lastprivate``,
+``firstprivate``, ``atomic`` update granularity, ``linear``, ``collapse`` and
+``nowait``.
+"""
+
+import pytest
+
+from repro.analysis import StaticRaceDetector
+from repro.analysis.diagnostics import (
+    ASSUMPTION_RULES,
+    RACE_RULES,
+    SUPPRESSION_RULES,
+    Diagnostic,
+    Span,
+    rule_confidence,
+)
+
+
+def _detect(code: str):
+    return StaticRaceDetector().analyze_source(code)
+
+
+class TestRuleRegistry:
+    def test_registries_are_disjoint_and_prefixed(self):
+        assert not set(RACE_RULES) & set(SUPPRESSION_RULES)
+        for rule_id in list(RACE_RULES) + list(SUPPRESSION_RULES):
+            assert rule_id.startswith("DRD-")
+
+    def test_assumption_rules_are_suppression_rules(self):
+        assert ASSUMPTION_RULES <= set(SUPPRESSION_RULES)
+
+    def test_confidences_are_calibrated_probabilities(self):
+        for spec in list(RACE_RULES.values()) + list(SUPPRESSION_RULES.values()):
+            assert 0.5 < spec.confidence <= 1.0
+
+    def test_rule_confidence_falls_back_for_unknown_ids(self):
+        assert rule_confidence("DRD-NOT-A-RULE") == pytest.approx(0.7)
+        assert rule_confidence("DRD-SHARED-SCALAR") == pytest.approx(
+            RACE_RULES["DRD-SHARED-SCALAR"].confidence
+        )
+
+    def test_diagnostic_to_dict_schema(self):
+        diagnostic = Diagnostic(
+            rule_id="DRD-LOOP-CARRIED",
+            message="loop-carried array dependence across concurrent iterations",
+            variable="a",
+            primary=Span(line=12, col=5, text="a[i]"),
+            secondary=Span(line=12, col=13, text="a[i+1]"),
+            confidence=0.88,
+            region=1,
+        )
+        payload = diagnostic.to_dict()
+        assert payload["rule"] == "DRD-LOOP-CARRIED"
+        assert payload["variable"] == "a"
+        assert payload["primary"] == {"line": 12, "col": 5, "expr": "a[i]"}
+        assert payload["secondary"] == {"line": 12, "col": 13, "expr": "a[i+1]"}
+        assert payload["confidence"] == pytest.approx(0.88)
+        assert payload["region"] == 1
+
+
+#: Minimal program per race rule.  Each entry must fire the named rule.
+RACY_PROGRAMS = {
+    "DRD-SHARED-SCALAR": """
+int main()
+{
+  int i;
+  int sum = 0;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    sum = sum + i;
+  return 0;
+}
+""",
+    "DRD-LOOP-CARRIED": """
+int main()
+{
+  int i;
+  int a[100];
+#pragma omp parallel for
+  for (i = 0; i < 99; i++)
+    a[i] = a[i + 1] + 1;
+  return 0;
+}
+""",
+    "DRD-WRITE-WRITE": """
+int main()
+{
+  int i;
+  int a[100];
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    a[0] = i;
+  return 0;
+}
+""",
+    "DRD-SUBSCRIPT-OPAQUE": """
+int main()
+{
+  int i;
+  int a[100];
+  int idx[100];
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+    a[idx[i]] = a[idx[i]] + i;
+  return 0;
+}
+""",
+    "DRD-TASK-UNORDERED": """
+int main()
+{
+  int result = 0;
+  int out = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+#pragma omp task
+      result = 42;
+      out = result;
+    }
+  }
+  return 0;
+}
+""",
+    "DRD-SECTION-OVERLAP": """
+int main()
+{
+  int shared = 0;
+#pragma omp parallel sections
+  {
+#pragma omp section
+    shared = 1;
+#pragma omp section
+    shared = 2;
+  }
+  return 0;
+}
+""",
+    "DRD-SIMD-LANE": """
+int main()
+{
+  int i;
+  int a[100];
+#pragma omp simd safelen(4)
+  for (i = 2; i < 100; i++)
+    a[i] = a[i - 2] + 1;
+  return 0;
+}
+""",
+}
+
+
+class TestRaceRuleMinimalPrograms:
+    @pytest.mark.parametrize("rule_id", sorted(RACY_PROGRAMS))
+    def test_minimal_program_fires_rule(self, rule_id):
+        report = _detect(RACY_PROGRAMS[rule_id])
+        assert report.has_race
+        fired = {d.rule_id for d in report.diagnostics}
+        assert rule_id in fired
+
+    @pytest.mark.parametrize("rule_id", sorted(RACY_PROGRAMS))
+    def test_diagnostics_carry_spans_and_calibrated_confidence(self, rule_id):
+        report = _detect(RACY_PROGRAMS[rule_id])
+        for diagnostic in report.diagnostics:
+            assert diagnostic.primary.line > 0
+            assert diagnostic.primary.col > 0
+            assert diagnostic.primary.text
+            assert diagnostic.confidence == pytest.approx(
+                rule_confidence(diagnostic.rule_id)
+            )
+
+    def test_report_confidence_tracks_strongest_rule(self):
+        report = _detect(RACY_PROGRAMS["DRD-SHARED-SCALAR"])
+        assert report.confidence == pytest.approx(
+            max(d.confidence for d in report.diagnostics)
+        )
+
+    def test_pair_diagnostics_carry_both_spans(self):
+        report = _detect(RACY_PROGRAMS["DRD-LOOP-CARRIED"])
+        carried = [
+            d for d in report.diagnostics if d.rule_id == "DRD-LOOP-CARRIED"
+        ]
+        assert carried
+        assert carried[0].secondary is not None
+        assert carried[0].primary.text != carried[0].secondary.text
+
+
+class TestClauseMatrix:
+    def test_reduction_clause_privatizes_the_accumulator(self):
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int sum = 0;
+#pragma omp parallel for reduction(+: sum)
+  for (i = 0; i < 100; i++)
+    sum = sum + i;
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+
+    def test_lastprivate_clause_privatizes_the_scalar(self):
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int x = 0;
+#pragma omp parallel for lastprivate(x)
+  for (i = 0; i < 100; i++)
+    x = i * 2;
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+
+    def test_firstprivate_clause_privatizes_the_scalar(self):
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int x = 5;
+  int a[100];
+#pragma omp parallel for firstprivate(x)
+  for (i = 0; i < 100; i++)
+    a[i] = x + i;
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+
+    def test_atomic_update_protects_the_accumulator(self):
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int sum = 0;
+#pragma omp parallel for
+  for (i = 0; i < 100; i++)
+  {
+#pragma omp atomic update
+    sum = sum + i;
+  }
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+        assert report.suppressions["DRD-MUTEX-ATOMIC"] >= 1
+
+    def test_linear_clause_privatizes_the_induction(self):
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int j = 0;
+  int a[200];
+#pragma omp parallel for linear(j: 2)
+  for (i = 0; i < 100; i++)
+    a[j] = i;
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+
+    def test_collapse_distributes_both_induction_variables(self):
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int j;
+  int c[8][8];
+#pragma omp parallel for collapse(2)
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      c[i][j] = i + j;
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+
+    def test_collapse_still_races_when_a_variable_is_dropped(self):
+        # c[j] under collapse(2): the tuple (j) is not injective over (i, j).
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int j;
+  int c[8];
+#pragma omp parallel for collapse(2)
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      c[j] = i + j;
+  return 0;
+}
+"""
+        )
+        assert report.has_race
+        assert "c" in report.variables()
+
+    def test_nowait_makes_the_clean_variant_racy(self):
+        clean = """
+int main()
+{
+  int i;
+  int len = 64;
+  int a[64];
+  int b[64];
+#pragma omp parallel
+  {
+#pragma omp for
+    for (i = 0; i < len; i++)
+      a[i] = i;
+#pragma omp for
+    for (i = 0; i < len; i++)
+      b[i] = a[i] + 1;
+  }
+  return 0;
+}
+"""
+        racy = clean.replace("#pragma omp for\n", "#pragma omp for nowait\n", 1)
+        assert not _detect(clean).has_race
+        assert _detect(racy).has_race

@@ -1,0 +1,240 @@
+"""MHP phase partitioning and task-ordering tests.
+
+Pins the barrier-delimited phase model (explicit ``barrier``, implicit
+worksharing-end barriers, ``nowait`` suppression) and the task ordering
+edges (``taskwait``, ``taskgroup``, ``depend``, sequenced-before-spawn)
+through both the access extractor and the end-to-end detector verdicts.
+"""
+
+from repro.analysis import StaticRaceDetector, extract_access_model
+from repro.analysis.mhp import Ordering, classify_pair
+from repro.cparse import parse
+
+
+TWO_PHASE = """
+int main()
+{
+  int i;
+  int len = 64;
+  int a[64];
+  int b[64];
+#pragma omp parallel
+  {
+#pragma omp for
+    for (i = 0; i < len; i++)
+      a[i] = i;
+#pragma omp for
+    for (i = 0; i < len; i++)
+      b[i] = a[i] + 1;
+  }
+  return 0;
+}
+"""
+
+TWO_PHASE_NOWAIT = TWO_PHASE.replace("#pragma omp for\n    for (i = 0; i < len; i++)\n      a[i] = i;", "#pragma omp for nowait\n    for (i = 0; i < len; i++)\n      a[i] = i;")
+
+EXPLICIT_BARRIER = """
+int main()
+{
+  int done = 0;
+  int seen = 0;
+#pragma omp parallel
+  {
+#pragma omp master
+    done = 1;
+#pragma omp barrier
+#pragma omp critical
+    seen = seen + done;
+  }
+  return 0;
+}
+"""
+
+NO_BARRIER = """
+int main()
+{
+  int done = 0;
+  int seen = 0;
+#pragma omp parallel
+  {
+#pragma omp master
+    done = 1;
+#pragma omp critical
+    seen = seen + done;
+  }
+  return 0;
+}
+"""
+
+TASKWAIT = """
+int main()
+{
+  int result = 0;
+  int out = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+#pragma omp task
+      result = 42;
+#pragma omp taskwait
+      out = result;
+    }
+  }
+  return 0;
+}
+"""
+
+NO_TASKWAIT = """
+int main()
+{
+  int result = 0;
+  int out = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+#pragma omp task
+      result = 42;
+      out = result;
+    }
+  }
+  return 0;
+}
+"""
+
+TASKGROUP = """
+int main()
+{
+  int result = 0;
+  int out = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+#pragma omp taskgroup
+      {
+#pragma omp task
+        result = 42;
+      }
+      out = result;
+    }
+  }
+  return 0;
+}
+"""
+
+DEPEND_CHAIN = """
+int main()
+{
+  int i;
+  int buffer = 0;
+  int out = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+#pragma omp task depend(out: buffer)
+      buffer = 7;
+#pragma omp task depend(in: buffer)
+      out = buffer;
+    }
+  }
+  return 0;
+}
+"""
+
+SEQUENCED_BEFORE = """
+int main()
+{
+  int result = 0;
+  int out = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+      out = result;
+#pragma omp task
+      result = 42;
+    }
+  }
+  return 0;
+}
+"""
+
+
+def _detect(code: str):
+    return StaticRaceDetector().analyze_source(code)
+
+
+class TestPhasePartitioning:
+    def test_worksharing_end_barrier_separates_phases(self):
+        model = extract_access_model(parse(TWO_PHASE))
+        phases = {s.context.phase for s in model.sites if s.variable == "a"}
+        assert phases == {0, 1}
+        assert model.regions[1].phase_count >= 2
+
+    def test_cross_phase_pairs_are_ordered(self):
+        model = extract_access_model(parse(TWO_PHASE))
+        a_sites = [s for s in model.sites if s.variable == "a"]
+        write = next(s for s in a_sites if s.is_write)
+        read = next(s for s in a_sites if not s.is_write)
+        ordering, rule = classify_pair(write.context, read.context, model.regions[1])
+        assert ordering is Ordering.ORDERED
+        assert rule == "DRD-PHASE-ORDERED"
+
+    def test_two_phase_program_is_clean(self):
+        report = _detect(TWO_PHASE)
+        assert not report.has_race
+        assert report.suppressions["DRD-PHASE-ORDERED"] >= 1
+
+    def test_nowait_suppresses_the_implicit_barrier(self):
+        report = _detect(TWO_PHASE_NOWAIT)
+        assert report.has_race
+        assert "a" in report.variables()
+
+    def test_explicit_barrier_orders_master_write(self):
+        report = _detect(EXPLICIT_BARRIER)
+        assert not report.has_race
+        assert report.suppressions["DRD-PHASE-ORDERED"] >= 1
+
+    def test_missing_barrier_is_a_race(self):
+        report = _detect(NO_BARRIER)
+        assert report.has_race
+        assert "done" in report.variables()
+
+
+class TestTaskOrdering:
+    def test_taskwait_orders_task_against_reader(self):
+        report = _detect(TASKWAIT)
+        assert not report.has_race
+        assert report.suppressions["DRD-TASKWAIT-ORDERED"] >= 1
+
+    def test_missing_taskwait_is_a_race(self):
+        report = _detect(NO_TASKWAIT)
+        assert report.has_race
+        assert "result" in report.variables()
+
+    def test_taskgroup_end_completes_the_task(self):
+        report = _detect(TASKGROUP)
+        assert not report.has_race
+        assert report.suppressions["DRD-TASKGROUP-ORDERED"] >= 1
+
+    def test_depend_clauses_order_sibling_tasks(self):
+        report = _detect(DEPEND_CHAIN)
+        assert not report.has_race
+        assert report.suppressions["DRD-DEPEND-ORDERED"] >= 1
+
+    def test_access_sequenced_before_spawn_is_ordered(self):
+        report = _detect(SEQUENCED_BEFORE)
+        assert not report.has_race
+        assert report.suppressions["DRD-SEQUENCED-BEFORE-TASK"] >= 1
+
+    def test_task_records_capture_spawn_facts(self):
+        model = extract_access_model(parse(DEPEND_CHAIN))
+        tasks = model.regions[1].tasks
+        assert len(tasks) == 2
+        first, second = sorted(tasks.values(), key=lambda t: t.task_id)
+        assert "buffer" in first.depend_out
+        assert "buffer" in second.depend_in
+        assert not first.multiple  # spawned once, inside single

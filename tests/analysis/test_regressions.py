@@ -1,0 +1,146 @@
+"""Regression tests for defects fixed by the phase-aware rewrite.
+
+Each test documents a wrong verdict the pre-rewrite detector produced:
+
+* cross-context subscript normalization — ``_conflicting_subscripts``
+  normalized *both* sides of a pair in the first site's loop context, so a
+  subscript that was affine only in its own loop turned opaque (or worse,
+  aliased the wrong induction variable when two loops reuse a name);
+* ``loop_vars[:1]`` truncation — the self-conflict test only consulted the
+  first enclosing induction variable, so writes distributed by an inner
+  worksharing loop (or the second variable of a ``collapse(2)`` nest) were
+  reported as write/write races.
+"""
+
+from repro.analysis import StaticRaceDetector
+
+
+def _detect(code: str):
+    return StaticRaceDetector().analyze_source(code)
+
+
+class TestCrossContextNormalization:
+    def test_each_site_is_normalized_in_its_own_loop(self):
+        # Two sections iterate disjoint halves with the *same* induction
+        # variable name.  The old detector normalized both subscripts in one
+        # context, missed the per-site ranges, and reported a race.
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int len = 100;
+  int half = 50;
+  int a[100];
+#pragma omp parallel sections private(i)
+  {
+#pragma omp section
+    for (i = 0; i < 50; i++)
+      a[i] = i;
+#pragma omp section
+    for (i = 50; i < 100; i++)
+      a[i] = i * 2;
+  }
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+        assert report.suppressions["DRD-RANGE-DISJOINT"] >= 1
+
+    def test_constant_offset_from_declaration_is_folded_per_site(self):
+        # ``i + half`` is affine only after folding the declared constant;
+        # the fold happens in the site's own context so the halves stay
+        # provably disjoint.
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int len = 100;
+  int half = 50;
+  int a[100];
+#pragma omp parallel sections private(i)
+  {
+#pragma omp section
+    for (i = 0; i < 50; i++)
+      a[i] = i;
+#pragma omp section
+    for (i = 0; i < 50; i++)
+      a[i + half] = i;
+  }
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+        assert report.suppressions["DRD-RANGE-DISJOINT"] >= 1
+
+
+class TestAllInductionVariablesConsidered:
+    def test_inner_worksharing_loop_distributes_the_write(self):
+        # The write is distributed by the *inner* loop variable ``j``.  The
+        # old ``loop_vars[:1]`` truncation only saw ``i`` and flagged a
+        # write/write race on ``a``.
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int j;
+  int n = 8;
+  int a[64];
+#pragma omp parallel private(i)
+  {
+    for (i = 0; i < n; i++)
+    {
+#pragma omp for
+      for (j = 0; j < 64; j++)
+        a[j] = j + i;
+    }
+  }
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+        assert report.suppressions["DRD-DISTRIBUTED-WRITE"] >= 1
+
+    def test_collapse2_write_covering_both_variables_is_clean(self):
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int j;
+  int c[8][8];
+#pragma omp parallel for collapse(2)
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      c[i][j] = i + j;
+  return 0;
+}
+"""
+        )
+        assert not report.has_race
+
+    def test_collapse2_write_covering_one_variable_still_races(self):
+        # Injectivity must hold over the whole distributed tuple: covering
+        # only ``j`` leaves every ``i`` writing the same ``c[j]``.
+        report = _detect(
+            """
+int main()
+{
+  int i;
+  int j;
+  int c[8];
+#pragma omp parallel for collapse(2)
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      c[j] = i;
+  return 0;
+}
+"""
+        )
+        assert report.has_race
+        assert any(d.rule_id == "DRD-WRITE-WRITE" for d in report.diagnostics)
